@@ -1,0 +1,122 @@
+// Adaptability (paper §1, motivation (iii) for steady-state scheduling):
+// because the schedule is periodic and cheap to recompute, the scheduler
+// can re-solve whenever observed platform conditions change and install
+// the new periodic schedule for the next epoch.
+//
+// This example plays a day of operation in 6 epochs: backbone bandwidth
+// and available connection counts drift (congestion comes and goes), the
+// scheduler re-runs LPRG per epoch, and the example reports how achieved
+// throughput tracks the moving LP bound — versus a static schedule
+// computed once at epoch 0 and left in place.
+#include <algorithm>
+#include <iostream>
+
+#include "core/heuristics.hpp"
+#include "platform/platform.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+dls::platform::Platform make_platform(double wan_bw, int wan_connections) {
+  using namespace dls;
+  platform::Platform plat;
+  const auto r0 = plat.add_router();
+  const auto r1 = plat.add_router();
+  const auto r2 = plat.add_router();
+  plat.add_cluster(300, 200, r0, "hq");
+  plat.add_cluster(80, 100, r1, "lab-1");
+  plat.add_cluster(60, 100, r2, "lab-2");
+  plat.add_backbone(r0, r1, wan_bw, wan_connections);
+  plat.add_backbone(r0, r2, wan_bw, wan_connections);
+  plat.compute_shortest_path_routes();
+  return plat;
+}
+
+/// Objective the *static* epoch-0 allocation achieves under the epoch's
+/// actual capacities: the network admits connections first-come (largest
+/// demand evicted first on oversubscribed links), and each transfer is
+/// clipped to its admitted connections' bandwidth.
+double static_plan_value(const dls::core::SteadyStateProblem& problem,
+                         const dls::core::Allocation& plan) {
+  using namespace dls;
+  const int n = plan.num_clusters();
+  core::Allocation clipped(n);
+  for (int k = 0; k < n; ++k)
+    for (int l = 0; l < n; ++l) {
+      clipped.set_alpha(k, l, plan.alpha(k, l));
+      clipped.set_beta(k, l, plan.beta(k, l));
+    }
+
+  // Admission control: while any link is oversubscribed, evict one
+  // connection of the heaviest user of that link.
+  const platform::Platform& plat = problem.plat();
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (platform::LinkId li = 0; li < plat.num_links(); ++li) {
+      double used = 0.0;
+      int heaviest = -1;
+      for (int r : problem.routes_through_link()[li]) {
+        const auto& route = problem.routes()[r];
+        used += clipped.beta(route.k, route.l);
+        if (heaviest < 0 ||
+            clipped.beta(route.k, route.l) >
+                clipped.beta(problem.routes()[heaviest].k,
+                             problem.routes()[heaviest].l))
+          heaviest = r;
+      }
+      if (used > plat.link(li).max_connections && heaviest >= 0) {
+        const auto& route = problem.routes()[heaviest];
+        clipped.add_beta(route.k, route.l, -1.0);
+        changed = true;
+      }
+    }
+  }
+  // Each transfer now runs at its admitted connections' bandwidth.
+  for (const auto& route : problem.routes()) {
+    if (!route.needs_beta) continue;
+    clipped.set_alpha(route.k, route.l,
+                      std::min(clipped.alpha(route.k, route.l),
+                               clipped.beta(route.k, route.l) * route.pbw));
+  }
+  return problem.objective_of(clipped);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dls;
+
+  // Epoch scenario: (wan bandwidth per connection, admitted connections).
+  const struct {
+    double bw;
+    int connections;
+    const char* note;
+  } epochs[] = {
+      {20, 6, "nominal"},        {20, 6, "nominal"},
+      {8, 6, "congestion"},      {8, 2, "congestion + admission limit"},
+      {14, 4, "recovering"},     {20, 6, "nominal again"},
+  };
+  const std::vector<double> payoffs{1.0, 1.0, 1.0};
+
+  const auto first = make_platform(epochs[0].bw, epochs[0].connections);
+  const core::SteadyStateProblem first_problem(first, payoffs, core::Objective::MaxMin);
+  const auto static_plan = core::run_lprg(first_problem);
+
+  std::cout << "# re-solving each epoch (adaptive) vs keeping epoch-0's schedule (static)\n";
+  TextTable table({"epoch", "conditions", "LP bound", "adaptive LPRG", "static plan"});
+  int epoch = 0;
+  for (const auto& e : epochs) {
+    const auto plat = make_platform(e.bw, e.connections);
+    const core::SteadyStateProblem problem(plat, payoffs, core::Objective::MaxMin);
+    const auto bound = core::lp_upper_bound(problem);
+    const auto adaptive = core::run_lprg(problem);
+    const double frozen = static_plan_value(problem, static_plan.allocation);
+    table.add_row({std::to_string(epoch++), e.note, TextTable::fmt(bound.objective, 1),
+                   TextTable::fmt(adaptive.objective, 1), TextTable::fmt(frozen, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nthe adaptive scheduler tracks the bound through the congestion\n"
+               "episodes; the frozen plan over-commits the degraded links and\n"
+               "its worst application pays for it.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "cli/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace dls::cli {
+
+Args::Args(std::vector<std::string> tokens) {
+  std::size_t i = 0;
+  if (!tokens.empty() && tokens[0].rfind("--", 0) != 0) {
+    command_ = tokens[0];
+    i = 1;
+  }
+  for (; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    require(tok.rfind("--", 0) == 0, "unexpected positional argument '" + tok + "'");
+    const std::string key = tok.substr(2);
+    require(!key.empty(), "empty option name");
+    if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      options_.emplace_back(key, tokens[i + 1]);
+      ++i;
+    } else {
+      flags_.insert(key);
+    }
+  }
+}
+
+std::optional<std::string> Args::raw(const std::string& key) {
+  consumed_.insert(key);
+  for (const auto& [k, v] : options_)
+    if (k == key) return v;
+  return std::nullopt;
+}
+
+std::string Args::get_string(const std::string& key, const std::string& fallback) {
+  return raw(key).value_or(fallback);
+}
+
+double Args::get_double(const std::string& key, double fallback) {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  require(end != v->c_str() && *end == '\0', "option --" + key + ": not a number");
+  return parsed;
+}
+
+int Args::get_int(const std::string& key, int fallback) {
+  const double v = get_double(key, static_cast<double>(fallback));
+  const int i = static_cast<int>(v);
+  require(static_cast<double>(i) == v, "option --" + key + ": not an integer");
+  return i;
+}
+
+std::uint64_t Args::get_u64(const std::string& key, std::uint64_t fallback) {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(v->c_str(), &end, 10);
+  require(end != v->c_str() && *end == '\0', "option --" + key + ": not an integer");
+  return parsed;
+}
+
+bool Args::get_flag(const std::string& key) {
+  consumed_.insert(key);
+  return flags_.count(key) > 0;
+}
+
+std::vector<double> Args::get_double_list(const std::string& key) {
+  const auto v = raw(key);
+  std::vector<double> out;
+  if (!v) return out;
+  std::istringstream iss(*v);
+  std::string item;
+  while (std::getline(iss, item, ',')) {
+    char* end = nullptr;
+    const double parsed = std::strtod(item.c_str(), &end);
+    require(end != item.c_str() && *end == '\0',
+            "option --" + key + ": bad list element '" + item + "'");
+    out.push_back(parsed);
+  }
+  return out;
+}
+
+void Args::reject_unknown() const {
+  for (const auto& [k, v] : options_) {
+    (void)v;
+    require(consumed_.count(k) > 0, "unknown option --" + k);
+  }
+  for (const auto& k : flags_)
+    require(consumed_.count(k) > 0, "unknown flag --" + k);
+}
+
+}  // namespace dls::cli

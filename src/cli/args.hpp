@@ -1,0 +1,48 @@
+// Minimal command-line argument parser for the dls tool.
+//
+// Grammar: one positional command followed by --key value options and
+// --flag switches. Values never start with "--". Unknown keys are
+// reported, and every accessor records its key so unused/misspelled
+// options can be rejected after parsing.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dls::cli {
+
+class Args {
+public:
+  /// Parses argv-style tokens (without the program name).
+  explicit Args(std::vector<std::string> tokens);
+
+  /// The positional command (first token); empty if none.
+  [[nodiscard]] const std::string& command() const { return command_; }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback);
+  [[nodiscard]] double get_double(const std::string& key, double fallback);
+  [[nodiscard]] int get_int(const std::string& key, int fallback);
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key, std::uint64_t fallback);
+  [[nodiscard]] bool get_flag(const std::string& key);
+
+  /// Comma-separated doubles, e.g. --payoffs 1,2,0.5; empty if absent.
+  [[nodiscard]] std::vector<double> get_double_list(const std::string& key);
+
+  /// Throws dls::Error naming any option that no accessor consumed.
+  void reject_unknown() const;
+
+private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& key);
+
+  std::string command_;
+  std::vector<std::pair<std::string, std::string>> options_;  // key -> value
+  std::set<std::string> flags_;
+  std::set<std::string> consumed_;
+};
+
+}  // namespace dls::cli

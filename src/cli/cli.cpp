@@ -1,0 +1,255 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cli/args.hpp"
+#include "core/heuristics.hpp"
+#include "core/npc/reduction.hpp"
+#include "core/schedule.hpp"
+#include "platform/generator.hpp"
+#include "platform/serialization.hpp"
+#include "sim/simulator.hpp"
+#include "support/table.hpp"
+
+namespace dls::cli {
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: dls <command> [options]\n"
+        "commands:\n"
+        "  generate   create a random platform (Table-1 style parameters)\n"
+        "  solve      run a scheduling method on a platform file\n"
+        "  simulate   solve, reconstruct the periodic schedule, execute it\n"
+        "  reduce     build the NP-hardness instance from a graph file\n"
+        "  help       show this message\n"
+        "see src/cli/cli.hpp for the full option list\n";
+}
+
+platform::Platform load_platform(const std::string& path) {
+  std::ifstream in(path);
+  require(static_cast<bool>(in), "cannot open platform file '" + path + "'");
+  return platform::read_platform(in);
+}
+
+std::vector<double> resolve_payoffs(Args& args, int num_clusters) {
+  std::vector<double> payoffs = args.get_double_list("payoffs");
+  if (payoffs.empty()) payoffs.assign(num_clusters, 1.0);
+  require(static_cast<int>(payoffs.size()) == num_clusters,
+          "--payoffs: expected one value per cluster");
+  return payoffs;
+}
+
+core::Objective resolve_objective(Args& args) {
+  const std::string name = args.get_string("objective", "maxmin");
+  if (name == "maxmin") return core::Objective::MaxMin;
+  if (name == "sum") return core::Objective::Sum;
+  throw Error("--objective: expected 'maxmin' or 'sum'");
+}
+
+struct Solved {
+  core::Allocation allocation;
+  double objective = 0.0;
+  double bound = 0.0;
+  std::string method;
+};
+
+Solved solve_with_method(const core::SteadyStateProblem& problem, Args& args) {
+  const std::string method = args.get_string("method", "lprg");
+  Rng rng(args.get_u64("seed", 1));
+  Solved out{core::Allocation(problem.num_clusters()), 0.0, 0.0, method};
+
+  const auto bound = core::lp_upper_bound(problem);
+  require(bound.status == lp::SolveStatus::Optimal, "LP bound solve failed");
+  out.bound = bound.objective;
+
+  if (method == "lp") {
+    out.allocation = bound.allocation;
+    out.objective = bound.objective;
+    return out;
+  }
+  core::HeuristicResult result{core::Allocation(problem.num_clusters()), 0.0, 0,
+                               lp::SolveStatus::Optimal};
+  if (method == "g") {
+    result = core::run_greedy(problem);
+  } else if (method == "lpr") {
+    result = core::run_lpr(problem);
+  } else if (method == "lprg") {
+    result = core::run_lprg(problem);
+  } else if (method == "lprr") {
+    result = core::run_lprr(problem, rng);
+  } else if (method == "exact") {
+    const auto exact = core::solve_exact(problem);
+    require(exact.status == lp::SolveStatus::Optimal,
+            "exact solve did not finish (try a smaller platform)");
+    out.allocation = exact.allocation;
+    out.objective = exact.objective;
+    return out;
+  } else {
+    throw Error("--method: expected g|lpr|lprg|lprr|lp|exact");
+  }
+  require(result.status == lp::SolveStatus::Optimal, "method '" + method + "' failed");
+  out.allocation = std::move(result.allocation);
+  out.objective = result.objective;
+  return out;
+}
+
+void print_allocation(const platform::Platform& plat, const core::Allocation& alloc,
+                      std::ostream& os) {
+  TextTable table({"from", "on", "alpha", "beta"});
+  for (int k = 0; k < plat.num_clusters(); ++k) {
+    for (int l = 0; l < plat.num_clusters(); ++l) {
+      if (alloc.alpha(k, l) <= 1e-12 && alloc.beta(k, l) <= 1e-12) continue;
+      const auto name = [&](int c) {
+        return plat.cluster(c).name.empty() ? "C" + std::to_string(c)
+                                            : plat.cluster(c).name;
+      };
+      table.add_row({name(k), name(l), TextTable::fmt(alloc.alpha(k, l), 3),
+                     TextTable::fmt(alloc.beta(k, l), 0)});
+    }
+  }
+  table.print(os);
+}
+
+int cmd_generate(Args& args, std::ostream& out) {
+  platform::GeneratorParams params;
+  params.num_clusters = args.get_int("clusters", 10);
+  params.connectivity = args.get_double("connectivity", 0.4);
+  params.heterogeneity = args.get_double("heterogeneity", 0.5);
+  params.mean_gateway_bw = args.get_double("gateway", 250);
+  params.mean_backbone_bw = args.get_double("bw", 50);
+  params.mean_max_connections = args.get_double("maxcon", 50);
+  params.cluster_speed = args.get_double("speed", 100);
+  params.mean_latency = args.get_double("latency", 0);
+  params.ensure_connected = args.get_flag("connected");
+  params.num_transit_routers = args.get_int("transit", 0);
+  const std::string out_path = args.get_string("out", "");
+  Rng rng(args.get_u64("seed", 1));
+  args.reject_unknown();
+
+  const platform::Platform plat = generate_platform(params, rng);
+  if (out_path.empty()) {
+    platform::write_platform(plat, out);
+  } else {
+    std::ofstream file(out_path);
+    require(static_cast<bool>(file), "cannot write '" + out_path + "'");
+    platform::write_platform(plat, file);
+    out << "wrote " << plat.num_clusters() << " clusters, " << plat.num_links()
+        << " links to " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_solve(Args& args, std::ostream& out) {
+  const platform::Platform plat = load_platform(args.get_string("platform", ""));
+  const std::vector<double> payoffs = resolve_payoffs(args, plat.num_clusters());
+  const core::Objective objective = resolve_objective(args);
+  const bool with_schedule = args.get_flag("schedule");
+  const core::SteadyStateProblem problem(plat, payoffs, objective);
+  Solved solved = solve_with_method(problem, args);
+  args.reject_unknown();
+
+  out << "method " << solved.method << ", objective " << to_string(objective)
+      << ": " << solved.objective << "  (LP bound " << solved.bound << ")\n";
+  print_allocation(plat, solved.allocation, out);
+
+  if (with_schedule) {
+    const auto sched = core::build_periodic_schedule(problem, solved.allocation);
+    out << "period: " << sched.period << "\n";
+    for (const auto& t : sched.transfers)
+      out << "  transfer " << t.units << " units C" << t.from << " -> C" << t.to
+          << " (" << t.connections << " connections)\n";
+    for (const auto& c : sched.compute)
+      out << "  compute " << c.units << " units of app " << c.app << " on C"
+          << c.on_cluster << "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(Args& args, std::ostream& out) {
+  const platform::Platform plat = load_platform(args.get_string("platform", ""));
+  const std::vector<double> payoffs = resolve_payoffs(args, plat.num_clusters());
+  const core::Objective objective = resolve_objective(args);
+  const core::SteadyStateProblem problem(plat, payoffs, objective);
+  Solved solved = solve_with_method(problem, args);
+
+  sim::SimOptions options;
+  options.periods = args.get_int("periods", 10);
+  const std::string policy = args.get_string("policy", "paced");
+  if (policy == "paced") {
+    options.policy = sim::SharingPolicy::Paced;
+  } else if (policy == "maxmin") {
+    options.policy = sim::SharingPolicy::MaxMin;
+  } else if (policy == "tcp") {
+    options.policy = sim::SharingPolicy::TcpRttBias;
+  } else {
+    throw Error("--policy: expected paced|maxmin|tcp");
+  }
+  args.reject_unknown();
+
+  const auto sched = core::build_periodic_schedule(problem, solved.allocation);
+  const auto report = sim::simulate_schedule(problem, sched, options);
+  out << "method " << solved.method << ", period " << sched.period << ", policy "
+      << policy << "\n";
+  TextTable table({"application", "scheduled", "achieved"});
+  for (int k = 0; k < plat.num_clusters(); ++k)
+    table.add_row({"app" + std::to_string(k), TextTable::fmt(sched.throughput(k), 3),
+                   TextTable::fmt(report.throughput[k], 3)});
+  table.print(out);
+  out << "worst period overrun ratio: " << TextTable::fmt(report.worst_overrun_ratio, 4)
+      << "\n";
+  return 0;
+}
+
+int cmd_reduce(Args& args, std::ostream& out) {
+  const std::string path = args.get_string("graph", "");
+  args.reject_unknown();
+  std::ifstream in(path);
+  require(static_cast<bool>(in), "cannot open graph file '" + path + "'");
+  int n = 0, m = 0;
+  in >> n >> m;
+  require(in && n >= 1 && m >= 0, "graph file: expected 'n m' header");
+  core::npc::Graph g(n);
+  for (int i = 0; i < m; ++i) {
+    int u = 0, v = 0;
+    in >> u >> v;
+    require(static_cast<bool>(in), "graph file: truncated edge list");
+    g.add_edge(u, v);
+  }
+
+  const auto mis = core::npc::maximum_independent_set(g);
+  const auto inst = core::npc::build_reduction(g);
+  out << "# reduction of " << n << "-vertex, " << m << "-edge graph\n"
+      << "# maximum independent set size: " << mis.size() << "\n"
+      << "# Lemma 1 holds: " << (core::npc::lemma1_holds(g, inst) ? "yes" : "NO")
+      << "\n";
+  platform::write_platform(inst.platform, out);
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(std::vector<std::string> args, std::ostream& out, std::ostream& err) {
+  try {
+    Args parsed(std::move(args));
+    const std::string& cmd = parsed.command();
+    if (cmd.empty() || cmd == "help") {
+      print_usage(cmd.empty() ? err : out);
+      return cmd.empty() ? 2 : 0;
+    }
+    if (cmd == "generate") return cmd_generate(parsed, out);
+    if (cmd == "solve") return cmd_solve(parsed, out);
+    if (cmd == "simulate") return cmd_simulate(parsed, out);
+    if (cmd == "reduce") return cmd_reduce(parsed, out);
+    err << "dls: unknown command '" << cmd << "'\n";
+    print_usage(err);
+    return 2;
+  } catch (const Error& e) {
+    err << "dls: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace dls::cli

@@ -1,0 +1,30 @@
+// The `dls` command-line tool: generate platforms, solve steady-state
+// scheduling problems with any heuristic, reconstruct and simulate
+// periodic schedules, and build NP-hardness reduction instances.
+//
+//   dls generate  --clusters K [--connectivity p] [--heterogeneity h]
+//                 [--gateway g] [--bw b] [--maxcon m] [--latency ms]
+//                 [--speed s] [--seed n] [--connected] [--out FILE]
+//   dls solve     --platform FILE [--method g|lpr|lprg|lprr|lp|exact]
+//                 [--objective maxmin|sum] [--payoffs 1,2,...]
+//                 [--seed n] [--schedule]
+//   dls simulate  --platform FILE [--method ...] [--objective ...]
+//                 [--payoffs ...] [--policy paced|maxmin|tcp]
+//                 [--periods n] [--seed n]
+//   dls reduce    --graph FILE   (edge list: "n m" then m lines "u v")
+//   dls help
+//
+// run_cli is stream-parameterized so tests can drive it end to end.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dls::cli {
+
+/// Executes one command; returns a process exit code. Errors are written
+/// to `err`, results to `out`.
+int run_cli(std::vector<std::string> args, std::ostream& out, std::ostream& err);
+
+}  // namespace dls::cli

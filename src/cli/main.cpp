@@ -1,0 +1,10 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return dls::cli::run_cli(std::move(args), std::cout, std::cerr);
+}

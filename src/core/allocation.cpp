@@ -1,0 +1,58 @@
+#include "core/allocation.hpp"
+
+#include <cmath>
+
+namespace dls::core {
+
+Allocation::Allocation(int num_clusters) : k_(num_clusters) {
+  require(num_clusters >= 1, "Allocation: need at least one cluster");
+  alpha_.assign(static_cast<std::size_t>(k_) * k_, 0.0);
+  beta_.assign(static_cast<std::size_t>(k_) * k_, 0.0);
+}
+
+void Allocation::set_alpha(int k, int l, double value) {
+  require(std::isfinite(value) && value >= 0.0, "Allocation: invalid alpha");
+  alpha_[index(k, l)] = value;
+}
+
+void Allocation::set_beta(int k, int l, double value) {
+  require(std::isfinite(value) && value >= 0.0, "Allocation: invalid beta");
+  beta_[index(k, l)] = value;
+}
+
+void Allocation::add_alpha(int k, int l, double delta) {
+  set_alpha(k, l, alpha(k, l) + delta);
+}
+
+void Allocation::add_beta(int k, int l, double delta) {
+  set_beta(k, l, beta(k, l) + delta);
+}
+
+double Allocation::total_alpha(int k) const {
+  double total = 0.0;
+  for (int l = 0; l < k_; ++l) total += alpha(k, l);
+  return total;
+}
+
+double Allocation::load_on(int l) const {
+  double total = 0.0;
+  for (int k = 0; k < k_; ++k) total += alpha(k, l);
+  return total;
+}
+
+double Allocation::gateway_traffic(int k) const {
+  double total = 0.0;
+  for (int l = 0; l < k_; ++l) {
+    if (l == k) continue;
+    total += alpha(k, l) + alpha(l, k);
+  }
+  return total;
+}
+
+bool Allocation::has_integral_betas(double eps) const {
+  for (double b : beta_)
+    if (std::fabs(b - std::round(b)) > eps) return false;
+  return true;
+}
+
+}  // namespace dls::core

@@ -1,0 +1,57 @@
+// Steady-state allocations (alpha, beta) — the decision variables of the
+// paper's program (7).
+//
+// alpha(k, l) is the amount of application A_k's load shipped from cluster
+// k and computed on cluster l per time unit (alpha(k, k) is the locally
+// processed share). beta(k, l) is the number of connections opened for
+// that transfer. Betas are stored as doubles so the same type can carry
+// the rational relaxation (where beta = alpha / pbw may be fractional);
+// valid allocations in the paper's sense have integral betas, which
+// validate_allocation checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dls::core {
+
+class Allocation {
+public:
+  explicit Allocation(int num_clusters);
+
+  [[nodiscard]] int num_clusters() const { return k_; }
+
+  [[nodiscard]] double alpha(int k, int l) const { return alpha_[index(k, l)]; }
+  [[nodiscard]] double beta(int k, int l) const { return beta_[index(k, l)]; }
+
+  void set_alpha(int k, int l, double value);
+  void set_beta(int k, int l, double value);
+  void add_alpha(int k, int l, double delta);
+  void add_beta(int k, int l, double delta);
+
+  /// alpha_k = sum_l alpha(k, l): application k's total throughput.
+  [[nodiscard]] double total_alpha(int k) const;
+
+  /// Load computed on cluster l per time unit: sum_k alpha(k, l).
+  [[nodiscard]] double load_on(int l) const;
+
+  /// Gateway traffic of cluster k: outgoing + incoming remote load (7c lhs).
+  [[nodiscard]] double gateway_traffic(int k) const;
+
+  /// True if every beta is within eps of an integer.
+  [[nodiscard]] bool has_integral_betas(double eps = 1e-6) const;
+
+private:
+  [[nodiscard]] std::size_t index(int k, int l) const {
+    DLS_ASSERT(k >= 0 && k < k_ && l >= 0 && l < k_);
+    return static_cast<std::size_t>(k) * k_ + l;
+  }
+
+  int k_;
+  std::vector<double> alpha_;
+  std::vector<double> beta_;
+};
+
+}  // namespace dls::core

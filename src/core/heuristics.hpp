@@ -1,0 +1,110 @@
+// The paper's §5 heuristics for STEADY-STATE-DIVISIBLE-LOAD, plus the LP
+// upper bound used as the comparator in §6 and an exact MILP solve for
+// small instances.
+//
+//   G     run_greedy       resource-by-resource greedy (§5.1)
+//   LPR   run_lpr          relaxation + round all betas down (§5.2.1)
+//   LPRG  run_lprg         LPR, then G on the residual capacities (§5.2.2)
+//   LPRR  run_lprr         iterative randomized rounding (§5.2.3);
+//                          options.equal_probability switches to the
+//                          up/down-with-probability-1/2 variant the paper
+//                          reports as much worse (§6.2)
+//   LP    lp_upper_bound   rational relaxation (not a valid allocation:
+//                          betas are fractional); upper-bounds the optimum
+//   MLP   solve_exact      branch-and-bound on the full program (7)
+//
+// Every heuristic returns a *valid* allocation (integral betas, all of
+// equations (7) satisfied), which tests enforce via validate_allocation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "lp/milp.hpp"
+#include "lp/simplex.hpp"
+#include "support/rng.hpp"
+
+namespace dls::core {
+
+struct HeuristicResult {
+  Allocation allocation;
+  double objective = 0.0;  ///< problem.objective_of(allocation)
+  int lp_solves = 0;       ///< number of LP relaxations solved
+  lp::SolveStatus status = lp::SolveStatus::Optimal;
+};
+
+/// What the greedy does when an application picks its local cluster but
+/// the paper's step-5 cap (the largest amount another application could
+/// have run there) is zero.
+enum class LocalExhaustPolicy {
+  /// Take all remaining local speed: nobody else can reach this cluster,
+  /// so reserving it is pure waste. Our default (strictly dominates).
+  TakeRemaining,
+  /// Drop the application from the candidate list, leaving the residual
+  /// speed unused — the literal reading of the paper's step 5, which
+  /// allocates 0 (and would otherwise loop forever). Kept as an ablation.
+  DropApplication,
+};
+
+struct GreedyOptions {
+  LocalExhaustPolicy local_exhaust = LocalExhaustPolicy::TakeRemaining;
+};
+
+/// The greedy heuristic G. Deterministic; solves no LP.
+[[nodiscard]] HeuristicResult run_greedy(const SteadyStateProblem& problem,
+                                         const GreedyOptions& options = {});
+
+/// LPR: rational relaxation, betas rounded down, alphas clipped to the
+/// rounded bandwidth.
+[[nodiscard]] HeuristicResult run_lpr(const SteadyStateProblem& problem,
+                                      const lp::SimplexOptions& lp_options = {});
+
+/// LPRG: LPR, then the greedy pass reclaims the rounding losses.
+[[nodiscard]] HeuristicResult run_lprg(const SteadyStateProblem& problem,
+                                       const lp::SimplexOptions& lp_options = {},
+                                       const GreedyOptions& greedy_options = {});
+
+struct LprrOptions {
+  /// false: round up with probability frac(beta) (the paper's LPRR);
+  /// true: round up/down with probability 1/2 each (the ablation variant).
+  bool equal_probability = false;
+  /// true (paper's LPRR, ~K^2 LP solves): re-solve the relaxation after
+  /// every fixing so later roundings compensate earlier ones. false:
+  /// classical one-shot randomized rounding (Motwani-Naor-Raghavan
+  /// style): one relaxation solve, every beta rounded from it, one final
+  /// clean-up solve. The ablation bench shows the re-solve is what makes
+  /// equal-probability rounding survivable.
+  bool resolve_between_fixings = true;
+  lp::SimplexOptions lp;
+};
+
+/// LPRR: one LP re-solve per fixed route (~K^2 solves); rounding up is
+/// demoted to rounding down whenever it would exceed a link's residual
+/// max-connect, so the result is always feasible.
+[[nodiscard]] HeuristicResult run_lprr(const SteadyStateProblem& problem, Rng& rng,
+                                       const LprrOptions& options = {});
+
+struct LpBoundResult {
+  double objective = 0.0;
+  Allocation allocation;  ///< fractional betas: NOT a valid allocation
+  lp::SolveStatus status = lp::SolveStatus::Optimal;
+  int iterations = 0;
+};
+
+/// The "LP" comparator: optimum of the rational relaxation.
+[[nodiscard]] LpBoundResult lp_upper_bound(const SteadyStateProblem& problem,
+                                           const lp::SimplexOptions& lp_options = {});
+
+struct ExactResult {
+  double objective = 0.0;
+  Allocation allocation;
+  lp::SolveStatus status = lp::SolveStatus::Infeasible;
+  std::int64_t nodes = 0;
+};
+
+/// Exact mixed solve of program (7); exponential — small instances only.
+[[nodiscard]] ExactResult solve_exact(const SteadyStateProblem& problem,
+                                      const lp::MilpOptions& options = {});
+
+}  // namespace dls::core

@@ -1,0 +1,33 @@
+// Shared internals between the greedy pass and the LP-based heuristics.
+// Not part of the public API.
+#pragma once
+
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/heuristics.hpp"
+#include "core/problem.hpp"
+
+namespace dls::core::internal {
+
+/// Residual capacities plus the allocation built so far. LPRG seeds this
+/// from a rounded LP solution; G starts from the full capacities.
+struct GreedyState {
+  Allocation alloc;
+  std::vector<double> res_speed;    ///< per cluster
+  std::vector<double> res_gateway;  ///< per cluster
+  std::vector<double> res_maxcon;   ///< per backbone link
+
+  [[nodiscard]] static GreedyState fresh(const SteadyStateProblem& problem);
+  /// Residuals left by an existing allocation; throws if it already
+  /// exceeds some capacity.
+  [[nodiscard]] static GreedyState after(const SteadyStateProblem& problem,
+                                         const Allocation& alloc);
+};
+
+/// Runs the greedy loop (paper §5.1 steps 2-7) until no application can
+/// make progress, mutating the state in place.
+void greedy_fill(const SteadyStateProblem& problem, GreedyState& state,
+                 const GreedyOptions& options);
+
+}  // namespace dls::core::internal

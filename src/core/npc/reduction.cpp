@@ -1,0 +1,165 @@
+#include "core/npc/reduction.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace dls::core::npc {
+
+Graph::Graph(int num_vertices) : n_(num_vertices), adj_(num_vertices) {
+  require(num_vertices >= 0, "Graph: negative vertex count");
+}
+
+void Graph::add_edge(int u, int v) {
+  require(u >= 0 && u < n_ && v >= 0 && v < n_, "Graph::add_edge: vertex out of range");
+  require(u != v, "Graph::add_edge: self-loop");
+  require(!has_edge(u, v), "Graph::add_edge: duplicate edge");
+  edges_.emplace_back(u, v);
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+}
+
+bool Graph::has_edge(int u, int v) const {
+  require(u >= 0 && u < n_ && v >= 0 && v < n_, "Graph::has_edge: vertex out of range");
+  return std::find(adj_[u].begin(), adj_[u].end(), v) != adj_[u].end();
+}
+
+namespace {
+
+/// Branch and bound: pick the highest-degree live vertex; branch on
+/// excluding it versus including it (which removes its neighborhood).
+void mis_search(const Graph& g, std::vector<char>& alive, int alive_count,
+                std::vector<int>& current, std::vector<int>& best) {
+  if (current.size() + alive_count <= best.size()) return;  // bound
+
+  int pivot = -1, pivot_deg = -1;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!alive[v]) continue;
+    int deg = 0;
+    for (int u : g.neighbors(v)) deg += alive[u];
+    if (deg > pivot_deg) {
+      pivot_deg = deg;
+      pivot = v;
+    }
+  }
+  if (pivot < 0) {  // no live vertex: current is maximal here
+    if (current.size() > best.size()) best = current;
+    return;
+  }
+  if (pivot_deg == 0) {
+    // All live vertices are pairwise non-adjacent: take them all.
+    std::vector<int> take = current;
+    for (int v = 0; v < g.num_vertices(); ++v)
+      if (alive[v]) take.push_back(v);
+    if (take.size() > best.size()) best = std::move(take);
+    return;
+  }
+
+  // Branch 1: include the pivot (kill it and its live neighbors).
+  std::vector<int> killed{pivot};
+  alive[pivot] = 0;
+  for (int u : g.neighbors(pivot)) {
+    if (alive[u]) {
+      alive[u] = 0;
+      killed.push_back(u);
+    }
+  }
+  current.push_back(pivot);
+  mis_search(g, alive, alive_count - static_cast<int>(killed.size()), current, best);
+  current.pop_back();
+  for (int v : killed) alive[v] = 1;
+
+  // Branch 2: exclude the pivot.
+  alive[pivot] = 0;
+  mis_search(g, alive, alive_count - 1, current, best);
+  alive[pivot] = 1;
+}
+
+}  // namespace
+
+std::vector<int> maximum_independent_set(const Graph& g) {
+  std::vector<char> alive(g.num_vertices(), 1);
+  std::vector<int> current, best;
+  mis_search(g, alive, g.num_vertices(), current, best);
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+ReductionInstance build_reduction(const Graph& g) {
+  const int n = g.num_vertices();
+  require(n >= 1, "build_reduction: need at least one vertex");
+  ReductionInstance inst;
+  platform::Platform& plat = inst.platform;
+
+  // Routers: one per cluster, then Qa_k/Qb_k per edge.
+  const platform::RouterId r0 = plat.add_router("R0");
+  std::vector<platform::RouterId> cluster_router(n);
+  for (int i = 0; i < n; ++i)
+    cluster_router[i] = plat.add_router("R" + std::to_string(i + 1));
+  std::vector<platform::RouterId> qa(g.num_edges()), qb(g.num_edges());
+  for (int k = 0; k < g.num_edges(); ++k) {
+    qa[k] = plat.add_router("Qa" + std::to_string(k));
+    qb[k] = plat.add_router("Qb" + std::to_string(k));
+  }
+
+  // Clusters: C0 (g = n, s = 0) then C1..Cn (g = s = 1).
+  plat.add_cluster(0.0, static_cast<double>(n), r0, "C0");
+  for (int i = 0; i < n; ++i)
+    plat.add_cluster(1.0, 1.0, cluster_router[i], "C" + std::to_string(i + 1));
+
+  // Common links lcommon_k = (Qa_k, Qb_k), bw = 1, max-connect = 1.
+  inst.common_links.resize(g.num_edges());
+  for (int k = 0; k < g.num_edges(); ++k)
+    inst.common_links[k] =
+        plat.add_backbone(qa[k], qb[k], 1.0, 1, "lcommon" + std::to_string(k));
+
+  // Route(i): the edges incident to vertex i, in edge-index order.
+  std::vector<std::vector<int>> route_edges(n);
+  for (int k = 0; k < g.num_edges(); ++k) {
+    route_edges[g.edges()[k].first].push_back(k);
+    route_edges[g.edges()[k].second].push_back(k);
+  }
+
+  // Chain links and the explicit routing path L(0, i).
+  for (int i = 0; i < n; ++i) {
+    std::vector<platform::LinkId> path;
+    platform::RouterId at = r0;
+    for (std::size_t j = 0; j < route_edges[i].size(); ++j) {
+      const int k = route_edges[i][j];
+      path.push_back(plat.add_backbone(at, qa[k], 1.0, 1,
+                                       "l_" + std::to_string(i) + "_" +
+                                           std::to_string(j + 1)));
+      path.push_back(inst.common_links[k]);
+      at = qb[k];
+    }
+    path.push_back(plat.add_backbone(at, cluster_router[i], 1.0, 1,
+                                     "l_" + std::to_string(i) + "_last"));
+    plat.set_route(0, i + 1, std::move(path));
+  }
+
+  inst.payoffs.assign(n + 1, 0.0);
+  inst.payoffs[0] = 1.0;
+  plat.validate();
+  return inst;
+}
+
+bool lemma1_holds(const Graph& g, const ReductionInstance& inst) {
+  const platform::Platform& plat = inst.platform;
+  const int n = g.num_vertices();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto route_i = plat.route(0, i + 1);
+      const auto route_j = plat.route(0, j + 1);
+      const std::set<platform::LinkId> set_i(route_i.begin(), route_i.end());
+      bool share = false;
+      for (platform::LinkId li : route_j)
+        if (set_i.count(li)) share = true;
+      if (share != g.has_edge(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dls::core::npc

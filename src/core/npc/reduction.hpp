@@ -1,0 +1,62 @@
+// NP-completeness apparatus for Theorem 1 (paper §4).
+//
+// The reduction maps an instance of MAXIMUM-INDEPENDENT-SET to an
+// instance of STEADY-STATE-DIVISIBLE-LOAD whose optimal throughput equals
+// the maximum independent set size:
+//   * clusters C^0 (g = n, s = 0, payoff 1) and C^1..C^n (g = s = 1,
+//     payoff 0) — C^0 owns the only application and must delegate all work;
+//   * per edge e_k = (V_i, V_j): routers Qa_k, Qb_k joined by the link
+//     lcommon_k with bw = 1 and max-connect = 1, which both routes
+//     L(0,i) and L(0,j) traverse;
+//   * chain links l^i_j (bw = 1, max-connect = 1) threading C^0's router
+//     through cluster i's gadget sequence to C^i's router.
+// Lemma 1: routes L(0,i) and L(0,j) share a backbone link iff (V_i, V_j)
+// is an edge of G.
+//
+// An exact maximum-independent-set solver (branch and bound) is included
+// so tests can certify the equivalence on arbitrary small graphs.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace dls::core::npc {
+
+/// Simple undirected graph on vertices 0..n-1 (no loops, no multi-edges).
+class Graph {
+public:
+  explicit Graph(int num_vertices);
+
+  void add_edge(int u, int v);
+  [[nodiscard]] int num_vertices() const { return n_; }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] bool has_edge(int u, int v) const;
+  [[nodiscard]] const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<int>& neighbors(int v) const { return adj_[v]; }
+
+private:
+  int n_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adj_;
+};
+
+/// Exact maximum independent set via branch and bound (exponential; meant
+/// for n up to ~40). Returns one maximum set, sorted ascending.
+[[nodiscard]] std::vector<int> maximum_independent_set(const Graph& g);
+
+/// The platform instance I2 built from graph instance I1.
+struct ReductionInstance {
+  platform::Platform platform;
+  std::vector<double> payoffs;                ///< 1, 0, 0, ..., 0
+  std::vector<platform::LinkId> common_links; ///< lcommon_k per edge k
+};
+
+[[nodiscard]] ReductionInstance build_reduction(const Graph& g);
+
+/// Verifies Lemma 1 on a built instance: routes (C0,Ci) and (C0,Cj) share
+/// a backbone link iff (Vi, Vj) is an edge of g.
+[[nodiscard]] bool lemma1_holds(const Graph& g, const ReductionInstance& instance);
+
+}  // namespace dls::core::npc

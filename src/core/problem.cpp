@@ -1,0 +1,343 @@
+#include "core/problem.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "lp/types.hpp"
+
+namespace dls::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+std::string pair_name(const char* prefix, int k, int l) {
+  return std::string(prefix) + "_" + std::to_string(k) + "_" + std::to_string(l);
+}
+}  // namespace
+
+std::string to_string(Objective o) {
+  return o == Objective::Sum ? "SUM" : "MAXMIN";
+}
+
+SteadyStateProblem::SteadyStateProblem(const platform::Platform& plat,
+                                       std::vector<double> payoffs,
+                                       Objective objective)
+    : plat_(&plat), payoffs_(std::move(payoffs)), objective_(objective) {
+  const int n = plat.num_clusters();
+  require(static_cast<int>(payoffs_.size()) == n,
+          "SteadyStateProblem: one payoff per cluster required");
+  bool any_positive = false;
+  for (double p : payoffs_) {
+    require(p >= 0.0 && std::isfinite(p), "SteadyStateProblem: payoffs must be >= 0");
+    any_positive |= p > 0.0;
+  }
+  // With no application at all the MaxMin objective would be unbounded
+  // (and the problem meaningless); demand at least one.
+  require(any_positive, "SteadyStateProblem: at least one positive payoff required");
+
+  route_id_.assign(static_cast<std::size_t>(n) * n, -1);
+  link_routes_.assign(plat.num_links(), {});
+  for (int k = 0; k < n; ++k) {
+    for (int l = 0; l < n; ++l) {
+      if (!plat.has_route(k, l)) continue;
+      Route r;
+      r.k = k;
+      r.l = l;
+      r.pbw = plat.route_bottleneck_bw(k, l);
+      r.needs_beta = k != l && !plat.route(k, l).empty();
+      const int id = static_cast<int>(routes_.size());
+      route_id_[static_cast<std::size_t>(k) * n + l] = id;
+      routes_.push_back(r);
+      if (k != l)
+        for (platform::LinkId li : plat.route(k, l)) link_routes_[li].push_back(id);
+    }
+  }
+}
+
+int SteadyStateProblem::route_id(int k, int l) const {
+  const int n = num_clusters();
+  require(k >= 0 && k < n && l >= 0 && l < n, "route_id: cluster out of range");
+  return route_id_[static_cast<std::size_t>(k) * n + l];
+}
+
+SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
+    const std::vector<BetaFixing>& fixings) const {
+  const int n = num_clusters();
+  ReducedModel out;
+  lp::Model& m = out.model;
+  m.set_sense(lp::Sense::Maximize);
+
+  // Fixing lookup: route -> fixed beta value (or -1 when free).
+  std::vector<int> fixed(routes_.size(), -1);
+  for (const BetaFixing& f : fixings) {
+    require(f.route >= 0 && f.route < static_cast<int>(routes_.size()) &&
+                routes_[f.route].needs_beta && f.value >= 0,
+            "build_reduced: invalid beta fixing");
+    fixed[f.route] = f.value;
+  }
+
+  // Alpha variables.
+  out.alpha_var.resize(routes_.size());
+  for (std::size_t r = 0; r < routes_.size(); ++r) {
+    const Route& route = routes_[r];
+    double ub = lp::kInf;
+    if (payoffs_[route.k] == 0.0) {
+      ub = 0.0;  // no application on this cluster: nothing to send
+    } else if (fixed[r] >= 0) {
+      ub = fixed[r] * route.pbw;  // (7e) with beta pinned
+    }
+    out.alpha_var[r] = m.add_variable(0.0, ub, 0.0, pair_name("a", route.k, route.l));
+  }
+
+  // (7b) compute capacity of each cluster.
+  for (int l = 0; l < n; ++l) {
+    std::vector<lp::Term> terms;
+    for (int k = 0; k < n; ++k) {
+      const int r = route_id(k, l);
+      if (r >= 0) terms.push_back({out.alpha_var[r], 1.0});
+    }
+    m.add_constraint(std::move(terms), lp::Relation::LessEqual,
+                     plat_->cluster(l).speed, "speed_" + std::to_string(l));
+  }
+
+  // (7c) gateway capacity.
+  for (int k = 0; k < n; ++k) {
+    std::vector<lp::Term> terms;
+    for (int l = 0; l < n; ++l) {
+      if (l == k) continue;
+      if (const int out_r = route_id(k, l); out_r >= 0)
+        terms.push_back({out.alpha_var[out_r], 1.0});
+      if (const int in_r = route_id(l, k); in_r >= 0)
+        terms.push_back({out.alpha_var[in_r], 1.0});
+    }
+    m.add_constraint(std::move(terms), lp::Relation::LessEqual,
+                     plat_->cluster(k).gateway_bw, "gateway_" + std::to_string(k));
+  }
+
+  // (7d) with beta substituted: sum alpha/pbw over free routes through the
+  // link, against the budget left by the fixed routes.
+  for (platform::LinkId li = 0; li < plat_->num_links(); ++li) {
+    if (link_routes_[li].empty()) continue;
+    std::vector<lp::Term> terms;
+    double budget = plat_->link(li).max_connections;
+    for (int r : link_routes_[li]) {
+      if (fixed[r] >= 0) {
+        budget -= fixed[r];
+      } else {
+        terms.push_back({out.alpha_var[r], 1.0 / routes_[r].pbw});
+      }
+    }
+    require(budget >= -kEps, "build_reduced: beta fixings exceed a link budget");
+    if (terms.empty()) continue;
+    m.add_constraint(std::move(terms), lp::Relation::LessEqual,
+                     std::max(budget, 0.0), "maxcon_" + std::to_string(li));
+  }
+
+  // Objective.
+  if (objective_ == Objective::Sum) {
+    for (std::size_t r = 0; r < routes_.size(); ++r)
+      m.set_objective_coef(out.alpha_var[r], payoffs_[routes_[r].k]);
+  } else {
+    out.t_var = m.add_variable(0.0, lp::kInf, 1.0, "t");
+    for (int k = 0; k < n; ++k) {
+      if (payoffs_[k] <= 0.0) continue;
+      std::vector<lp::Term> terms{{out.t_var, 1.0}};
+      for (int l = 0; l < n; ++l) {
+        const int r = route_id(k, l);
+        if (r >= 0) terms.push_back({out.alpha_var[r], -payoffs_[k]});
+      }
+      m.add_constraint(std::move(terms), lp::Relation::LessEqual, 0.0,
+                       "fair_" + std::to_string(k));
+    }
+  }
+  return out;
+}
+
+SteadyStateProblem::FullModel SteadyStateProblem::build_full(bool integer_betas) const {
+  const int n = num_clusters();
+  FullModel out;
+  out.integer_betas = integer_betas;
+  lp::Model& m = out.model;
+  m.set_sense(lp::Sense::Maximize);
+
+  out.alpha_var.resize(routes_.size());
+  out.beta_var.assign(routes_.size(), -1);
+  for (std::size_t r = 0; r < routes_.size(); ++r) {
+    const Route& route = routes_[r];
+    const double ub = payoffs_[route.k] == 0.0 ? 0.0 : lp::kInf;
+    out.alpha_var[r] = m.add_variable(0.0, ub, 0.0, pair_name("a", route.k, route.l));
+    if (route.needs_beta) {
+      out.beta_var[r] = m.add_variable(0.0, lp::kInf, 0.0,
+                                       pair_name("b", route.k, route.l));
+      if (integer_betas) m.set_integer(out.beta_var[r]);
+    }
+  }
+
+  for (int l = 0; l < n; ++l) {  // (7b)
+    std::vector<lp::Term> terms;
+    for (int k = 0; k < n; ++k) {
+      const int r = route_id(k, l);
+      if (r >= 0) terms.push_back({out.alpha_var[r], 1.0});
+    }
+    m.add_constraint(std::move(terms), lp::Relation::LessEqual,
+                     plat_->cluster(l).speed, "speed_" + std::to_string(l));
+  }
+  for (int k = 0; k < n; ++k) {  // (7c)
+    std::vector<lp::Term> terms;
+    for (int l = 0; l < n; ++l) {
+      if (l == k) continue;
+      if (const int out_r = route_id(k, l); out_r >= 0)
+        terms.push_back({out.alpha_var[out_r], 1.0});
+      if (const int in_r = route_id(l, k); in_r >= 0)
+        terms.push_back({out.alpha_var[in_r], 1.0});
+    }
+    m.add_constraint(std::move(terms), lp::Relation::LessEqual,
+                     plat_->cluster(k).gateway_bw, "gateway_" + std::to_string(k));
+  }
+  for (platform::LinkId li = 0; li < plat_->num_links(); ++li) {  // (7d)
+    if (link_routes_[li].empty()) continue;
+    std::vector<lp::Term> terms;
+    for (int r : link_routes_[li]) terms.push_back({out.beta_var[r], 1.0});
+    m.add_constraint(std::move(terms), lp::Relation::LessEqual,
+                     plat_->link(li).max_connections, "maxcon_" + std::to_string(li));
+  }
+  for (std::size_t r = 0; r < routes_.size(); ++r) {  // (7e)
+    if (!routes_[r].needs_beta) continue;
+    m.add_constraint({{out.alpha_var[r], 1.0}, {out.beta_var[r], -routes_[r].pbw}},
+                     lp::Relation::LessEqual, 0.0,
+                     pair_name("bw", routes_[r].k, routes_[r].l));
+  }
+
+  if (objective_ == Objective::Sum) {
+    for (std::size_t r = 0; r < routes_.size(); ++r)
+      m.set_objective_coef(out.alpha_var[r], payoffs_[routes_[r].k]);
+  } else {
+    out.t_var = m.add_variable(0.0, lp::kInf, 1.0, "t");
+    for (int k = 0; k < n; ++k) {
+      if (payoffs_[k] <= 0.0) continue;
+      std::vector<lp::Term> terms{{out.t_var, 1.0}};
+      for (int l = 0; l < n; ++l) {
+        const int r = route_id(k, l);
+        if (r >= 0) terms.push_back({out.alpha_var[r], -payoffs_[k]});
+      }
+      m.add_constraint(std::move(terms), lp::Relation::LessEqual, 0.0,
+                       "fair_" + std::to_string(k));
+    }
+  }
+  return out;
+}
+
+Allocation SteadyStateProblem::allocation_from_reduced(
+    const ReducedModel& reduced, const std::vector<double>& x,
+    const std::vector<BetaFixing>& fixings) const {
+  require(x.size() == static_cast<std::size_t>(reduced.model.num_variables()),
+          "allocation_from_reduced: assignment size mismatch");
+  std::vector<int> fixed(routes_.size(), -1);
+  for (const BetaFixing& f : fixings) fixed[f.route] = f.value;
+
+  Allocation alloc(num_clusters());
+  for (std::size_t r = 0; r < routes_.size(); ++r) {
+    const Route& route = routes_[r];
+    const double a = std::max(0.0, x[reduced.alpha_var[r]]);
+    alloc.set_alpha(route.k, route.l, a);
+    if (route.needs_beta) {
+      alloc.set_beta(route.k, route.l,
+                     fixed[r] >= 0 ? fixed[r] : a / route.pbw);
+    }
+  }
+  return alloc;
+}
+
+Allocation SteadyStateProblem::allocation_from_full(const FullModel& full,
+                                                    const std::vector<double>& x) const {
+  require(x.size() == static_cast<std::size_t>(full.model.num_variables()),
+          "allocation_from_full: assignment size mismatch");
+  Allocation alloc(num_clusters());
+  for (std::size_t r = 0; r < routes_.size(); ++r) {
+    const Route& route = routes_[r];
+    alloc.set_alpha(route.k, route.l, std::max(0.0, x[full.alpha_var[r]]));
+    if (full.beta_var[r] >= 0)
+      alloc.set_beta(route.k, route.l, std::max(0.0, x[full.beta_var[r]]));
+  }
+  return alloc;
+}
+
+double SteadyStateProblem::objective_of(const Allocation& alloc) const {
+  const int n = num_clusters();
+  require(alloc.num_clusters() == n, "objective_of: cluster count mismatch");
+  if (objective_ == Objective::Sum) {
+    double total = 0.0;
+    for (int k = 0; k < n; ++k) total += payoffs_[k] * alloc.total_alpha(k);
+    return total;
+  }
+  double worst = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (int k = 0; k < n; ++k) {
+    if (payoffs_[k] <= 0.0) continue;
+    any = true;
+    worst = std::min(worst, payoffs_[k] * alloc.total_alpha(k));
+  }
+  return any ? worst : 0.0;
+}
+
+ValidationReport validate_allocation(const SteadyStateProblem& problem,
+                                     const Allocation& alloc, double eps,
+                                     bool require_integer_betas) {
+  ValidationReport report;
+  auto fail = [&report](std::string msg) {
+    report.ok = false;
+    report.violations.push_back(std::move(msg));
+  };
+
+  const platform::Platform& plat = problem.plat();
+  const int n = plat.num_clusters();
+  if (alloc.num_clusters() != n) {
+    fail("allocation size does not match platform");
+    return report;
+  }
+
+  for (int k = 0; k < n; ++k) {
+    for (int l = 0; l < n; ++l) {
+      const double a = alloc.alpha(k, l);
+      const double b = alloc.beta(k, l);
+      if (a < -eps) fail("(7f) alpha negative at " + pair_name("a", k, l));
+      if (b < -eps) fail("beta negative at " + pair_name("b", k, l));
+      const int r = problem.route_id(k, l);
+      if (r < 0) {
+        if (a > eps) fail("alpha on missing route " + pair_name("a", k, l));
+        if (b > eps) fail("beta on missing route " + pair_name("b", k, l));
+        continue;
+      }
+      if (problem.payoffs()[k] == 0.0 && a > eps)
+        fail("alpha from payoff-0 cluster " + pair_name("a", k, l));
+      const auto& route = problem.routes()[r];
+      if (!route.needs_beta && b > eps)
+        fail("beta on local/linkless route " + pair_name("b", k, l));
+      if (route.needs_beta && a > b * route.pbw + eps)
+        fail("(7e) bandwidth exceeded on route " + pair_name("a", k, l));
+      if (require_integer_betas && std::fabs(b - std::round(b)) > eps)
+        fail("(7g) beta not integral at " + pair_name("b", k, l));
+    }
+  }
+
+  for (int l = 0; l < n; ++l)  // (7b)
+    if (alloc.load_on(l) > plat.cluster(l).speed + eps)
+      fail("(7b) speed exceeded on cluster " + std::to_string(l));
+  for (int k = 0; k < n; ++k)  // (7c)
+    if (alloc.gateway_traffic(k) > plat.cluster(k).gateway_bw + eps)
+      fail("(7c) gateway exceeded on cluster " + std::to_string(k));
+
+  for (platform::LinkId li = 0; li < plat.num_links(); ++li) {  // (7d)
+    double used = 0.0;
+    for (int r : problem.routes_through_link()[li]) {
+      const auto& route = problem.routes()[r];
+      used += alloc.beta(route.k, route.l);
+    }
+    if (used > plat.link(li).max_connections + eps)
+      fail("(7d) max-connect exceeded on link " + std::to_string(li));
+  }
+  return report;
+}
+
+}  // namespace dls::core

@@ -1,0 +1,134 @@
+// The steady-state multi-application divisible-load scheduling problem
+// (paper §3): platform + per-application payoffs + objective, and the
+// construction of the linear programs that describe it.
+//
+// Two formulations are provided:
+//
+//   * build_full(): the paper's program (7) verbatim — explicit integer
+//     beta variables, rows (7b)-(7e). With integrality enforced this is
+//     the exact MLP; relaxed it is the "LP" comparator.
+//
+//   * build_reduced(): the relaxation with beta substituted out. In the
+//     rational program beta_{k,l} appears only in (7d) and (7e) and
+//     shrinking it is always feasible, so an optimal solution can take
+//     beta = alpha / pbw(k,l) exactly (pbw = the route's per-connection
+//     bottleneck bandwidth). Substituting turns (7d) into
+//         sum_{routes (k,l) through link i} alpha_{k,l} / pbw(k,l)
+//             <= max-connect(l_i)
+//     and removes (7e) and all beta columns: K^2 fewer variables and K^2
+//     fewer rows. Tests assert both formulations have equal optima.
+//     Integer fixings beta_{k,l} = v (used by LPRR) enter the reduced
+//     form as the bound alpha_{k,l} <= v*pbw plus a reduction of the
+//     link budgets on that route.
+//
+// Clusters with payoff 0 host no application (paper §3.1); their alpha
+// variables are fixed to zero but their CPU and gateway still serve
+// other applications.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "lp/model.hpp"
+#include "platform/platform.hpp"
+
+namespace dls::core {
+
+enum class Objective {
+  Sum,     ///< maximize sum_k payoff_k * alpha_k            (Eq. 5)
+  MaxMin,  ///< maximize min over payoff_k > 0 of payoff_k * alpha_k (Eq. 6)
+};
+
+[[nodiscard]] std::string to_string(Objective o);
+
+class SteadyStateProblem {
+public:
+  /// payoffs has one entry per cluster; payoff 0 = no application there.
+  SteadyStateProblem(const platform::Platform& plat, std::vector<double> payoffs,
+                     Objective objective);
+
+  [[nodiscard]] const platform::Platform& plat() const { return *plat_; }
+  [[nodiscard]] const std::vector<double>& payoffs() const { return payoffs_; }
+  [[nodiscard]] Objective objective() const { return objective_; }
+  [[nodiscard]] int num_clusters() const { return plat_->num_clusters(); }
+
+  /// One entry per ordered cluster pair that can exchange load (including
+  /// the local pairs k == l, which carry alpha(k,k)).
+  struct Route {
+    int k = -1;          ///< source cluster (application owner)
+    int l = -1;          ///< destination cluster (computes the load)
+    double pbw = 0.0;    ///< per-connection bottleneck bandwidth; +inf if no
+                         ///< backbone link is traversed
+    bool needs_beta = false;  ///< true iff remote and traverses >= 1 link
+  };
+
+  [[nodiscard]] const std::vector<Route>& routes() const { return routes_; }
+  /// Index into routes() for (k, l), or -1 when the pair cannot exchange.
+  [[nodiscard]] int route_id(int k, int l) const;
+  /// For each platform link: the route ids whose path traverses it.
+  [[nodiscard]] const std::vector<std::vector<int>>& routes_through_link() const {
+    return link_routes_;
+  }
+
+  /// A fixing pins beta of route `route` to the integer `value`.
+  struct BetaFixing {
+    int route = -1;
+    int value = 0;
+  };
+
+  struct ReducedModel {
+    lp::Model model;
+    std::vector<int> alpha_var;  ///< per route id
+    int t_var = -1;              ///< MaxMin auxiliary; -1 for Sum
+  };
+  [[nodiscard]] ReducedModel build_reduced(
+      const std::vector<BetaFixing>& fixings = {}) const;
+
+  struct FullModel {
+    lp::Model model;
+    std::vector<int> alpha_var;  ///< per route id
+    std::vector<int> beta_var;   ///< per route id; -1 where needs_beta is false
+    int t_var = -1;
+    bool integer_betas = false;  ///< whether betas were integer-marked
+  };
+  /// integer_betas = true yields the exact MLP (solve with BranchAndBound);
+  /// false yields the paper's "LP" relaxation with explicit betas.
+  [[nodiscard]] FullModel build_full(bool integer_betas) const;
+
+  /// Reads an allocation out of a reduced-model solution. Free routes get
+  /// the canonical beta = alpha / pbw (fractional in general); fixed
+  /// routes get their fixed integer value.
+  [[nodiscard]] Allocation allocation_from_reduced(
+      const ReducedModel& reduced, const std::vector<double>& x,
+      const std::vector<BetaFixing>& fixings = {}) const;
+
+  /// Reads an allocation out of a full-model solution.
+  [[nodiscard]] Allocation allocation_from_full(const FullModel& full,
+                                                const std::vector<double>& x) const;
+
+  /// Objective value of an allocation under this problem's objective.
+  /// MaxMin with no positive-payoff application is defined as 0.
+  [[nodiscard]] double objective_of(const Allocation& alloc) const;
+
+private:
+  const platform::Platform* plat_;
+  std::vector<double> payoffs_;
+  Objective objective_;
+  std::vector<Route> routes_;
+  std::vector<int> route_id_;  // dense K*K -> route id or -1
+  std::vector<std::vector<int>> link_routes_;
+};
+
+/// Checks an allocation against equations (7a)-(7g) plus the structural
+/// rules (no load on missing routes, none from payoff-0 clusters).
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+};
+[[nodiscard]] ValidationReport validate_allocation(const SteadyStateProblem& problem,
+                                                   const Allocation& alloc,
+                                                   double eps = 1e-6,
+                                                   bool require_integer_betas = true);
+
+}  // namespace dls::core

@@ -1,0 +1,76 @@
+// Periodic schedule reconstruction (paper §3.2).
+//
+// Given a valid allocation, every rate alpha_{k,l} is approximated by a
+// rational u/v with bounded denominator, the period is T_p = lcm of the
+// denominators, and within each period cluster l computes an integer
+// chunk alpha_{k,l}*T_p for application k while cluster k ships the
+// chunks destined elsewhere. Data received in period p is computed in
+// period p+1, so the steady state pipeline needs one warm-up and one
+// drain period.
+//
+// Rates are rationalized *downwards* (never above the allocation's rate),
+// so every capacity bound that held for the allocation holds for the
+// schedule; the price is a throughput loss below 1/max_denominator per
+// route. When the lcm of the individual best-approximation denominators
+// would exceed `max_period`, all rates fall back to the common
+// denominator `max_denominator`, which bounds the period outright.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "support/rational.hpp"
+
+namespace dls::core {
+
+/// Work executed each period: `units` load of application `app` on
+/// cluster `on_cluster` (the data arrived during the previous period,
+/// or is local).
+struct ComputeTask {
+  int app = -1;
+  int on_cluster = -1;
+  std::int64_t units = 0;
+};
+
+/// Data shipped each period: `units` load of application `from`'s input
+/// moving from cluster `from` to cluster `to` over `connections` opened
+/// connections.
+struct Transfer {
+  int from = -1;
+  int to = -1;
+  std::int64_t units = 0;
+  int connections = 0;
+};
+
+struct PeriodicSchedule {
+  std::int64_t period = 1;  ///< T_p, in time units
+  std::vector<ComputeTask> compute;
+  std::vector<Transfer> transfers;
+
+  /// Steady-state throughput of application k: load per time unit.
+  [[nodiscard]] double throughput(int app) const;
+  /// Total load of application k computed per period.
+  [[nodiscard]] std::int64_t load_per_period(int app) const;
+};
+
+struct ScheduleOptions {
+  std::int64_t max_denominator = 1000;  ///< rationalization bound per rate
+  std::int64_t max_period = 1'000'000'000;  ///< lcm cap before fallback
+};
+
+/// Builds the periodic schedule realizing (close to) the allocation's
+/// throughput. The allocation must be valid (integral betas); throws
+/// dls::Error otherwise.
+[[nodiscard]] PeriodicSchedule build_periodic_schedule(
+    const SteadyStateProblem& problem, const Allocation& alloc,
+    const ScheduleOptions& options = {});
+
+/// Checks the schedule against the platform's per-period capacities:
+/// compute (7b), gateway traffic (7c), connection counts (7d) and route
+/// bandwidth (7e), all scaled by the period.
+[[nodiscard]] ValidationReport validate_schedule(const SteadyStateProblem& problem,
+                                                 const PeriodicSchedule& schedule);
+
+}  // namespace dls::core

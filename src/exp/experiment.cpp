@@ -1,0 +1,147 @@
+#include "exp/experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace dls::exp {
+
+namespace {
+
+void check_valid(const core::SteadyStateProblem& problem,
+                 const core::HeuristicResult& result, const char* method) {
+  const auto report = core::validate_allocation(problem, result.allocation, 1e-5);
+  if (!report.ok) {
+    throw Error(std::string("experiment: ") + method + " produced an invalid "
+                "allocation: " +
+                (report.violations.empty() ? "?" : report.violations.front()));
+  }
+}
+
+}  // namespace
+
+CaseResult run_case(const CaseConfig& config) {
+  require(config.payoff_spread >= 0.0 && config.payoff_spread < 1.0,
+          "run_case: payoff_spread must be in [0, 1)");
+  Rng rng(config.seed);
+  const platform::Platform plat = generate_platform(config.params, rng);
+  std::vector<double> payoffs(plat.num_clusters());
+  for (double& p : payoffs)
+    p = rng.uniform(1.0 - config.payoff_spread, 1.0 + config.payoff_spread);
+  const core::SteadyStateProblem problem(plat, payoffs, config.objective);
+
+  CaseResult out;
+  WallTimer timer;
+
+  timer.reset();
+  const auto bound = core::lp_upper_bound(problem);
+  out.t_lp = {timer.seconds(), 1};
+  if (bound.status != lp::SolveStatus::Optimal) return out;
+  out.lp = bound.objective;
+
+  timer.reset();
+  const auto g = core::run_greedy(problem, config.greedy);
+  out.t_g = {timer.seconds(), 0};
+  check_valid(problem, g, "G");
+  out.g = g.objective;
+
+  timer.reset();
+  const auto lpr = core::run_lpr(problem);
+  out.t_lpr = {timer.seconds(), lpr.lp_solves};
+  if (lpr.status != lp::SolveStatus::Optimal) return out;
+  check_valid(problem, lpr, "LPR");
+  out.lpr = lpr.objective;
+
+  timer.reset();
+  const auto lprg = core::run_lprg(problem, {}, config.greedy);
+  out.t_lprg = {timer.seconds(), lprg.lp_solves};
+  if (lprg.status != lp::SolveStatus::Optimal) return out;
+  check_valid(problem, lprg, "LPRG");
+  out.lprg = lprg.objective;
+
+  if (config.with_lprr) {
+    Rng coin = rng.split();
+    timer.reset();
+    const auto lprr = core::run_lprr(problem, coin);
+    out.t_lprr = {timer.seconds(), lprr.lp_solves};
+    if (lprr.status != lp::SolveStatus::Optimal) return out;
+    check_valid(problem, lprr, "LPRR");
+    out.lprr = lprr.objective;
+  }
+  if (config.with_lprr_eq) {
+    Rng coin = rng.split();
+    core::LprrOptions options;
+    options.equal_probability = true;
+    const auto lprr_eq = core::run_lprr(problem, coin, options);
+    if (lprr_eq.status != lp::SolveStatus::Optimal) return out;
+    check_valid(problem, lprr_eq, "LPRR-EQ");
+    out.lprr_eq = lprr_eq.objective;
+  }
+  if (config.with_lprr_oneshot) {
+    core::LprrOptions options;
+    options.resolve_between_fixings = false;
+    {
+      Rng coin = rng.split();
+      const auto r = core::run_lprr(problem, coin, options);
+      if (r.status != lp::SolveStatus::Optimal) return out;
+      check_valid(problem, r, "LPRR-1SHOT");
+      out.lprr_1shot = r.objective;
+    }
+    {
+      Rng coin = rng.split();
+      options.equal_probability = true;
+      const auto r = core::run_lprr(problem, coin, options);
+      if (r.status != lp::SolveStatus::Optimal) return out;
+      check_valid(problem, r, "LPRR-1SHOT-EQ");
+      out.lprr_1shot_eq = r.objective;
+    }
+  }
+
+  out.ok = true;
+  return out;
+}
+
+platform::GeneratorParams sample_grid_params(const platform::Table1Grid& grid,
+                                             int num_clusters, Rng& rng) {
+  platform::GeneratorParams p;
+  p.num_clusters = num_clusters;
+  p.connectivity = grid.connectivity[rng.index(grid.connectivity.size())];
+  p.heterogeneity = grid.heterogeneity[rng.index(grid.heterogeneity.size())];
+  p.mean_gateway_bw = grid.mean_gateway_bw[rng.index(grid.mean_gateway_bw.size())];
+  p.mean_backbone_bw =
+      grid.mean_backbone_bw[rng.index(grid.mean_backbone_bw.size())];
+  p.mean_max_connections =
+      grid.mean_max_connections[rng.index(grid.mean_max_connections.size())];
+  return p;
+}
+
+void RatioStats::add(double method_value, double lp_value) {
+  if (!(lp_value > 1e-12) || std::isnan(method_value)) return;
+  sum_ += method_value / lp_value;
+  ++count_;
+}
+
+double RatioStats::mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+double bench_scale() {
+  const char* env = std::getenv("DLS_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+std::uint64_t bench_seed() {
+  const char* env = std::getenv("DLS_BENCH_SEED");
+  if (env == nullptr) return 20240515ULL;
+  return std::strtoull(env, nullptr, 10);
+}
+
+int scaled(int n) {
+  const double v = std::round(n * bench_scale());
+  return v < 1.0 ? 1 : static_cast<int>(v);
+}
+
+}  // namespace dls::exp

@@ -1,0 +1,88 @@
+// Experiment harness for the paper's §6 evaluation: runs every heuristic
+// (plus the LP comparator) on generated platforms, with wall-clock timing,
+// and aggregates ratio-to-LP series the way Figures 5-7 report them.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/problem.hpp"
+#include "platform/generator.hpp"
+#include "support/rng.hpp"
+
+namespace dls::exp {
+
+struct CaseConfig {
+  platform::GeneratorParams params;
+  core::Objective objective = core::Objective::MaxMin;
+  std::uint64_t seed = 1;   ///< drives both the platform and LPRR's coins
+  bool with_lprr = false;   ///< LPRR costs ~K^2 LP solves; opt in
+  bool with_lprr_eq = false;
+  bool with_lprr_oneshot = false;  ///< both one-shot rounding ablations
+
+  /// Per-application payoffs are sampled uniformly from
+  /// [1 - payoff_spread, 1 + payoff_spread]. The paper's evaluation
+  /// under-specifies payoffs; with uniform payoffs (spread 0) both
+  /// objectives are trivially optimized by local-only computation (all
+  /// ratios pin to 1.0, contradicting the paper's own curves), so a
+  /// positive spread is required for non-trivial, network-bound
+  /// instances. See DESIGN.md.
+  double payoff_spread = 0.5;
+
+  core::GreedyOptions greedy;  ///< local-exhaust policy ablation
+};
+
+struct Timing {
+  double seconds = 0.0;
+  int lp_solves = 0;
+};
+
+/// NaN marks methods that were not run.
+struct CaseResult {
+  bool ok = false;  ///< false if any LP solve failed (result then unusable)
+  double lp = std::numeric_limits<double>::quiet_NaN();
+  double g = std::numeric_limits<double>::quiet_NaN();
+  double lpr = std::numeric_limits<double>::quiet_NaN();
+  double lprg = std::numeric_limits<double>::quiet_NaN();
+  double lprr = std::numeric_limits<double>::quiet_NaN();
+  double lprr_eq = std::numeric_limits<double>::quiet_NaN();
+  double lprr_1shot = std::numeric_limits<double>::quiet_NaN();
+  double lprr_1shot_eq = std::numeric_limits<double>::quiet_NaN();
+  Timing t_lp, t_g, t_lpr, t_lprg, t_lprr;
+};
+
+/// Generates the platform from config.seed and runs the requested methods.
+/// Every produced allocation is validated against equations (7); a
+/// violation throws (it would invalidate the whole experiment).
+[[nodiscard]] CaseResult run_case(const CaseConfig& config);
+
+/// Uniformly samples one cell of the Table-1 grid for the non-K
+/// dimensions (connectivity, heterogeneity, mean g / bw / maxcon).
+[[nodiscard]] platform::GeneratorParams sample_grid_params(
+    const platform::Table1Grid& grid, int num_clusters, Rng& rng);
+
+/// Accumulates mean(method / lp) over cases, skipping degenerate lp = 0.
+class RatioStats {
+public:
+  void add(double method_value, double lp_value);
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] int count() const { return count_; }
+
+private:
+  double sum_ = 0.0;
+  int count_ = 0;
+};
+
+/// Bench scale factor from DLS_BENCH_SCALE (default 1.0; e.g. 0.2 for a
+/// smoke run, 5 for a long calibration run).
+[[nodiscard]] double bench_scale();
+
+/// Deterministic bench seed from DLS_BENCH_SEED (default fixed).
+[[nodiscard]] std::uint64_t bench_seed();
+
+/// max(1, round(n * bench_scale())).
+[[nodiscard]] int scaled(int n);
+
+}  // namespace dls::exp

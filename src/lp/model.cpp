@@ -1,0 +1,111 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace dls::lp {
+
+int Model::add_variable(double lb, double ub, double obj, std::string name) {
+  require(!(lb > ub), "Model::add_variable: lb > ub");
+  require(!std::isnan(lb) && !std::isnan(ub) && std::isfinite(obj),
+          "Model::add_variable: invalid bound or objective");
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  obj_.push_back(obj);
+  integer_.push_back(false);
+  var_name_.push_back(std::move(name));
+  return num_variables() - 1;
+}
+
+int Model::add_constraint(std::vector<Term> terms, Relation rel, double rhs,
+                          std::string name) {
+  require(std::isfinite(rhs), "Model::add_constraint: non-finite rhs");
+  for (const Term& t : terms) {
+    check_var(t.var);
+    require(std::isfinite(t.coef), "Model::add_constraint: non-finite coefficient");
+  }
+  // Merge duplicate variable mentions and drop exact zeros.
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(terms.size());
+  for (const Term& t : terms) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coef += t.coef;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const Term& t) { return t.coef == 0.0; });
+
+  rows_.push_back(std::move(merged));
+  rel_.push_back(rel);
+  rhs_.push_back(rhs);
+  row_name_.push_back(std::move(name));
+  return num_constraints() - 1;
+}
+
+void Model::set_objective_coef(int var, double coef) {
+  check_var(var);
+  require(std::isfinite(coef), "Model::set_objective_coef: non-finite coefficient");
+  obj_[var] = coef;
+}
+
+void Model::set_bounds(int var, double lb, double ub) {
+  check_var(var);
+  require(!(lb > ub), "Model::set_bounds: lb > ub");
+  lb_[var] = lb;
+  ub_[var] = ub;
+}
+
+void Model::set_integer(int var, bool integer) {
+  check_var(var);
+  integer_[var] = integer;
+}
+
+double Model::objective_value(std::span<const double> x) const {
+  require(static_cast<int>(x.size()) == num_variables(),
+          "Model::objective_value: wrong assignment size");
+  double v = obj_constant_;
+  for (int j = 0; j < num_variables(); ++j) v += obj_[j] * x[j];
+  return v;
+}
+
+bool Model::is_feasible(std::span<const double> x, double tol) const {
+  if (static_cast<int>(x.size()) != num_variables()) return false;
+  for (int j = 0; j < num_variables(); ++j) {
+    if (x[j] < lb_[j] - tol || x[j] > ub_[j] + tol) return false;
+  }
+  for (int c = 0; c < num_constraints(); ++c) {
+    double lhs = 0.0;
+    for (const Term& t : rows_[c]) lhs += t.coef * x[t.var];
+    switch (rel_[c]) {
+      case Relation::LessEqual:
+        if (lhs > rhs_[c] + tol) return false;
+        break;
+      case Relation::GreaterEqual:
+        if (lhs < rhs_[c] - tol) return false;
+        break;
+      case Relation::Equal:
+        if (std::fabs(lhs - rhs_[c]) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool Model::is_integer_feasible(std::span<const double> x, double tol) const {
+  for (int j = 0; j < num_variables(); ++j) {
+    if (!integer_[j]) continue;
+    if (std::fabs(x[j] - std::round(x[j])) > tol) return false;
+  }
+  return true;
+}
+
+void Model::check_var(int var) const {
+  require(var >= 0 && var < num_variables(), "Model: variable index out of range");
+}
+
+}  // namespace dls::lp

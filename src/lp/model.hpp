@@ -1,0 +1,77 @@
+// Linear/mixed-integer program builder.
+//
+// A Model owns variables (with bounds, objective coefficients, optional
+// integrality) and sparse constraint rows. It is solver-agnostic: the
+// simplex solver consumes it read-only, and the MILP branch-and-bound
+// clones bound sets per node without copying rows.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lp/types.hpp"
+
+namespace dls::lp {
+
+class Model {
+public:
+  /// Adds a variable with bounds [lb, ub] (use -kInf/kInf for free sides)
+  /// and objective coefficient `obj`. Returns its index.
+  int add_variable(double lb, double ub, double obj, std::string name = "");
+
+  /// Adds a constraint Σ terms {<=,=,>=} rhs. Duplicate variable mentions
+  /// within one row are merged. Returns the row index.
+  int add_constraint(std::vector<Term> terms, Relation rel, double rhs,
+                     std::string name = "");
+
+  void set_sense(Sense sense) { sense_ = sense; }
+  void set_objective_coef(int var, double coef);
+  /// Constant added to the objective value (does not affect the argmax).
+  void set_objective_constant(double c) { obj_constant_ = c; }
+  void set_bounds(int var, double lb, double ub);
+  /// Marks a variable as integer (used by the MILP solver; the LP solver
+  /// ignores integrality, which is exactly the rational relaxation).
+  void set_integer(int var, bool integer = true);
+
+  [[nodiscard]] int num_variables() const { return static_cast<int>(lb_.size()); }
+  [[nodiscard]] int num_constraints() const { return static_cast<int>(rhs_.size()); }
+  [[nodiscard]] Sense sense() const { return sense_; }
+  [[nodiscard]] double objective_constant() const { return obj_constant_; }
+
+  [[nodiscard]] double lower_bound(int var) const { return lb_[var]; }
+  [[nodiscard]] double upper_bound(int var) const { return ub_[var]; }
+  [[nodiscard]] double objective_coef(int var) const { return obj_[var]; }
+  [[nodiscard]] bool is_integer(int var) const { return integer_[var]; }
+  [[nodiscard]] const std::string& variable_name(int var) const { return var_name_[var]; }
+
+  [[nodiscard]] std::span<const Term> row(int c) const { return rows_[c]; }
+  [[nodiscard]] Relation relation(int c) const { return rel_[c]; }
+  [[nodiscard]] double rhs(int c) const { return rhs_[c]; }
+  [[nodiscard]] const std::string& constraint_name(int c) const { return row_name_[c]; }
+
+  /// Objective value of a full assignment (includes the constant).
+  [[nodiscard]] double objective_value(std::span<const double> x) const;
+
+  /// True iff `x` satisfies all bounds and rows within tolerance `tol`
+  /// (integrality is not checked; see is_integer_feasible).
+  [[nodiscard]] bool is_feasible(std::span<const double> x, double tol) const;
+
+  /// True iff every integer-marked variable of `x` is within `tol` of an integer.
+  [[nodiscard]] bool is_integer_feasible(std::span<const double> x, double tol) const;
+
+private:
+  void check_var(int var) const;
+
+  Sense sense_ = Sense::Minimize;
+  double obj_constant_ = 0.0;
+  std::vector<double> lb_, ub_, obj_;
+  std::vector<bool> integer_;
+  std::vector<std::string> var_name_;
+  std::vector<std::vector<Term>> rows_;
+  std::vector<Relation> rel_;
+  std::vector<double> rhs_;
+  std::vector<std::string> row_name_;
+};
+
+}  // namespace dls::lp

@@ -1,0 +1,516 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace dls::lp {
+
+namespace {
+
+enum class VarStatus : unsigned char { Basic, AtLower, AtUpper, Free };
+
+/// Full solver state for one solve() call. Variable indexing:
+///   [0, n)            structural variables (model order)
+///   [n, n+m)          slack of row i at index n+i
+///   [n+m, n+2m)       artificial of row i at index n+m+i
+class Worker {
+public:
+  Worker(const Model& model, const SimplexOptions& opt) : model_(model), opt_(opt) {
+    n_ = model.num_variables();
+    m_ = model.num_constraints();
+    total_ = n_ + 2 * m_;
+    build_columns();
+    build_bounds_and_costs();
+  }
+
+  Solution run() {
+    Solution sol;
+    if (m_ == 0) return solve_unconstrained();
+
+    init_basis();
+
+    const int max_iters = opt_.max_iterations > 0
+                              ? opt_.max_iterations
+                              : 200 * (n_ + m_) + 20000;
+
+    // Phase 1: drive artificial infeasibility to zero if any was needed.
+    if (need_phase1_) {
+      in_phase1_ = true;
+      const SolveStatus st = iterate(max_iters);
+      sol.phase1_iterations = iters_;
+      if (st == SolveStatus::NumericalError || st == SolveStatus::IterationLimit) {
+        sol.status = st;
+        sol.iterations = iters_;
+        return sol;
+      }
+      // Unbounded cannot occur: the phase-1 objective is bounded below by 0.
+      if (infeasibility() > opt_.feas_tol * rhs_scale_) {
+        sol.status = SolveStatus::Infeasible;
+        sol.iterations = iters_;
+        return sol;
+      }
+      // Pin all artificials; any still basic is at value ~0 and its [0,0]
+      // bounds make the ratio test evict it before it could move.
+      for (int i = 0; i < m_; ++i) {
+        const int a = n_ + m_ + i;
+        lb_[a] = ub_[a] = 0.0;
+        if (status_[a] != VarStatus::Basic) set_nonbasic_value(a, VarStatus::AtLower);
+      }
+      in_phase1_ = false;
+    }
+
+    const SolveStatus st = iterate(max_iters);
+    sol.iterations = iters_;
+    sol.status = st;
+    if (st != SolveStatus::Optimal && st != SolveStatus::Unbounded) return sol;
+
+    extract(sol);
+    return sol;
+  }
+
+private:
+  // ---- setup -------------------------------------------------------------
+
+  void build_columns() {
+    // Structural columns, gathered column-wise from the model's rows.
+    col_ptr_.assign(total_ + 1, 0);
+    std::vector<int> counts(n_, 0);
+    for (int c = 0; c < m_; ++c)
+      for (const Term& t : model_.row(c)) ++counts[t.var];
+    for (int j = 0; j < n_; ++j) col_ptr_[j + 1] = col_ptr_[j] + counts[j];
+    const int struct_nnz = col_ptr_[n_];
+    col_row_.resize(struct_nnz);
+    col_val_.resize(struct_nnz);
+    std::vector<int> fill(n_, 0);
+    for (int c = 0; c < m_; ++c) {
+      for (const Term& t : model_.row(c)) {
+        const int pos = col_ptr_[t.var] + fill[t.var]++;
+        col_row_[pos] = c;
+        col_val_[pos] = t.coef;
+      }
+    }
+    // Slack and artificial columns are singletons (e_i, sigma_i e_i); they
+    // are synthesized on the fly by for_each_in_column().
+    for (int j = n_; j <= total_ - 1; ++j) col_ptr_[j + 1] = col_ptr_[n_];
+  }
+
+  template <typename Fn>
+  void for_each_in_column(int j, Fn&& fn) const {
+    if (j < n_) {
+      for (int p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) fn(col_row_[p], col_val_[p]);
+    } else if (j < n_ + m_) {
+      fn(j - n_, 1.0);
+    } else {
+      fn(j - n_ - m_, art_sign_[j - n_ - m_]);
+    }
+  }
+
+  void build_bounds_and_costs() {
+    lb_.resize(total_);
+    ub_.resize(total_);
+    cost_.assign(total_, 0.0);
+    const double sign = model_.sense() == Sense::Maximize ? -1.0 : 1.0;
+    for (int j = 0; j < n_; ++j) {
+      lb_[j] = model_.lower_bound(j);
+      ub_[j] = model_.upper_bound(j);
+      cost_[j] = sign * model_.objective_coef(j);
+    }
+    b_.resize(m_);
+    rhs_scale_ = 1.0;
+    for (int c = 0; c < m_; ++c) {
+      b_[c] = model_.rhs(c);
+      rhs_scale_ = std::max(rhs_scale_, std::fabs(b_[c]));
+      const int s = n_ + c;
+      switch (model_.relation(c)) {
+        case Relation::LessEqual:
+          lb_[s] = 0.0;
+          ub_[s] = kInf;
+          break;
+        case Relation::GreaterEqual:
+          lb_[s] = -kInf;
+          ub_[s] = 0.0;
+          break;
+        case Relation::Equal:
+          lb_[s] = ub_[s] = 0.0;
+          break;
+      }
+    }
+    art_sign_.assign(m_, 1.0);
+    for (int i = 0; i < m_; ++i) {
+      const int a = n_ + m_ + i;
+      lb_[a] = ub_[a] = 0.0;  // widened per-row in init_basis when needed
+    }
+  }
+
+  /// Starting point: every structural variable nonbasic at its bound
+  /// nearest zero (or free at 0), slacks basic. Rows whose slack value
+  /// falls outside the slack bounds get an artificial basic instead.
+  void init_basis() {
+    status_.assign(total_, VarStatus::AtLower);
+    value_.assign(total_, 0.0);
+    for (int j = 0; j < total_; ++j) {
+      if (std::isfinite(lb_[j]) &&
+          (std::fabs(lb_[j]) <= std::fabs(ub_[j]) || !std::isfinite(ub_[j]))) {
+        set_nonbasic_value(j, VarStatus::AtLower);
+      } else if (std::isfinite(ub_[j])) {
+        set_nonbasic_value(j, VarStatus::AtUpper);
+      } else {
+        set_nonbasic_value(j, VarStatus::Free);
+      }
+    }
+
+    // Row activity of the nonbasic start.
+    std::vector<double> r = b_;
+    for (int j = 0; j < n_; ++j) {
+      if (value_[j] == 0.0) continue;
+      for_each_in_column(j, [&](int row, double coef) { r[row] -= coef * value_[j]; });
+    }
+
+    basis_.resize(m_);
+    xb_.resize(m_);
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    need_phase1_ = false;
+    for (int i = 0; i < m_; ++i) {
+      const int s = n_ + i;
+      const bool fits = r[i] >= lb_[s] - opt_.feas_tol && r[i] <= ub_[s] + opt_.feas_tol;
+      if (fits) {
+        basis_[i] = s;
+        xb_[i] = r[i];
+        status_[s] = VarStatus::Basic;
+        binv_at(i, i) = 1.0;
+      } else {
+        // Park the slack at the violated side's bound and absorb the
+        // remainder into a fresh artificial of matching sign.
+        const double parked = r[i] > ub_[s] ? ub_[s] : lb_[s];
+        set_nonbasic_value(s, r[i] > ub_[s] ? VarStatus::AtUpper : VarStatus::AtLower);
+        const double residual = r[i] - parked;
+        const int a = n_ + m_ + i;
+        art_sign_[i] = residual >= 0.0 ? 1.0 : -1.0;
+        lb_[a] = 0.0;
+        ub_[a] = kInf;
+        cost_[a] = 0.0;  // phase-1 pricing adds the +1 cost virtually
+        basis_[i] = a;
+        xb_[i] = std::fabs(residual);
+        status_[a] = VarStatus::Basic;
+        binv_at(i, i) = art_sign_[i];  // B = diag(sigma) on artificial rows
+        need_phase1_ = true;
+      }
+    }
+    pivots_since_refactor_ = 0;
+    iters_ = 0;
+    stall_ = 0;
+    use_bland_ = false;
+  }
+
+  void set_nonbasic_value(int j, VarStatus st) {
+    status_[j] = st;
+    switch (st) {
+      case VarStatus::AtLower: value_[j] = lb_[j]; break;
+      case VarStatus::AtUpper: value_[j] = ub_[j]; break;
+      case VarStatus::Free: value_[j] = 0.0; break;
+      case VarStatus::Basic: DLS_ASSERT(false);
+    }
+  }
+
+  // ---- iteration ---------------------------------------------------------
+
+  double current_cost(int j) const {
+    if (in_phase1_) return j >= n_ + m_ ? 1.0 : 0.0;
+    return cost_[j];
+  }
+
+  double infeasibility() const {
+    double total = 0.0;
+    for (int i = 0; i < m_; ++i)
+      if (basis_[i] >= n_ + m_) total += std::max(0.0, xb_[i]);
+    return total;
+  }
+
+  SolveStatus iterate(int max_iters) {
+    std::vector<double> y(m_), w(m_);
+    while (true) {
+      if (iters_ >= max_iters) return SolveStatus::IterationLimit;
+
+      // BTRAN: y = c_B' B^{-1}.
+      std::fill(y.begin(), y.end(), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        const double cb = current_cost(basis_[i]);
+        if (cb == 0.0) continue;
+        const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+        for (int k = 0; k < m_; ++k) y[k] += cb * row[k];
+      }
+
+      // Pricing.
+      int q = -1;
+      bool increase = true;
+      double best_score = opt_.opt_tol;
+      for (int j = 0; j < total_; ++j) {
+        if (status_[j] == VarStatus::Basic) continue;
+        if (lb_[j] == ub_[j]) continue;  // fixed: can never move
+        double d = current_cost(j);
+        for_each_in_column(j, [&](int row, double coef) { d -= y[row] * coef; });
+        const bool can_up = status_[j] != VarStatus::AtUpper;
+        const bool can_down = status_[j] != VarStatus::AtLower;
+        if (use_bland_) {
+          if (can_up && d < -opt_.opt_tol) { q = j; increase = true; break; }
+          if (can_down && d > opt_.opt_tol) { q = j; increase = false; break; }
+        } else {
+          if (can_up && -d > best_score) { best_score = -d; q = j; increase = true; }
+          if (can_down && d > best_score) { best_score = d; q = j; increase = false; }
+        }
+      }
+      if (q < 0) return SolveStatus::Optimal;
+
+      // FTRAN: w = B^{-1} A_q.
+      std::fill(w.begin(), w.end(), 0.0);
+      for_each_in_column(q, [&](int row, double coef) {
+        for (int i = 0; i < m_; ++i) w[i] += binv_at(i, row) * coef;
+      });
+
+      const double dir = increase ? 1.0 : -1.0;
+
+      // Ratio test. The entering variable can move t >= 0 in direction
+      // dir until (a) it reaches its own opposite bound, or (b) a basic
+      // variable reaches one of its bounds.
+      double t_best = kInf;
+      int leave = -1;  // row index; -1 = entering flips to its other bound
+      if (std::isfinite(lb_[q]) && std::isfinite(ub_[q])) t_best = ub_[q] - lb_[q];
+      double leave_pivot = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        const double delta = -dir * w[i];  // d(x_B[i]) / dt
+        if (std::fabs(delta) <= opt_.pivot_tol) continue;
+        const int bvar = basis_[i];
+        double limit = kInf;
+        if (delta > 0.0) {
+          if (std::isfinite(ub_[bvar])) limit = (ub_[bvar] - xb_[i]) / delta;
+        } else {
+          if (std::isfinite(lb_[bvar])) limit = (lb_[bvar] - xb_[i]) / delta;
+        }
+        if (limit == kInf) continue;
+        limit = std::max(limit, 0.0);  // clamp tolerance-level negatives
+        // Prefer strictly smaller limits; on near-ties keep the row with
+        // the largest pivot magnitude for numerical stability.
+        if (limit < t_best - 1e-12 ||
+            (limit < t_best + 1e-12 && std::fabs(w[i]) > std::fabs(leave_pivot))) {
+          t_best = limit;
+          leave = i;
+          leave_pivot = w[i];
+        }
+      }
+
+      if (t_best == kInf) {
+        DLS_ASSERT(!in_phase1_);  // phase-1 objective is bounded below
+        return SolveStatus::Unbounded;
+      }
+
+      ++iters_;
+      if (t_best > 1e-10) {
+        stall_ = 0;
+      } else if (++stall_ > opt_.stall_limit) {
+        use_bland_ = true;  // anti-cycling fallback; never switched back
+      }
+
+      // Apply the step to the basic values.
+      for (int i = 0; i < m_; ++i) xb_[i] -= dir * t_best * w[i];
+
+      if (leave < 0) {
+        // Bound flip: basis unchanged.
+        set_nonbasic_value(q, increase ? VarStatus::AtUpper : VarStatus::AtLower);
+        continue;
+      }
+
+      // Pivot: q enters at row `leave`, the old basic leaves to the bound
+      // it just reached.
+      const int old_var = basis_[leave];
+      const double delta_leave = -dir * w[leave];
+      set_nonbasic_value(old_var, delta_leave > 0.0 ? VarStatus::AtUpper
+                                                    : VarStatus::AtLower);
+      // An artificial that leaves the basis is pinned for good.
+      if (old_var >= n_ + m_) {
+        lb_[old_var] = ub_[old_var] = 0.0;
+        set_nonbasic_value(old_var, VarStatus::AtLower);
+      }
+      const double enter_value = value_[q] + dir * t_best;
+      basis_[leave] = q;
+      status_[q] = VarStatus::Basic;
+      xb_[leave] = enter_value;
+
+      update_binv(leave, w);
+
+      if (++pivots_since_refactor_ >= refactor_interval()) {
+        if (!refactor()) return SolveStatus::NumericalError;
+      }
+    }
+  }
+
+  int refactor_interval() const {
+    return std::max(opt_.refactor_interval, m_ / 4);
+  }
+
+  /// Elementary row transformation of B^{-1} for a pivot in row r with
+  /// FTRAN column w: row r scales by 1/w_r, other rows eliminate w_i.
+  void update_binv(int r, const std::vector<double>& w) {
+    const double piv = w[r];
+    DLS_ASSERT(std::fabs(piv) > 0.0);
+    double* prow = &binv_[static_cast<std::size_t>(r) * m_];
+    const double inv = 1.0 / piv;
+    for (int k = 0; k < m_; ++k) prow[k] *= inv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r || w[i] == 0.0) continue;
+      const double f = w[i];
+      double* irow = &binv_[static_cast<std::size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) irow[k] -= f * prow[k];
+    }
+  }
+
+  /// Rebuilds B^{-1} by Gauss-Jordan with partial pivoting and recomputes
+  /// the basic values from scratch. Returns false on a singular basis.
+  bool refactor() {
+    pivots_since_refactor_ = 0;
+    // Gather B (dense, column per basic variable).
+    scratch_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      for_each_in_column(basis_[i],
+                         [&](int row, double coef) { scratch_at(row, i) = coef; });
+    }
+    // Invert scratch into binv_.
+    std::fill(binv_.begin(), binv_.end(), 0.0);
+    for (int i = 0; i < m_; ++i) binv_at(i, i) = 1.0;
+    for (int col = 0; col < m_; ++col) {
+      int piv_row = col;
+      double piv_val = std::fabs(scratch_at(col, col));
+      for (int i = col + 1; i < m_; ++i) {
+        if (std::fabs(scratch_at(i, col)) > piv_val) {
+          piv_val = std::fabs(scratch_at(i, col));
+          piv_row = i;
+        }
+      }
+      if (piv_val < 1e-12) return false;
+      if (piv_row != col) {
+        swap_rows(scratch_, piv_row, col);
+        swap_rows(binv_, piv_row, col);
+      }
+      const double inv = 1.0 / scratch_at(col, col);
+      for (int k = 0; k < m_; ++k) {
+        scratch_at(col, k) *= inv;
+        binv_at(col, k) *= inv;
+      }
+      for (int i = 0; i < m_; ++i) {
+        if (i == col) continue;
+        const double f = scratch_at(i, col);
+        if (f == 0.0) continue;
+        for (int k = 0; k < m_; ++k) {
+          scratch_at(i, k) -= f * scratch_at(col, k);
+          binv_at(i, k) -= f * binv_at(col, k);
+        }
+      }
+    }
+    // Fresh basic values: x_B = B^{-1} (b - N x_N).
+    std::vector<double> r = b_;
+    for (int j = 0; j < total_; ++j) {
+      if (status_[j] == VarStatus::Basic || value_[j] == 0.0) continue;
+      for_each_in_column(j, [&](int row, double coef) { r[row] -= coef * value_[j]; });
+    }
+    for (int i = 0; i < m_; ++i) {
+      double v = 0.0;
+      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) v += row[k] * r[k];
+      xb_[i] = v;
+    }
+    return true;
+  }
+
+  void swap_rows(std::vector<double>& mat, int a, int bb) {
+    double* ra = &mat[static_cast<std::size_t>(a) * m_];
+    double* rb = &mat[static_cast<std::size_t>(bb) * m_];
+    std::swap_ranges(ra, ra + m_, rb);
+  }
+
+  // ---- extraction --------------------------------------------------------
+
+  Solution solve_unconstrained() {
+    // No rows: each variable independently goes to its best bound.
+    Solution sol;
+    sol.x.assign(n_, 0.0);
+    const double sign = model_.sense() == Sense::Maximize ? -1.0 : 1.0;
+    for (int j = 0; j < n_; ++j) {
+      const double c = sign * model_.objective_coef(j);
+      if (c > 0.0) {
+        if (!std::isfinite(lb_[j])) { sol.status = SolveStatus::Unbounded; return sol; }
+        sol.x[j] = lb_[j];
+      } else if (c < 0.0) {
+        if (!std::isfinite(ub_[j])) { sol.status = SolveStatus::Unbounded; return sol; }
+        sol.x[j] = ub_[j];
+      } else {
+        sol.x[j] = std::isfinite(lb_[j]) ? lb_[j] : (std::isfinite(ub_[j]) ? ub_[j] : 0.0);
+      }
+    }
+    sol.status = SolveStatus::Optimal;
+    sol.objective = model_.objective_value(sol.x);
+    return sol;
+  }
+
+  void extract(Solution& sol) const {
+    sol.x.assign(n_, 0.0);
+    for (int j = 0; j < n_; ++j) sol.x[j] = value_[j];
+    for (int i = 0; i < m_; ++i)
+      if (basis_[i] < n_) sol.x[basis_[i]] = xb_[i];
+    // Snap solver noise onto the bounds so downstream validation is clean.
+    for (int j = 0; j < n_; ++j) {
+      if (std::isfinite(lb_[j])) sol.x[j] = std::max(sol.x[j], lb_[j]);
+      if (std::isfinite(ub_[j])) sol.x[j] = std::min(sol.x[j], ub_[j]);
+    }
+    if (sol.status == SolveStatus::Optimal) {
+      sol.objective = model_.objective_value(sol.x);
+      // Shadow prices: y = c_B' B^{-1} of the internal minimize form,
+      // negated back for Maximize so duals are d(objective)/d(rhs).
+      sol.duals.assign(m_, 0.0);
+      for (int i = 0; i < m_; ++i) {
+        const double cb = cost_[basis_[i]];
+        if (cb == 0.0) continue;
+        const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+        for (int k = 0; k < m_; ++k) sol.duals[k] += cb * row[k];
+      }
+      if (model_.sense() == Sense::Maximize)
+        for (double& d : sol.duals) d = -d;
+    }
+  }
+
+  double& binv_at(int i, int j) { return binv_[static_cast<std::size_t>(i) * m_ + j]; }
+  double binv_at(int i, int j) const { return binv_[static_cast<std::size_t>(i) * m_ + j]; }
+  double& scratch_at(int i, int j) { return scratch_[static_cast<std::size_t>(i) * m_ + j]; }
+
+  const Model& model_;
+  const SimplexOptions& opt_;
+  int n_ = 0, m_ = 0, total_ = 0;
+
+  // Column-wise structural matrix.
+  std::vector<int> col_ptr_, col_row_;
+  std::vector<double> col_val_;
+  std::vector<double> art_sign_;
+
+  std::vector<double> lb_, ub_, cost_, b_;
+  std::vector<VarStatus> status_;
+  std::vector<double> value_;  // nonbasic resting values (basics in xb_)
+  std::vector<int> basis_;
+  std::vector<double> xb_;
+  std::vector<double> binv_, scratch_;
+
+  double rhs_scale_ = 1.0;
+  bool need_phase1_ = false;
+  bool in_phase1_ = false;
+  bool use_bland_ = false;
+  int iters_ = 0, stall_ = 0, pivots_since_refactor_ = 0;
+};
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Model& model) const {
+  Worker worker(model, options_);
+  return worker.run();
+}
+
+}  // namespace dls::lp

@@ -1,0 +1,64 @@
+// Bounded-variable primal revised simplex.
+//
+// Design (following standard texts, e.g. Chvátal and Maros):
+//   * computational form: minimize c'x subject to Ax + s = b, where one
+//     logical (slack) variable s_i per row carries the row relation in its
+//     bounds (<=: [0,inf), >=: (-inf,0], =: [0,0]);
+//   * nonbasic variables sit at a finite bound (or at 0 if free); basic
+//     values are x_B = B^{-1}(b - N x_N);
+//   * the basis inverse is kept as a dense matrix updated by elementary
+//     row operations at each pivot and rebuilt from scratch (Gauss-Jordan
+//     with partial pivoting) every `refactor_interval` pivots to bound
+//     numerical drift;
+//   * feasibility is restored in phase 1 by per-row artificial columns
+//     (+/- e_i) minimized to zero, after which their bounds collapse to
+//     [0,0] and phase 2 optimizes the true objective;
+//   * Dantzig pricing with an automatic switch to Bland's rule after a
+//     long degenerate stall, which guarantees termination.
+//
+// This is the LP engine behind every rational relaxation in the paper
+// (the "LP" upper-bound comparator and the LPR/LPRG/LPRR heuristics).
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/types.hpp"
+
+namespace dls::lp {
+
+struct SimplexOptions {
+  double feas_tol = 1e-7;    ///< bound/row violation considered zero
+  double opt_tol = 1e-9;     ///< reduced-cost threshold for optimality
+  double pivot_tol = 1e-9;   ///< smallest acceptable pivot magnitude
+  int max_iterations = 0;    ///< 0 = automatic (scales with model size)
+  int refactor_interval = 100;  ///< pivots between basis-inverse rebuilds
+  int stall_limit = 500;     ///< degenerate pivots before switching to Bland
+};
+
+/// Result of a solve. `x` has one entry per model variable.
+/// `duals` holds one shadow price per row: d(objective)/d(rhs) in the
+/// model's own sense (so for a Maximize model with <= rows, duals >= 0).
+struct Solution {
+  SolveStatus status = SolveStatus::NumericalError;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::vector<double> duals;
+  int iterations = 0;        ///< total pivots across both phases
+  int phase1_iterations = 0;
+};
+
+class SimplexSolver {
+public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the model's continuous relaxation (integrality marks ignored).
+  [[nodiscard]] Solution solve(const Model& model) const;
+
+  [[nodiscard]] const SimplexOptions& options() const { return options_; }
+
+private:
+  SimplexOptions options_;
+};
+
+}  // namespace dls::lp

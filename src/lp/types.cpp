@@ -1,0 +1,30 @@
+#include "lp/types.hpp"
+
+namespace dls::lp {
+
+std::string to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Unbounded: return "unbounded";
+    case SolveStatus::IterationLimit: return "iteration-limit";
+    case SolveStatus::NodeLimit: return "node-limit";
+    case SolveStatus::NumericalError: return "numerical-error";
+  }
+  return "unknown";
+}
+
+std::string to_string(Relation r) {
+  switch (r) {
+    case Relation::LessEqual: return "<=";
+    case Relation::Equal: return "=";
+    case Relation::GreaterEqual: return ">=";
+  }
+  return "?";
+}
+
+std::string to_string(Sense s) {
+  return s == Sense::Minimize ? "minimize" : "maximize";
+}
+
+}  // namespace dls::lp

@@ -1,0 +1,38 @@
+// Common vocabulary types for the linear-programming substrate.
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace dls::lp {
+
+/// Optimization direction of a Model's objective.
+enum class Sense { Minimize, Maximize };
+
+/// Row relation of a linear constraint.
+enum class Relation { LessEqual, Equal, GreaterEqual };
+
+/// Outcome of a solve.
+enum class SolveStatus {
+  Optimal,         ///< proven optimal within tolerances
+  Infeasible,      ///< no point satisfies the constraints
+  Unbounded,       ///< objective can improve without limit
+  IterationLimit,  ///< stopped at the iteration cap; solution is best basis so far
+  NodeLimit,       ///< (MILP) stopped at the node cap; incumbent may be suboptimal
+  NumericalError,  ///< basis became numerically unusable
+};
+
+/// Positive infinity used for "no bound".
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One nonzero of a constraint row: coefficient `coef` on variable `var`.
+struct Term {
+  int var = 0;
+  double coef = 0.0;
+};
+
+[[nodiscard]] std::string to_string(SolveStatus s);
+[[nodiscard]] std::string to_string(Relation r);
+[[nodiscard]] std::string to_string(Sense s);
+
+}  // namespace dls::lp

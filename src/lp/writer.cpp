@@ -1,0 +1,86 @@
+#include "lp/writer.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "lp/types.hpp"
+
+namespace dls::lp {
+
+namespace {
+
+std::string var_name(const Model& m, int j) {
+  const std::string& given = m.variable_name(j);
+  return given.empty() ? "x" + std::to_string(j) : given;
+}
+
+void write_terms(const Model& m, std::span<const Term> terms, std::ostream& os) {
+  bool first = true;
+  for (const Term& t : terms) {
+    const double c = t.coef;
+    if (first) {
+      if (c < 0) os << "- ";
+      first = false;
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    const double mag = std::fabs(c);
+    if (mag != 1.0) os << mag << ' ';
+    os << var_name(m, t.var);
+  }
+  if (first) os << "0";
+}
+
+}  // namespace
+
+void write_lp_format(const Model& model, std::ostream& os) {
+  os << (model.sense() == Sense::Maximize ? "Maximize" : "Minimize") << "\n obj: ";
+  std::vector<Term> obj;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.objective_coef(j) != 0.0) obj.push_back({j, model.objective_coef(j)});
+  }
+  write_terms(model, obj, os);
+  os << "\nSubject To\n";
+  for (int c = 0; c < model.num_constraints(); ++c) {
+    const std::string& given = model.constraint_name(c);
+    os << ' ' << (given.empty() ? "c" + std::to_string(c) : given) << ": ";
+    write_terms(model, model.row(c), os);
+    os << ' ' << to_string(model.relation(c)) << ' ' << model.rhs(c) << '\n';
+  }
+  os << "Bounds\n";
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double lb = model.lower_bound(j);
+    const double ub = model.upper_bound(j);
+    if (lb == 0.0 && ub == kInf) continue;  // LP-format default
+    os << ' ';
+    if (lb == ub) {
+      os << var_name(model, j) << " = " << lb << '\n';
+      continue;
+    }
+    if (std::isfinite(lb)) {
+      os << lb << " <= ";
+    } else {
+      os << "-inf <= ";
+    }
+    os << var_name(model, j);
+    if (std::isfinite(ub)) os << " <= " << ub;
+    os << '\n';
+  }
+  bool any_int = false;
+  for (int j = 0; j < model.num_variables(); ++j) any_int |= model.is_integer(j);
+  if (any_int) {
+    os << "Generals\n";
+    for (int j = 0; j < model.num_variables(); ++j)
+      if (model.is_integer(j)) os << ' ' << var_name(model, j) << '\n';
+  }
+  os << "End\n";
+}
+
+std::string to_lp_format(const Model& model) {
+  std::ostringstream oss;
+  write_lp_format(model, oss);
+  return oss.str();
+}
+
+}  // namespace dls::lp

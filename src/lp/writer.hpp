@@ -1,0 +1,20 @@
+// Debug serialization of a Model in CPLEX LP text format.
+//
+// Lets a developer dump any steady-state program and cross-check it with
+// an external solver; also used by tests as a cheap structural snapshot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lp/model.hpp"
+
+namespace dls::lp {
+
+/// Writes the model in CPLEX LP format (objective, rows, bounds, generals).
+void write_lp_format(const Model& model, std::ostream& os);
+
+/// Convenience wrapper returning the text.
+[[nodiscard]] std::string to_lp_format(const Model& model);
+
+}  // namespace dls::lp

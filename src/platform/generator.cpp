@@ -1,0 +1,87 @@
+#include "platform/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace dls::platform {
+
+namespace {
+
+double sample_hetero(Rng& rng, double mean, double heterogeneity) {
+  return rng.uniform(mean * (1.0 - heterogeneity), mean * (1.0 + heterogeneity));
+}
+
+int sample_maxcon(Rng& rng, double mean, double heterogeneity) {
+  const double raw = sample_hetero(rng, mean, heterogeneity);
+  return std::max(1, static_cast<int>(std::lround(raw)));
+}
+
+}  // namespace
+
+Platform generate_platform(const GeneratorParams& p, Rng& rng) {
+  require(p.num_clusters >= 1, "generate_platform: need at least one cluster");
+  require(p.connectivity >= 0.0 && p.connectivity <= 1.0,
+          "generate_platform: connectivity out of [0,1]");
+  require(p.heterogeneity >= 0.0 && p.heterogeneity < 1.0,
+          "generate_platform: heterogeneity out of [0,1)");
+  require(p.mean_gateway_bw > 0 && p.mean_backbone_bw > 0 &&
+              p.mean_max_connections > 0 && p.cluster_speed >= 0 &&
+              p.mean_latency >= 0,
+          "generate_platform: means must be positive");
+
+  Platform plat;
+  const int k = p.num_clusters;
+  for (int i = 0; i < k; ++i) plat.add_router("r" + std::to_string(i));
+  for (int i = 0; i < k; ++i) {
+    plat.add_cluster(p.cluster_speed,
+                     sample_hetero(rng, p.mean_gateway_bw, p.heterogeneity), i,
+                     "C" + std::to_string(i));
+  }
+
+  std::vector<std::vector<char>> joined(k, std::vector<char>(k, 0));
+  auto add_link = [&](int a, int b) {
+    joined[a][b] = joined[b][a] = 1;
+    const double latency =
+        p.mean_latency > 0.0 ? sample_hetero(rng, p.mean_latency, p.heterogeneity) : 0.0;
+    plat.add_backbone(a, b, sample_hetero(rng, p.mean_backbone_bw, p.heterogeneity),
+                      sample_maxcon(rng, p.mean_max_connections, p.heterogeneity), "",
+                      latency);
+  };
+
+  if (p.ensure_connected && k > 1) {
+    // Random spanning tree: attach each router to a random earlier one,
+    // over a shuffled ordering so the tree shape is unbiased.
+    std::vector<int> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    for (int i = 1; i < k; ++i) {
+      const int a = order[i];
+      const int b = order[rng.index(i)];
+      add_link(a, b);
+    }
+  }
+
+  for (int a = 0; a < k; ++a) {
+    for (int b = a + 1; b < k; ++b) {
+      if (joined[a][b]) continue;
+      if (rng.bernoulli(p.connectivity)) add_link(a, b);
+    }
+  }
+
+  // Transit routers subdivide random links, emulating backbone paths that
+  // traverse routers with no attached institution (paper Figure 2). Both
+  // halves inherit the original bw/max-connect, preserving bottlenecks.
+  for (int t = 0; t < p.num_transit_routers && plat.num_links() > 0; ++t) {
+    const LinkId victim = static_cast<LinkId>(rng.index(plat.num_links()));
+    const RouterId mid = plat.add_router("transit" + std::to_string(t));
+    plat.subdivide_link(victim, mid);
+  }
+
+  plat.compute_shortest_path_routes();
+  return plat;
+}
+
+}  // namespace dls::platform

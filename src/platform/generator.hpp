@@ -1,0 +1,57 @@
+// Random platform generation following Table 1 of the paper (§6).
+//
+// One router per cluster; any two routers are joined by a backbone link
+// with probability `connectivity`. Gateway bandwidth g, per-connection
+// backbone bandwidth bw and max-connect are sampled uniformly from
+// mean*(1-heterogeneity) .. mean*(1+heterogeneity). Cluster speed is fixed
+// (the paper uses 100: only relative values matter in a periodic
+// schedule). Routing is deterministic shortest-hop BFS.
+#pragma once
+
+#include "platform/platform.hpp"
+#include "support/rng.hpp"
+
+namespace dls::platform {
+
+struct GeneratorParams {
+  int num_clusters = 10;          ///< K
+  double connectivity = 0.4;      ///< P(link between two cluster routers)
+  double heterogeneity = 0.5;     ///< relative spread of g/bw/maxcon
+  double mean_gateway_bw = 250.0; ///< mean g
+  double mean_backbone_bw = 50.0; ///< mean bw (per connection)
+  double mean_max_connections = 50.0;  ///< mean max-connect
+  double cluster_speed = 100.0;   ///< s_k (fixed across clusters, as in §6)
+
+  /// Mean one-way backbone latency (0 = latency-free, the paper's model).
+  /// Sampled with the same heterogeneity spread; used only by the
+  /// simulator's TCP-RTT-biased sharing policy.
+  double mean_latency = 0.0;
+
+  /// Extra transit routers: each splits a random backbone link in two
+  /// halves that inherit its bw/max-connect (preserves bottlenecks).
+  /// Models the intermediate routers of the paper's Figure 2.
+  int num_transit_routers = 0;
+
+  /// If true, a random spanning tree is added first so every pair of
+  /// clusters can communicate. The paper's generator does not enforce
+  /// this (disconnected pairs simply exchange no load).
+  bool ensure_connected = false;
+};
+
+/// Generates a random platform with installed shortest-path routes.
+/// Deterministic given (params, rng state).
+[[nodiscard]] Platform generate_platform(const GeneratorParams& params, Rng& rng);
+
+/// The exact Table-1 grid of the paper: K in {5,15,...,95}, connectivity
+/// in {0.1,...,0.8}, heterogeneity in {0.2,...,0.8}, mean g in
+/// {50,250,350,450}, mean bw in {10,...,90}, mean maxcon in {5,...,95}.
+struct Table1Grid {
+  std::vector<int> num_clusters{5, 15, 25, 35, 45, 55, 65, 75, 85, 95};
+  std::vector<double> connectivity{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  std::vector<double> heterogeneity{0.2, 0.4, 0.6, 0.8};
+  std::vector<double> mean_gateway_bw{50, 250, 350, 450};
+  std::vector<double> mean_backbone_bw{10, 20, 30, 40, 50, 60, 70, 80, 90};
+  std::vector<double> mean_max_connections{5, 15, 25, 35, 45, 55, 65, 75, 85, 95};
+};
+
+}  // namespace dls::platform

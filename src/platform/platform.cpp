@@ -1,0 +1,245 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace dls::platform {
+
+RouterId Platform::add_router(std::string name) {
+  router_names_.push_back(std::move(name));
+  return num_routers() - 1;
+}
+
+ClusterId Platform::add_cluster(double speed, double gateway_bw, RouterId router,
+                                std::string name) {
+  check_router(router);
+  require(speed >= 0.0 && std::isfinite(speed), "add_cluster: invalid speed");
+  require(gateway_bw > 0.0 && std::isfinite(gateway_bw),
+          "add_cluster: gateway bandwidth must be positive");
+  // Migrate the route table from K*K to (K+1)*(K+1) indexing.
+  const int old_k = num_clusters();
+  clusters_.push_back({speed, gateway_bw, router, std::move(name)});
+  const int new_k = num_clusters();
+  if (!routes_.empty()) {
+    std::vector<std::vector<LinkId>> routes(static_cast<std::size_t>(new_k) * new_k);
+    std::vector<char> present(static_cast<std::size_t>(new_k) * new_k, 0);
+    for (int k = 0; k < old_k; ++k) {
+      for (int l = 0; l < old_k; ++l) {
+        routes[static_cast<std::size_t>(k) * new_k + l] =
+            std::move(routes_[static_cast<std::size_t>(k) * old_k + l]);
+        present[static_cast<std::size_t>(k) * new_k + l] =
+            route_present_[static_cast<std::size_t>(k) * old_k + l];
+      }
+    }
+    routes_ = std::move(routes);
+    route_present_ = std::move(present);
+  }
+  return new_k - 1;
+}
+
+LinkId Platform::add_backbone(RouterId a, RouterId b, double bw, int max_connections,
+                              std::string name, double latency) {
+  check_router(a);
+  check_router(b);
+  require(a != b, "add_backbone: self-loop backbone link");
+  require(bw > 0.0 && std::isfinite(bw), "add_backbone: bandwidth must be positive");
+  require(max_connections >= 0, "add_backbone: negative max_connections");
+  require(latency >= 0.0 && std::isfinite(latency), "add_backbone: negative latency");
+  links_.push_back({a, b, bw, max_connections, latency, std::move(name)});
+  return num_links() - 1;
+}
+
+LinkId Platform::subdivide_link(LinkId i, RouterId mid) {
+  check_link(i);
+  check_router(mid);
+  require(mid != links_[i].a && mid != links_[i].b,
+          "subdivide_link: midpoint already an endpoint");
+  const RouterId tail = links_[i].b;
+  const double bw = links_[i].bw;
+  const int maxcon = links_[i].max_connections;
+  const double half_latency = links_[i].latency / 2.0;
+  const std::string half_name = links_[i].name.empty() ? "" : links_[i].name + "+";
+  links_[i].b = mid;
+  links_[i].latency = half_latency;  // halves sum to the original latency
+  // Existing routes may traverse the shortened link; drop them all.
+  routes_.clear();
+  route_present_.clear();
+  return add_backbone(mid, tail, bw, maxcon, half_name, half_latency);
+}
+
+const Cluster& Platform::cluster(ClusterId k) const {
+  check_cluster(k);
+  return clusters_[k];
+}
+
+const BackboneLink& Platform::link(LinkId i) const {
+  check_link(i);
+  return links_[i];
+}
+
+const std::string& Platform::router_name(RouterId r) const {
+  check_router(r);
+  return router_names_[r];
+}
+
+void Platform::set_route(ClusterId k, ClusterId l, std::vector<LinkId> links) {
+  check_cluster(k);
+  check_cluster(l);
+  require(k != l, "set_route: local pairs need no route");
+  // Validate the ordered list walks from router(k) to router(l).
+  RouterId at = clusters_[k].router;
+  for (LinkId li : links) {
+    check_link(li);
+    const BackboneLink& bl = links_[li];
+    if (bl.a == at) {
+      at = bl.b;
+    } else if (bl.b == at) {
+      at = bl.a;
+    } else {
+      throw Error("set_route: link " + std::to_string(li) +
+                  " does not continue the path");
+    }
+  }
+  require(at == clusters_[l].router, "set_route: path does not end at target router");
+
+  const int n = num_clusters();
+  if (routes_.empty()) {
+    routes_.assign(static_cast<std::size_t>(n) * n, {});
+    route_present_.assign(static_cast<std::size_t>(n) * n, 0);
+  }
+  routes_[route_index(k, l)] = std::move(links);
+  route_present_[route_index(k, l)] = 1;
+}
+
+void Platform::clear_route(ClusterId k, ClusterId l) {
+  check_cluster(k);
+  check_cluster(l);
+  require(k != l, "clear_route: local pairs have no route");
+  if (routes_.empty()) return;
+  routes_[route_index(k, l)].clear();
+  route_present_[route_index(k, l)] = 0;
+}
+
+bool Platform::has_route(ClusterId k, ClusterId l) const {
+  check_cluster(k);
+  check_cluster(l);
+  if (k == l) return true;
+  if (routes_.empty()) return false;
+  return route_present_[route_index(k, l)] != 0;
+}
+
+std::span<const LinkId> Platform::route(ClusterId k, ClusterId l) const {
+  require(has_route(k, l), "route: no route installed for this pair");
+  if (k == l) return {};
+  return routes_[route_index(k, l)];
+}
+
+double Platform::route_bottleneck_bw(ClusterId k, ClusterId l) const {
+  double bw = std::numeric_limits<double>::infinity();
+  for (LinkId li : route(k, l)) bw = std::min(bw, links_[li].bw);
+  return bw;
+}
+
+double Platform::route_latency(ClusterId k, ClusterId l) const {
+  double total = 0.0;
+  for (LinkId li : route(k, l)) total += links_[li].latency;
+  return total;
+}
+
+void Platform::compute_shortest_path_routes() {
+  const int n = num_clusters();
+  const int r = num_routers();
+  routes_.assign(static_cast<std::size_t>(n) * n, {});
+  route_present_.assign(static_cast<std::size_t>(n) * n, 0);
+  if (n == 0) return;
+
+  // Adjacency sorted by (neighbor, link id) for deterministic BFS trees.
+  std::vector<std::vector<std::pair<RouterId, LinkId>>> adj(r);
+  for (LinkId i = 0; i < num_links(); ++i) {
+    adj[links_[i].a].push_back({links_[i].b, i});
+    adj[links_[i].b].push_back({links_[i].a, i});
+  }
+  for (auto& nbrs : adj) std::sort(nbrs.begin(), nbrs.end());
+
+  for (ClusterId k = 0; k < n; ++k) {
+    const RouterId src = clusters_[k].router;
+    std::vector<int> parent_link(r, -1);
+    std::vector<RouterId> parent(r, -1);
+    std::vector<char> seen(r, 0);
+    std::deque<RouterId> queue{src};
+    seen[src] = 1;
+    while (!queue.empty()) {
+      const RouterId at = queue.front();
+      queue.pop_front();
+      for (const auto& [next, li] : adj[at]) {
+        if (seen[next]) continue;
+        seen[next] = 1;
+        parent[next] = at;
+        parent_link[next] = li;
+        queue.push_back(next);
+      }
+    }
+    for (ClusterId l = 0; l < n; ++l) {
+      if (l == k) continue;
+      const RouterId dst = clusters_[l].router;
+      if (!seen[dst]) continue;  // unreachable: no route
+      std::vector<LinkId> path;
+      for (RouterId at = dst; at != src; at = parent[at]) path.push_back(parent_link[at]);
+      std::reverse(path.begin(), path.end());
+      routes_[route_index(k, l)] = std::move(path);
+      route_present_[route_index(k, l)] = 1;
+    }
+  }
+}
+
+void Platform::validate() const {
+  for (const Cluster& c : clusters_) {
+    require(c.router >= 0 && c.router < num_routers(), "validate: dangling router id");
+    require(c.gateway_bw > 0.0, "validate: non-positive gateway bandwidth");
+    require(c.speed >= 0.0, "validate: negative speed");
+  }
+  for (const BackboneLink& l : links_) {
+    require(l.a >= 0 && l.a < num_routers() && l.b >= 0 && l.b < num_routers(),
+            "validate: dangling link endpoint");
+    require(l.bw > 0.0, "validate: non-positive link bandwidth");
+    require(l.max_connections >= 0, "validate: negative max_connections");
+  }
+  const int n = num_clusters();
+  if (!routes_.empty()) {
+    require(routes_.size() == static_cast<std::size_t>(n) * n,
+            "validate: route table size mismatch");
+    for (ClusterId k = 0; k < n; ++k) {
+      for (ClusterId l = 0; l < n; ++l) {
+        if (k == l || !route_present_[route_index(k, l)]) continue;
+        RouterId at = clusters_[k].router;
+        for (LinkId li : routes_[route_index(k, l)]) {
+          require(li >= 0 && li < num_links(), "validate: dangling route link");
+          const BackboneLink& bl = links_[li];
+          require(bl.a == at || bl.b == at, "validate: broken route path");
+          at = bl.a == at ? bl.b : bl.a;
+        }
+        require(at == clusters_[l].router, "validate: route does not reach target");
+      }
+    }
+  }
+}
+
+void Platform::check_cluster(ClusterId k) const {
+  require(k >= 0 && k < num_clusters(), "Platform: cluster id out of range");
+}
+
+void Platform::check_router(RouterId r) const {
+  require(r >= 0 && r < num_routers(), "Platform: router id out of range");
+}
+
+void Platform::check_link(LinkId i) const {
+  require(i >= 0 && i < num_links(), "Platform: link id out of range");
+}
+
+std::size_t Platform::route_index(ClusterId k, ClusterId l) const {
+  return static_cast<std::size_t>(k) * num_clusters() + l;
+}
+
+}  // namespace dls::platform

@@ -1,0 +1,127 @@
+// Platform model of the paper's §2 (see DESIGN.md for the full mapping).
+//
+// A platform is:
+//   * a set of routers joined by undirected backbone links; each link
+//     grants every connection a fixed bandwidth `bw` and admits at most
+//     `max_connections` application connections in total (both directions);
+//   * a set of clusters; cluster k is reduced to a front-end of cumulated
+//     speed s_k attached to one router through a gateway link of capacity
+//     g_k that is *shared* by all of the cluster's traffic (Eq. 7c);
+//   * a fixed routing table: an ordered list of backbone links L_{k,l}
+//     for every ordered cluster pair that can communicate.
+//
+// Routers without clusters are legal (transit routers; the NP-hardness
+// gadget of §4 relies on them). Two clusters may share a router, in which
+// case their route is the empty link list and only gateway capacities
+// constrain their exchange.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dls::platform {
+
+using ClusterId = int;
+using RouterId = int;
+using LinkId = int;
+
+struct Cluster {
+  double speed = 0.0;       ///< s_k: work units the cluster completes per time unit
+  double gateway_bw = 0.0;  ///< g_k: capacity of the front-end <-> router link
+  RouterId router = -1;     ///< attachment point in the backbone graph
+  std::string name;
+};
+
+struct BackboneLink {
+  RouterId a = -1;          ///< endpoint (undirected)
+  RouterId b = -1;          ///< endpoint (undirected)
+  double bw = 0.0;          ///< bandwidth granted to *each* connection
+  int max_connections = 0;  ///< max-connect: total connections admitted
+  /// One-way propagation latency (time units). The steady-state model
+  /// ignores it (the paper defers latencies to future work, §7); the
+  /// simulator's TCP-biased sharing policy uses it for RTT weighting.
+  double latency = 0.0;
+  std::string name;
+};
+
+class Platform {
+public:
+  /// Adds a router; returns its id.
+  RouterId add_router(std::string name = "");
+
+  /// Adds a cluster attached to an existing router. speed >= 0 (the
+  /// NP-hardness source cluster has speed 0), gateway_bw > 0.
+  ClusterId add_cluster(double speed, double gateway_bw, RouterId router,
+                        std::string name = "");
+
+  /// Adds an undirected backbone link. bw > 0, max_connections >= 0,
+  /// latency >= 0.
+  LinkId add_backbone(RouterId a, RouterId b, double bw, int max_connections,
+                      std::string name = "", double latency = 0.0);
+
+  /// Splits link i at router `mid`: i becomes (a, mid) and a new link
+  /// (mid, b) with the same bw/max-connect is appended (its id is
+  /// returned). Any installed routes are invalidated and must be
+  /// recomputed or re-set by the caller.
+  LinkId subdivide_link(LinkId i, RouterId mid);
+
+  [[nodiscard]] int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  [[nodiscard]] int num_routers() const { return static_cast<int>(router_names_.size()); }
+  [[nodiscard]] int num_links() const { return static_cast<int>(links_.size()); }
+
+  [[nodiscard]] const Cluster& cluster(ClusterId k) const;
+  [[nodiscard]] const BackboneLink& link(LinkId i) const;
+  [[nodiscard]] const std::string& router_name(RouterId r) const;
+
+  // ---- routing ----
+
+  /// Installs the ordered link list L_{k,l}; validated to be a path from
+  /// cluster k's router to cluster l's router. k == l is rejected (local
+  /// work uses no route).
+  void set_route(ClusterId k, ClusterId l, std::vector<LinkId> links);
+
+  /// Removes the route (pair becomes unable to exchange load).
+  void clear_route(ClusterId k, ClusterId l);
+
+  /// True if k can send load to l. Always true for k == l.
+  [[nodiscard]] bool has_route(ClusterId k, ClusterId l) const;
+
+  /// The ordered backbone links of L_{k,l}; empty for same-router pairs.
+  [[nodiscard]] std::span<const LinkId> route(ClusterId k, ClusterId l) const;
+
+  /// Per-connection bandwidth of the route's bottleneck backbone link:
+  /// min over L_{k,l} of bw(l_i). +infinity for an empty route (only the
+  /// gateways then limit the transfer). Requires has_route(k, l).
+  [[nodiscard]] double route_bottleneck_bw(ClusterId k, ClusterId l) const;
+
+  /// Sum of one-way latencies along L_{k,l}; 0 for an empty route.
+  [[nodiscard]] double route_latency(ClusterId k, ClusterId l) const;
+
+  /// Computes shortest-hop routes (deterministic BFS; ties resolved by
+  /// lowest router/link index) for every ordered cluster pair and installs
+  /// them, replacing any existing table. Unreachable pairs get no route.
+  void compute_shortest_path_routes();
+
+  /// Throws dls::Error if any invariant is broken (dangling router ids,
+  /// non-positive capacities, malformed routes).
+  void validate() const;
+
+private:
+  void check_cluster(ClusterId k) const;
+  void check_router(RouterId r) const;
+  void check_link(LinkId i) const;
+  [[nodiscard]] std::size_t route_index(ClusterId k, ClusterId l) const;
+
+  std::vector<Cluster> clusters_;
+  std::vector<BackboneLink> links_;
+  std::vector<std::string> router_names_;
+  // Dense K*K table of routes; routes_[k*K+l] is L_{k,l}. A pair without a
+  // route is marked in route_present_.
+  std::vector<std::vector<LinkId>> routes_;
+  std::vector<char> route_present_;
+};
+
+}  // namespace dls::platform

@@ -1,0 +1,118 @@
+#include "platform/serialization.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace dls::platform {
+
+namespace {
+
+std::string name_or_dash(const std::string& name) {
+  require(name.find_first_of(" \t\n") == std::string::npos,
+          "write_platform: names may not contain whitespace");
+  return name.empty() ? "-" : name;
+}
+
+std::string dash_to_name(const std::string& token) {
+  return token == "-" ? "" : token;
+}
+
+}  // namespace
+
+void write_platform(const Platform& p, std::ostream& os) {
+  // max_digits10 so bandwidths/speeds survive the round-trip bit-exactly;
+  // anything less changes LP optima downstream.
+  os.precision(17);
+  os << "dls-platform 2\n";
+  os << "routers " << p.num_routers() << '\n';
+  for (RouterId r = 0; r < p.num_routers(); ++r)
+    os << "router " << r << ' ' << name_or_dash(p.router_name(r)) << '\n';
+  for (ClusterId k = 0; k < p.num_clusters(); ++k) {
+    const Cluster& c = p.cluster(k);
+    os << "cluster " << c.speed << ' ' << c.gateway_bw << ' ' << c.router << ' '
+       << name_or_dash(c.name) << '\n';
+  }
+  for (LinkId i = 0; i < p.num_links(); ++i) {
+    const BackboneLink& l = p.link(i);
+    os << "link " << l.a << ' ' << l.b << ' ' << l.bw << ' ' << l.max_connections
+       << ' ' << l.latency << ' ' << name_or_dash(l.name) << '\n';
+  }
+  for (ClusterId k = 0; k < p.num_clusters(); ++k) {
+    for (ClusterId l = 0; l < p.num_clusters(); ++l) {
+      if (k == l || !p.has_route(k, l)) continue;
+      const auto route = p.route(k, l);
+      os << "route " << k << ' ' << l << ' ' << route.size();
+      for (LinkId li : route) os << ' ' << li;
+      os << '\n';
+    }
+  }
+}
+
+Platform read_platform(std::istream& is) {
+  std::string header;
+  int version = 0;
+  is >> header >> version;
+  // Version 1 lacks link latencies; version 2 adds them.
+  require(is && header == "dls-platform" && (version == 1 || version == 2),
+          "read_platform: bad header (expected 'dls-platform 1|2')");
+
+  Platform p;
+  std::string keyword;
+  while (is >> keyword) {
+    if (keyword == "routers") {
+      int count = 0;
+      is >> count;
+      require(is && count >= 0, "read_platform: bad router count");
+    } else if (keyword == "router") {
+      int id = 0;
+      std::string name;
+      is >> id >> name;
+      require(static_cast<bool>(is), "read_platform: malformed router line");
+      const RouterId got = p.add_router(dash_to_name(name));
+      require(got == id, "read_platform: router ids must be dense and ordered");
+    } else if (keyword == "cluster") {
+      double speed = 0, gw = 0;
+      int router = 0;
+      std::string name;
+      is >> speed >> gw >> router >> name;
+      require(static_cast<bool>(is), "read_platform: malformed cluster line");
+      p.add_cluster(speed, gw, router, dash_to_name(name));
+    } else if (keyword == "link") {
+      int a = 0, b = 0, maxcon = 0;
+      double bw = 0, latency = 0;
+      std::string name;
+      is >> a >> b >> bw >> maxcon;
+      if (version >= 2) is >> latency;
+      is >> name;
+      require(static_cast<bool>(is), "read_platform: malformed link line");
+      p.add_backbone(a, b, bw, maxcon, dash_to_name(name), latency);
+    } else if (keyword == "route") {
+      int k = 0, l = 0, n = 0;
+      is >> k >> l >> n;
+      require(is && n >= 0, "read_platform: malformed route line");
+      std::vector<LinkId> links(n);
+      for (int i = 0; i < n; ++i) is >> links[i];
+      require(static_cast<bool>(is), "read_platform: malformed route link list");
+      p.set_route(k, l, std::move(links));
+    } else {
+      throw Error("read_platform: unknown keyword '" + keyword + "'");
+    }
+  }
+  p.validate();
+  return p;
+}
+
+std::string to_text(const Platform& platform) {
+  std::ostringstream oss;
+  write_platform(platform, oss);
+  return oss.str();
+}
+
+Platform from_text(const std::string& text) {
+  std::istringstream iss(text);
+  return read_platform(iss);
+}
+
+}  // namespace dls::platform

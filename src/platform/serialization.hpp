@@ -1,0 +1,34 @@
+// Text serialization of platforms.
+//
+// Line-oriented format, stable across versions:
+//
+//   dls-platform 1
+//   routers <R>
+//   router <id> <name?>
+//   cluster <speed> <gateway_bw> <router> <name?>
+//   link <a> <b> <bw> <max_connections> <name?>
+//   route <k> <l> <n> <link ids...>
+//
+// Names may not contain whitespace; missing names are written as "-".
+// Routes are optional (a file without route lines round-trips with an
+// empty table; call compute_shortest_path_routes() afterwards if wanted).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "platform/platform.hpp"
+
+namespace dls::platform {
+
+/// Writes the platform, including any installed routes.
+void write_platform(const Platform& platform, std::ostream& os);
+
+/// Reads a platform; throws dls::Error on malformed input.
+[[nodiscard]] Platform read_platform(std::istream& is);
+
+/// Convenience string round-trip helpers.
+[[nodiscard]] std::string to_text(const Platform& platform);
+[[nodiscard]] Platform from_text(const std::string& text);
+
+}  // namespace dls::platform

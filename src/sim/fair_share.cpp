@@ -1,0 +1,134 @@
+#include "sim/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dls::sim {
+
+std::vector<double> max_min_fair_rates(const FairShareProblem& problem) {
+  const int num_entities = static_cast<int>(problem.entities.size());
+  const int num_resources = static_cast<int>(problem.capacity.size());
+  for (double c : problem.capacity)
+    require(c > 0.0 && std::isfinite(c), "max_min_fair_rates: bad resource capacity");
+  for (const auto& e : problem.entities) {
+    require(e.cap >= 0.0, "max_min_fair_rates: negative cap");
+    require(e.weight > 0.0 && std::isfinite(e.weight),
+            "max_min_fair_rates: weight must be positive");
+    require(!e.resources.empty() || std::isfinite(e.cap),
+            "max_min_fair_rates: entity with no resource and no cap is unbounded");
+    for (int r : e.resources)
+      require(r >= 0 && r < num_resources, "max_min_fair_rates: resource out of range");
+  }
+
+  std::vector<double> rate(num_entities, 0.0);
+  std::vector<char> frozen(num_entities, 0);
+  // Remaining capacity once frozen entities' rates are subtracted, and
+  // the total weight of unfrozen entities per resource.
+  std::vector<double> slack(problem.capacity);
+  std::vector<double> weight_on(num_resources, 0.0);
+  // Integer count alongside the float weight sum: repeated subtraction can
+  // leave a phantom epsilon of weight on a resource whose entities all
+  // froze, which would stall the water-filling loop.
+  std::vector<int> count_on(num_resources, 0);
+  for (const auto& e : problem.entities)
+    for (int r : e.resources) {
+      weight_on[r] += e.weight;
+      ++count_on[r];
+    }
+
+  // Unfrozen entity rates are weight * level; all rise together.
+  double level = 0.0;
+  int remaining = num_entities;
+  while (remaining > 0) {
+    // Next stop: the tightest resource's level or the smallest unfrozen
+    // normalized cap (cap / weight).
+    double next = FairShareProblem::kNoCap;
+    for (int r = 0; r < num_resources; ++r) {
+      if (count_on[r] == 0 || weight_on[r] <= 0.0) continue;
+      next = std::min(next, level + slack[r] / weight_on[r]);
+    }
+    for (int e = 0; e < num_entities; ++e)
+      if (!frozen[e])
+        next = std::min(next, problem.entities[e].cap / problem.entities[e].weight);
+    DLS_ASSERT(std::isfinite(next));
+    DLS_ASSERT(next >= level - 1e-12);
+    next = std::max(next, level);
+
+    // Advance everyone to `next`, consuming slack in proportion to weight.
+    const double step = next - level;
+    if (step > 0.0) {
+      for (int r = 0; r < num_resources; ++r)
+        if (count_on[r] > 0) slack[r] -= step * weight_on[r];
+      level = next;
+    }
+
+    // Freeze entities that hit their cap or sit on a drained resource.
+    constexpr double kTol = 1e-12;
+    int frozen_this_round = 0;
+    for (int e = 0; e < num_entities; ++e) {
+      if (frozen[e]) continue;
+      const auto& ent = problem.entities[e];
+      bool stop = ent.cap <= level * ent.weight + kTol;
+      if (!stop) {
+        for (int r : ent.resources) {
+          if (slack[r] <= kTol * problem.capacity[r]) {
+            stop = true;
+            break;
+          }
+        }
+      }
+      if (stop) {
+        frozen[e] = 1;
+        rate[e] = std::min(level * ent.weight, ent.cap);
+        for (int r : ent.resources) {
+          weight_on[r] -= ent.weight;
+          --count_on[r];
+        }
+        ++frozen_this_round;
+      }
+    }
+    DLS_ASSERT(frozen_this_round > 0);  // every round saturates something
+    remaining -= frozen_this_round;
+  }
+  return rate;
+}
+
+bool is_max_min_fair(const FairShareProblem& problem, const std::vector<double>& rates,
+                     double tol) {
+  const int num_entities = static_cast<int>(problem.entities.size());
+  const int num_resources = static_cast<int>(problem.capacity.size());
+  if (static_cast<int>(rates.size()) != num_entities) return false;
+
+  std::vector<double> used(num_resources, 0.0);
+  for (int e = 0; e < num_entities; ++e) {
+    if (rates[e] < -tol || rates[e] > problem.entities[e].cap + tol) return false;
+    for (int r : problem.entities[e].resources) used[r] += rates[e];
+  }
+  for (int r = 0; r < num_resources; ++r)
+    if (used[r] > problem.capacity[r] * (1 + tol) + tol) return false;
+
+  // Weighted bottleneck condition: every entity is at its cap, or uses a
+  // saturated resource on which its normalized rate is (weakly) largest.
+  for (int e = 0; e < num_entities; ++e) {
+    if (rates[e] >= problem.entities[e].cap - tol) continue;
+    const double norm_e = rates[e] / problem.entities[e].weight;
+    bool bottlenecked = false;
+    for (int r : problem.entities[e].resources) {
+      if (used[r] < problem.capacity[r] - tol) continue;  // not saturated
+      double max_on_r = 0.0;
+      for (int e2 = 0; e2 < num_entities; ++e2) {
+        const auto& res = problem.entities[e2].resources;
+        if (std::find(res.begin(), res.end(), r) != res.end())
+          max_on_r = std::max(max_on_r, rates[e2] / problem.entities[e2].weight);
+      }
+      if (norm_e >= max_on_r - tol) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    if (!bottlenecked) return false;
+  }
+  return true;
+}
+
+}  // namespace dls::sim

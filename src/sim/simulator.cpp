@@ -1,0 +1,165 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/fair_share.hpp"
+
+namespace dls::sim {
+
+namespace {
+
+/// Work item alive during one period: either a flow (transfer) or a job
+/// (compute chunk). Flows use the two gateway resources; jobs use their
+/// cluster's CPU resource.
+struct WorkItem {
+  double remaining = 0.0;
+  int app = -1;      // owning application (for throughput accounting)
+  bool is_flow = false;
+  FairShareProblem::Entity entity;
+};
+
+/// Executes one period's work items to completion; returns its duration
+/// and the number of rate recomputations.
+double run_period(const std::vector<double>& capacities, std::vector<WorkItem> items,
+                  std::int64_t& recomputations) {
+  double t = 0.0;
+  std::vector<char> done(items.size(), 0);
+  int active = static_cast<int>(items.size());
+  // Items of zero size complete immediately.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].remaining <= 0.0) {
+      done[i] = 1;
+      --active;
+    }
+  }
+
+  while (active > 0) {
+    // Solve the rate problem for the live items.
+    FairShareProblem fsp;
+    fsp.capacity = capacities;
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (done[i]) continue;
+      live.push_back(i);
+      fsp.entities.push_back(items[i].entity);
+    }
+    const std::vector<double> rates = max_min_fair_rates(fsp);
+    ++recomputations;
+
+    // Earliest completion at these rates.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      if (rates[j] <= 0.0) continue;
+      dt = std::min(dt, items[live[j]].remaining / rates[j]);
+    }
+    // A live item with rate 0 and no positive-rate sibling would hang:
+    // capacities are positive and every item uses >= 1 resource or cap,
+    // so max-min always gives someone positive rate.
+    DLS_ASSERT(std::isfinite(dt));
+
+    t += dt;
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      WorkItem& item = items[live[j]];
+      item.remaining -= rates[j] * dt;
+      if (item.remaining <= 1e-9 * (1.0 + rates[j])) {
+        done[live[j]] = 1;
+        --active;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+SimReport simulate_schedule(const core::SteadyStateProblem& problem,
+                            const core::PeriodicSchedule& schedule,
+                            const SimOptions& options) {
+  require(options.periods >= 1 && options.warmup_periods >= 0,
+          "simulate_schedule: invalid options");
+  const platform::Platform& plat = problem.plat();
+  const int n = plat.num_clusters();
+
+  // Shared resources: gateway link per cluster, then CPU per cluster.
+  // (Backbone links are not shared pools in the paper's model: every
+  // connection owns bw(l_i), so a flow's backbone allowance is the
+  // private cap beta * pbw.)
+  std::vector<double> capacities(2 * n);
+  for (int k = 0; k < n; ++k) {
+    capacities[k] = plat.cluster(k).gateway_bw;
+    capacities[n + k] = std::max(plat.cluster(k).speed, 1e-12);
+  }
+
+  // Template work items for one period.
+  std::vector<WorkItem> period_items;
+  for (const core::Transfer& tr : schedule.transfers) {
+    WorkItem item;
+    item.remaining = static_cast<double>(tr.units);
+    item.app = tr.from;
+    item.is_flow = true;
+    item.entity.resources = {tr.from, tr.to};  // both gateways
+    const double pbw = plat.route_bottleneck_bw(tr.from, tr.to);
+    item.entity.cap = std::isfinite(pbw) ? tr.connections * pbw
+                                         : FairShareProblem::kNoCap;
+    if (options.policy == SharingPolicy::TcpRttBias) {
+      const double rtt =
+          std::max(2.0 * plat.route_latency(tr.from, tr.to), options.rtt_floor);
+      item.entity.weight = 1.0 / rtt;
+    }
+    period_items.push_back(std::move(item));
+  }
+  for (const core::ComputeTask& ct : schedule.compute) {
+    WorkItem item;
+    item.remaining = static_cast<double>(ct.units);
+    item.app = ct.app;
+    item.is_flow = false;
+    item.entity.resources = {n + ct.on_cluster};
+    item.entity.cap = FairShareProblem::kNoCap;
+    period_items.push_back(std::move(item));
+  }
+  if (options.policy == SharingPolicy::Paced) {
+    // Throttle every item to its reserved fluid rate. Shared resources
+    // stay in place, so an infeasible schedule still surfaces as overrun.
+    for (WorkItem& item : period_items) {
+      item.entity.cap = std::min(
+          item.entity.cap,
+          item.remaining / static_cast<double>(schedule.period));
+    }
+  }
+
+  SimReport report;
+  report.throughput.assign(n, 0.0);
+
+  const int total_periods = options.warmup_periods + options.periods;
+  double measured_time = 0.0;
+  double max_duration = 0.0;
+  std::vector<double> measured_load(n, 0.0);
+  for (int p = 0; p < total_periods; ++p) {
+    const double duration =
+        run_period(capacities, period_items, report.rate_recomputations);
+    if (p < options.warmup_periods) continue;
+    // The schedule is clocked: a period that finishes early idles until
+    // the T_p boundary; one that overruns delays the next period.
+    measured_time += std::max(duration, static_cast<double>(schedule.period));
+    max_duration = std::max(max_duration, duration);
+    report.flows_completed +=
+        static_cast<std::int64_t>(schedule.transfers.size());
+    report.jobs_completed += static_cast<std::int64_t>(schedule.compute.size());
+    for (const core::ComputeTask& ct : schedule.compute)
+      measured_load[ct.app] += static_cast<double>(ct.units);
+  }
+
+  report.total_time = measured_time;
+  report.mean_period_duration = measured_time / options.periods;
+  report.max_period_duration = max_duration;
+  report.worst_overrun_ratio =
+      max_duration / static_cast<double>(schedule.period);
+  if (measured_time > 0.0) {
+    for (int k = 0; k < n; ++k) report.throughput[k] = measured_load[k] / measured_time;
+  }
+  return report;
+}
+
+}  // namespace dls::sim

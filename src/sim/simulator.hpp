@@ -1,0 +1,76 @@
+// Flow-level discrete-event execution of a periodic schedule.
+//
+// The simulator plays the §3.2 pipeline on the platform model: in each
+// period every transfer of the schedule becomes a network flow (rate
+// limited by its connections' backbone allowance beta*pbw and by the
+// max-min fair share of the two gateway links it crosses) and every
+// compute chunk becomes a job sharing its cluster's CPU. Events are flow
+// and job completions; rates are re-solved at each event (progressive
+// filling, see fair_share.hpp). A period ends when all of its work is
+// done — if the analytical model is right, that happens within T_p, and
+// the report's overrun statistics let tests assert it.
+//
+// This replaces the authors' (unavailable) SimGrid tooling with an
+// in-repo substrate of the same fluid bandwidth-sharing family; see
+// DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+
+namespace dls::sim {
+
+/// How flows and jobs draw rate within a period.
+enum class SharingPolicy {
+  /// Every item is throttled to its reserved rate units/T_p — the fluid
+  /// execution the paper's §3.2 feasibility argument implies. A valid
+  /// schedule then always completes exactly at the period boundary.
+  Paced,
+  /// Work-conserving max-min fair sharing (TCP-like). Greedier early, but
+  /// a flow capped by its connections (beta*pbw) cannot catch up after
+  /// losing fair-share rounds, so valid schedules can overrun T_p by a
+  /// measurable factor — an effect the analytical model hides and the
+  /// bench_sim_validation experiment quantifies.
+  MaxMin,
+  /// Max-min sharing with TCP's RTT bias: each flow's share weight is
+  /// 1 / (2 * route latency + rtt_floor), so long-haul flows lose
+  /// gateway contention the way long-RTT TCP connections do. This is the
+  /// paper's §7 "more realistic network model" direction. Identical to
+  /// MaxMin on latency-free platforms.
+  TcpRttBias,
+};
+
+struct SimOptions {
+  int periods = 20;        ///< periods executed after warm-up
+  int warmup_periods = 2;  ///< pipeline fill periods excluded from stats
+  SharingPolicy policy = SharingPolicy::Paced;
+  /// Minimum RTT under TcpRttBias (avoids infinite weight on zero-latency
+  /// routes and models host processing delay).
+  double rtt_floor = 1e-3;
+};
+
+struct SimReport {
+  double total_time = 0.0;  ///< measured window duration (clocked periods:
+                            ///< max(T_p, actual duration) per period)
+  std::vector<double> throughput;      ///< per application: load / time
+  double mean_period_duration = 0.0;
+  double max_period_duration = 0.0;
+  /// max period duration / T_p: <= 1 means the schedule held its period.
+  double worst_overrun_ratio = 0.0;
+  std::int64_t flows_completed = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t rate_recomputations = 0;
+};
+
+/// Executes the schedule for warmup + measured periods and reports
+/// achieved steady-state throughput per application. The schedule should
+/// be valid for the problem's platform (see validate_schedule); an
+/// infeasible schedule still runs but shows overrun ratios above 1.
+[[nodiscard]] SimReport simulate_schedule(const core::SteadyStateProblem& problem,
+                                          const core::PeriodicSchedule& schedule,
+                                          const SimOptions& options = {});
+
+}  // namespace dls::sim

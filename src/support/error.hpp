@@ -1,0 +1,41 @@
+// Error handling primitives shared by every dls module.
+//
+// Policy (following the C++ Core Guidelines): exceptions signal violated
+// preconditions on *user-supplied* data (malformed platforms, infeasible
+// fixings, bad parameters); DLS_ASSERT guards *internal* invariants and
+// aborts, because an internal invariant failure means the library itself
+// is wrong and no recovery is meaningful.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dls {
+
+/// Exception thrown on violated preconditions and malformed inputs.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws dls::Error with the given message if `cond` is false.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw Error(message);
+}
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "dls internal invariant violated: %s (%s:%d)\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace dls
+
+/// Internal invariant check. Active in all build types: the cost is
+/// negligible next to the simplex inner loops it protects, and silent
+/// corruption of a scheduling result is worse than an abort.
+#define DLS_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::dls::detail::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,125 @@
+#include "support/rational.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+
+namespace dls {
+
+namespace {
+// GCC/Clang extension; __extension__ silences -Wpedantic.
+__extension__ typedef __int128 i128;
+
+std::int64_t checked_narrow(i128 v, const char* op) {
+  if (v > std::numeric_limits<std::int64_t>::max() ||
+      v < std::numeric_limits<std::int64_t>::min()) {
+    throw Error(std::string("Rational overflow in ") + op);
+  }
+  return static_cast<std::int64_t>(v);
+}
+}  // namespace
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  // llabs is safe here: INT64_MIN inputs are rejected by the callers that
+  // construct rationals (they would overflow the negation in normalize()).
+  std::uint64_t x = a == std::numeric_limits<std::int64_t>::min()
+                        ? (1ULL << 63)
+                        : static_cast<std::uint64_t>(std::llabs(a));
+  std::uint64_t y = b == std::numeric_limits<std::int64_t>::min()
+                        ? (1ULL << 63)
+                        : static_cast<std::uint64_t>(std::llabs(b));
+  while (y != 0) {
+    const std::uint64_t t = x % y;
+    x = y;
+    y = t;
+  }
+  return checked_narrow(static_cast<i128>(x), "gcd64");
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = gcd64(a, b);
+  const i128 l = static_cast<i128>(std::llabs(a)) / g * static_cast<i128>(std::llabs(b));
+  return checked_narrow(l, "lcm64");
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  require(den != 0, "Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = checked_narrow(-static_cast<i128>(num_), "Rational::normalize");
+    den_ = checked_narrow(-static_cast<i128>(den_), "Rational::normalize");
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const std::int64_t g = gcd64(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checked_narrow(-static_cast<i128>(num_), "Rational::operator-");
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  // Reduce cross terms first to keep intermediates small: a/b + c/d with
+  // g = gcd(b, d) gives (a*(d/g) + c*(b/g)) / (b/g*d).
+  const std::int64_t g = gcd64(den_, o.den_);
+  const i128 n =
+      static_cast<i128>(num_) * (o.den_ / g) + static_cast<i128>(o.num_) * (den_ / g);
+  const i128 d = static_cast<i128>(den_ / g) * o.den_;
+  num_ = checked_narrow(n, "Rational::operator+=");
+  den_ = checked_narrow(d, "Rational::operator+=");
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-cancel before multiplying to delay overflow.
+  const std::int64_t g1 = gcd64(num_, o.den_);
+  const std::int64_t g2 = gcd64(o.num_, den_);
+  const i128 n = static_cast<i128>(num_ / g1) * (o.num_ / g2);
+  const i128 d = static_cast<i128>(den_ / g2) * (o.den_ / g1);
+  num_ = checked_narrow(n, "Rational::operator*=");
+  den_ = checked_narrow(d, "Rational::operator*=");
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  require(!o.is_zero(), "Rational: division by zero");
+  return *this *= Rational(o.den_, o.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const i128 lhs = static_cast<i128>(a.num_) * b.den_;
+  const i128 rhs = static_cast<i128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace dls

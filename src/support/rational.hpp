@@ -1,0 +1,72 @@
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// Used by the periodic-schedule reconstruction (paper §3.2): steady-state
+// rates α_{k,l} are rationalized, the schedule period is the lcm of their
+// denominators, and per-period chunk sizes are exact integers. All
+// operations detect overflow via 128-bit intermediates and throw dls::Error
+// instead of silently wrapping — a wrapped lcm would produce a bogus
+// schedule period.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace dls {
+
+/// A rational number p/q in lowest terms with q > 0.
+class Rational {
+public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// Integer value n/1.
+  Rational(std::int64_t n) : num_(n) {}  // NOLINT(google-explicit-constructor): intended implicit lift
+
+  /// num/den reduced to lowest terms; throws if den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const { return num_; }
+  [[nodiscard]] std::int64_t den() const { return den_; }
+
+  [[nodiscard]] double to_double() const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+
+  void normalize();
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Greatest common divisor of |a| and |b|; gcd(0,0) == 0.
+[[nodiscard]] std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// Least common multiple of |a| and |b|; throws dls::Error on overflow.
+[[nodiscard]] std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+}  // namespace dls

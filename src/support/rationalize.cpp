@@ -1,0 +1,113 @@
+#include "support/rationalize.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace dls {
+
+namespace {
+
+// Continued-fraction expansion producing the last convergent p/q with
+// q <= max_den, plus the semiconvergent refinement. Returns the best
+// approximation (closest in absolute value; ties go to the convergent).
+Rational best_approx(double x, std::int64_t max_den) {
+  const bool neg = x < 0;
+  double v = std::fabs(x);
+
+  // Convergents p_{-1}/q_{-1} = 1/0, p_0/q_0 = a_0/1, ...
+  std::int64_t p_prev = 1, q_prev = 0;
+  std::int64_t p_cur = static_cast<std::int64_t>(std::floor(v));
+  std::int64_t q_cur = 1;
+  double frac = v - std::floor(v);
+
+  while (frac > 0) {
+    const double inv = 1.0 / frac;
+    if (inv > static_cast<double>(std::numeric_limits<std::int64_t>::max() / 2)) break;
+    const std::int64_t a = static_cast<std::int64_t>(std::floor(inv));
+    frac = inv - std::floor(inv);
+
+    // Next convergent would be p = a*p_cur + p_prev, q = a*q_cur + q_prev.
+    if (a > (max_den - q_prev) / q_cur) {
+      // Full step exceeds the bound: take the largest semiconvergent
+      // a' in [ceil(a/2), a) with q' = a'*q_cur + q_prev <= max_den.
+      const std::int64_t a_fit = (max_den - q_prev) / q_cur;
+      if (2 * a_fit >= a) {
+        const std::int64_t p_semi = a_fit * p_cur + p_prev;
+        const std::int64_t q_semi = a_fit * q_cur + q_prev;
+        // The semiconvergent with a' = a/2 is only better when strictly
+        // closer; comparing distances keeps "best approximation" exact.
+        const double d_semi =
+            std::fabs(v - static_cast<double>(p_semi) / static_cast<double>(q_semi));
+        const double d_cur =
+            std::fabs(v - static_cast<double>(p_cur) / static_cast<double>(q_cur));
+        if (d_semi < d_cur) {
+          p_cur = p_semi;
+          q_cur = q_semi;
+        }
+      }
+      break;
+    }
+
+    const std::int64_t p_next = a * p_cur + p_prev;
+    const std::int64_t q_next = a * q_cur + q_prev;
+    p_prev = p_cur;
+    q_prev = q_cur;
+    p_cur = p_next;
+    q_cur = q_next;
+    if (q_cur == max_den) break;
+  }
+
+  return {neg ? -p_cur : p_cur, q_cur};
+}
+
+}  // namespace
+
+Rational rationalize(double x, std::int64_t max_den) {
+  require(std::isfinite(x), "rationalize: non-finite input");
+  require(max_den >= 1, "rationalize: max_den must be >= 1");
+  return best_approx(x, max_den);
+}
+
+namespace {
+
+// Modular inverse of a modulo m (m >= 1), result in [0, m).
+std::int64_t mod_inverse(std::int64_t a, std::int64_t m) {
+  a = ((a % m) + m) % m;
+  std::int64_t t = 0, new_t = 1, r = m, new_r = a;
+  while (new_r != 0) {
+    const std::int64_t q = r / new_r;
+    t = std::exchange(new_t, t - q * new_t);
+    r = std::exchange(new_r, r - q * new_r);
+  }
+  require(r == 1, "mod_inverse: arguments not coprime");
+  return ((t % m) + m) % m;
+}
+
+}  // namespace
+
+Rational rationalize_floor(double x, std::int64_t max_den) {
+  const Rational r = rationalize(x, max_den);
+  if (r.to_double() <= x) return r;
+
+  // r = p/q is the Farey fraction of order max_den nearest x, and it lies
+  // above x. Its left Farey neighbor p'/q' (the consecutive fraction with
+  // p*q' - p'*q = 1 and the largest q' <= max_den) is then the greatest
+  // fraction <= x with denominator <= max_den, i.e. the exact floor.
+  const std::int64_t p = r.num();
+  const std::int64_t q = r.den();
+  std::int64_t qp;
+  if (q == 1) {
+    qp = max_den;
+  } else {
+    const std::int64_t inv = mod_inverse(p, q);
+    qp = inv == 0 ? q : inv;
+    qp += (max_den - qp) / q * q;  // largest value <= max_den congruent to inv
+  }
+  __extension__ typedef __int128 i128;  // extension; silences -Wpedantic
+  const i128 num = static_cast<i128>(p) * qp - 1;
+  DLS_ASSERT(num % q == 0);
+  return {static_cast<std::int64_t>(num / q), qp};
+}
+
+}  // namespace dls

@@ -1,0 +1,26 @@
+// Best rational approximation of a double under a denominator bound.
+//
+// The schedule period T_p is the lcm of the α denominators (paper §3.2);
+// an unbounded conversion of solver doubles would make T_p astronomically
+// large, so we approximate each rate with the best rational whose
+// denominator stays below a caller-chosen bound (continued fractions /
+// Stern–Brocot). Rounding *down* on the final convergent keeps the
+// rationalized rate ≤ the LP rate, so every capacity constraint that held
+// for the LP solution still holds for the schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rational.hpp"
+
+namespace dls {
+
+/// Best rational approximation of `x` with denominator <= max_den.
+/// Requires x finite and max_den >= 1. The result is within 1/max_den of x.
+[[nodiscard]] Rational rationalize(double x, std::int64_t max_den);
+
+/// Largest rational <= x with denominator <= max_den (never rounds up).
+/// Used for capacities/rates where exceeding x would violate a constraint.
+[[nodiscard]] Rational rationalize_floor(double x, std::int64_t max_den);
+
+}  // namespace dls

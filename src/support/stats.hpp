@@ -1,0 +1,44 @@
+// Descriptive statistics for experiment aggregation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dls {
+
+/// Streaming accumulator (Welford) for mean/variance plus min/max.
+class Accumulator {
+public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for fewer than two values.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Median (linear interpolation between middle elements).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// p-th percentile, p in [0,100], linear interpolation. Requires non-empty.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+}  // namespace dls

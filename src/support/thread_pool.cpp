@@ -1,0 +1,85 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace dls {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  require(static_cast<bool>(job), "ThreadPool::submit: empty job");
+  {
+    std::scoped_lock lock(mutex_);
+    require(!stop_, "ThreadPool::submit: pool is shutting down");
+    queue_.push_back(std::move(job));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      job();
+    } catch (...) {
+      std::scoped_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t blocks = std::min(n, pool.size() * 4);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  for (std::size_t b = begin; b < end; b += chunk) {
+    const std::size_t hi = std::min(b + chunk, end);
+    pool.submit([&body, b, hi] {
+      for (std::size_t i = b; i < hi; ++i) body(i);
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace dls

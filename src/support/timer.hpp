@@ -1,0 +1,26 @@
+// Wall-clock timing for the runtime experiments (paper Figure 7).
+#pragma once
+
+#include <chrono>
+
+namespace dls {
+
+/// Monotonic stopwatch started at construction.
+class WallTimer {
+public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dls

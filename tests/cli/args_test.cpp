@@ -1,0 +1,68 @@
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dls::cli {
+namespace {
+
+TEST(Args, ParsesCommandOptionsAndFlags) {
+  Args args({"solve", "--platform", "p.txt", "--schedule", "--seed", "42"});
+  EXPECT_EQ(args.command(), "solve");
+  EXPECT_EQ(args.get_string("platform", ""), "p.txt");
+  EXPECT_TRUE(args.get_flag("schedule"));
+  EXPECT_EQ(args.get_u64("seed", 0), 42u);
+  EXPECT_NO_THROW(args.reject_unknown());
+}
+
+TEST(Args, EmptyInput) {
+  Args args({});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_NO_THROW(args.reject_unknown());
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  Args args({"generate"});
+  EXPECT_EQ(args.get_string("out", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.get_double("connectivity", 0.4), 0.4);
+  EXPECT_EQ(args.get_int("clusters", 10), 10);
+  EXPECT_FALSE(args.get_flag("connected"));
+}
+
+TEST(Args, NumericParsing) {
+  Args args({"x", "--a", "2.5", "--b", "7", "--c", "nope"});
+  EXPECT_DOUBLE_EQ(args.get_double("a", 0), 2.5);
+  EXPECT_EQ(args.get_int("b", 0), 7);
+  EXPECT_THROW(static_cast<void>(args.get_double("c", 0)), Error);
+  EXPECT_THROW(static_cast<void>(args.get_int("a", 0)), Error);  // 2.5 not int
+}
+
+TEST(Args, DoubleList) {
+  Args args({"x", "--payoffs", "1,2.5,0"});
+  const auto list = args.get_double_list("payoffs");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[1], 2.5);
+  Args bad({"x", "--payoffs", "1,oops"});
+  EXPECT_THROW(static_cast<void>(bad.get_double_list("payoffs")), Error);
+  Args absent({"x"});
+  EXPECT_TRUE(absent.get_double_list("payoffs").empty());
+}
+
+TEST(Args, RejectUnknownNamesUnconsumed) {
+  Args args({"solve", "--platform", "p", "--typo", "1"});
+  static_cast<void>(args.get_string("platform", ""));
+  EXPECT_THROW(args.reject_unknown(), Error);
+}
+
+TEST(Args, RejectsPositionalAfterOptions) {
+  EXPECT_THROW(Args({"solve", "--a", "1", "stray", "more"}), Error);
+}
+
+TEST(Args, FlagFollowedByOption) {
+  // "--schedule --seed 1": schedule must parse as a flag, not a key-value.
+  Args args({"solve", "--schedule", "--seed", "1"});
+  EXPECT_TRUE(args.get_flag("schedule"));
+  EXPECT_EQ(args.get_u64("seed", 0), 1u);
+}
+
+}  // namespace
+}  // namespace dls::cli

@@ -1,0 +1,141 @@
+// End-to-end tests of the dls command-line tool through run_cli.
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dls::cli {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run_cli(std::move(args), out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Writes a platform via `generate` into a temp file; returns its path.
+std::string make_platform_file() {
+  const std::string path = ::testing::TempDir() + "cli_test.platform";
+  const CliRun r = run({"generate", "--clusters", "4", "--seed", "9",
+                        "--connected", "--out", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  return path;
+}
+
+TEST(Cli, NoCommandShowsUsageAndFails) {
+  const CliRun r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  const CliRun r = run({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("generate"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliRun r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenerateToStdout) {
+  const CliRun r = run({"generate", "--clusters", "3", "--seed", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("dls-platform"), std::string::npos);
+  EXPECT_NE(r.out.find("cluster"), std::string::npos);
+}
+
+TEST(Cli, GenerateRejectsUnknownOption) {
+  const CliRun r = run({"generate", "--clusterz", "3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--clusterz"), std::string::npos);
+}
+
+TEST(Cli, SolveEachMethod) {
+  const std::string path = make_platform_file();
+  for (const char* method : {"g", "lpr", "lprg", "lprr", "lp", "exact"}) {
+    const CliRun r = run({"solve", "--platform", path, "--method", method});
+    EXPECT_EQ(r.code, 0) << method << ": " << r.err;
+    EXPECT_NE(r.out.find("objective"), std::string::npos) << method;
+    EXPECT_NE(r.out.find("LP bound"), std::string::npos) << method;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SolveWithScheduleAndPayoffs) {
+  const std::string path = make_platform_file();
+  const CliRun r = run({"solve", "--platform", path, "--objective", "sum",
+                        "--payoffs", "2,1,1,0", "--schedule"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("period:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SolveRejectsBadInputs) {
+  const std::string path = make_platform_file();
+  EXPECT_EQ(run({"solve", "--platform", "/nonexistent"}).code, 1);
+  EXPECT_EQ(run({"solve", "--platform", path, "--method", "magic"}).code, 1);
+  EXPECT_EQ(run({"solve", "--platform", path, "--objective", "best"}).code, 1);
+  EXPECT_EQ(run({"solve", "--platform", path, "--payoffs", "1,2"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SimulatePolicies) {
+  const std::string path = make_platform_file();
+  for (const char* policy : {"paced", "maxmin", "tcp"}) {
+    const CliRun r = run({"simulate", "--platform", path, "--policy", policy,
+                          "--periods", "3"});
+    EXPECT_EQ(r.code, 0) << policy << ": " << r.err;
+    EXPECT_NE(r.out.find("overrun"), std::string::npos);
+  }
+  EXPECT_EQ(run({"simulate", "--platform", path, "--policy", "bogus"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ReduceGraph) {
+  const std::string path = ::testing::TempDir() + "cli_test.graph";
+  {
+    std::ofstream f(path);
+    f << "3 2\n0 1\n1 2\n";
+  }
+  const CliRun r = run({"reduce", "--graph", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("independent set size: 2"), std::string::npos);
+  EXPECT_NE(r.out.find("Lemma 1 holds: yes"), std::string::npos);
+  EXPECT_NE(r.out.find("dls-platform"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ReduceRejectsBadFile) {
+  EXPECT_EQ(run({"reduce", "--graph", "/nonexistent"}).code, 1);
+  const std::string path = ::testing::TempDir() + "cli_bad.graph";
+  {
+    std::ofstream f(path);
+    f << "2 5\n0 1\n";  // truncated edge list
+  }
+  EXPECT_EQ(run({"reduce", "--graph", path}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, GeneratedPlatformRoundTripsThroughSolve) {
+  // generate -> file -> solve reads it back and the LP bound is positive.
+  const std::string path = make_platform_file();
+  const CliRun r = run({"solve", "--platform", path, "--method", "lp"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.find("LP bound 0)"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dls::cli

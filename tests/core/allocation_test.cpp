@@ -1,0 +1,153 @@
+#include "core/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/problem.hpp"
+#include "test_platforms.hpp"
+
+namespace dls::core {
+namespace {
+
+TEST(Allocation, StartsEmpty) {
+  Allocation a(3);
+  EXPECT_EQ(a.num_clusters(), 3);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(a.total_alpha(k), 0.0);
+    EXPECT_EQ(a.load_on(k), 0.0);
+    EXPECT_EQ(a.gateway_traffic(k), 0.0);
+  }
+  EXPECT_THROW(Allocation(0), Error);
+}
+
+TEST(Allocation, SettersAndAggregates) {
+  Allocation a(3);
+  a.set_alpha(0, 0, 5.0);   // local
+  a.set_alpha(0, 1, 2.0);   // remote out of 0, into 1
+  a.set_alpha(2, 0, 3.0);   // remote out of 2, into 0
+  a.set_beta(0, 1, 1.0);
+  a.set_beta(2, 0, 2.0);
+
+  EXPECT_DOUBLE_EQ(a.total_alpha(0), 7.0);
+  EXPECT_DOUBLE_EQ(a.total_alpha(2), 3.0);
+  EXPECT_DOUBLE_EQ(a.load_on(0), 8.0);   // 5 local + 3 imported
+  EXPECT_DOUBLE_EQ(a.load_on(1), 2.0);
+  // Gateway of 0: out 2 (to 1) + in 3 (from 2); local 5 does not count.
+  EXPECT_DOUBLE_EQ(a.gateway_traffic(0), 5.0);
+  EXPECT_DOUBLE_EQ(a.gateway_traffic(1), 2.0);
+  EXPECT_DOUBLE_EQ(a.gateway_traffic(2), 3.0);
+}
+
+TEST(Allocation, AddAccumulates) {
+  Allocation a(2);
+  a.add_alpha(0, 1, 1.5);
+  a.add_alpha(0, 1, 2.5);
+  a.add_beta(0, 1, 1.0);
+  a.add_beta(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(a.alpha(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(a.beta(0, 1), 2.0);
+}
+
+TEST(Allocation, RejectsInvalidValues) {
+  Allocation a(2);
+  EXPECT_THROW(a.set_alpha(0, 1, -1.0), Error);
+  EXPECT_THROW(a.set_beta(0, 1, -0.5), Error);
+  EXPECT_THROW(a.add_alpha(0, 1, -2.0), Error);
+}
+
+TEST(Allocation, IntegralBetaCheck) {
+  Allocation a(2);
+  a.set_beta(0, 1, 2.0);
+  EXPECT_TRUE(a.has_integral_betas());
+  a.set_beta(1, 0, 1.5);
+  EXPECT_FALSE(a.has_integral_betas());
+  EXPECT_TRUE(a.has_integral_betas(0.6));
+}
+
+TEST(ValidateAllocation, AcceptsFeasible) {
+  const auto plat = testing::two_symmetric_clusters();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  Allocation a(2);
+  a.set_alpha(0, 0, 90.0);
+  a.set_alpha(0, 1, 10.0);
+  a.set_beta(0, 1, 1.0);
+  a.set_alpha(1, 1, 80.0);
+  const auto report = validate_allocation(problem, a);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST(ValidateAllocation, CatchesSpeedViolation) {
+  const auto plat = testing::two_symmetric_clusters();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  Allocation a(2);
+  a.set_alpha(0, 0, 150.0);  // speed is 100
+  const auto report = validate_allocation(problem, a);
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.violations[0].find("(7b)"), std::string::npos);
+}
+
+TEST(ValidateAllocation, CatchesGatewayViolation) {
+  const auto plat = testing::two_symmetric_clusters();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  Allocation a(2);
+  a.set_alpha(0, 1, 45.0);  // g0 = 50 but bw cap needs beta 5 > maxcon 4...
+  a.set_beta(0, 1, 5.0);    // (7d): 5 > max-connect 4
+  const auto report = validate_allocation(problem, a);
+  ASSERT_FALSE(report.ok);
+  bool saw_7d = false;
+  for (const auto& v : report.violations) saw_7d |= v.find("(7d)") != std::string::npos;
+  EXPECT_TRUE(saw_7d);
+}
+
+TEST(ValidateAllocation, CatchesBandwidthViolation) {
+  const auto plat = testing::two_symmetric_clusters();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  Allocation a(2);
+  a.set_alpha(0, 1, 25.0);
+  a.set_beta(0, 1, 2.0);  // 2 connections * bw 10 = 20 < 25
+  const auto report = validate_allocation(problem, a);
+  ASSERT_FALSE(report.ok);
+  bool saw_7e = false;
+  for (const auto& v : report.violations) saw_7e |= v.find("(7e)") != std::string::npos;
+  EXPECT_TRUE(saw_7e);
+}
+
+TEST(ValidateAllocation, CatchesFractionalBeta) {
+  const auto plat = testing::two_symmetric_clusters();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  Allocation a(2);
+  a.set_alpha(0, 1, 15.0);
+  a.set_beta(0, 1, 1.5);
+  EXPECT_FALSE(validate_allocation(problem, a).ok);
+  // The rational relaxation mode tolerates it.
+  EXPECT_TRUE(validate_allocation(problem, a, 1e-6, false).ok);
+}
+
+TEST(ValidateAllocation, CatchesPayoffZeroSender) {
+  const auto plat = testing::two_symmetric_clusters();
+  SteadyStateProblem problem(plat, {1.0, 0.0}, Objective::Sum);
+  Allocation a(2);
+  a.set_alpha(1, 0, 5.0);  // cluster 1 has no application
+  a.set_beta(1, 0, 1.0);
+  const auto report = validate_allocation(problem, a);
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.violations[0].find("payoff-0"), std::string::npos);
+}
+
+TEST(ValidateAllocation, CatchesMissingRouteUse) {
+  // Two clusters with no link between them.
+  platform::Platform plat;
+  const auto r0 = plat.add_router();
+  const auto r1 = plat.add_router();
+  plat.add_cluster(10, 5, r0);
+  plat.add_cluster(10, 5, r1);
+  plat.compute_shortest_path_routes();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  Allocation a(2);
+  a.set_alpha(0, 1, 1.0);
+  const auto report = validate_allocation(problem, a);
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.violations[0].find("missing route"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dls::core

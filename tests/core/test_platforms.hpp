@@ -1,0 +1,64 @@
+// Shared hand-built platforms for core tests with known-by-hand optima.
+#pragma once
+
+#include "platform/platform.hpp"
+
+namespace dls::core::testing {
+
+/// One cluster: speed 100, gateway 50. Optimum = 100 for a payoff-1 app.
+inline platform::Platform single_cluster() {
+  platform::Platform p;
+  const auto r = p.add_router("r0");
+  p.add_cluster(100, 50, r, "C0");
+  p.compute_shortest_path_routes();
+  return p;
+}
+
+/// Two clusters (speed 100 each, gateways 50/60) joined by one backbone
+/// link (bw 10 per connection, max-connect 4). Exchanging load cannot
+/// help: SUM optimum 200, MAXMIN optimum 100.
+inline platform::Platform two_symmetric_clusters() {
+  platform::Platform p;
+  const auto r0 = p.add_router("r0");
+  const auto r1 = p.add_router("r1");
+  p.add_cluster(100, 50, r0, "C0");
+  p.add_cluster(100, 60, r1, "C1");
+  p.add_backbone(r0, r1, 10, 4, "wan");
+  p.compute_shortest_path_routes();
+  return p;
+}
+
+/// Source/worker star: C0 has all the data but no CPU (speed 0, gateway
+/// 10); two workers (speed 5, gateway 5) behind separate links of bw 2 /
+/// max-connect 1. With payoffs (1, 0, 0): optimum alpha_0 = 4
+/// (one connection of bandwidth 2 to each worker).
+inline platform::Platform source_and_two_workers() {
+  platform::Platform p;
+  const auto r0 = p.add_router("r0");
+  const auto r1 = p.add_router("r1");
+  const auto r2 = p.add_router("r2");
+  p.add_cluster(0, 10, r0, "source");
+  p.add_cluster(5, 5, r1, "w1");
+  p.add_cluster(5, 5, r2, "w2");
+  p.add_backbone(r0, r1, 2, 1, "l1");
+  p.add_backbone(r0, r2, 2, 1, "l2");
+  p.compute_shortest_path_routes();
+  return p;
+}
+
+/// A platform where fractional betas matter: one link with bw 4 and
+/// max-connect 1 carries the only remote route, and the source can feed
+/// 6/time-unit. LP ships 4 (beta = 1), exact too; but with gateway 6 the
+/// relaxed beta would be 1.5 if maxcon allowed: used for rounding tests.
+inline platform::Platform rounding_sensitive() {
+  platform::Platform p;
+  const auto r0 = p.add_router("r0");
+  const auto r1 = p.add_router("r1");
+  p.add_cluster(0, 6, r0, "src");    // no local compute
+  p.add_cluster(10, 6, r1, "sink");  // plenty of CPU
+  p.add_backbone(r0, r1, 4, 3, "l");
+  p.compute_shortest_path_routes();
+  return p;
+}
+
+}  // namespace dls::core::testing

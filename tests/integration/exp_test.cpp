@@ -1,0 +1,152 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+namespace dls::exp {
+namespace {
+
+CaseConfig small_config(std::uint64_t seed) {
+  CaseConfig config;
+  config.params.num_clusters = 6;
+  config.params.connectivity = 0.5;
+  config.params.heterogeneity = 0.4;
+  config.params.mean_gateway_bw = 100;
+  config.params.mean_backbone_bw = 20;
+  config.params.mean_max_connections = 4;
+  config.seed = seed;
+  return config;
+}
+
+TEST(RunCase, ProducesOrderedObjectives) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    CaseConfig config = small_config(seed);
+    config.with_lprr = true;
+    for (core::Objective obj : {core::Objective::Sum, core::Objective::MaxMin}) {
+      config.objective = obj;
+      const CaseResult r = run_case(config);
+      ASSERT_TRUE(r.ok);
+      EXPECT_GT(r.lp, 0.0);
+      // Every heuristic below the bound; LPRG above LPR by construction.
+      for (double v : {r.g, r.lpr, r.lprg, r.lprr}) {
+        EXPECT_GE(v, -1e-9);
+        EXPECT_LE(v, r.lp * (1 + 1e-5));
+      }
+      EXPECT_GE(r.lprg, r.lpr - 1e-9);
+      // Timings populated.
+      EXPECT_GE(r.t_lp.seconds, 0.0);
+      EXPECT_GT(r.t_lprr.lp_solves, 0);
+    }
+  }
+}
+
+TEST(RunCase, DeterministicForSameSeed) {
+  CaseConfig config = small_config(77);
+  config.with_lprr = true;
+  const CaseResult a = run_case(config);
+  const CaseResult b = run_case(config);
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.lp, b.lp);
+  EXPECT_EQ(a.g, b.g);
+  EXPECT_EQ(a.lprg, b.lprg);
+  EXPECT_EQ(a.lprr, b.lprr);
+}
+
+TEST(RunCase, SkipsLprrUnlessRequested) {
+  const CaseResult r = run_case(small_config(5));
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(std::isnan(r.lprr));
+  EXPECT_TRUE(std::isnan(r.lprr_eq));
+  EXPECT_TRUE(std::isnan(r.lprr_1shot));
+}
+
+TEST(RunCase, OneShotVariantsRun) {
+  CaseConfig config = small_config(11);
+  config.with_lprr_oneshot = true;
+  const CaseResult r = run_case(config);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(std::isnan(r.lprr_1shot));
+  EXPECT_FALSE(std::isnan(r.lprr_1shot_eq));
+  EXPECT_LE(r.lprr_1shot, r.lp * (1 + 1e-5));
+}
+
+TEST(RunCase, ZeroPayoffSpreadPinsRatiosToOne) {
+  // The DESIGN.md claim: uniform payoffs make both objectives trivial —
+  // local-only computation is optimal and the greedy finds it exactly.
+  // LPRG stays close but keeps a small rounding loss: the relaxation's
+  // vertex may cross-ship, and the greedy refinement cannot revoke those
+  // transfers.
+  CaseConfig config = small_config(13);
+  config.payoff_spread = 0.0;
+  for (core::Objective obj : {core::Objective::Sum, core::Objective::MaxMin}) {
+    config.objective = obj;
+    const CaseResult r = run_case(config);
+    ASSERT_TRUE(r.ok);
+    EXPECT_NEAR(r.g / r.lp, 1.0, 1e-6);
+    EXPECT_GE(r.lprg / r.lp, 0.95);
+  }
+}
+
+TEST(RunCase, RejectsBadSpread) {
+  CaseConfig config = small_config(1);
+  config.payoff_spread = 1.0;
+  EXPECT_THROW(run_case(config), Error);
+}
+
+TEST(SampleGridParams, DrawsFromTableOneValues) {
+  const platform::Table1Grid grid;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = sample_grid_params(grid, 25, rng);
+    EXPECT_EQ(p.num_clusters, 25);
+    EXPECT_NE(std::find(grid.connectivity.begin(), grid.connectivity.end(),
+                        p.connectivity),
+              grid.connectivity.end());
+    EXPECT_NE(std::find(grid.heterogeneity.begin(), grid.heterogeneity.end(),
+                        p.heterogeneity),
+              grid.heterogeneity.end());
+    EXPECT_NE(std::find(grid.mean_gateway_bw.begin(), grid.mean_gateway_bw.end(),
+                        p.mean_gateway_bw),
+              grid.mean_gateway_bw.end());
+  }
+}
+
+TEST(RatioStats, MeanAndGuards) {
+  RatioStats stats;
+  stats.add(5.0, 10.0);
+  stats.add(10.0, 10.0);
+  EXPECT_EQ(stats.count(), 2);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.75);
+  stats.add(1.0, 0.0);  // degenerate lp: skipped
+  stats.add(std::nan(""), 10.0);  // not-run method: skipped
+  EXPECT_EQ(stats.count(), 2);
+  RatioStats empty;
+  EXPECT_EQ(empty.mean(), 0.0);
+}
+
+TEST(BenchEnv, ScaleParsing) {
+  // Default when unset.
+  unsetenv("DLS_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  EXPECT_EQ(scaled(8), 8);
+  setenv("DLS_BENCH_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(bench_scale(), 0.25);
+  EXPECT_EQ(scaled(8), 2);
+  EXPECT_EQ(scaled(1), 1);  // never below 1
+  setenv("DLS_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  unsetenv("DLS_BENCH_SCALE");
+}
+
+TEST(BenchEnv, SeedParsing) {
+  unsetenv("DLS_BENCH_SEED");
+  EXPECT_EQ(bench_seed(), 20240515ULL);
+  setenv("DLS_BENCH_SEED", "42", 1);
+  EXPECT_EQ(bench_seed(), 42ULL);
+  unsetenv("DLS_BENCH_SEED");
+}
+
+}  // namespace
+}  // namespace dls::exp

@@ -1,0 +1,128 @@
+// Branch-and-bound option and behaviour coverage beyond the basic MILP
+// correctness tests.
+#include <gtest/gtest.h>
+
+#include "lp/milp.hpp"
+#include "lp/model.hpp"
+#include "support/rng.hpp"
+
+namespace dls::lp {
+namespace {
+
+TEST(MilpOptions, GapToleranceAcceptsNearOptimal) {
+  // max y, 2y <= 9, integer: optimum 4. With a huge gap tolerance the
+  // search prunes aggressively but the incumbent must stay feasible.
+  Model m;
+  const int y = m.add_variable(0, kInf, 1.0);
+  m.set_integer(y);
+  m.set_sense(Sense::Maximize);
+  m.add_constraint({{y, 2.0}}, Relation::LessEqual, 9.0);
+  MilpOptions opt;
+  opt.gap_tol = 10.0;
+  const MilpResult r = BranchAndBound(opt).solve(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_TRUE(m.is_feasible(r.x, 1e-6));
+  EXPECT_TRUE(m.is_integer_feasible(r.x, 1e-6));
+}
+
+TEST(MilpOptions, NodeCountingIsPlausible) {
+  // A pure LP (no integers) costs exactly one node; adding an integrality
+  // constraint with a fractional relaxation costs at least three.
+  Model lp_only;
+  const int x = lp_only.add_variable(0, 2.5, 1.0);
+  lp_only.set_sense(Sense::Maximize);
+  lp_only.add_constraint({{x, 1.0}}, Relation::LessEqual, 9.0);
+  EXPECT_EQ(BranchAndBound().solve(lp_only).nodes, 1);
+
+  Model milp = lp_only;
+  milp.set_integer(x);
+  const MilpResult r = BranchAndBound().solve(milp);
+  EXPECT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+  EXPECT_GE(r.nodes, 2);
+}
+
+TEST(MilpOptions, NegativeIntegerDomains) {
+  // min x + y over integers in [-5, 5], x + y >= -7.3 -> optimum -7
+  // (e.g. -5 + -2).
+  Model m;
+  const int x = m.add_variable(-5, 5, 1.0);
+  const int y = m.add_variable(-5, 5, 1.0);
+  m.set_integer(x);
+  m.set_integer(y);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::GreaterEqual, -7.3);
+  const MilpResult r = BranchAndBound().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, -7.0, 1e-6);
+}
+
+TEST(MilpOptions, UnboundedRelaxationReported) {
+  Model m;
+  const int x = m.add_variable(0, kInf, 1.0);
+  m.set_integer(x);
+  m.set_sense(Sense::Maximize);
+  EXPECT_EQ(BranchAndBound().solve(m).status, SolveStatus::Unbounded);
+}
+
+TEST(MilpOptions, MinimizeSenseBranchAndBound) {
+  // min 3a + 4b s.t. a + b >= 3.5, integers >= 0 -> (3.5 -> 4 units):
+  // a=4,b=0 -> 12; a=3,b=1 -> 13; so optimum 12.
+  Model m;
+  const int a = m.add_variable(0, kInf, 3.0);
+  const int b = m.add_variable(0, kInf, 4.0);
+  m.set_integer(a);
+  m.set_integer(b);
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, Relation::GreaterEqual, 3.5);
+  const MilpResult r = BranchAndBound().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 12.0, 1e-6);
+}
+
+TEST(MilpOptions, TightBoundsPruneWholeSubtrees) {
+  // Equality-pinned integers leave a single feasible point.
+  Model m;
+  const int a = m.add_variable(0, 10, 1.0);
+  const int b = m.add_variable(0, 10, 1.0);
+  m.set_integer(a);
+  m.set_integer(b);
+  m.set_sense(Sense::Maximize);
+  m.add_constraint({{a, 1.0}, {b, 2.0}}, Relation::Equal, 7.0);
+  m.add_constraint({{a, 2.0}, {b, 1.0}}, Relation::Equal, 8.0);
+  const MilpResult r = BranchAndBound().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.x[a], 3.0, 1e-6);
+  EXPECT_NEAR(r.x[b], 2.0, 1e-6);
+}
+
+TEST(MilpOptions, RandomKnapsacksMatchDynamicProgramming) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(4, 10));
+    const int cap = static_cast<int>(rng.uniform_int(5, 25));
+    std::vector<int> weight(n), value(n);
+    Model m;
+    std::vector<Term> row;
+    for (int j = 0; j < n; ++j) {
+      weight[j] = static_cast<int>(rng.uniform_int(1, 10));
+      value[j] = static_cast<int>(rng.uniform_int(1, 20));
+      const int v = m.add_variable(0, 1, value[j]);
+      m.set_integer(v);
+      row.push_back({v, static_cast<double>(weight[j])});
+    }
+    m.set_sense(Sense::Maximize);
+    m.add_constraint(row, Relation::LessEqual, static_cast<double>(cap));
+
+    // 0/1 knapsack DP reference.
+    std::vector<int> dp(cap + 1, 0);
+    for (int j = 0; j < n; ++j)
+      for (int c = cap; c >= weight[j]; --c)
+        dp[c] = std::max(dp[c], dp[c - weight[j]] + value[j]);
+
+    const MilpResult r = BranchAndBound().solve(m);
+    ASSERT_EQ(r.status, SolveStatus::Optimal) << trial;
+    EXPECT_NEAR(r.objective, dp[cap], 1e-6) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace dls::lp

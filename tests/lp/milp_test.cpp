@@ -1,0 +1,175 @@
+#include "lp/milp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "support/rng.hpp"
+
+namespace dls::lp {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+TEST(Milp, PureIntegerKnapsack) {
+  // max 8a + 11b + 6c + 4d, 5a + 7b + 4c + 3d <= 14, binary.
+  // Optimum: a=0? classic answer {b,c,d}? 11+6+4=21 weight 14. vs {a,b}=19 w12.
+  Model m;
+  std::vector<int> v;
+  const double val[] = {8, 11, 6, 4}, wt[] = {5, 7, 4, 3};
+  std::vector<Term> row;
+  for (int j = 0; j < 4; ++j) {
+    v.push_back(m.add_variable(0, 1, val[j]));
+    m.set_integer(v.back());
+    row.push_back({v[j], wt[j]});
+  }
+  m.set_sense(Sense::Maximize);
+  m.add_constraint(row, Relation::LessEqual, 14.0);
+
+  const MilpResult r = BranchAndBound().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 21.0, kTol);
+  EXPECT_NEAR(r.x[v[1]] + r.x[v[2]] + r.x[v[3]], 3.0, kTol);
+}
+
+TEST(Milp, MixedIntegerRational) {
+  // max x + 10y, x rational in [0, 3.7], y integer, x + 2y <= 5.
+  // y = 2 forces x <= 1 -> obj 21; y = 1 -> x = 3 -> 13. Optimum 21.
+  Model m;
+  const int x = m.add_variable(0, 3.7, 1.0);
+  const int y = m.add_variable(0, kInf, 10.0);
+  m.set_integer(y);
+  m.set_sense(Sense::Maximize);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::LessEqual, 5.0);
+
+  const MilpResult r = BranchAndBound().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 21.0, kTol);
+  EXPECT_NEAR(r.x[y], 2.0, kTol);
+  EXPECT_NEAR(r.x[x], 1.0, kTol);
+}
+
+TEST(Milp, IntegralityGapInstance) {
+  // LP relaxation gives fractional optimum; MILP must round properly.
+  // max y s.t. 2y <= 3, y integer -> 1 (relaxation: 1.5).
+  Model m;
+  const int y = m.add_variable(0, kInf, 1.0);
+  m.set_integer(y);
+  m.set_sense(Sense::Maximize);
+  m.add_constraint({{y, 2.0}}, Relation::LessEqual, 3.0);
+  const MilpResult r = BranchAndBound().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 1.0, kTol);
+}
+
+TEST(Milp, InfeasibleInteger) {
+  // 0.4 <= y <= 0.6, y integer: LP feasible, MILP infeasible.
+  Model m;
+  const int y = m.add_variable(0.4, 0.6, 1.0);
+  m.set_integer(y);
+  EXPECT_EQ(BranchAndBound().solve(m).status, SolveStatus::Infeasible);
+}
+
+TEST(Milp, InfeasibleLp) {
+  Model m;
+  const int y = m.add_variable(0, 1, 1.0);
+  m.set_integer(y);
+  m.add_constraint({{y, 1.0}}, Relation::GreaterEqual, 2.0);
+  EXPECT_EQ(BranchAndBound().solve(m).status, SolveStatus::Infeasible);
+}
+
+TEST(Milp, NoIntegerVariablesReducesToLp) {
+  Model m;
+  const int x = m.add_variable(0, 2.5, 1.0);
+  m.set_sense(Sense::Maximize);
+  m.add_constraint({{x, 1.0}}, Relation::LessEqual, 9.0);
+  const MilpResult r = BranchAndBound().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.5, kTol);
+  EXPECT_EQ(r.nodes, 1);
+}
+
+TEST(Milp, EqualityWithIntegers) {
+  // 3a + 5b = 22, minimize a + b over nonnegative integers -> a=4, b=2.
+  Model m;
+  const int a = m.add_variable(0, kInf, 1.0);
+  const int b = m.add_variable(0, kInf, 1.0);
+  m.set_integer(a);
+  m.set_integer(b);
+  m.add_constraint({{a, 3.0}, {b, 5.0}}, Relation::Equal, 22.0);
+  const MilpResult r = BranchAndBound().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::Optimal);
+  EXPECT_NEAR(r.objective, 6.0, kTol);
+}
+
+TEST(Milp, MatchesBruteForceOnRandomSmallInstances) {
+  // Exhaustive enumeration over small integer boxes cross-checks B&B.
+  Rng rng(99);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int n = static_cast<int>(rng.uniform_int(1, 3));
+    Model m;
+    std::vector<int> vars(n);
+    std::vector<int> ubs(n);
+    for (int j = 0; j < n; ++j) {
+      ubs[j] = static_cast<int>(rng.uniform_int(1, 4));
+      vars[j] = m.add_variable(0, ubs[j], rng.uniform(-3.0, 3.0));
+      m.set_integer(vars[j]);
+    }
+    m.set_sense(Sense::Maximize);
+    const int rows = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Term> terms;
+      for (int j = 0; j < n; ++j) terms.push_back({vars[j], rng.uniform(-2.0, 2.0)});
+      m.add_constraint(std::move(terms), Relation::LessEqual, rng.uniform(0.0, 6.0));
+    }
+
+    // Brute force.
+    double best = -1e300;
+    bool any = false;
+    std::vector<double> x(n, 0.0);
+    std::vector<int> counter(n, 0);
+    while (true) {
+      for (int j = 0; j < n; ++j) x[j] = counter[j];
+      if (m.is_feasible(x, 1e-9)) {
+        any = true;
+        best = std::max(best, m.objective_value(x));
+      }
+      int carry = 0;
+      while (carry < n && ++counter[carry] > ubs[carry]) counter[carry++] = 0;
+      if (carry == n) break;
+    }
+
+    const MilpResult r = BranchAndBound().solve(m);
+    if (!any) {
+      EXPECT_EQ(r.status, SolveStatus::Infeasible) << "iter " << iter;
+    } else {
+      ASSERT_EQ(r.status, SolveStatus::Optimal) << "iter " << iter;
+      EXPECT_NEAR(r.objective, best, 1e-5) << "iter " << iter;
+      EXPECT_TRUE(m.is_feasible(r.x, 1e-6));
+      EXPECT_TRUE(m.is_integer_feasible(r.x, 1e-6));
+    }
+  }
+}
+
+TEST(Milp, NodeLimitReported) {
+  // A 12-variable knapsack with the node budget strangled to 3 nodes.
+  Rng rng(5);
+  Model m;
+  std::vector<Term> row;
+  for (int j = 0; j < 12; ++j) {
+    const int v = m.add_variable(0, 1, rng.uniform(1.0, 10.0));
+    m.set_integer(v);
+    row.push_back({v, rng.uniform(1.0, 10.0)});
+  }
+  m.set_sense(Sense::Maximize);
+  m.add_constraint(row, Relation::LessEqual, 15.0);
+  MilpOptions opt;
+  opt.max_nodes = 3;
+  const MilpResult r = BranchAndBound(opt).solve(m);
+  EXPECT_EQ(r.status, SolveStatus::NodeLimit);
+}
+
+}  // namespace
+}  // namespace dls::lp

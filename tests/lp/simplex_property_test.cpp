@@ -1,0 +1,186 @@
+// Randomized property tests for the simplex solver.
+//
+// Optimality is certified without a reference solver via LP duality: for
+//   max c'x  s.t.  Ax <= b,  l <= x <= u,
+// any y >= 0 gives the bound  c'x* <= y'b + sum_j max_{x_j in [l_j,u_j]}
+// (c_j - y'A_j) x_j.  At an optimal basis the solver's own duals make this
+// bound tight, so checking (a) primal feasibility and (b) bound tightness
+// with the returned duals proves optimality independent of the pivot path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "support/rng.hpp"
+
+namespace dls::lp {
+namespace {
+
+struct RandomLp {
+  Model model;
+  std::vector<double> interior;  // known feasible point
+};
+
+/// Builds a random feasible maximize-LP with <= rows and box bounds:
+/// picks an interior point first, then sets each rhs above its activity.
+RandomLp make_random_lp(Rng& rng, int n, int m, bool boxed) {
+  RandomLp out;
+  std::vector<int> vars(n);
+  out.interior.resize(n);
+  for (int j = 0; j < n; ++j) {
+    const double lo = 0.0;
+    const double hi = boxed ? rng.uniform(1.0, 20.0) : kInf;
+    vars[j] = out.model.add_variable(lo, hi, rng.uniform(-5.0, 5.0));
+    out.interior[j] = boxed ? rng.uniform(lo, hi) : rng.uniform(0.0, 10.0);
+  }
+  out.model.set_sense(Sense::Maximize);
+  for (int i = 0; i < m; ++i) {
+    std::vector<Term> terms;
+    double activity = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.4) && terms.size() + 1 < 12) {
+        const double coef = rng.uniform(-3.0, 3.0);
+        terms.push_back({vars[j], coef});
+        activity += coef * out.interior[j];
+      }
+    }
+    if (terms.empty()) terms.push_back({vars[rng.index(n)], 1.0});
+    double act2 = 0.0;
+    for (const Term& t : terms) act2 += t.coef * out.interior[t.var];
+    out.model.add_constraint(std::move(terms), Relation::LessEqual,
+                             act2 + rng.uniform(0.1, 5.0));
+  }
+  return out;
+}
+
+/// Duality-certificate upper bound using the solver's returned duals.
+double dual_bound(const Model& m, const std::vector<double>& y) {
+  double bound = m.objective_constant();
+  for (int c = 0; c < m.num_constraints(); ++c) bound += y[c] * m.rhs(c);
+  // Reduced cost of each variable, maximized over its box.
+  std::vector<double> red(m.num_variables());
+  for (int j = 0; j < m.num_variables(); ++j) red[j] = m.objective_coef(j);
+  for (int c = 0; c < m.num_constraints(); ++c)
+    for (const Term& t : m.row(c)) red[t.var] -= y[c] * t.coef;
+  for (int j = 0; j < m.num_variables(); ++j) {
+    if (red[j] > 0) {
+      bound += red[j] * m.upper_bound(j);  // finite by construction when boxed
+    } else if (red[j] < 0) {
+      bound += red[j] * m.lower_bound(j);
+    }
+  }
+  return bound;
+}
+
+TEST(SimplexProperty, BoxedRandomLpsOptimalAndCertified) {
+  Rng rng(2024);
+  int solved = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    const int m = static_cast<int>(rng.uniform_int(1, 14));
+    RandomLp lp = make_random_lp(rng, n, m, /*boxed=*/true);
+
+    const Solution s = SimplexSolver().solve(lp.model);
+    ASSERT_EQ(s.status, SolveStatus::Optimal) << "iter " << iter;
+    ++solved;
+
+    // (a) primal feasibility.
+    EXPECT_TRUE(lp.model.is_feasible(s.x, 1e-6)) << "iter " << iter;
+    // (b) at least as good as the known interior point.
+    EXPECT_GE(s.objective, lp.model.objective_value(lp.interior) - 1e-6);
+    // (c) duals are sign-correct and certify optimality.
+    ASSERT_EQ(s.duals.size(), static_cast<std::size_t>(lp.model.num_constraints()));
+    for (double d : s.duals) EXPECT_GE(d, -1e-6);
+    const double bound = dual_bound(lp.model, s.duals);
+    EXPECT_NEAR(bound, s.objective, 1e-5 * (1.0 + std::fabs(s.objective)))
+        << "duality gap at iter " << iter;
+  }
+  EXPECT_EQ(solved, 300);
+}
+
+TEST(SimplexProperty, UnboxedRandomLpsFeasibleOrUnbounded) {
+  Rng rng(777);
+  int optimal = 0, unbounded = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const int n = static_cast<int>(rng.uniform_int(1, 10));
+    const int m = static_cast<int>(rng.uniform_int(1, 12));
+    RandomLp lp = make_random_lp(rng, n, m, /*boxed=*/false);
+
+    const Solution s = SimplexSolver().solve(lp.model);
+    ASSERT_TRUE(s.status == SolveStatus::Optimal || s.status == SolveStatus::Unbounded)
+        << "iter " << iter << ": " << to_string(s.status);
+    if (s.status == SolveStatus::Optimal) {
+      ++optimal;
+      EXPECT_TRUE(lp.model.is_feasible(s.x, 1e-6)) << "iter " << iter;
+      EXPECT_GE(s.objective, lp.model.objective_value(lp.interior) - 1e-6);
+    } else {
+      ++unbounded;
+    }
+  }
+  // Both outcomes should occur over 300 random instances.
+  EXPECT_GT(optimal, 0);
+  EXPECT_GT(unbounded, 0);
+}
+
+TEST(SimplexProperty, PerturbedEqualitiesStayConsistent) {
+  // Equality-constrained random LPs: x fixed on a random hyperplane bundle;
+  // verifies phase 1 + phase 2 agree with feasibility.
+  Rng rng(31337);
+  for (int iter = 0; iter < 150; ++iter) {
+    const int n = static_cast<int>(rng.uniform_int(2, 8));
+    Model m;
+    std::vector<double> point(n);
+    std::vector<int> vars(n);
+    for (int j = 0; j < n; ++j) {
+      vars[j] = m.add_variable(0.0, 10.0, rng.uniform(-2.0, 2.0));
+      point[j] = rng.uniform(0.0, 10.0);
+    }
+    m.set_sense(Sense::Maximize);
+    const int rows = static_cast<int>(rng.uniform_int(1, n));
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Term> terms;
+      double act = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double coef = rng.uniform(-1.0, 1.0);
+        terms.push_back({vars[j], coef});
+        act += coef * point[j];
+      }
+      m.add_constraint(std::move(terms), Relation::Equal, act);
+    }
+    const Solution s = SimplexSolver().solve(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal) << "iter " << iter;
+    EXPECT_TRUE(m.is_feasible(s.x, 1e-5)) << "iter " << iter;
+    EXPECT_GE(s.objective, m.objective_value(point) - 1e-6);
+  }
+}
+
+TEST(SimplexProperty, ScaleInvarianceSmoke) {
+  // Scaling rows and rhs together must not change the optimum.
+  Rng rng(4242);
+  for (int iter = 0; iter < 50; ++iter) {
+    RandomLp lp = make_random_lp(rng, 6, 8, true);
+    const Solution base = SimplexSolver().solve(lp.model);
+    ASSERT_EQ(base.status, SolveStatus::Optimal);
+
+    Model scaled;
+    for (int j = 0; j < lp.model.num_variables(); ++j)
+      scaled.add_variable(lp.model.lower_bound(j), lp.model.upper_bound(j),
+                          lp.model.objective_coef(j));
+    scaled.set_sense(Sense::Maximize);
+    for (int c = 0; c < lp.model.num_constraints(); ++c) {
+      const double f = rng.uniform(0.5, 100.0);
+      std::vector<Term> terms(lp.model.row(c).begin(), lp.model.row(c).end());
+      for (Term& t : terms) t.coef *= f;
+      scaled.add_constraint(std::move(terms), lp.model.relation(c),
+                            lp.model.rhs(c) * f);
+    }
+    const Solution s2 = SimplexSolver().solve(scaled);
+    ASSERT_EQ(s2.status, SolveStatus::Optimal);
+    EXPECT_NEAR(base.objective, s2.objective, 1e-5 * (1.0 + std::fabs(base.objective)));
+  }
+}
+
+}  // namespace
+}  // namespace dls::lp

@@ -1,0 +1,159 @@
+// Stress and failure-injection tests for the simplex solver: option
+// limits, degenerate geometry, ill-conditioned scaling, larger instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "support/rng.hpp"
+
+namespace dls::lp {
+namespace {
+
+TEST(SimplexStress, IterationLimitReported) {
+  // A transportation-style LP that needs more than 2 pivots.
+  Model m;
+  std::vector<int> vars;
+  for (int i = 0; i < 20; ++i) vars.push_back(m.add_variable(0, kInf, 1.0));
+  m.set_sense(Sense::Maximize);
+  for (int i = 0; i < 19; ++i)
+    m.add_constraint({{vars[i], 1.0}, {vars[i + 1], 1.0}}, Relation::LessEqual,
+                     static_cast<double>(i + 1));
+  SimplexOptions opt;
+  opt.max_iterations = 2;
+  const Solution s = SimplexSolver(opt).solve(m);
+  EXPECT_EQ(s.status, SolveStatus::IterationLimit);
+}
+
+TEST(SimplexStress, TinyRefactorIntervalStillCorrect) {
+  // Forcing a refactor after every pivot must not change results.
+  Model m;
+  const int x = m.add_variable(0, kInf, 3.0);
+  const int y = m.add_variable(0, kInf, 5.0);
+  m.set_sense(Sense::Maximize);
+  m.add_constraint({{x, 1.0}}, Relation::LessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Relation::LessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::LessEqual, 18.0);
+  SimplexOptions opt;
+  opt.refactor_interval = 1;
+  const Solution s = SimplexSolver(opt).solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-6);
+}
+
+TEST(SimplexStress, HighlyDegenerateAssignmentPolytope) {
+  // Assignment-problem relaxation: massively degenerate vertices; the
+  // optimum is the max-weight perfect matching value.
+  const int n = 6;
+  Rng rng(3);
+  Model m;
+  std::vector<std::vector<int>> x(n, std::vector<int>(n));
+  std::vector<std::vector<double>> w(n, std::vector<double>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      w[i][j] = std::floor(rng.uniform(0.0, 10.0));
+      x[i][j] = m.add_variable(0, 1, w[i][j]);
+    }
+  m.set_sense(Sense::Maximize);
+  for (int i = 0; i < n; ++i) {
+    std::vector<Term> row, col;
+    for (int j = 0; j < n; ++j) {
+      row.push_back({x[i][j], 1.0});
+      col.push_back({x[j][i], 1.0});
+    }
+    m.add_constraint(row, Relation::Equal, 1.0);
+    m.add_constraint(col, Relation::Equal, 1.0);
+  }
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  // Brute-force the assignment optimum.
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  double best = 0;
+  do {
+    double v = 0;
+    for (int i = 0; i < n; ++i) v += w[i][perm[i]];
+    best = std::max(best, v);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(s.objective, best, 1e-6);  // LP relaxation is integral here
+}
+
+TEST(SimplexStress, BadlyScaledRows) {
+  // Coefficients spanning 9 orders of magnitude.
+  Model m;
+  const int x = m.add_variable(0, kInf, 1.0);
+  const int y = m.add_variable(0, kInf, 1e-6);
+  m.set_sense(Sense::Maximize);
+  m.add_constraint({{x, 1e-4}, {y, 1e5}}, Relation::LessEqual, 1e3);
+  m.add_constraint({{x, 1.0}}, Relation::LessEqual, 1e6);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_TRUE(m.is_feasible(s.x, 1e-3));
+  EXPECT_NEAR(s.x[x], 1e6, 1.0);
+}
+
+TEST(SimplexStress, ManyRedundantEqualities) {
+  // The same hyperplane repeated: phase 1 must cope with dependent rows
+  // (artificials for the duplicates stay basic at zero).
+  Model m;
+  const int x = m.add_variable(0, kInf, 1.0);
+  const int y = m.add_variable(0, kInf, 2.0);
+  m.set_sense(Sense::Maximize);
+  for (int i = 0; i < 6; ++i)
+    m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 10.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 20.0, 1e-6);
+}
+
+TEST(SimplexStress, MediumRandomDenseLps) {
+  // 40 x 60 dense LPs, feasibility by construction.
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    Model m;
+    const int n = 60, rows = 40;
+    std::vector<double> point(n);
+    std::vector<int> vars(n);
+    for (int j = 0; j < n; ++j) {
+      vars[j] = m.add_variable(0, 50, rng.uniform(-2.0, 2.0));
+      point[j] = rng.uniform(0.0, 50.0);
+    }
+    m.set_sense(Sense::Maximize);
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Term> terms;
+      double act = 0;
+      for (int j = 0; j < n; ++j) {
+        const double c = rng.uniform(-1.0, 1.0);
+        terms.push_back({vars[j], c});
+        act += c * point[j];
+      }
+      m.add_constraint(std::move(terms), Relation::LessEqual, act + rng.uniform(0, 10));
+    }
+    const Solution s = SimplexSolver().solve(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal) << trial;
+    EXPECT_TRUE(m.is_feasible(s.x, 1e-5)) << trial;
+    EXPECT_GE(s.objective, m.objective_value(point) - 1e-6) << trial;
+  }
+}
+
+TEST(SimplexStress, AllVariablesFixed) {
+  Model m;
+  const int x = m.add_variable(3, 3, 1.0);
+  const int y = m.add_variable(-2, -2, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEqual, 5.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexStress, FixedVariablesMakeRowInfeasible) {
+  Model m;
+  const int x = m.add_variable(3, 3, 1.0);
+  m.add_constraint({{x, 1.0}}, Relation::LessEqual, 2.0);
+  EXPECT_EQ(SimplexSolver().solve(m).status, SolveStatus::Infeasible);
+}
+
+}  // namespace
+}  // namespace dls::lp

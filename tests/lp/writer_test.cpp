@@ -1,0 +1,55 @@
+#include "lp/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lp/model.hpp"
+
+namespace dls::lp {
+namespace {
+
+TEST(Writer, EmitsAllSections) {
+  Model m;
+  const int x = m.add_variable(0, kInf, 3.0, "x");
+  const int y = m.add_variable(-1, 2, -1.0, "y");
+  const int z = m.add_variable(0, kInf, 0.0);  // unnamed -> x2
+  m.set_integer(y);
+  m.set_sense(Sense::Maximize);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::LessEqual, 4.0, "cap");
+  m.add_constraint({{y, 1.0}, {z, -1.0}}, Relation::Equal, 0.0);
+
+  const std::string text = to_lp_format(m);
+  EXPECT_NE(text.find("Maximize"), std::string::npos);
+  EXPECT_NE(text.find("3 x"), std::string::npos);
+  EXPECT_NE(text.find("cap: x + 2 y <= 4"), std::string::npos);
+  EXPECT_NE(text.find("y - x2 = 0"), std::string::npos);
+  EXPECT_NE(text.find("Bounds"), std::string::npos);
+  EXPECT_NE(text.find("-1 <= y <= 2"), std::string::npos);
+  EXPECT_NE(text.find("Generals"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+}
+
+TEST(Writer, DefaultBoundsOmitted) {
+  Model m;
+  m.add_variable(0, kInf, 1.0, "a");
+  m.add_constraint({{0, 1.0}}, Relation::LessEqual, 1.0);
+  const std::string text = to_lp_format(m);
+  // Default [0, inf) bound should not produce a Bounds line for "a".
+  EXPECT_EQ(text.find("0 <= a"), std::string::npos);
+}
+
+TEST(Writer, FixedVariable) {
+  Model m;
+  m.add_variable(2, 2, 1.0, "f");
+  const std::string text = to_lp_format(m);
+  EXPECT_NE(text.find("f = 2"), std::string::npos);
+}
+
+TEST(Writer, EmptyObjective) {
+  Model m;
+  m.add_variable(0, 1, 0.0, "a");
+  const std::string text = to_lp_format(m);
+  EXPECT_NE(text.find("obj: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dls::lp

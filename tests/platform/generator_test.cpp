@@ -1,0 +1,166 @@
+#include "platform/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/serialization.hpp"
+
+namespace dls::platform {
+namespace {
+
+GeneratorParams default_params() {
+  GeneratorParams p;
+  p.num_clusters = 12;
+  p.connectivity = 0.5;
+  p.heterogeneity = 0.4;
+  p.mean_gateway_bw = 250;
+  p.mean_backbone_bw = 50;
+  p.mean_max_connections = 35;
+  return p;
+}
+
+TEST(Generator, ProducesValidPlatform) {
+  Rng rng(1);
+  const Platform p = generate_platform(default_params(), rng);
+  EXPECT_EQ(p.num_clusters(), 12);
+  EXPECT_EQ(p.num_routers(), 12);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  Rng a(77), b(77);
+  const Platform pa = generate_platform(default_params(), a);
+  const Platform pb = generate_platform(default_params(), b);
+  EXPECT_EQ(to_text(pa), to_text(pb));
+}
+
+TEST(Generator, SamplesWithinHeterogeneityRange) {
+  GeneratorParams params = default_params();
+  params.heterogeneity = 0.3;
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Platform p = generate_platform(params, rng);
+    for (int k = 0; k < p.num_clusters(); ++k) {
+      const double g = p.cluster(k).gateway_bw;
+      EXPECT_GE(g, params.mean_gateway_bw * 0.7 - 1e-9);
+      EXPECT_LE(g, params.mean_gateway_bw * 1.3 + 1e-9);
+      EXPECT_EQ(p.cluster(k).speed, params.cluster_speed);
+    }
+    for (int i = 0; i < p.num_links(); ++i) {
+      EXPECT_GE(p.link(i).bw, params.mean_backbone_bw * 0.7 - 1e-9);
+      EXPECT_LE(p.link(i).bw, params.mean_backbone_bw * 1.3 + 1e-9);
+      EXPECT_GE(p.link(i).max_connections, 1);
+      EXPECT_LE(p.link(i).max_connections,
+                std::lround(params.mean_max_connections * 1.3) + 1);
+    }
+  }
+}
+
+TEST(Generator, ZeroHeterogeneityIsUniform) {
+  GeneratorParams params = default_params();
+  params.heterogeneity = 0.0;
+  Rng rng(9);
+  const Platform p = generate_platform(params, rng);
+  for (int k = 0; k < p.num_clusters(); ++k)
+    EXPECT_DOUBLE_EQ(p.cluster(k).gateway_bw, params.mean_gateway_bw);
+  for (int i = 0; i < p.num_links(); ++i)
+    EXPECT_DOUBLE_EQ(p.link(i).bw, params.mean_backbone_bw);
+}
+
+TEST(Generator, ConnectivityControlsEdgeCount) {
+  GeneratorParams sparse = default_params();
+  sparse.connectivity = 0.1;
+  GeneratorParams dense = default_params();
+  dense.connectivity = 0.8;
+  Rng rng(11);
+  int sparse_links = 0, dense_links = 0;
+  for (int t = 0; t < 20; ++t) {
+    sparse_links += generate_platform(sparse, rng).num_links();
+    dense_links += generate_platform(dense, rng).num_links();
+  }
+  EXPECT_LT(sparse_links * 3, dense_links);  // ~8x apart in expectation
+}
+
+TEST(Generator, EnsureConnectedGivesAllRoutes) {
+  GeneratorParams params = default_params();
+  params.connectivity = 0.0;  // only the spanning tree
+  params.ensure_connected = true;
+  Rng rng(13);
+  const Platform p = generate_platform(params, rng);
+  EXPECT_EQ(p.num_links(), p.num_clusters() - 1);
+  for (int k = 0; k < p.num_clusters(); ++k)
+    for (int l = 0; l < p.num_clusters(); ++l)
+      EXPECT_TRUE(p.has_route(k, l)) << k << "->" << l;
+}
+
+TEST(Generator, DisconnectedPairsHappenAtLowConnectivity) {
+  GeneratorParams params = default_params();
+  params.connectivity = 0.05;
+  params.num_clusters = 8;
+  Rng rng(17);
+  bool saw_missing_route = false;
+  for (int t = 0; t < 50 && !saw_missing_route; ++t) {
+    const Platform p = generate_platform(params, rng);
+    for (int k = 0; k < p.num_clusters() && !saw_missing_route; ++k)
+      for (int l = 0; l < p.num_clusters(); ++l)
+        if (!p.has_route(k, l)) {
+          saw_missing_route = true;
+          break;
+        }
+  }
+  EXPECT_TRUE(saw_missing_route);
+}
+
+TEST(Generator, TransitRoutersExtendPaths) {
+  GeneratorParams params = default_params();
+  params.num_transit_routers = 5;
+  params.ensure_connected = true;
+  Rng rng(19);
+  const Platform p = generate_platform(params, rng);
+  EXPECT_EQ(p.num_routers(), params.num_clusters + 5);
+  EXPECT_NO_THROW(p.validate());
+  // All pairs still routable after subdivisions.
+  for (int k = 0; k < p.num_clusters(); ++k)
+    for (int l = 0; l < p.num_clusters(); ++l) EXPECT_TRUE(p.has_route(k, l));
+}
+
+TEST(Generator, RejectsBadParameters) {
+  Rng rng(1);
+  GeneratorParams p = default_params();
+  p.num_clusters = 0;
+  EXPECT_THROW(generate_platform(p, rng), Error);
+  p = default_params();
+  p.connectivity = 1.5;
+  EXPECT_THROW(generate_platform(p, rng), Error);
+  p = default_params();
+  p.heterogeneity = 1.0;
+  EXPECT_THROW(generate_platform(p, rng), Error);
+  p = default_params();
+  p.mean_backbone_bw = 0;
+  EXPECT_THROW(generate_platform(p, rng), Error);
+}
+
+TEST(Generator, SingleClusterPlatform) {
+  GeneratorParams params = default_params();
+  params.num_clusters = 1;
+  Rng rng(23);
+  const Platform p = generate_platform(params, rng);
+  EXPECT_EQ(p.num_clusters(), 1);
+  EXPECT_EQ(p.num_links(), 0);
+  EXPECT_TRUE(p.has_route(0, 0));
+}
+
+TEST(Table1Grid, MatchesPaperCellCount) {
+  // 10 * 8 * 4 * 4 * 9 * 10 = 115,200 cells; with ~10 samples per cell the
+  // paper reports 269,835 platform configurations (some cells repeated).
+  const Table1Grid grid;
+  const std::size_t cells = grid.num_clusters.size() * grid.connectivity.size() *
+                            grid.heterogeneity.size() * grid.mean_gateway_bw.size() *
+                            grid.mean_backbone_bw.size() *
+                            grid.mean_max_connections.size();
+  EXPECT_EQ(cells, 115200u);
+}
+
+}  // namespace
+}  // namespace dls::platform

@@ -1,0 +1,113 @@
+// Link latency support (platform + serialization v2 + generator).
+#include <gtest/gtest.h>
+
+#include "platform/generator.hpp"
+#include "platform/platform.hpp"
+#include "platform/serialization.hpp"
+#include "support/rng.hpp"
+
+namespace dls::platform {
+namespace {
+
+TEST(Latency, DefaultsToZero) {
+  Platform p;
+  const auto r0 = p.add_router();
+  const auto r1 = p.add_router();
+  p.add_cluster(1, 1, r0);
+  p.add_cluster(1, 1, r1);
+  p.add_backbone(r0, r1, 10, 2);
+  EXPECT_EQ(p.link(0).latency, 0.0);
+  p.set_route(0, 1, {0});
+  EXPECT_EQ(p.route_latency(0, 1), 0.0);
+}
+
+TEST(Latency, RouteLatencySumsLinks) {
+  Platform p;
+  const auto r0 = p.add_router();
+  const auto r1 = p.add_router();
+  const auto r2 = p.add_router();
+  p.add_cluster(1, 1, r0);
+  p.add_cluster(1, 1, r2);
+  const auto l0 = p.add_backbone(r0, r1, 10, 2, "a", 0.02);
+  const auto l1 = p.add_backbone(r1, r2, 10, 2, "b", 0.05);
+  p.set_route(0, 1, {l0, l1});
+  EXPECT_DOUBLE_EQ(p.route_latency(0, 1), 0.07);
+  EXPECT_DOUBLE_EQ(p.route_latency(0, 0), 0.0);
+}
+
+TEST(Latency, RejectsNegative) {
+  Platform p;
+  const auto r0 = p.add_router();
+  const auto r1 = p.add_router();
+  EXPECT_THROW(p.add_backbone(r0, r1, 10, 2, "", -0.1), Error);
+}
+
+TEST(Latency, SubdivisionSplitsLatency) {
+  Platform p;
+  const auto r0 = p.add_router();
+  const auto r1 = p.add_router();
+  p.add_cluster(1, 1, r0);
+  p.add_cluster(1, 1, r1);
+  p.add_backbone(r0, r1, 10, 2, "x", 0.08);
+  const auto mid = p.add_router();
+  const auto half = p.subdivide_link(0, mid);
+  EXPECT_DOUBLE_EQ(p.link(0).latency + p.link(half).latency, 0.08);
+  p.compute_shortest_path_routes();
+  EXPECT_DOUBLE_EQ(p.route_latency(0, 1), 0.08);  // end-to-end preserved
+}
+
+TEST(Latency, SerializationV2RoundTrip) {
+  Platform p;
+  const auto r0 = p.add_router();
+  const auto r1 = p.add_router();
+  p.add_cluster(100, 50, r0);
+  p.add_cluster(100, 50, r1);
+  p.add_backbone(r0, r1, 12.5, 3, "wan", 0.042);
+  const Platform q = from_text(to_text(p));
+  EXPECT_DOUBLE_EQ(q.link(0).latency, 0.042);
+  EXPECT_EQ(to_text(q), to_text(p));
+}
+
+TEST(Latency, ReadsVersion1FilesWithoutLatency) {
+  const std::string v1 =
+      "dls-platform 1\n"
+      "routers 2\n"
+      "router 0 -\n"
+      "router 1 -\n"
+      "cluster 100 50 0 -\n"
+      "cluster 100 50 1 -\n"
+      "link 0 1 12.5 3 wan\n"
+      "route 0 1 1 0\n";
+  const Platform p = from_text(v1);
+  EXPECT_EQ(p.num_links(), 1);
+  EXPECT_DOUBLE_EQ(p.link(0).bw, 12.5);
+  EXPECT_EQ(p.link(0).latency, 0.0);
+  EXPECT_TRUE(p.has_route(0, 1));
+}
+
+TEST(Latency, GeneratorSamplesLatencies) {
+  GeneratorParams params;
+  params.num_clusters = 10;
+  params.connectivity = 0.6;
+  params.heterogeneity = 0.4;
+  params.mean_latency = 0.05;
+  Rng rng(3);
+  const Platform p = generate_platform(params, rng);
+  ASSERT_GT(p.num_links(), 0);
+  for (int i = 0; i < p.num_links(); ++i) {
+    EXPECT_GE(p.link(i).latency, 0.05 * 0.6 - 1e-12);
+    EXPECT_LE(p.link(i).latency, 0.05 * 1.4 + 1e-12);
+  }
+}
+
+TEST(Latency, GeneratorDefaultIsLatencyFree) {
+  GeneratorParams params;
+  params.num_clusters = 6;
+  params.connectivity = 0.8;
+  Rng rng(5);
+  const Platform p = generate_platform(params, rng);
+  for (int i = 0; i < p.num_links(); ++i) EXPECT_EQ(p.link(i).latency, 0.0);
+}
+
+}  // namespace
+}  // namespace dls::platform

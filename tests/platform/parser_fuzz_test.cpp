@@ -1,0 +1,115 @@
+// Robustness fuzzing of the platform text parser: arbitrary mutations of
+// valid files must either parse to a valid platform or throw dls::Error —
+// never crash, hang, or produce an invalid object.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "platform/generator.hpp"
+#include "platform/serialization.hpp"
+#include "support/rng.hpp"
+
+namespace dls::platform {
+namespace {
+
+std::string valid_text(Rng& rng) {
+  GeneratorParams params;
+  params.num_clusters = static_cast<int>(rng.uniform_int(2, 8));
+  params.connectivity = 0.6;
+  params.ensure_connected = true;
+  return to_text(generate_platform(params, rng));
+}
+
+TEST(ParserFuzz, RandomByteMutations) {
+  Rng rng(1);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string text = valid_text(rng);
+    const int mutations = static_cast<int>(rng.uniform_int(1, 6));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.index(text.size());
+      switch (rng.uniform_int(0, 2)) {
+        case 0:  // flip to a random printable byte
+          text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:  // delete a byte
+          text.erase(pos, 1);
+          break;
+        default:  // duplicate a byte
+          text.insert(pos, 1, text[pos]);
+          break;
+      }
+    }
+    try {
+      const Platform p = from_text(text);
+      p.validate();  // whatever parses must be internally consistent
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes must occur: mostly rejections, occasionally benign
+  // mutations (e.g. inside a name or a digit).
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(parsed + rejected, 0);
+}
+
+TEST(ParserFuzz, TruncationsAtEveryLineBoundary) {
+  Rng rng(2);
+  const std::string text = valid_text(rng);
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    if (text[pos] != '\n') continue;
+    const std::string truncated = text.substr(0, pos + 1);
+    try {
+      const Platform p = from_text(truncated);
+      p.validate();
+    } catch (const Error&) {
+      // acceptable
+    }
+  }
+}
+
+TEST(ParserFuzz, LineShuffleKeepsInvariantOrErrors) {
+  // Reordering lines may break the dense-router-id rule or route
+  // references; the parser must reject rather than mis-build.
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text = valid_text(rng);
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+      const std::size_t end = text.find('\n', start);
+      lines.push_back(text.substr(start, end - start));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    // Swap two random lines after the header.
+    if (lines.size() > 3) {
+      const std::size_t a = 1 + rng.index(lines.size() - 1);
+      const std::size_t b = 1 + rng.index(lines.size() - 1);
+      std::swap(lines[a], lines[b]);
+    }
+    std::string shuffled;
+    for (const auto& l : lines) shuffled += l + "\n";
+    try {
+      const Platform p = from_text(shuffled);
+      p.validate();
+    } catch (const Error&) {
+      // acceptable
+    }
+  }
+}
+
+TEST(ParserFuzz, GarbageInputsNeverCrash) {
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string garbage;
+    const int len = static_cast<int>(rng.uniform_int(0, 200));
+    for (int i = 0; i < len; ++i)
+      garbage += static_cast<char>(rng.uniform_int(9, 126));
+    EXPECT_THROW(static_cast<void>(from_text(garbage)), Error) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace dls::platform

@@ -1,0 +1,201 @@
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dls::platform {
+namespace {
+
+/// Two clusters joined by a single backbone link.
+Platform two_cluster_line() {
+  Platform p;
+  const RouterId r0 = p.add_router("r0");
+  const RouterId r1 = p.add_router("r1");
+  p.add_cluster(100, 50, r0, "C0");
+  p.add_cluster(100, 60, r1, "C1");
+  p.add_backbone(r0, r1, 10, 4, "bb");
+  return p;
+}
+
+TEST(Platform, BuildsAndValidates) {
+  Platform p = two_cluster_line();
+  EXPECT_EQ(p.num_clusters(), 2);
+  EXPECT_EQ(p.num_routers(), 2);
+  EXPECT_EQ(p.num_links(), 1);
+  EXPECT_EQ(p.cluster(0).speed, 100);
+  EXPECT_EQ(p.cluster(1).gateway_bw, 60);
+  EXPECT_EQ(p.link(0).max_connections, 4);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Platform, RejectsInvalidInputs) {
+  Platform p;
+  EXPECT_THROW(p.add_cluster(100, 50, 0), Error);  // no routers yet
+  const RouterId r = p.add_router();
+  EXPECT_THROW(p.add_cluster(-1, 50, r), Error);
+  EXPECT_THROW(p.add_cluster(100, 0, r), Error);
+  EXPECT_THROW(p.add_backbone(r, r, 10, 1), Error);   // self-loop
+  const RouterId r2 = p.add_router();
+  EXPECT_THROW(p.add_backbone(r, r2, 0, 1), Error);   // zero bw
+  EXPECT_THROW(p.add_backbone(r, r2, 10, -1), Error); // negative maxcon
+}
+
+TEST(Platform, LocalRouteAlwaysExists) {
+  Platform p = two_cluster_line();
+  EXPECT_TRUE(p.has_route(0, 0));
+  EXPECT_TRUE(p.route(0, 0).empty());
+}
+
+TEST(Platform, SetRouteValidatesPath) {
+  Platform p = two_cluster_line();
+  EXPECT_FALSE(p.has_route(0, 1));
+  p.set_route(0, 1, {0});
+  EXPECT_TRUE(p.has_route(0, 1));
+  ASSERT_EQ(p.route(0, 1).size(), 1u);
+  EXPECT_FALSE(p.has_route(1, 0));  // directed table
+
+  EXPECT_THROW(p.set_route(0, 0, {}), Error);   // local
+  EXPECT_THROW(p.set_route(0, 1, {5}), Error);  // dangling link
+}
+
+TEST(Platform, SetRouteRejectsBrokenPath) {
+  Platform p;
+  const RouterId r0 = p.add_router();
+  const RouterId r1 = p.add_router();
+  const RouterId r2 = p.add_router();
+  p.add_cluster(1, 1, r0);
+  p.add_cluster(1, 1, r2);
+  const LinkId l01 = p.add_backbone(r0, r1, 1, 1);
+  const LinkId l12 = p.add_backbone(r1, r2, 1, 1);
+  // Correct path works, wrong order does not, incomplete does not.
+  EXPECT_THROW(p.set_route(0, 1, {l12, l01}), Error);
+  EXPECT_THROW(p.set_route(0, 1, {l01, l12, l12}), Error);
+  p.set_route(0, 1, {l01, l12});
+  EXPECT_EQ(p.route(0, 1).size(), 2u);
+}
+
+TEST(Platform, ClearRoute) {
+  Platform p = two_cluster_line();
+  p.set_route(0, 1, {0});
+  p.clear_route(0, 1);
+  EXPECT_FALSE(p.has_route(0, 1));
+}
+
+TEST(Platform, BottleneckBandwidth) {
+  Platform p;
+  const RouterId r0 = p.add_router();
+  const RouterId r1 = p.add_router();
+  const RouterId r2 = p.add_router();
+  p.add_cluster(1, 1, r0);
+  p.add_cluster(1, 1, r2);
+  const LinkId fat = p.add_backbone(r0, r1, 100, 5);
+  const LinkId thin = p.add_backbone(r1, r2, 7, 5);
+  p.set_route(0, 1, {fat, thin});
+  EXPECT_DOUBLE_EQ(p.route_bottleneck_bw(0, 1), 7.0);
+  // Local: empty route -> infinite backbone bandwidth.
+  EXPECT_TRUE(std::isinf(p.route_bottleneck_bw(0, 0)));
+}
+
+TEST(Platform, SameRouterClustersHaveEmptyRoute) {
+  Platform p;
+  const RouterId r = p.add_router();
+  p.add_cluster(1, 1, r);
+  p.add_cluster(1, 1, r);
+  p.compute_shortest_path_routes();
+  EXPECT_TRUE(p.has_route(0, 1));
+  EXPECT_TRUE(p.route(0, 1).empty());
+  EXPECT_TRUE(std::isinf(p.route_bottleneck_bw(0, 1)));
+}
+
+TEST(Platform, ShortestPathRoutesLine) {
+  // r0 - r1 - r2 - r3 line; clusters at both ends.
+  Platform p;
+  std::vector<RouterId> r;
+  for (int i = 0; i < 4; ++i) r.push_back(p.add_router());
+  p.add_cluster(1, 1, r[0]);
+  p.add_cluster(1, 1, r[3]);
+  std::vector<LinkId> l;
+  for (int i = 0; i < 3; ++i) l.push_back(p.add_backbone(r[i], r[i + 1], 10, 2));
+  p.compute_shortest_path_routes();
+  ASSERT_TRUE(p.has_route(0, 1));
+  const auto route = p.route(0, 1);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(route[0], l[0]);
+  EXPECT_EQ(route[1], l[1]);
+  EXPECT_EQ(route[2], l[2]);
+}
+
+TEST(Platform, ShortestPathPrefersFewestHops) {
+  // Triangle with a 2-hop detour: direct link must win.
+  Platform p;
+  const RouterId r0 = p.add_router();
+  const RouterId r1 = p.add_router();
+  const RouterId r2 = p.add_router();
+  p.add_cluster(1, 1, r0);
+  p.add_cluster(1, 1, r2);
+  p.add_backbone(r0, r1, 100, 9);
+  p.add_backbone(r1, r2, 100, 9);
+  const LinkId direct = p.add_backbone(r0, r2, 1, 1);
+  p.compute_shortest_path_routes();
+  ASSERT_EQ(p.route(0, 1).size(), 1u);
+  EXPECT_EQ(p.route(0, 1)[0], direct);
+}
+
+TEST(Platform, UnreachablePairsHaveNoRoute) {
+  Platform p;
+  const RouterId r0 = p.add_router();
+  const RouterId r1 = p.add_router();
+  p.add_cluster(1, 1, r0);
+  p.add_cluster(1, 1, r1);
+  p.compute_shortest_path_routes();  // no links at all
+  EXPECT_FALSE(p.has_route(0, 1));
+  EXPECT_FALSE(p.has_route(1, 0));
+  EXPECT_THROW(static_cast<void>(p.route(0, 1)), Error);
+}
+
+TEST(Platform, RoutesSurviveClusterAddition) {
+  Platform p = two_cluster_line();
+  p.set_route(0, 1, {0});
+  const RouterId r2 = p.add_router();
+  p.add_backbone(1, r2, 5, 1);
+  p.add_cluster(100, 10, r2, "C2");
+  EXPECT_TRUE(p.has_route(0, 1));  // old route preserved across migration
+  EXPECT_EQ(p.route(0, 1).size(), 1u);
+  EXPECT_FALSE(p.has_route(0, 2));
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Platform, SubdivideLinkPreservesBottleneck) {
+  Platform p = two_cluster_line();
+  const RouterId mid = p.add_router("mid");
+  const LinkId second = p.subdivide_link(0, mid);
+  EXPECT_EQ(p.num_links(), 2);
+  EXPECT_EQ(p.link(0).b, mid);
+  EXPECT_EQ(p.link(second).a, mid);
+  EXPECT_EQ(p.link(second).bw, p.link(0).bw);
+  p.compute_shortest_path_routes();
+  ASSERT_TRUE(p.has_route(0, 1));
+  EXPECT_EQ(p.route(0, 1).size(), 2u);
+  EXPECT_DOUBLE_EQ(p.route_bottleneck_bw(0, 1), 10.0);
+}
+
+TEST(Platform, ValidateCatchesCorruptRoute) {
+  Platform p = two_cluster_line();
+  p.set_route(0, 1, {0});
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Platform, RouteIsDirectional) {
+  Platform p = two_cluster_line();
+  p.compute_shortest_path_routes();
+  EXPECT_TRUE(p.has_route(0, 1));
+  EXPECT_TRUE(p.has_route(1, 0));
+  // Same single link both ways for this topology.
+  EXPECT_EQ(p.route(0, 1)[0], p.route(1, 0)[0]);
+}
+
+}  // namespace
+}  // namespace dls::platform

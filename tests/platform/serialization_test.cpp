@@ -1,0 +1,86 @@
+#include "platform/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "platform/generator.hpp"
+
+namespace dls::platform {
+namespace {
+
+TEST(Serialization, RoundTripSmallPlatform) {
+  Platform p;
+  const RouterId r0 = p.add_router("r0");
+  const RouterId r1 = p.add_router();  // unnamed
+  p.add_cluster(100, 50, r0, "site-a");
+  p.add_cluster(80, 60, r1);
+  p.add_backbone(r0, r1, 12.5, 3, "wan");
+  p.set_route(0, 1, {0});
+  p.set_route(1, 0, {0});
+
+  const std::string text = to_text(p);
+  const Platform q = from_text(text);
+
+  EXPECT_EQ(q.num_clusters(), 2);
+  EXPECT_EQ(q.num_routers(), 2);
+  EXPECT_EQ(q.num_links(), 1);
+  EXPECT_EQ(q.cluster(0).name, "site-a");
+  EXPECT_EQ(q.cluster(1).name, "");
+  EXPECT_DOUBLE_EQ(q.cluster(1).gateway_bw, 60);
+  EXPECT_DOUBLE_EQ(q.link(0).bw, 12.5);
+  EXPECT_EQ(q.link(0).max_connections, 3);
+  EXPECT_TRUE(q.has_route(0, 1));
+  EXPECT_TRUE(q.has_route(1, 0));
+  // Idempotent: text -> platform -> identical text.
+  EXPECT_EQ(to_text(q), text);
+}
+
+TEST(Serialization, RoundTripGeneratedPlatforms) {
+  Rng rng(3);
+  GeneratorParams params;
+  params.num_clusters = 15;
+  params.connectivity = 0.4;
+  for (int t = 0; t < 10; ++t) {
+    const Platform p = generate_platform(params, rng);
+    const Platform q = from_text(to_text(p));
+    EXPECT_EQ(to_text(q), to_text(p));
+    EXPECT_NO_THROW(q.validate());
+  }
+}
+
+TEST(Serialization, PlatformWithoutRoutes) {
+  Platform p;
+  const RouterId r = p.add_router();
+  p.add_cluster(10, 5, r);
+  const Platform q = from_text(to_text(p));
+  EXPECT_EQ(q.num_clusters(), 1);
+  EXPECT_FALSE(to_text(q).empty());
+}
+
+TEST(Serialization, RejectsBadHeader) {
+  EXPECT_THROW(from_text("bogus 1\n"), Error);
+  EXPECT_THROW(from_text("dls-platform 99\n"), Error);
+  EXPECT_THROW(from_text(""), Error);
+}
+
+TEST(Serialization, RejectsUnknownKeyword) {
+  EXPECT_THROW(from_text("dls-platform 1\nrouters 0\nwat 3\n"), Error);
+}
+
+TEST(Serialization, RejectsMalformedLines) {
+  EXPECT_THROW(from_text("dls-platform 1\nrouter 0\n"), Error);       // no name
+  EXPECT_THROW(from_text("dls-platform 1\ncluster 1 2\n"), Error);    // short
+  EXPECT_THROW(from_text("dls-platform 1\nrouter 5 r5\n"), Error);    // non-dense id
+}
+
+TEST(Serialization, RejectsWhitespaceNames) {
+  Platform p;
+  const RouterId r = p.add_router("has space");
+  p.add_cluster(1, 1, r);
+  std::ostringstream oss;
+  EXPECT_THROW(write_platform(p, oss), Error);
+}
+
+}  // namespace
+}  // namespace dls::platform

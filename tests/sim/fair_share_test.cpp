@@ -1,0 +1,149 @@
+#include "sim/fair_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace dls::sim {
+namespace {
+
+constexpr double kInf = FairShareProblem::kNoCap;
+constexpr double kTol = 1e-9;
+
+FairShareProblem::Entity entity(std::vector<int> resources, double cap = kInf) {
+  return {std::move(resources), cap};
+}
+
+TEST(FairShare, SingleResourceEqualSplit) {
+  FairShareProblem p;
+  p.capacity = {12.0};
+  p.entities = {entity({0}), entity({0}), entity({0})};
+  const auto rates = max_min_fair_rates(p);
+  for (double r : rates) EXPECT_NEAR(r, 4.0, kTol);
+  EXPECT_TRUE(is_max_min_fair(p, rates));
+}
+
+TEST(FairShare, CapLimitsOneEntityOthersShareRest) {
+  FairShareProblem p;
+  p.capacity = {12.0};
+  p.entities = {entity({0}, 1.0), entity({0}), entity({0})};
+  const auto rates = max_min_fair_rates(p);
+  EXPECT_NEAR(rates[0], 1.0, kTol);
+  EXPECT_NEAR(rates[1], 5.5, kTol);
+  EXPECT_NEAR(rates[2], 5.5, kTol);
+  EXPECT_TRUE(is_max_min_fair(p, rates));
+}
+
+TEST(FairShare, ClassicLinearNetwork) {
+  // The textbook 3-link example: flow A over links 0,1,2 (caps 10, 4, 6);
+  // flow B over link 1; flow C over link 2. Link 1 splits 2/2; C then
+  // takes the rest of link 2.
+  FairShareProblem p;
+  p.capacity = {10.0, 4.0, 6.0};
+  p.entities = {entity({0, 1, 2}), entity({1}), entity({2})};
+  const auto rates = max_min_fair_rates(p);
+  EXPECT_NEAR(rates[0], 2.0, kTol);
+  EXPECT_NEAR(rates[1], 2.0, kTol);
+  EXPECT_NEAR(rates[2], 4.0, kTol);
+  EXPECT_TRUE(is_max_min_fair(p, rates));
+}
+
+TEST(FairShare, EntityWithOnlyACap) {
+  FairShareProblem p;
+  p.capacity = {};
+  p.entities = {entity({}, 3.5)};
+  const auto rates = max_min_fair_rates(p);
+  EXPECT_NEAR(rates[0], 3.5, kTol);
+}
+
+TEST(FairShare, ZeroCapEntityGetsZero) {
+  FairShareProblem p;
+  p.capacity = {10.0};
+  p.entities = {entity({0}, 0.0), entity({0})};
+  const auto rates = max_min_fair_rates(p);
+  EXPECT_NEAR(rates[0], 0.0, kTol);
+  EXPECT_NEAR(rates[1], 10.0, kTol);
+}
+
+TEST(FairShare, MultiResourceEntityTakesTightest) {
+  FairShareProblem p;
+  p.capacity = {5.0, 100.0};
+  p.entities = {entity({0, 1})};
+  const auto rates = max_min_fair_rates(p);
+  EXPECT_NEAR(rates[0], 5.0, kTol);
+}
+
+TEST(FairShare, EmptyProblem) {
+  FairShareProblem p;
+  EXPECT_TRUE(max_min_fair_rates(p).empty());
+}
+
+TEST(FairShare, RejectsInvalidInputs) {
+  FairShareProblem p;
+  p.capacity = {0.0};
+  p.entities = {entity({0})};
+  EXPECT_THROW(max_min_fair_rates(p), Error);
+
+  FairShareProblem q;
+  q.capacity = {1.0};
+  q.entities = {entity({})};  // no resource, no cap: unbounded
+  EXPECT_THROW(max_min_fair_rates(q), Error);
+
+  FairShareProblem s;
+  s.capacity = {1.0};
+  s.entities = {entity({3})};  // dangling resource
+  EXPECT_THROW(max_min_fair_rates(s), Error);
+}
+
+TEST(FairShare, GatewayPairModelsTransferBothEnds) {
+  // Two flows out of the same source gateway (cap 10) into distinct sinks
+  // (caps 8 and 2): the second flow is pinned at 2 by its sink, the first
+  // gets the remaining 8 but is limited by its own sink to 8 as well.
+  FairShareProblem p;
+  p.capacity = {10.0, 8.0, 2.0};
+  p.entities = {entity({0, 1}), entity({0, 2})};
+  const auto rates = max_min_fair_rates(p);
+  EXPECT_NEAR(rates[1], 2.0, kTol);
+  EXPECT_NEAR(rates[0], 8.0, kTol);
+  EXPECT_TRUE(is_max_min_fair(p, rates));
+}
+
+TEST(FairShare, RandomProblemsSatisfyBottleneckCondition) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    FairShareProblem p;
+    const int resources = static_cast<int>(rng.uniform_int(1, 8));
+    const int entities = static_cast<int>(rng.uniform_int(1, 12));
+    for (int r = 0; r < resources; ++r)
+      p.capacity.push_back(rng.uniform(1.0, 50.0));
+    for (int e = 0; e < entities; ++e) {
+      FairShareProblem::Entity ent;
+      const int degree = static_cast<int>(rng.uniform_int(1, resources));
+      for (int d = 0; d < degree; ++d) {
+        const int r = static_cast<int>(rng.index(resources));
+        if (std::find(ent.resources.begin(), ent.resources.end(), r) ==
+            ent.resources.end())
+          ent.resources.push_back(r);
+      }
+      ent.cap = rng.bernoulli(0.3) ? rng.uniform(0.1, 20.0) : kInf;
+      p.entities.push_back(std::move(ent));
+    }
+    const auto rates = max_min_fair_rates(p);
+    EXPECT_TRUE(is_max_min_fair(p, rates, 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(FairShare, OracleRejectsNonFairAllocations) {
+  FairShareProblem p;
+  p.capacity = {12.0};
+  p.entities = {entity({0}), entity({0}), entity({0})};
+  // Feasible but unfair: one entity starves below the others without a cap.
+  EXPECT_FALSE(is_max_min_fair(p, {1.0, 5.0, 6.0}));
+  // Infeasible: oversubscribed.
+  EXPECT_FALSE(is_max_min_fair(p, {8.0, 8.0, 8.0}));
+  // Wrong arity.
+  EXPECT_FALSE(is_max_min_fair(p, {4.0, 4.0}));
+}
+
+}  // namespace
+}  // namespace dls::sim

@@ -1,0 +1,180 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+#include "core/schedule.hpp"
+#include "platform/generator.hpp"
+#include "support/rng.hpp"
+
+namespace dls::sim {
+namespace {
+
+using core::Objective;
+using core::SteadyStateProblem;
+
+platform::Platform single_cluster() {
+  platform::Platform p;
+  const auto r = p.add_router();
+  p.add_cluster(100, 50, r);
+  p.compute_shortest_path_routes();
+  return p;
+}
+
+platform::Platform two_clusters() {
+  platform::Platform p;
+  const auto r0 = p.add_router();
+  const auto r1 = p.add_router();
+  p.add_cluster(100, 50, r0);
+  p.add_cluster(100, 60, r1);
+  p.add_backbone(r0, r1, 10, 4);
+  p.compute_shortest_path_routes();
+  return p;
+}
+
+TEST(Simulator, LocalOnlyScheduleHitsExactThroughput) {
+  const auto plat = single_cluster();
+  SteadyStateProblem problem(plat, {1.0}, Objective::Sum);
+  core::Allocation alloc(1);
+  alloc.set_alpha(0, 0, 100.0);
+  const auto sched = core::build_periodic_schedule(problem, alloc);
+  const auto report = simulate_schedule(problem, sched);
+  EXPECT_NEAR(report.throughput[0], 100.0, 1e-6);
+  EXPECT_LE(report.worst_overrun_ratio, 1.0 + 1e-9);
+}
+
+TEST(Simulator, TransferPipelineMatchesSchedule) {
+  const auto plat = two_clusters();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  core::Allocation alloc(2);
+  alloc.set_alpha(0, 0, 60.0);
+  alloc.set_alpha(0, 1, 20.0);  // 2 connections * bw 10
+  alloc.set_beta(0, 1, 2.0);
+  alloc.set_alpha(1, 1, 80.0);
+  ASSERT_TRUE(core::validate_allocation(problem, alloc).ok);
+  const auto sched = core::build_periodic_schedule(problem, alloc);
+  const auto report = simulate_schedule(problem, sched);
+  EXPECT_NEAR(report.throughput[0], 80.0, 1e-6);
+  EXPECT_NEAR(report.throughput[1], 80.0, 1e-6);
+  EXPECT_LE(report.worst_overrun_ratio, 1.0 + 1e-9);
+  EXPECT_GT(report.flows_completed, 0);
+  EXPECT_GT(report.jobs_completed, 0);
+}
+
+TEST(Simulator, SaturatedLinkStillMeetsPeriod) {
+  // Use all 4 connections of the backbone link, both directions.
+  const auto plat = two_clusters();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  core::Allocation alloc(2);
+  alloc.set_alpha(0, 1, 20.0);
+  alloc.set_beta(0, 1, 2.0);
+  alloc.set_alpha(1, 0, 20.0);
+  alloc.set_beta(1, 0, 2.0);
+  alloc.set_alpha(0, 0, 70.0);
+  alloc.set_alpha(1, 1, 70.0);
+  ASSERT_TRUE(core::validate_allocation(problem, alloc).ok);
+  const auto sched = core::build_periodic_schedule(problem, alloc);
+  const auto report = simulate_schedule(problem, sched);
+  EXPECT_NEAR(report.throughput[0], 90.0, 1e-6);
+  EXPECT_NEAR(report.throughput[1], 90.0, 1e-6);
+  EXPECT_LE(report.worst_overrun_ratio, 1.0 + 1e-6);
+}
+
+TEST(Simulator, InfeasibleScheduleShowsOverrun) {
+  // Hand-built schedule pushing 2x the cluster speed through a period.
+  const auto plat = single_cluster();
+  SteadyStateProblem problem(plat, {1.0}, Objective::Sum);
+  core::PeriodicSchedule sched;
+  sched.period = 1;
+  sched.compute.push_back({0, 0, 200});  // speed is 100
+  const auto report = simulate_schedule(problem, sched);
+  EXPECT_GT(report.worst_overrun_ratio, 1.9);
+  // Clocked throughput degrades accordingly.
+  EXPECT_NEAR(report.throughput[0], 100.0, 1e-6);
+}
+
+TEST(Simulator, ZeroWorkSchedule) {
+  const auto plat = single_cluster();
+  SteadyStateProblem problem(plat, {1.0}, Objective::Sum);
+  core::PeriodicSchedule sched;
+  sched.period = 5;
+  const auto report = simulate_schedule(problem, sched);
+  EXPECT_EQ(report.throughput[0], 0.0);
+  EXPECT_EQ(report.worst_overrun_ratio, 0.0);
+}
+
+TEST(Simulator, RejectsBadOptions) {
+  const auto plat = single_cluster();
+  SteadyStateProblem problem(plat, {1.0}, Objective::Sum);
+  core::PeriodicSchedule sched;
+  sched.period = 1;
+  SimOptions opt;
+  opt.periods = 0;
+  EXPECT_THROW(simulate_schedule(problem, sched, opt), dls::Error);
+}
+
+/// End-to-end property: for random platforms, the full pipeline
+/// (generate -> LPRG -> schedule -> simulate) under *paced* execution
+/// meets the period exactly — the analytical steady-state model is
+/// realizable, which is the §3.2 claim.
+class PipelineRealizabilityTest : public ::testing::TestWithParam<int> {};
+
+platform::Platform random_pipeline_platform(Rng& rng) {
+  platform::GeneratorParams params;
+  params.num_clusters = static_cast<int>(rng.uniform_int(3, 8));
+  params.connectivity = rng.uniform(0.3, 0.8);
+  params.heterogeneity = rng.uniform(0.0, 0.6);
+  params.mean_gateway_bw = rng.uniform(50.0, 250.0);
+  params.mean_backbone_bw = rng.uniform(5.0, 30.0);
+  params.mean_max_connections = rng.uniform(2.0, 10.0);
+  return generate_platform(params, rng);
+}
+
+TEST_P(PipelineRealizabilityTest, PacedLprgSchedulesExecuteOnTime) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const auto plat = random_pipeline_platform(rng);
+  std::vector<double> payoffs(plat.num_clusters(), 1.0);
+  for (Objective obj : {Objective::Sum, Objective::MaxMin}) {
+    SteadyStateProblem problem(plat, payoffs, obj);
+    const auto h = core::run_lprg(problem);
+    ASSERT_EQ(h.status, lp::SolveStatus::Optimal);
+    const auto sched = core::build_periodic_schedule(problem, h.allocation);
+    ASSERT_TRUE(core::validate_schedule(problem, sched).ok);
+    SimOptions opt;
+    opt.periods = 5;
+    opt.warmup_periods = 1;
+    const auto report = simulate_schedule(problem, sched, opt);
+    EXPECT_LE(report.worst_overrun_ratio, 1.0 + 1e-6)
+        << "K=" << plat.num_clusters() << " obj=" << to_string(obj);
+    for (int k = 0; k < plat.num_clusters(); ++k)
+      EXPECT_NEAR(report.throughput[k], sched.throughput(k), 1e-6);
+  }
+}
+
+TEST_P(PipelineRealizabilityTest, MaxMinSharingOverrunsAreBounded) {
+  // Work-conserving fair sharing may overrun T_p (a beta*pbw-capped flow
+  // cannot catch up after losing early fair-share rounds) but stays
+  // within a modest factor; throughput never exceeds the schedule's.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const auto plat = random_pipeline_platform(rng);
+  std::vector<double> payoffs(plat.num_clusters(), 1.0);
+  SteadyStateProblem problem(plat, payoffs, Objective::Sum);
+  const auto h = core::run_lprg(problem);
+  ASSERT_EQ(h.status, lp::SolveStatus::Optimal);
+  const auto sched = core::build_periodic_schedule(problem, h.allocation);
+  SimOptions opt;
+  opt.periods = 5;
+  opt.warmup_periods = 1;
+  opt.policy = SharingPolicy::MaxMin;
+  const auto report = simulate_schedule(problem, sched, opt);
+  EXPECT_GE(report.worst_overrun_ratio, 0.0);
+  EXPECT_LE(report.worst_overrun_ratio, 2.0);  // empirical envelope
+  for (int k = 0; k < plat.num_clusters(); ++k)
+    EXPECT_LE(report.throughput[k], sched.throughput(k) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPlatforms, PipelineRealizabilityTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dls::sim

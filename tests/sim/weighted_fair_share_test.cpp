@@ -1,0 +1,180 @@
+// Weighted max-min fair sharing and the TCP-RTT-biased simulator policy
+// (paper §7 future-work extension; see DESIGN.md).
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "sim/fair_share.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace dls::sim {
+namespace {
+
+constexpr double kInf = FairShareProblem::kNoCap;
+constexpr double kTol = 1e-9;
+
+FairShareProblem::Entity entity(std::vector<int> resources, double cap = kInf,
+                                double weight = 1.0) {
+  return {std::move(resources), cap, weight};
+}
+
+TEST(WeightedFairShare, SplitsProportionallyToWeight) {
+  FairShareProblem p;
+  p.capacity = {12.0};
+  p.entities = {entity({0}, kInf, 1.0), entity({0}, kInf, 2.0),
+                entity({0}, kInf, 3.0)};
+  const auto rates = max_min_fair_rates(p);
+  EXPECT_NEAR(rates[0], 2.0, kTol);
+  EXPECT_NEAR(rates[1], 4.0, kTol);
+  EXPECT_NEAR(rates[2], 6.0, kTol);
+  EXPECT_TRUE(is_max_min_fair(p, rates));
+}
+
+TEST(WeightedFairShare, CapBeatsWeight) {
+  FairShareProblem p;
+  p.capacity = {12.0};
+  p.entities = {entity({0}, 1.0, 10.0), entity({0}, kInf, 1.0)};
+  const auto rates = max_min_fair_rates(p);
+  EXPECT_NEAR(rates[0], 1.0, kTol);   // huge weight, tiny cap
+  EXPECT_NEAR(rates[1], 11.0, kTol);  // picks up the slack
+  EXPECT_TRUE(is_max_min_fair(p, rates));
+}
+
+TEST(WeightedFairShare, UnitWeightsReduceToPlainMaxMin) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    FairShareProblem weighted, plain;
+    const int resources = static_cast<int>(rng.uniform_int(1, 5));
+    const int entities = static_cast<int>(rng.uniform_int(1, 8));
+    for (int r = 0; r < resources; ++r) {
+      const double cap = rng.uniform(1.0, 30.0);
+      weighted.capacity.push_back(cap);
+      plain.capacity.push_back(cap);
+    }
+    for (int e = 0; e < entities; ++e) {
+      FairShareProblem::Entity ent;
+      ent.resources.push_back(static_cast<int>(rng.index(resources)));
+      ent.cap = rng.bernoulli(0.4) ? rng.uniform(0.5, 10.0) : kInf;
+      ent.weight = 1.0;
+      weighted.entities.push_back(ent);
+      plain.entities.push_back(ent);
+    }
+    EXPECT_EQ(max_min_fair_rates(weighted), max_min_fair_rates(plain));
+  }
+}
+
+TEST(WeightedFairShare, RandomWeightedProblemsSatisfyOracle) {
+  Rng rng(23);
+  for (int trial = 0; trial < 150; ++trial) {
+    FairShareProblem p;
+    const int resources = static_cast<int>(rng.uniform_int(1, 6));
+    const int entities = static_cast<int>(rng.uniform_int(1, 10));
+    for (int r = 0; r < resources; ++r) p.capacity.push_back(rng.uniform(1.0, 40.0));
+    for (int e = 0; e < entities; ++e) {
+      FairShareProblem::Entity ent;
+      const int degree = static_cast<int>(rng.uniform_int(1, resources));
+      for (int d = 0; d < degree; ++d) {
+        const int r = static_cast<int>(rng.index(resources));
+        if (std::find(ent.resources.begin(), ent.resources.end(), r) ==
+            ent.resources.end())
+          ent.resources.push_back(r);
+      }
+      ent.cap = rng.bernoulli(0.3) ? rng.uniform(0.1, 15.0) : kInf;
+      ent.weight = rng.uniform(0.1, 5.0);
+      p.entities.push_back(std::move(ent));
+    }
+    const auto rates = max_min_fair_rates(p);
+    EXPECT_TRUE(is_max_min_fair(p, rates, 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(WeightedFairShare, RejectsNonPositiveWeight) {
+  FairShareProblem p;
+  p.capacity = {1.0};
+  p.entities = {entity({0}, kInf, 0.0)};
+  EXPECT_THROW(max_min_fair_rates(p), Error);
+}
+
+// ---- TCP-RTT-biased simulation ------------------------------------------
+
+/// Star platform: two sources feed one sink; the near source has a
+/// low-latency link, the far source a high-latency one. Gateway of the
+/// sink is the contended resource.
+struct RttScenario {
+  platform::Platform plat;
+  core::PeriodicSchedule sched;
+};
+
+RttScenario make_rtt_scenario() {
+  RttScenario s;
+  auto& plat = s.plat;
+  const auto r_near = plat.add_router();
+  const auto r_far = plat.add_router();
+  const auto r_sink = plat.add_router();
+  plat.add_cluster(0, 100, r_near, "near");
+  plat.add_cluster(0, 100, r_far, "far");
+  plat.add_cluster(300, 40, r_sink, "sink");  // gateway 40 is the bottleneck
+  plat.add_backbone(r_near, r_sink, 100, 8, "short", /*latency=*/0.001);
+  // The far flow's one connection caps it at 25 < gateway 40, so after
+  // losing contention early it cannot catch up by using the idle gateway.
+  plat.add_backbone(r_far, r_sink, 25, 8, "long", /*latency=*/0.1);
+  plat.compute_shortest_path_routes();
+
+  s.sched.period = 1;
+  s.sched.transfers.push_back({0, 2, 20, 1});  // near -> sink
+  s.sched.transfers.push_back({1, 2, 20, 1});  // far -> sink
+  s.sched.compute.push_back({0, 2, 20});
+  s.sched.compute.push_back({1, 2, 20});
+  return s;
+}
+
+TEST(TcpRttBias, LongRttFlowLosesContention) {
+  RttScenario s = make_rtt_scenario();
+  const core::SteadyStateProblem problem(s.plat, {1.0, 1.0, 0.0},
+                                         core::Objective::MaxMin);
+  SimOptions fair;
+  fair.policy = SharingPolicy::MaxMin;
+  fair.periods = 3;
+  fair.warmup_periods = 0;
+  const auto fair_report = simulate_schedule(problem, s.sched, fair);
+
+  SimOptions biased = fair;
+  biased.policy = SharingPolicy::TcpRttBias;
+  const auto biased_report = simulate_schedule(problem, s.sched, biased);
+
+  // Plain max-min: both flows split the sink gateway evenly and finish
+  // together. RTT bias: the near flow hogs the gateway, the far flow
+  // drags past it, stretching the period.
+  EXPECT_LE(fair_report.worst_overrun_ratio, biased_report.worst_overrun_ratio);
+  EXPECT_GT(biased_report.worst_overrun_ratio, 1.0);
+}
+
+TEST(TcpRttBias, EqualsMaxMinOnLatencyFreePlatform) {
+  RttScenario s = make_rtt_scenario();
+  // Rebuild with zero latencies.
+  platform::Platform flat;
+  const auto r0 = flat.add_router();
+  const auto r1 = flat.add_router();
+  const auto r2 = flat.add_router();
+  flat.add_cluster(0, 100, r0);
+  flat.add_cluster(0, 100, r1);
+  flat.add_cluster(300, 40, r2);
+  flat.add_backbone(r0, r2, 100, 8);
+  flat.add_backbone(r1, r2, 100, 8);
+  flat.compute_shortest_path_routes();
+  const core::SteadyStateProblem problem(flat, {1.0, 1.0, 0.0},
+                                         core::Objective::MaxMin);
+  SimOptions a;
+  a.policy = SharingPolicy::MaxMin;
+  a.periods = 2;
+  a.warmup_periods = 0;
+  SimOptions b = a;
+  b.policy = SharingPolicy::TcpRttBias;
+  const auto ra = simulate_schedule(problem, s.sched, a);
+  const auto rb = simulate_schedule(problem, s.sched, b);
+  EXPECT_NEAR(ra.total_time, rb.total_time, 1e-9);
+  EXPECT_EQ(ra.throughput, rb.throughput);
+}
+
+}  // namespace
+}  // namespace dls::sim

@@ -1,0 +1,65 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dls {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 4.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+  EXPECT_EQ(acc.min(), 4.0);
+  EXPECT_EQ(acc.max(), 4.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.29099, 1e-4);
+  EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, Percentiles) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50), Error);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, 101), Error);
+}
+
+}  // namespace
+}  // namespace dls

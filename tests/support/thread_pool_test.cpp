@@ -1,0 +1,70 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dls {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(pool.wait(), Error);
+  // The pool remains usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, RejectsEmptyJob) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit({}), Error);
+}
+
+TEST(ParallelFor, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, ComputesSum) {
+  ThreadPool pool(3);
+  std::vector<long> values(10000);
+  parallel_for(pool, 0, values.size(),
+               [&](std::size_t i) { values[i] = static_cast<long>(i); });
+  const long total = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(total, 10000L * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace dls
