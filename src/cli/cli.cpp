@@ -8,10 +8,12 @@
 #include "core/heuristics.hpp"
 #include "core/npc/reduction.hpp"
 #include "core/schedule.hpp"
+#include "exp/experiment.hpp"
 #include "platform/generator.hpp"
 #include "platform/serialization.hpp"
 #include "sim/simulator.hpp"
 #include "support/table.hpp"
+#include "support/timer.hpp"
 
 namespace dls::cli {
 
@@ -23,6 +25,7 @@ void print_usage(std::ostream& os) {
         "  generate   create a random platform (Table-1 style parameters)\n"
         "  solve      run a scheduling method on a platform file\n"
         "  simulate   solve, reconstruct the periodic schedule, execute it\n"
+        "  sweep      run heuristics over many random platforms in parallel\n"
         "  reduce     build the NP-hardness instance from a graph file\n"
         "  help       show this message\n"
         "see src/cli/cli.hpp for the full option list\n";
@@ -177,6 +180,7 @@ int cmd_simulate(Args& args, std::ostream& out) {
 
   sim::SimOptions options;
   options.periods = args.get_int("periods", 10);
+  options.window_units = args.get_double("window", options.window_units);
   const std::string policy = args.get_string("policy", "paced");
   if (policy == "paced") {
     options.policy = sim::SharingPolicy::Paced;
@@ -184,8 +188,18 @@ int cmd_simulate(Args& args, std::ostream& out) {
     options.policy = sim::SharingPolicy::MaxMin;
   } else if (policy == "tcp") {
     options.policy = sim::SharingPolicy::TcpRttBias;
+  } else if (policy == "window") {
+    options.policy = sim::SharingPolicy::BoundedWindow;
   } else {
-    throw Error("--policy: expected paced|maxmin|tcp");
+    throw Error("--policy: expected paced|maxmin|tcp|window");
+  }
+  const std::string engine = args.get_string("sim-engine", "incremental");
+  if (engine == "incremental") {
+    options.engine = sim::EngineKind::Incremental;
+  } else if (engine == "rescan") {
+    options.engine = sim::EngineKind::Rescan;
+  } else {
+    throw Error("--sim-engine: expected incremental|rescan");
   }
   args.reject_unknown();
 
@@ -200,6 +214,57 @@ int cmd_simulate(Args& args, std::ostream& out) {
   table.print(out);
   out << "worst period overrun ratio: " << TextTable::fmt(report.worst_overrun_ratio, 4)
       << "\n";
+  out << "engine " << engine << ": " << report.events << " events, "
+      << report.rate_recomputations << " full + " << report.partial_recomputations
+      << " partial rate solves\n";
+  return 0;
+}
+
+int cmd_sweep(Args& args, std::ostream& out) {
+  exp::CaseConfig base;
+  base.params.num_clusters = args.get_int("clusters", 10);
+  base.objective = resolve_objective(args);
+  base.with_lprr = args.get_flag("lprr");
+  const int cases = args.get_int("cases", 20);
+  const int jobs = args.get_int("jobs", 0);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  args.reject_unknown();
+  require(cases >= 1, "--cases: need at least one replication");
+  require(jobs >= 0, "--jobs: cannot be negative");
+
+  const platform::Table1Grid grid;
+  std::vector<exp::CaseConfig> configs(cases, base);
+  for (int i = 0; i < cases; ++i) {
+    Rng rng(seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i));
+    configs[i].params =
+        exp::sample_grid_params(grid, base.params.num_clusters, rng);
+    configs[i].seed = rng.next_u64();
+  }
+
+  WallTimer timer;
+  const std::vector<exp::CaseResult> results = exp::run_cases(configs, jobs);
+  const double wall = timer.seconds();
+
+  exp::RatioStats g, lpr, lprg, lprr;
+  int ok = 0;
+  for (const exp::CaseResult& r : results) {
+    if (!r.ok) continue;
+    ++ok;
+    g.add(r.g, r.lp);
+    lpr.add(r.lpr, r.lp);
+    lprg.add(r.lprg, r.lp);
+    if (base.with_lprr) lprr.add(r.lprr, r.lp);
+  }
+  out << "sweep: K=" << base.params.num_clusters << ", " << ok << "/" << cases
+      << " cases ok, " << TextTable::fmt(wall, 2) << "s\n";
+  TextTable table({"method", "mean ratio to LP", "cases"});
+  table.add_row({"G", TextTable::fmt(g.mean(), 3), std::to_string(g.count())});
+  table.add_row({"LPR", TextTable::fmt(lpr.mean(), 3), std::to_string(lpr.count())});
+  table.add_row({"LPRG", TextTable::fmt(lprg.mean(), 3), std::to_string(lprg.count())});
+  if (base.with_lprr)
+    table.add_row(
+        {"LPRR", TextTable::fmt(lprr.mean(), 3), std::to_string(lprr.count())});
+  table.print(out);
   return 0;
 }
 
@@ -242,6 +307,7 @@ int run_cli(std::vector<std::string> args, std::ostream& out, std::ostream& err)
     if (cmd == "generate") return cmd_generate(parsed, out);
     if (cmd == "solve") return cmd_solve(parsed, out);
     if (cmd == "simulate") return cmd_simulate(parsed, out);
+    if (cmd == "sweep") return cmd_sweep(parsed, out);
     if (cmd == "reduce") return cmd_reduce(parsed, out);
     err << "dls: unknown command '" << cmd << "'\n";
     print_usage(err);

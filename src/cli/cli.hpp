@@ -9,8 +9,11 @@
 //                 [--objective maxmin|sum] [--payoffs 1,2,...]
 //                 [--seed n] [--schedule]
 //   dls simulate  --platform FILE [--method ...] [--objective ...]
-//                 [--payoffs ...] [--policy paced|maxmin|tcp]
-//                 [--periods n] [--seed n]
+//                 [--payoffs ...] [--policy paced|maxmin|tcp|window]
+//                 [--window units] [--periods n] [--seed n]
+//                 [--sim-engine incremental|rescan]
+//   dls sweep     --clusters K --cases N [--jobs J] [--objective ...]
+//                 [--seed n] [--lprr]   (parallel replication sweep)
 //   dls reduce    --graph FILE   (edge list: "n m" then m lines "u v")
 //   dls help
 //

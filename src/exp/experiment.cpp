@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace dls::exp {
@@ -104,6 +105,19 @@ CaseResult run_case(const CaseConfig& config) {
   return out;
 }
 
+std::vector<CaseResult> run_cases(const std::vector<CaseConfig>& configs, int jobs) {
+  require(jobs >= 0, "run_cases: negative job count");
+  std::vector<CaseResult> results(configs.size());
+  if (configs.size() <= 1 || jobs == 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) results[i] = run_case(configs[i]);
+    return results;
+  }
+  ThreadPool pool(static_cast<std::size_t>(jobs));
+  parallel_for(pool, 0, configs.size(),
+               [&](std::size_t i) { results[i] = run_case(configs[i]); });
+  return results;
+}
+
 platform::GeneratorParams sample_grid_params(const platform::Table1Grid& grid,
                                              int num_clusters, Rng& rng) {
   platform::GeneratorParams p;
@@ -137,6 +151,13 @@ std::uint64_t bench_seed() {
   const char* env = std::getenv("DLS_BENCH_SEED");
   if (env == nullptr) return 20240515ULL;
   return std::strtoull(env, nullptr, 10);
+}
+
+int bench_jobs() {
+  const char* env = std::getenv("DLS_BENCH_JOBS");
+  if (env == nullptr) return 0;
+  const int v = std::atoi(env);
+  return v > 0 ? v : 0;
 }
 
 int scaled(int n) {

@@ -58,6 +58,15 @@ struct CaseResult {
 /// violation throws (it would invalidate the whole experiment).
 [[nodiscard]] CaseResult run_case(const CaseConfig& config);
 
+/// Runs every config as an independent replication across a thread pool.
+/// jobs = 0 uses all hardware threads; jobs = 1 runs inline. Results are
+/// deterministic and order-stable: result i depends only on configs[i]
+/// (each case derives its randomness from its own seed), so the worker
+/// count never changes the numbers. The first exception thrown by any
+/// case is rethrown after the sweep stops.
+[[nodiscard]] std::vector<CaseResult> run_cases(const std::vector<CaseConfig>& configs,
+                                                int jobs = 0);
+
 /// Uniformly samples one cell of the Table-1 grid for the non-K
 /// dimensions (connectivity, heterogeneity, mean g / bw / maxcon).
 [[nodiscard]] platform::GeneratorParams sample_grid_params(
@@ -81,6 +90,10 @@ private:
 
 /// Deterministic bench seed from DLS_BENCH_SEED (default fixed).
 [[nodiscard]] std::uint64_t bench_seed();
+
+/// Worker count for bench replication sweeps from DLS_BENCH_JOBS
+/// (default 0 = all hardware threads).
+[[nodiscard]] int bench_jobs();
 
 /// max(1, round(n * bench_scale())).
 [[nodiscard]] int scaled(int n);

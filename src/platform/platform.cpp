@@ -25,16 +25,24 @@ ClusterId Platform::add_cluster(double speed, double gateway_bw, RouterId router
   if (!routes_.empty()) {
     std::vector<std::vector<LinkId>> routes(static_cast<std::size_t>(new_k) * new_k);
     std::vector<char> present(static_cast<std::size_t>(new_k) * new_k, 0);
+    std::vector<double> pbw(static_cast<std::size_t>(new_k) * new_k, 0.0);
+    std::vector<double> lat(static_cast<std::size_t>(new_k) * new_k, 0.0);
     for (int k = 0; k < old_k; ++k) {
       for (int l = 0; l < old_k; ++l) {
         routes[static_cast<std::size_t>(k) * new_k + l] =
             std::move(routes_[static_cast<std::size_t>(k) * old_k + l]);
         present[static_cast<std::size_t>(k) * new_k + l] =
             route_present_[static_cast<std::size_t>(k) * old_k + l];
+        pbw[static_cast<std::size_t>(k) * new_k + l] =
+            route_pbw_[static_cast<std::size_t>(k) * old_k + l];
+        lat[static_cast<std::size_t>(k) * new_k + l] =
+            route_latency_sum_[static_cast<std::size_t>(k) * old_k + l];
       }
     }
     routes_ = std::move(routes);
     route_present_ = std::move(present);
+    route_pbw_ = std::move(pbw);
+    route_latency_sum_ = std::move(lat);
   }
   return new_k - 1;
 }
@@ -66,6 +74,8 @@ LinkId Platform::subdivide_link(LinkId i, RouterId mid) {
   // Existing routes may traverse the shortened link; drop them all.
   routes_.clear();
   route_present_.clear();
+  route_pbw_.clear();
+  route_latency_sum_.clear();
   return add_backbone(mid, tail, bw, maxcon, half_name, half_latency);
 }
 
@@ -108,9 +118,12 @@ void Platform::set_route(ClusterId k, ClusterId l, std::vector<LinkId> links) {
   if (routes_.empty()) {
     routes_.assign(static_cast<std::size_t>(n) * n, {});
     route_present_.assign(static_cast<std::size_t>(n) * n, 0);
+    route_pbw_.assign(static_cast<std::size_t>(n) * n, 0.0);
+    route_latency_sum_.assign(static_cast<std::size_t>(n) * n, 0.0);
   }
   routes_[route_index(k, l)] = std::move(links);
   route_present_[route_index(k, l)] = 1;
+  refresh_route_metrics(k, l);
 }
 
 void Platform::clear_route(ClusterId k, ClusterId l) {
@@ -137,15 +150,26 @@ std::span<const LinkId> Platform::route(ClusterId k, ClusterId l) const {
 }
 
 double Platform::route_bottleneck_bw(ClusterId k, ClusterId l) const {
-  double bw = std::numeric_limits<double>::infinity();
-  for (LinkId li : route(k, l)) bw = std::min(bw, links_[li].bw);
-  return bw;
+  require(has_route(k, l), "route: no route installed for this pair");
+  if (k == l) return std::numeric_limits<double>::infinity();
+  return route_pbw_[route_index(k, l)];
 }
 
 double Platform::route_latency(ClusterId k, ClusterId l) const {
-  double total = 0.0;
-  for (LinkId li : route(k, l)) total += links_[li].latency;
-  return total;
+  require(has_route(k, l), "route: no route installed for this pair");
+  if (k == l) return 0.0;
+  return route_latency_sum_[route_index(k, l)];
+}
+
+void Platform::refresh_route_metrics(ClusterId k, ClusterId l) {
+  double bw = std::numeric_limits<double>::infinity();
+  double lat = 0.0;
+  for (LinkId li : routes_[route_index(k, l)]) {
+    bw = std::min(bw, links_[li].bw);
+    lat += links_[li].latency;
+  }
+  route_pbw_[route_index(k, l)] = bw;
+  route_latency_sum_[route_index(k, l)] = lat;
 }
 
 void Platform::compute_shortest_path_routes() {
@@ -153,6 +177,8 @@ void Platform::compute_shortest_path_routes() {
   const int r = num_routers();
   routes_.assign(static_cast<std::size_t>(n) * n, {});
   route_present_.assign(static_cast<std::size_t>(n) * n, 0);
+  route_pbw_.assign(static_cast<std::size_t>(n) * n, 0.0);
+  route_latency_sum_.assign(static_cast<std::size_t>(n) * n, 0.0);
   if (n == 0) return;
 
   // Adjacency sorted by (neighbor, link id) for deterministic BFS trees.
@@ -190,6 +216,7 @@ void Platform::compute_shortest_path_routes() {
       std::reverse(path.begin(), path.end());
       routes_[route_index(k, l)] = std::move(path);
       route_present_[route_index(k, l)] = 1;
+      refresh_route_metrics(k, l);
     }
   }
 }

@@ -95,9 +95,13 @@ public:
   /// Per-connection bandwidth of the route's bottleneck backbone link:
   /// min over L_{k,l} of bw(l_i). +infinity for an empty route (only the
   /// gateways then limit the transfer). Requires has_route(k, l).
+  /// O(1): served from a dense per-pair cache that every topology/route
+  /// mutator keeps current, so const queries never write (concurrent
+  /// readers of one Platform are safe).
   [[nodiscard]] double route_bottleneck_bw(ClusterId k, ClusterId l) const;
 
-  /// Sum of one-way latencies along L_{k,l}; 0 for an empty route.
+  /// Sum of one-way latencies along L_{k,l}; 0 for an empty route. O(1),
+  /// cached like route_bottleneck_bw.
   [[nodiscard]] double route_latency(ClusterId k, ClusterId l) const;
 
   /// Computes shortest-hop routes (deterministic BFS; ties resolved by
@@ -114,6 +118,7 @@ private:
   void check_router(RouterId r) const;
   void check_link(LinkId i) const;
   [[nodiscard]] std::size_t route_index(ClusterId k, ClusterId l) const;
+  void refresh_route_metrics(ClusterId k, ClusterId l);
 
   std::vector<Cluster> clusters_;
   std::vector<BackboneLink> links_;
@@ -122,6 +127,11 @@ private:
   // route is marked in route_present_.
   std::vector<std::vector<LinkId>> routes_;
   std::vector<char> route_present_;
+  // Cached per-pair route metrics (same K*K indexing, same lifetime as
+  // routes_): bottleneck per-connection bandwidth and summed one-way
+  // latency. Entries of absent pairs are meaningless.
+  std::vector<double> route_pbw_;
+  std::vector<double> route_latency_sum_;
 };
 
 }  // namespace dls::platform

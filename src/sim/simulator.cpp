@@ -4,75 +4,50 @@
 #include <cmath>
 #include <limits>
 
-#include "sim/fair_share.hpp"
-
 namespace dls::sim {
 
 namespace {
 
-/// Work item alive during one period: either a flow (transfer) or a job
-/// (compute chunk). Flows use the two gateway resources; jobs use their
-/// cluster's CPU resource.
-struct WorkItem {
-  double remaining = 0.0;
-  int app = -1;      // owning application (for throughput accounting)
-  bool is_flow = false;
-  FairShareProblem::Entity entity;
-};
+/// Per-link admission scaling: a link opened beyond its max-connect
+/// budget degrades every connection proportionally. The floor keeps an
+/// inadmissible flow (budget 0) trickling instead of deadlocking the
+/// period; its overrun then diverges, which is the observable symptom.
+constexpr double kMinAdmission = 1e-6;
 
-/// Executes one period's work items to completion; returns its duration
-/// and the number of rate recomputations.
-double run_period(const std::vector<double>& capacities, std::vector<WorkItem> items,
-                  std::int64_t& recomputations) {
-  double t = 0.0;
-  std::vector<char> done(items.size(), 0);
-  int active = static_cast<int>(items.size());
-  // Items of zero size complete immediately.
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].remaining <= 0.0) {
-      done[i] = 1;
-      --active;
-    }
+std::vector<double> link_admission_factors(const platform::Platform& plat,
+                                           const core::PeriodicSchedule& schedule) {
+  std::vector<double> opened(plat.num_links(), 0.0);
+  for (const core::Transfer& tr : schedule.transfers)
+    for (platform::LinkId li : plat.route(tr.from, tr.to))
+      opened[li] += tr.connections;
+  std::vector<double> factor(plat.num_links(), 1.0);
+  for (platform::LinkId li = 0; li < plat.num_links(); ++li) {
+    const double budget = plat.link(li).max_connections;
+    if (opened[li] > budget)
+      factor[li] = std::max(budget / opened[li], kMinAdmission);
   }
-
-  while (active > 0) {
-    // Solve the rate problem for the live items.
-    FairShareProblem fsp;
-    fsp.capacity = capacities;
-    std::vector<std::size_t> live;
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      if (done[i]) continue;
-      live.push_back(i);
-      fsp.entities.push_back(items[i].entity);
-    }
-    const std::vector<double> rates = max_min_fair_rates(fsp);
-    ++recomputations;
-
-    // Earliest completion at these rates.
-    double dt = std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < live.size(); ++j) {
-      if (rates[j] <= 0.0) continue;
-      dt = std::min(dt, items[live[j]].remaining / rates[j]);
-    }
-    // A live item with rate 0 and no positive-rate sibling would hang:
-    // capacities are positive and every item uses >= 1 resource or cap,
-    // so max-min always gives someone positive rate.
-    DLS_ASSERT(std::isfinite(dt));
-
-    t += dt;
-    for (std::size_t j = 0; j < live.size(); ++j) {
-      WorkItem& item = items[live[j]];
-      item.remaining -= rates[j] * dt;
-      if (item.remaining <= 1e-9 * (1.0 + rates[j])) {
-        done[live[j]] = 1;
-        --active;
-      }
-    }
-  }
-  return t;
+  return factor;
 }
 
 }  // namespace
+
+std::unique_ptr<SharingModel> make_sharing_model(SharingPolicy policy,
+                                                 const SimOptions& options) {
+  switch (policy) {
+    case SharingPolicy::Paced:
+      return std::make_unique<PacedSharing>();
+    case SharingPolicy::MaxMin:
+      return std::make_unique<MaxMinSharing>();
+    case SharingPolicy::TcpRttBias:
+      return std::make_unique<TcpRttBiasSharing>(options.rtt_floor);
+    case SharingPolicy::BoundedWindow:
+      require(options.window_units > 0.0 && std::isfinite(options.window_units),
+              "make_sharing_model: window_units must be positive");
+      return std::make_unique<BoundedWindowSharing>(options.window_units,
+                                                    options.rtt_floor);
+  }
+  throw Error("make_sharing_model: unknown policy");
+}
 
 SimReport simulate_schedule(const core::SteadyStateProblem& problem,
                             const core::PeriodicSchedule& schedule,
@@ -85,65 +60,76 @@ SimReport simulate_schedule(const core::SteadyStateProblem& problem,
   // Shared resources: gateway link per cluster, then CPU per cluster.
   // (Backbone links are not shared pools in the paper's model: every
   // connection owns bw(l_i), so a flow's backbone allowance is the
-  // private cap beta * pbw.)
+  // private cap beta * pbw — scaled down when the link's max-connect
+  // budget is oversubscribed.)
   std::vector<double> capacities(2 * n);
   for (int k = 0; k < n; ++k) {
     capacities[k] = plat.cluster(k).gateway_bw;
     capacities[n + k] = std::max(plat.cluster(k).speed, 1e-12);
   }
 
+  std::unique_ptr<SharingModel> preset;
+  const SharingModel* model = options.model;
+  if (model == nullptr) {
+    preset = make_sharing_model(options.policy, options);
+    model = preset.get();
+  }
+  const std::vector<double> admission = link_admission_factors(plat, schedule);
+  const auto period_length = static_cast<double>(schedule.period);
+
   // Template work items for one period.
-  std::vector<WorkItem> period_items;
+  std::vector<EngineItem> period_items;
+  period_items.reserve(schedule.transfers.size() + schedule.compute.size());
   for (const core::Transfer& tr : schedule.transfers) {
-    WorkItem item;
-    item.remaining = static_cast<double>(tr.units);
-    item.app = tr.from;
-    item.is_flow = true;
-    item.entity.resources = {tr.from, tr.to};  // both gateways
-    const double pbw = plat.route_bottleneck_bw(tr.from, tr.to);
-    item.entity.cap = std::isfinite(pbw) ? tr.connections * pbw
-                                         : FairShareProblem::kNoCap;
-    if (options.policy == SharingPolicy::TcpRttBias) {
-      const double rtt =
-          std::max(2.0 * plat.route_latency(tr.from, tr.to), options.rtt_floor);
-      item.entity.weight = 1.0 / rtt;
-    }
+    EngineItem item;
+    item.size = static_cast<double>(tr.units);
+    item.resources = {tr.from, tr.to};  // both gateways
+    double pbw = std::numeric_limits<double>::infinity();
+    for (platform::LinkId li : plat.route(tr.from, tr.to))
+      pbw = std::min(pbw, plat.link(li).bw * admission[li]);
+    ItemContext ctx;
+    ctx.is_flow = true;
+    ctx.reserved_rate = item.size / period_length;
+    ctx.rtt = 2.0 * plat.route_latency(tr.from, tr.to);
+    ctx.connections = tr.connections;
+    ctx.pbw = pbw;
+    const ItemShaping shaping = model->shape(ctx);
+    const double connection_cap =
+        std::isfinite(pbw) ? tr.connections * pbw : FairShareProblem::kNoCap;
+    item.cap = std::min(connection_cap, shaping.cap);
+    item.weight = shaping.weight;
     period_items.push_back(std::move(item));
   }
   for (const core::ComputeTask& ct : schedule.compute) {
-    WorkItem item;
-    item.remaining = static_cast<double>(ct.units);
-    item.app = ct.app;
-    item.is_flow = false;
-    item.entity.resources = {n + ct.on_cluster};
-    item.entity.cap = FairShareProblem::kNoCap;
+    EngineItem item;
+    item.size = static_cast<double>(ct.units);
+    item.resources = {n + ct.on_cluster};
+    ItemContext ctx;
+    ctx.reserved_rate = item.size / period_length;
+    const ItemShaping shaping = model->shape(ctx);
+    item.cap = shaping.cap;
+    item.weight = shaping.weight;
     period_items.push_back(std::move(item));
-  }
-  if (options.policy == SharingPolicy::Paced) {
-    // Throttle every item to its reserved fluid rate. Shared resources
-    // stay in place, so an infeasible schedule still surfaces as overrun.
-    for (WorkItem& item : period_items) {
-      item.entity.cap = std::min(
-          item.entity.cap,
-          item.remaining / static_cast<double>(schedule.period));
-    }
   }
 
   SimReport report;
   report.throughput.assign(n, 0.0);
 
+  SimEngine engine(std::move(capacities), options.engine);
   const int total_periods = options.warmup_periods + options.periods;
   double measured_time = 0.0;
   double max_duration = 0.0;
   std::vector<double> measured_load(n, 0.0);
   for (int p = 0; p < total_periods; ++p) {
-    const double duration =
-        run_period(capacities, period_items, report.rate_recomputations);
+    const PeriodStats period = engine.run_period(period_items);
+    report.rate_recomputations += period.full_solves;
+    report.partial_recomputations += period.partial_solves;
+    report.events += period.events;
     if (p < options.warmup_periods) continue;
     // The schedule is clocked: a period that finishes early idles until
     // the T_p boundary; one that overruns delays the next period.
-    measured_time += std::max(duration, static_cast<double>(schedule.period));
-    max_duration = std::max(max_duration, duration);
+    measured_time += std::max(period.duration, period_length);
+    max_duration = std::max(max_duration, period.duration);
     report.flows_completed +=
         static_cast<std::int64_t>(schedule.transfers.size());
     report.jobs_completed += static_cast<std::int64_t>(schedule.compute.size());
@@ -154,8 +140,7 @@ SimReport simulate_schedule(const core::SteadyStateProblem& problem,
   report.total_time = measured_time;
   report.mean_period_duration = measured_time / options.periods;
   report.max_period_duration = max_duration;
-  report.worst_overrun_ratio =
-      max_duration / static_cast<double>(schedule.period);
+  report.worst_overrun_ratio = max_duration / period_length;
   if (measured_time > 0.0) {
     for (int k = 0; k < n; ++k) report.throughput[k] = measured_load[k] / measured_time;
   }

@@ -6,9 +6,15 @@
 // max-min fair share of the two gateway links it crosses) and every
 // compute chunk becomes a job sharing its cluster's CPU. Events are flow
 // and job completions; rates are re-solved at each event (progressive
-// filling, see fair_share.hpp). A period ends when all of its work is
-// done — if the analytical model is right, that happens within T_p, and
-// the report's overrun statistics let tests assert it.
+// filling, see fair_share.hpp) by the engine layer (engine.hpp), which by
+// default applies component-limited delta re-solves driven by an event
+// calendar instead of a from-scratch pass per event.
+//
+// Backbone max-connect limits are enforced: when a schedule opens more
+// connections across a link than the link admits, every connection on
+// that link is degraded proportionally (bw * max_connections / opened),
+// so oversubscribed schedules surface as period overruns instead of
+// simulating as feasible.
 //
 // This replaces the authors' (unavailable) SimGrid tooling with an
 // in-repo substrate of the same fluid bandwidth-sharing family; see
@@ -16,14 +22,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/problem.hpp"
 #include "core/schedule.hpp"
+#include "sim/engine.hpp"
 
 namespace dls::sim {
 
-/// How flows and jobs draw rate within a period.
+/// How flows and jobs draw rate within a period. These are presets for
+/// the SharingModel policy objects in engine.hpp; pass a custom model via
+/// SimOptions::model to go beyond them.
 enum class SharingPolicy {
   /// Every item is throttled to its reserved rate units/T_p — the fluid
   /// execution the paper's §3.2 feasibility argument implies. A valid
@@ -41,15 +51,27 @@ enum class SharingPolicy {
   /// paper's §7 "more realistic network model" direction. Identical to
   /// MaxMin on latency-free platforms.
   TcpRttBias,
+  /// Max-min sharing with the classical W/RTT ceiling: each connection
+  /// keeps at most SimOptions::window_units in flight, capping a flow at
+  /// connections * window / rtt on top of fair sharing.
+  BoundedWindow,
 };
 
 struct SimOptions {
   int periods = 20;        ///< periods executed after warm-up
   int warmup_periods = 2;  ///< pipeline fill periods excluded from stats
   SharingPolicy policy = SharingPolicy::Paced;
-  /// Minimum RTT under TcpRttBias (avoids infinite weight on zero-latency
-  /// routes and models host processing delay).
+  /// Minimum RTT under TcpRttBias/BoundedWindow (avoids infinite weight
+  /// or cap on zero-latency routes and models host processing delay).
   double rtt_floor = 1e-3;
+  /// Per-connection in-flight load under BoundedWindow.
+  double window_units = 50.0;
+  /// Execution core (see engine.hpp); Rescan reproduces the pre-refactor
+  /// full-pass-per-event loop for cross-checking.
+  EngineKind engine = EngineKind::Incremental;
+  /// Custom sharing model; overrides `policy` when set (non-owning, must
+  /// outlive the call).
+  const SharingModel* model = nullptr;
 };
 
 struct SimReport {
@@ -62,8 +84,19 @@ struct SimReport {
   double worst_overrun_ratio = 0.0;
   std::int64_t flows_completed = 0;
   std::int64_t jobs_completed = 0;
+  /// Full progressive-filling passes over every live item (under the
+  /// incremental engine: period-start solves plus dirty sets that spanned
+  /// the whole live set).
   std::int64_t rate_recomputations = 0;
+  /// Component-limited re-solves done instead of full passes (always 0
+  /// under EngineKind::Rescan).
+  std::int64_t partial_recomputations = 0;
+  std::int64_t events = 0;  ///< item completions across all periods
 };
+
+/// The SharingModel preset behind a SharingPolicy value.
+[[nodiscard]] std::unique_ptr<SharingModel> make_sharing_model(
+    SharingPolicy policy, const SimOptions& options);
 
 /// Executes the schedule for warmup + measured periods and reports
 /// achieved steady-state throughput per application. The schedule should

@@ -93,14 +93,42 @@ TEST(Cli, SolveRejectsBadInputs) {
 
 TEST(Cli, SimulatePolicies) {
   const std::string path = make_platform_file();
-  for (const char* policy : {"paced", "maxmin", "tcp"}) {
+  for (const char* policy : {"paced", "maxmin", "tcp", "window"}) {
     const CliRun r = run({"simulate", "--platform", path, "--policy", policy,
                           "--periods", "3"});
     EXPECT_EQ(r.code, 0) << policy << ": " << r.err;
     EXPECT_NE(r.out.find("overrun"), std::string::npos);
+    EXPECT_NE(r.out.find("rate solves"), std::string::npos);
   }
   EXPECT_EQ(run({"simulate", "--platform", path, "--policy", "bogus"}).code, 1);
   std::remove(path.c_str());
+}
+
+TEST(Cli, SimulateEngineSelection) {
+  const std::string path = make_platform_file();
+  for (const char* engine : {"incremental", "rescan"}) {
+    const CliRun r = run({"simulate", "--platform", path, "--sim-engine", engine,
+                          "--periods", "3"});
+    EXPECT_EQ(r.code, 0) << engine << ": " << r.err;
+    EXPECT_NE(r.out.find(std::string("engine ") + engine), std::string::npos);
+  }
+  EXPECT_EQ(run({"simulate", "--platform", path, "--sim-engine", "warp"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SweepRunsCasesInParallel) {
+  const CliRun r = run({"sweep", "--clusters", "4", "--cases", "3", "--jobs", "2",
+                        "--seed", "5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("3/3 cases ok"), std::string::npos);
+  EXPECT_NE(r.out.find("LPRG"), std::string::npos);
+  // Identical numbers regardless of worker count (determinism); the first
+  // line carries wall time and is skipped.
+  const CliRun serial = run({"sweep", "--clusters", "4", "--cases", "3", "--jobs",
+                             "1", "--seed", "5"});
+  EXPECT_EQ(serial.out.substr(serial.out.find('\n')),
+            r.out.substr(r.out.find('\n')));
+  EXPECT_EQ(run({"sweep", "--cases", "0"}).code, 1);
 }
 
 TEST(Cli, ReduceGraph) {

@@ -197,5 +197,65 @@ TEST(Platform, RouteIsDirectional) {
   EXPECT_EQ(p.route(0, 1)[0], p.route(1, 0)[0]);
 }
 
+/// Route metric queries are served from a per-pair cache; every mutator
+/// must keep it consistent with the installed routes.
+TEST(Platform, RouteMetricCacheFollowsRouteEdits) {
+  Platform p;
+  const RouterId r0 = p.add_router();
+  const RouterId r1 = p.add_router();
+  const RouterId r2 = p.add_router();
+  p.add_cluster(100, 50, r0, "C0");
+  p.add_cluster(100, 60, r1, "C1");
+  const LinkId direct = p.add_backbone(r0, r1, 10, 4, "direct", 1.0);
+  const LinkId up = p.add_backbone(r0, r2, 3, 4, "up", 2.0);
+  const LinkId down = p.add_backbone(r2, r1, 8, 4, "down", 0.5);
+
+  p.set_route(0, 1, {direct});
+  EXPECT_DOUBLE_EQ(p.route_bottleneck_bw(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(p.route_latency(0, 1), 1.0);
+
+  // Re-routing the pair through the detour updates both cached metrics.
+  p.set_route(0, 1, {up, down});
+  EXPECT_DOUBLE_EQ(p.route_bottleneck_bw(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(p.route_latency(0, 1), 2.5);
+
+  p.clear_route(0, 1);
+  EXPECT_THROW(p.route_bottleneck_bw(0, 1), Error);
+
+  // BFS reinstall repopulates the cache (shortest route is the direct link).
+  p.compute_shortest_path_routes();
+  EXPECT_DOUBLE_EQ(p.route_bottleneck_bw(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(p.route_latency(0, 1), 1.0);
+
+  // Local pairs stay unconstrained by the backbone.
+  EXPECT_TRUE(std::isinf(p.route_bottleneck_bw(0, 0)));
+  EXPECT_DOUBLE_EQ(p.route_latency(1, 1), 0.0);
+}
+
+TEST(Platform, RouteMetricCacheSurvivesClusterGrowth) {
+  Platform p = two_cluster_line();
+  p.compute_shortest_path_routes();
+  ASSERT_DOUBLE_EQ(p.route_bottleneck_bw(0, 1), 10.0);
+  // Adding a cluster migrates the route table and its metric cache.
+  const RouterId r2 = p.add_router();
+  p.add_backbone(1, r2, 5, 1);
+  p.add_cluster(100, 10, r2, "C2");
+  EXPECT_DOUBLE_EQ(p.route_bottleneck_bw(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(p.route_latency(0, 1), 0.0);
+}
+
+TEST(Platform, RouteMetricCacheInvalidatedBySubdivide) {
+  Platform p = two_cluster_line();
+  p.compute_shortest_path_routes();
+  ASSERT_TRUE(p.has_route(0, 1));
+  const RouterId mid = p.add_router("mid");
+  p.subdivide_link(0, mid);
+  // Routes (and metrics) are dropped until recomputed.
+  EXPECT_FALSE(p.has_route(0, 1));
+  EXPECT_THROW(p.route_bottleneck_bw(0, 1), Error);
+  p.compute_shortest_path_routes();
+  EXPECT_DOUBLE_EQ(p.route_bottleneck_bw(0, 1), 10.0);
+}
+
 }  // namespace
 }  // namespace dls::platform
