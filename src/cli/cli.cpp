@@ -9,9 +9,11 @@
 #include "core/npc/reduction.hpp"
 #include "core/schedule.hpp"
 #include "exp/experiment.hpp"
+#include "online/engine.hpp"
 #include "platform/generator.hpp"
 #include "platform/serialization.hpp"
 #include "sim/simulator.hpp"
+#include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -26,6 +28,8 @@ void print_usage(std::ostream& os) {
         "  solve      run a scheduling method on a platform file\n"
         "  simulate   solve, reconstruct the periodic schedule, execute it\n"
         "  sweep      run heuristics over many random platforms in parallel\n"
+        "  online     replay a stream of application arrivals with adaptive\n"
+        "             warm-started rescheduling\n"
         "  reduce     build the NP-hardness instance from a graph file\n"
         "  help       show this message\n"
         "see src/cli/cli.hpp for the full option list\n";
@@ -50,6 +54,15 @@ core::Objective resolve_objective(Args& args) {
   if (name == "maxmin") return core::Objective::MaxMin;
   if (name == "sum") return core::Objective::Sum;
   throw Error("--objective: expected 'maxmin' or 'sum'");
+}
+
+/// Shared by `simulate` and `online --rate-model sim`.
+sim::SharingPolicy parse_policy(const std::string& policy) {
+  if (policy == "paced") return sim::SharingPolicy::Paced;
+  if (policy == "maxmin") return sim::SharingPolicy::MaxMin;
+  if (policy == "tcp") return sim::SharingPolicy::TcpRttBias;
+  if (policy == "window") return sim::SharingPolicy::BoundedWindow;
+  throw Error("--policy: expected paced|maxmin|tcp|window");
 }
 
 struct Solved {
@@ -116,7 +129,9 @@ void print_allocation(const platform::Platform& plat, const core::Allocation& al
   table.print(os);
 }
 
-int cmd_generate(Args& args, std::ostream& out) {
+/// Generator options shared by `generate` and `online` (which generates a
+/// platform in-memory when no --platform file is given).
+platform::GeneratorParams generator_params_from_args(Args& args) {
   platform::GeneratorParams params;
   params.num_clusters = args.get_int("clusters", 10);
   params.connectivity = args.get_double("connectivity", 0.4);
@@ -128,6 +143,11 @@ int cmd_generate(Args& args, std::ostream& out) {
   params.mean_latency = args.get_double("latency", 0);
   params.ensure_connected = args.get_flag("connected");
   params.num_transit_routers = args.get_int("transit", 0);
+  return params;
+}
+
+int cmd_generate(Args& args, std::ostream& out) {
+  const platform::GeneratorParams params = generator_params_from_args(args);
   const std::string out_path = args.get_string("out", "");
   Rng rng(args.get_u64("seed", 1));
   args.reject_unknown();
@@ -182,17 +202,7 @@ int cmd_simulate(Args& args, std::ostream& out) {
   options.periods = args.get_int("periods", 10);
   options.window_units = args.get_double("window", options.window_units);
   const std::string policy = args.get_string("policy", "paced");
-  if (policy == "paced") {
-    options.policy = sim::SharingPolicy::Paced;
-  } else if (policy == "maxmin") {
-    options.policy = sim::SharingPolicy::MaxMin;
-  } else if (policy == "tcp") {
-    options.policy = sim::SharingPolicy::TcpRttBias;
-  } else if (policy == "window") {
-    options.policy = sim::SharingPolicy::BoundedWindow;
-  } else {
-    throw Error("--policy: expected paced|maxmin|tcp|window");
-  }
+  options.policy = parse_policy(policy);
   const std::string engine = args.get_string("sim-engine", "incremental");
   if (engine == "incremental") {
     options.engine = sim::EngineKind::Incremental;
@@ -268,6 +278,163 @@ int cmd_sweep(Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_online(Args& args, std::ostream& out) {
+  // Platform: a file, or generated in-memory from the `generate` options.
+  const std::string platform_path = args.get_string("platform", "");
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  platform::Platform plat = [&] {
+    if (!platform_path.empty()) return load_platform(platform_path);
+    platform::GeneratorParams params = generator_params_from_args(args);
+    Rng rng(seed);
+    return generate_platform(params, rng);
+  }();
+
+  // Workload: a .workload trace, or sampled from an arrival model. The
+  // workload stream is split off the platform seed so the same seed can
+  // replay one workload over several platforms and vice versa.
+  const std::string workload_path = args.get_string("workload", "");
+  const std::string model = args.get_string("arrival-model", "poisson");
+  online::Workload workload = [&] {
+    if (!workload_path.empty()) {
+      std::ifstream in(workload_path);
+      require(static_cast<bool>(in),
+              "cannot open workload file '" + workload_path + "'");
+      return online::read_workload(in);
+    }
+    Rng rng(seed ^ 0xda3e39cb94b95bdbULL);
+    if (model == "poisson") {
+      online::PoissonParams p;
+      p.count = args.get_int("arrivals", 1000);
+      p.rate = args.get_double("arrival-rate", 1.0);
+      p.mean_load = args.get_double("mean-load", 500);
+      p.load_spread = args.get_double("load-spread", 0.5);
+      p.payoff_spread = args.get_double("payoff-spread", 0.5);
+      return online::poisson_workload(p, plat.num_clusters(), rng);
+    }
+    if (model == "onoff") {
+      online::OnOffParams p;
+      p.count = args.get_int("arrivals", 1000);
+      p.burst_rate = args.get_double("arrival-rate", 4.0);
+      p.mean_on = args.get_double("mean-on", 25);
+      p.mean_off = args.get_double("mean-off", 75);
+      p.mean_load = args.get_double("mean-load", 500);
+      p.load_spread = args.get_double("load-spread", 0.5);
+      p.payoff_spread = args.get_double("payoff-spread", 0.5);
+      return online::onoff_workload(p, plat.num_clusters(), rng);
+    }
+    throw Error("--arrival-model: expected 'poisson' or 'onoff'");
+  }();
+  const std::string save_workload = args.get_string("save-workload", "");
+  if (!save_workload.empty()) {
+    std::ofstream file(save_workload);
+    require(static_cast<bool>(file), "cannot write '" + save_workload + "'");
+    online::write_workload(workload, file);
+  }
+
+  online::OnlineOptions options;
+  const std::string method = args.get_string("method", "g");
+  if (method == "g") {
+    options.sched.method = online::Method::Greedy;
+  } else if (method == "lpr") {
+    options.sched.method = online::Method::Lpr;
+  } else if (method == "lprg") {
+    options.sched.method = online::Method::Lprg;
+  } else if (method == "lp") {
+    options.sched.method = online::Method::LpBound;
+  } else {
+    throw Error("--method: expected g|lpr|lprg|lp");
+  }
+  options.sched.objective = resolve_objective(args);
+  const std::string warm = args.get_string("warm", "auto");
+  if (warm == "auto") {
+    options.sched.warm = online::WarmPolicy::Auto;
+  } else if (warm == "never") {
+    options.sched.warm = online::WarmPolicy::Never;
+  } else if (warm == "always") {
+    options.sched.warm = online::WarmPolicy::Always;
+  } else {
+    throw Error("--warm: expected auto|never|always");
+  }
+  options.sched.max_support_change =
+      args.get_int("max-support-change", options.sched.max_support_change);
+  const std::string rate_model = args.get_string("rate-model", "fluid");
+  if (rate_model == "fluid") {
+    options.rate_model = online::RateModel::Fluid;
+  } else if (rate_model == "sim") {
+    options.rate_model = online::RateModel::Simulated;
+    options.sim_policy = parse_policy(args.get_string("policy", "maxmin"));
+    options.sim_window_units =
+        args.get_double("window", options.sim_window_units);
+  } else {
+    throw Error("--rate-model: expected fluid|sim");
+  }
+  const bool json = args.get_flag("json");
+  args.reject_unknown();
+
+  const online::OnlineEngine engine(plat, options);
+  WallTimer timer;
+  const online::OnlineReport report = engine.run(workload);
+  const double wall = timer.seconds();
+
+  std::vector<double> responses;
+  responses.reserve(report.apps.size());
+  for (const auto& app : report.apps) responses.push_back(app.response());
+  const double p95 =
+      responses.empty() ? 0.0 : percentile(responses, 95.0);
+
+  if (json) {
+    out.precision(10);
+    out << "{\"command\":\"online\",\"clusters\":" << plat.num_clusters()
+        << ",\"method\":\"" << to_string(options.sched.method) << "\""
+        << ",\"objective\":\"" << to_string(options.sched.objective) << "\""
+        << ",\"warm_policy\":\"" << warm << "\""
+        << ",\"arrivals\":" << report.arrivals
+        << ",\"completed\":" << report.completed
+        << ",\"queued_arrivals\":" << report.queued_arrivals
+        << ",\"reschedules\":" << report.reschedules
+        << ",\"warm_solves\":" << report.warm_solves
+        << ",\"cold_solves\":" << report.cold_solves
+        << ",\"warm_seconds\":" << report.warm_seconds
+        << ",\"cold_seconds\":" << report.cold_seconds
+        << ",\"makespan\":" << report.makespan
+        << ",\"total_work\":" << report.total_work
+        << ",\"mean_response\":" << report.metrics.response.mean()
+        << ",\"p95_response\":" << p95
+        << ",\"mean_wait\":" << report.metrics.wait.mean()
+        << ",\"mean_slowdown\":" << report.metrics.slowdown.mean()
+        << ",\"mean_utilization\":" << report.metrics.utilization.mean()
+        << ",\"mean_fairness\":" << report.metrics.fairness.mean()
+        << ",\"mean_active\":" << report.metrics.active_apps.mean()
+        << ",\"peak_active\":" << report.peak_active
+        << ",\"peak_queued\":" << report.peak_queued
+        << ",\"wall_seconds\":" << wall << "}\n";
+    return 0;
+  }
+
+  out << "online: " << report.arrivals << " arrivals on " << plat.num_clusters()
+      << " clusters, method " << to_string(options.sched.method) << ", objective "
+      << to_string(options.sched.objective) << ", warm " << warm << "\n";
+  TextTable table({"metric", "value"});
+  table.add_row({"completed", std::to_string(report.completed)});
+  table.add_row({"makespan", TextTable::fmt(report.makespan, 2)});
+  table.add_row({"mean response", TextTable::fmt(report.metrics.response.mean(), 3)});
+  table.add_row({"p95 response", TextTable::fmt(p95, 3)});
+  table.add_row({"mean wait", TextTable::fmt(report.metrics.wait.mean(), 3)});
+  table.add_row({"mean slowdown", TextTable::fmt(report.metrics.slowdown.mean(), 3)});
+  table.add_row({"mean utilization", TextTable::fmt(report.metrics.utilization.mean(), 4)});
+  table.add_row({"mean fairness (Jain)", TextTable::fmt(report.metrics.fairness.mean(), 4)});
+  table.add_row({"mean active apps", TextTable::fmt(report.metrics.active_apps.mean(), 2)});
+  table.add_row({"peak active / queued", std::to_string(report.peak_active) + " / " +
+                                             std::to_string(report.peak_queued)});
+  table.print(out);
+  out << "reschedules: " << report.reschedules << " (" << report.warm_solves
+      << " warm, " << report.cold_solves << " cold); solve time "
+      << TextTable::fmt(report.warm_seconds, 3) << "s warm + "
+      << TextTable::fmt(report.cold_seconds, 3) << "s cold; wall "
+      << TextTable::fmt(wall, 2) << "s\n";
+  return 0;
+}
+
 int cmd_reduce(Args& args, std::ostream& out) {
   const std::string path = args.get_string("graph", "");
   args.reject_unknown();
@@ -308,6 +475,7 @@ int run_cli(std::vector<std::string> args, std::ostream& out, std::ostream& err)
     if (cmd == "solve") return cmd_solve(parsed, out);
     if (cmd == "simulate") return cmd_simulate(parsed, out);
     if (cmd == "sweep") return cmd_sweep(parsed, out);
+    if (cmd == "online") return cmd_online(parsed, out);
     if (cmd == "reduce") return cmd_reduce(parsed, out);
     err << "dls: unknown command '" << cmd << "'\n";
     print_usage(err);

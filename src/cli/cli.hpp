@@ -4,7 +4,8 @@
 //
 //   dls generate  --clusters K [--connectivity p] [--heterogeneity h]
 //                 [--gateway g] [--bw b] [--maxcon m] [--latency ms]
-//                 [--speed s] [--seed n] [--connected] [--out FILE]
+//                 [--speed s] [--transit T] [--seed n] [--connected]
+//                 [--out FILE]
 //   dls solve     --platform FILE [--method g|lpr|lprg|lprr|lp|exact]
 //                 [--objective maxmin|sum] [--payoffs 1,2,...]
 //                 [--seed n] [--schedule]
@@ -14,6 +15,16 @@
 //                 [--sim-engine incremental|rescan]
 //   dls sweep     --clusters K --cases N [--jobs J] [--objective ...]
 //                 [--seed n] [--lprr]   (parallel replication sweep)
+//   dls online    --platform FILE | <generate options>
+//                 [--workload FILE | --arrivals N --arrival-rate R
+//                  --arrival-model poisson|onoff --mean-load L
+//                  --load-spread s --payoff-spread s]
+//                 [--method g|lpr|lprg|lp] [--objective maxmin|sum]
+//                 [--warm auto|never|always] [--max-support-change N]
+//                 [--rate-model fluid|sim] [--policy ...] [--seed n]
+//                 [--save-workload FILE] [--json]
+//                 (replay an online arrival stream with adaptive
+//                  warm-started rescheduling; see src/online/)
 //   dls reduce    --graph FILE   (edge list: "n m" then m lines "u v")
 //   dls help
 //

@@ -181,4 +181,27 @@ HeuristicResult run_greedy(const SteadyStateProblem& problem,
   return result;
 }
 
+HeuristicResult run_greedy_warm(const SteadyStateProblem& problem,
+                                const Allocation& previous,
+                                const GreedyOptions& options) {
+  const int n = problem.num_clusters();
+  require(previous.num_clusters() == n,
+          "run_greedy_warm: allocation size does not match problem");
+  // Restrict the seed to the problem's current applications: routes owned
+  // by a payoff-0 cluster drop out entirely, releasing their compute,
+  // gateway and connection capacities for the greedy pass to re-assign.
+  Allocation seed(n);
+  for (const auto& route : problem.routes()) {
+    if (problem.payoffs()[route.k] <= 0.0) continue;
+    seed.set_alpha(route.k, route.l, previous.alpha(route.k, route.l));
+    if (route.needs_beta)
+      seed.set_beta(route.k, route.l, previous.beta(route.k, route.l));
+  }
+  internal::GreedyState st = internal::GreedyState::after(problem, seed);
+  internal::greedy_fill(problem, st, options);
+  HeuristicResult result{std::move(st.alloc), 0.0, 0, lp::SolveStatus::Optimal};
+  result.objective = problem.objective_of(result.allocation);
+  return result;
+}
+
 }  // namespace dls::core

@@ -32,6 +32,26 @@ struct HeuristicResult {
   double objective = 0.0;  ///< problem.objective_of(allocation)
   int lp_solves = 0;       ///< number of LP relaxations solved
   lp::SolveStatus status = lp::SolveStatus::Optimal;
+  int lp_iterations = 0;   ///< total simplex pivots across those solves
+};
+
+/// Simplex warm-start context threaded through the LP-based heuristics
+/// (the core hook behind the online rescheduler's adaptive re-solves).
+/// `state` is a persistent capsule (lp::WarmState) that seeds the
+/// relaxation solve when it fits the model and is still primal feasible
+/// (the solver otherwise ignores it) and is refreshed from the solve's
+/// optimal basis for the next event. The relaxation's objective value
+/// is identical warm or cold (both solve to optimality); the *vertex*
+/// is not guaranteed to be, so the rounded allocation of lpr/lprg may
+/// differ between the two paths on degenerate optima.
+struct LpWarmStart {
+  lp::WarmState* state = nullptr;
+  /// Optional pre-built fixing-free reduced model for this problem
+  /// (typically one cached instance patched per event with
+  /// SteadyStateProblem::update_reduced_payoffs). When null the
+  /// heuristic builds its own.
+  const SteadyStateProblem::ReducedModel* reduced = nullptr;
+  bool used = false;  ///< set by the heuristic: the seed was accepted
 };
 
 /// What the greedy does when an application picks its local cluster but
@@ -55,15 +75,30 @@ struct GreedyOptions {
 [[nodiscard]] HeuristicResult run_greedy(const SteadyStateProblem& problem,
                                          const GreedyOptions& options = {});
 
+/// Warm-started greedy: seeds the residual-capacity pass from `previous`
+/// restricted to the problem's current applications (load sent by
+/// clusters whose payoff is now 0 is dropped, freeing their capacities),
+/// then lets the greedy loop fill what the restriction released. The
+/// result is a valid allocation whenever `previous` was one for the same
+/// platform, but — unlike the simplex basis warm start — it is NOT
+/// guaranteed to match run_greedy's cold objective: the seed pins the
+/// surviving applications' shares. Kept for rescheduling policies that
+/// value allocation stability over re-optimization.
+[[nodiscard]] HeuristicResult run_greedy_warm(const SteadyStateProblem& problem,
+                                              const Allocation& previous,
+                                              const GreedyOptions& options = {});
+
 /// LPR: rational relaxation, betas rounded down, alphas clipped to the
 /// rounded bandwidth.
 [[nodiscard]] HeuristicResult run_lpr(const SteadyStateProblem& problem,
-                                      const lp::SimplexOptions& lp_options = {});
+                                      const lp::SimplexOptions& lp_options = {},
+                                      LpWarmStart* warm = nullptr);
 
 /// LPRG: LPR, then the greedy pass reclaims the rounding losses.
 [[nodiscard]] HeuristicResult run_lprg(const SteadyStateProblem& problem,
                                        const lp::SimplexOptions& lp_options = {},
-                                       const GreedyOptions& greedy_options = {});
+                                       const GreedyOptions& greedy_options = {},
+                                       LpWarmStart* warm = nullptr);
 
 struct LprrOptions {
   /// false: round up with probability frac(beta) (the paper's LPRR);
@@ -94,7 +129,8 @@ struct LpBoundResult {
 
 /// The "LP" comparator: optimum of the rational relaxation.
 [[nodiscard]] LpBoundResult lp_upper_bound(const SteadyStateProblem& problem,
-                                           const lp::SimplexOptions& lp_options = {});
+                                           const lp::SimplexOptions& lp_options = {},
+                                           LpWarmStart* warm = nullptr);
 
 struct ExactResult {
   double objective = 0.0;

@@ -1,6 +1,7 @@
 // LP-based heuristics (paper §5.2) and the rational upper bound.
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "core/heuristics.hpp"
@@ -41,12 +42,37 @@ Allocation round_down(const SteadyStateProblem& problem,
   return alloc;
 }
 
+/// Solves the reduced relaxation, threading the optional warm-start
+/// capsule through the simplex (which consumes and refreshes it).
+lp::Solution solve_relaxation(const SteadyStateProblem::ReducedModel& reduced,
+                              const lp::SimplexOptions& lp_options,
+                              LpWarmStart* warm) {
+  const lp::SimplexSolver solver(lp_options);
+  lp::Solution sol = warm != nullptr && warm->state != nullptr
+                         ? solver.solve(reduced.model, warm->state)
+                         : solver.solve(reduced.model);
+  if (warm != nullptr) warm->used = sol.warm_used;
+  return sol;
+}
+
+/// The caller's cached reduced model when one was supplied, else a
+/// freshly built one kept alive in `own`.
+const SteadyStateProblem::ReducedModel& reduced_for(
+    const SteadyStateProblem& problem, LpWarmStart* warm,
+    std::optional<SteadyStateProblem::ReducedModel>& own) {
+  if (warm != nullptr && warm->reduced != nullptr) return *warm->reduced;
+  own.emplace(problem.build_reduced());
+  return *own;
+}
+
 }  // namespace
 
 LpBoundResult lp_upper_bound(const SteadyStateProblem& problem,
-                             const lp::SimplexOptions& lp_options) {
-  const auto reduced = problem.build_reduced();
-  const lp::Solution sol = lp::SimplexSolver(lp_options).solve(reduced.model);
+                             const lp::SimplexOptions& lp_options,
+                             LpWarmStart* warm) {
+  std::optional<SteadyStateProblem::ReducedModel> own;
+  const auto& reduced = reduced_for(problem, warm, own);
+  const lp::Solution sol = solve_relaxation(reduced, lp_options, warm);
   LpBoundResult out{0.0, Allocation(problem.num_clusters()), sol.status,
                     sol.iterations};
   if (sol.status != lp::SolveStatus::Optimal) return out;
@@ -56,28 +82,31 @@ LpBoundResult lp_upper_bound(const SteadyStateProblem& problem,
 }
 
 HeuristicResult run_lpr(const SteadyStateProblem& problem,
-                        const lp::SimplexOptions& lp_options) {
-  const auto reduced = problem.build_reduced();
-  const lp::Solution sol = lp::SimplexSolver(lp_options).solve(reduced.model);
+                        const lp::SimplexOptions& lp_options, LpWarmStart* warm) {
+  std::optional<SteadyStateProblem::ReducedModel> own;
+  const auto& reduced = reduced_for(problem, warm, own);
+  const lp::Solution sol = solve_relaxation(reduced, lp_options, warm);
   if (sol.status != lp::SolveStatus::Optimal) return failed(problem, sol.status);
 
   HeuristicResult result{round_down(problem, reduced, sol.x), 0.0, 1,
-                         lp::SolveStatus::Optimal};
+                         lp::SolveStatus::Optimal, sol.iterations};
   result.objective = problem.objective_of(result.allocation);
   return result;
 }
 
 HeuristicResult run_lprg(const SteadyStateProblem& problem,
                          const lp::SimplexOptions& lp_options,
-                         const GreedyOptions& greedy_options) {
-  const auto reduced = problem.build_reduced();
-  const lp::Solution sol = lp::SimplexSolver(lp_options).solve(reduced.model);
+                         const GreedyOptions& greedy_options, LpWarmStart* warm) {
+  std::optional<SteadyStateProblem::ReducedModel> own;
+  const auto& reduced = reduced_for(problem, warm, own);
+  const lp::Solution sol = solve_relaxation(reduced, lp_options, warm);
   if (sol.status != lp::SolveStatus::Optimal) return failed(problem, sol.status);
 
   internal::GreedyState st = internal::GreedyState::after(
       problem, round_down(problem, reduced, sol.x));
   internal::greedy_fill(problem, st, greedy_options);
-  HeuristicResult result{std::move(st.alloc), 0.0, 1, lp::SolveStatus::Optimal};
+  HeuristicResult result{std::move(st.alloc), 0.0, 1, lp::SolveStatus::Optimal,
+                         sol.iterations};
   result.objective = problem.objective_of(result.allocation);
   return result;
 }

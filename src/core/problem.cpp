@@ -36,8 +36,9 @@ SteadyStateProblem::SteadyStateProblem(const platform::Platform& plat,
   // (and the problem meaningless); demand at least one.
   require(any_positive, "SteadyStateProblem: at least one positive payoff required");
 
-  route_id_.assign(static_cast<std::size_t>(n) * n, -1);
-  link_routes_.assign(plat.num_links(), {});
+  auto table = std::make_shared<RouteTable>();
+  table->route_id.assign(static_cast<std::size_t>(n) * n, -1);
+  table->link_routes.assign(plat.num_links(), {});
   for (int k = 0; k < n; ++k) {
     for (int l = 0; l < n; ++l) {
       if (!plat.has_route(k, l)) continue;
@@ -46,41 +47,59 @@ SteadyStateProblem::SteadyStateProblem(const platform::Platform& plat,
       r.l = l;
       r.pbw = plat.route_bottleneck_bw(k, l);
       r.needs_beta = k != l && !plat.route(k, l).empty();
-      const int id = static_cast<int>(routes_.size());
-      route_id_[static_cast<std::size_t>(k) * n + l] = id;
-      routes_.push_back(r);
+      const int id = static_cast<int>(table->routes.size());
+      table->route_id[static_cast<std::size_t>(k) * n + l] = id;
+      table->routes.push_back(r);
       if (k != l)
-        for (platform::LinkId li : plat.route(k, l)) link_routes_[li].push_back(id);
+        for (platform::LinkId li : plat.route(k, l))
+          table->link_routes[li].push_back(id);
     }
   }
+  table_ = std::move(table);
+}
+
+SteadyStateProblem SteadyStateProblem::with_payoffs(
+    std::vector<double> payoffs) const {
+  require(payoffs.size() == payoffs_.size(),
+          "with_payoffs: one payoff per cluster required");
+  bool any_positive = false;
+  for (double p : payoffs) {
+    require(p >= 0.0 && std::isfinite(p), "with_payoffs: payoffs must be >= 0");
+    any_positive |= p > 0.0;
+  }
+  require(any_positive, "with_payoffs: at least one positive payoff required");
+  SteadyStateProblem copy = *this;
+  copy.payoffs_ = std::move(payoffs);
+  return copy;
 }
 
 int SteadyStateProblem::route_id(int k, int l) const {
   const int n = num_clusters();
   require(k >= 0 && k < n && l >= 0 && l < n, "route_id: cluster out of range");
-  return route_id_[static_cast<std::size_t>(k) * n + l];
+  return table_->route_id[static_cast<std::size_t>(k) * n + l];
 }
 
 SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
     const std::vector<BetaFixing>& fixings) const {
   const int n = num_clusters();
   ReducedModel out;
+  out.has_fixings = !fixings.empty();
   lp::Model& m = out.model;
   m.set_sense(lp::Sense::Maximize);
 
   // Fixing lookup: route -> fixed beta value (or -1 when free).
-  std::vector<int> fixed(routes_.size(), -1);
+  std::vector<int> fixed(table_->routes.size(), -1);
   for (const BetaFixing& f : fixings) {
-    require(f.route >= 0 && f.route < static_cast<int>(routes_.size()) &&
-                routes_[f.route].needs_beta && f.value >= 0,
+    require(f.route >= 0 && f.route < static_cast<int>(table_->routes.size()) &&
+                table_->routes[f.route].needs_beta && f.value >= 0,
             "build_reduced: invalid beta fixing");
     fixed[f.route] = f.value;
   }
 
   // Alpha variables.
-  out.alpha_var.resize(routes_.size());
-  for (std::size_t r = 0; r < routes_.size(); ++r) {
-    const Route& route = routes_[r];
+  out.alpha_var.resize(table_->routes.size());
+  for (std::size_t r = 0; r < table_->routes.size(); ++r) {
+    const Route& route = table_->routes[r];
     double ub = lp::kInf;
     if (payoffs_[route.k] == 0.0) {
       ub = 0.0;  // no application on this cluster: nothing to send
@@ -118,14 +137,14 @@ SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
   // (7d) with beta substituted: sum alpha/pbw over free routes through the
   // link, against the budget left by the fixed routes.
   for (platform::LinkId li = 0; li < plat_->num_links(); ++li) {
-    if (link_routes_[li].empty()) continue;
+    if (table_->link_routes[li].empty()) continue;
     std::vector<lp::Term> terms;
     double budget = plat_->link(li).max_connections;
-    for (int r : link_routes_[li]) {
+    for (int r : table_->link_routes[li]) {
       if (fixed[r] >= 0) {
         budget -= fixed[r];
       } else {
-        terms.push_back({out.alpha_var[r], 1.0 / routes_[r].pbw});
+        terms.push_back({out.alpha_var[r], 1.0 / table_->routes[r].pbw});
       }
     }
     require(budget >= -kEps, "build_reduced: beta fixings exceed a link budget");
@@ -136,8 +155,8 @@ SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
 
   // Objective.
   if (objective_ == Objective::Sum) {
-    for (std::size_t r = 0; r < routes_.size(); ++r)
-      m.set_objective_coef(out.alpha_var[r], payoffs_[routes_[r].k]);
+    for (std::size_t r = 0; r < table_->routes.size(); ++r)
+      m.set_objective_coef(out.alpha_var[r], payoffs_[table_->routes[r].k]);
   } else {
     out.t_var = m.add_variable(0.0, lp::kInf, 1.0, "t");
     for (int k = 0; k < n; ++k) {
@@ -154,6 +173,24 @@ SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
   return out;
 }
 
+void SteadyStateProblem::update_reduced_payoffs(ReducedModel& reduced) const {
+  require(objective_ == Objective::Sum,
+          "update_reduced_payoffs: MaxMin reshapes the model per payoff "
+          "support; rebuild with build_reduced instead");
+  require(reduced.alpha_var.size() == table_->routes.size() && reduced.t_var == -1,
+          "update_reduced_payoffs: model does not match this problem");
+  require(!reduced.has_fixings,
+          "update_reduced_payoffs: model was built with beta fixings, whose "
+          "(7e) caps live in the alpha bounds this would overwrite");
+  for (std::size_t r = 0; r < table_->routes.size(); ++r) {
+    const Route& route = table_->routes[r];
+    const int var = reduced.alpha_var[r];
+    reduced.model.set_bounds(var, 0.0,
+                             payoffs_[route.k] == 0.0 ? 0.0 : lp::kInf);
+    reduced.model.set_objective_coef(var, payoffs_[route.k]);
+  }
+}
+
 SteadyStateProblem::FullModel SteadyStateProblem::build_full(bool integer_betas) const {
   const int n = num_clusters();
   FullModel out;
@@ -161,10 +198,10 @@ SteadyStateProblem::FullModel SteadyStateProblem::build_full(bool integer_betas)
   lp::Model& m = out.model;
   m.set_sense(lp::Sense::Maximize);
 
-  out.alpha_var.resize(routes_.size());
-  out.beta_var.assign(routes_.size(), -1);
-  for (std::size_t r = 0; r < routes_.size(); ++r) {
-    const Route& route = routes_[r];
+  out.alpha_var.resize(table_->routes.size());
+  out.beta_var.assign(table_->routes.size(), -1);
+  for (std::size_t r = 0; r < table_->routes.size(); ++r) {
+    const Route& route = table_->routes[r];
     const double ub = payoffs_[route.k] == 0.0 ? 0.0 : lp::kInf;
     out.alpha_var[r] = m.add_variable(0.0, ub, 0.0, pair_name("a", route.k, route.l));
     if (route.needs_beta) {
@@ -196,22 +233,22 @@ SteadyStateProblem::FullModel SteadyStateProblem::build_full(bool integer_betas)
                      plat_->cluster(k).gateway_bw, "gateway_" + std::to_string(k));
   }
   for (platform::LinkId li = 0; li < plat_->num_links(); ++li) {  // (7d)
-    if (link_routes_[li].empty()) continue;
+    if (table_->link_routes[li].empty()) continue;
     std::vector<lp::Term> terms;
-    for (int r : link_routes_[li]) terms.push_back({out.beta_var[r], 1.0});
+    for (int r : table_->link_routes[li]) terms.push_back({out.beta_var[r], 1.0});
     m.add_constraint(std::move(terms), lp::Relation::LessEqual,
                      plat_->link(li).max_connections, "maxcon_" + std::to_string(li));
   }
-  for (std::size_t r = 0; r < routes_.size(); ++r) {  // (7e)
-    if (!routes_[r].needs_beta) continue;
-    m.add_constraint({{out.alpha_var[r], 1.0}, {out.beta_var[r], -routes_[r].pbw}},
+  for (std::size_t r = 0; r < table_->routes.size(); ++r) {  // (7e)
+    if (!table_->routes[r].needs_beta) continue;
+    m.add_constraint({{out.alpha_var[r], 1.0}, {out.beta_var[r], -table_->routes[r].pbw}},
                      lp::Relation::LessEqual, 0.0,
-                     pair_name("bw", routes_[r].k, routes_[r].l));
+                     pair_name("bw", table_->routes[r].k, table_->routes[r].l));
   }
 
   if (objective_ == Objective::Sum) {
-    for (std::size_t r = 0; r < routes_.size(); ++r)
-      m.set_objective_coef(out.alpha_var[r], payoffs_[routes_[r].k]);
+    for (std::size_t r = 0; r < table_->routes.size(); ++r)
+      m.set_objective_coef(out.alpha_var[r], payoffs_[table_->routes[r].k]);
   } else {
     out.t_var = m.add_variable(0.0, lp::kInf, 1.0, "t");
     for (int k = 0; k < n; ++k) {
@@ -233,12 +270,12 @@ Allocation SteadyStateProblem::allocation_from_reduced(
     const std::vector<BetaFixing>& fixings) const {
   require(x.size() == static_cast<std::size_t>(reduced.model.num_variables()),
           "allocation_from_reduced: assignment size mismatch");
-  std::vector<int> fixed(routes_.size(), -1);
+  std::vector<int> fixed(table_->routes.size(), -1);
   for (const BetaFixing& f : fixings) fixed[f.route] = f.value;
 
   Allocation alloc(num_clusters());
-  for (std::size_t r = 0; r < routes_.size(); ++r) {
-    const Route& route = routes_[r];
+  for (std::size_t r = 0; r < table_->routes.size(); ++r) {
+    const Route& route = table_->routes[r];
     const double a = std::max(0.0, x[reduced.alpha_var[r]]);
     alloc.set_alpha(route.k, route.l, a);
     if (route.needs_beta) {
@@ -254,8 +291,8 @@ Allocation SteadyStateProblem::allocation_from_full(const FullModel& full,
   require(x.size() == static_cast<std::size_t>(full.model.num_variables()),
           "allocation_from_full: assignment size mismatch");
   Allocation alloc(num_clusters());
-  for (std::size_t r = 0; r < routes_.size(); ++r) {
-    const Route& route = routes_[r];
+  for (std::size_t r = 0; r < table_->routes.size(); ++r) {
+    const Route& route = table_->routes[r];
     alloc.set_alpha(route.k, route.l, std::max(0.0, x[full.alpha_var[r]]));
     if (full.beta_var[r] >= 0)
       alloc.set_beta(route.k, route.l, std::max(0.0, x[full.beta_var[r]]));

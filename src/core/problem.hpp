@@ -26,6 +26,7 @@
 // other applications.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -48,6 +49,13 @@ public:
   SteadyStateProblem(const platform::Platform& plat, std::vector<double> payoffs,
                      Objective objective);
 
+  /// A copy of this problem with the payoff vector replaced. The route
+  /// table, per-route bottleneck bandwidths and link incidence lists do
+  /// not depend on payoffs, so they are copied instead of recomputed —
+  /// the cheap path the online rescheduler takes on every arrival or
+  /// departure event. Same validation as the constructor.
+  [[nodiscard]] SteadyStateProblem with_payoffs(std::vector<double> payoffs) const;
+
   [[nodiscard]] const platform::Platform& plat() const { return *plat_; }
   [[nodiscard]] const std::vector<double>& payoffs() const { return payoffs_; }
   [[nodiscard]] Objective objective() const { return objective_; }
@@ -63,12 +71,12 @@ public:
     bool needs_beta = false;  ///< true iff remote and traverses >= 1 link
   };
 
-  [[nodiscard]] const std::vector<Route>& routes() const { return routes_; }
+  [[nodiscard]] const std::vector<Route>& routes() const { return table_->routes; }
   /// Index into routes() for (k, l), or -1 when the pair cannot exchange.
   [[nodiscard]] int route_id(int k, int l) const;
   /// For each platform link: the route ids whose path traverses it.
   [[nodiscard]] const std::vector<std::vector<int>>& routes_through_link() const {
-    return link_routes_;
+    return table_->link_routes;
   }
 
   /// A fixing pins beta of route `route` to the integer `value`.
@@ -81,9 +89,22 @@ public:
     lp::Model model;
     std::vector<int> alpha_var;  ///< per route id
     int t_var = -1;              ///< MaxMin auxiliary; -1 for Sum
+    /// True when beta fixings shaped this model (alpha bounds carry the
+    /// pinned (7e) caps); such a model cannot be re-payoffed in place.
+    bool has_fixings = false;
   };
   [[nodiscard]] ReducedModel build_reduced(
       const std::vector<BetaFixing>& fixings = {}) const;
+
+  /// Re-payoffs a fixing-free reduced model in place instead of
+  /// rebuilding it: payoffs enter a Sum-objective model only through the
+  /// alpha upper bounds (0 for idle clusters) and the objective
+  /// coefficients, so the constraint rows — and any simplex warm-start
+  /// capsule keyed on them — survive. Requires Objective::Sum: MaxMin
+  /// grows one fairness row per active cluster, which reshapes the model.
+  /// The online rescheduler patches one cached model per event with this
+  /// instead of paying build_reduced's allocations thousands of times.
+  void update_reduced_payoffs(ReducedModel& reduced) const;
 
   struct FullModel {
     lp::Model model;
@@ -112,12 +133,20 @@ public:
   [[nodiscard]] double objective_of(const Allocation& alloc) const;
 
 private:
+  /// Route structure derived from the platform alone. Immutable once
+  /// built and shared between payoff variants (with_payoffs), so the
+  /// online rescheduler's per-event problem copies cost O(K) instead of
+  /// re-copying K^2 routes and the per-link incidence lists.
+  struct RouteTable {
+    std::vector<Route> routes;
+    std::vector<int> route_id;  // dense K*K -> route id or -1
+    std::vector<std::vector<int>> link_routes;
+  };
+
   const platform::Platform* plat_;
   std::vector<double> payoffs_;
   Objective objective_;
-  std::vector<Route> routes_;
-  std::vector<int> route_id_;  // dense K*K -> route id or -1
-  std::vector<std::vector<int>> link_routes_;
+  std::shared_ptr<const RouteTable> table_;
 };
 
 /// Checks an allocation against equations (7a)-(7g) plus the structural

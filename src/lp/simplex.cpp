@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <utility>
 
 #include "support/error.hpp"
 
@@ -26,15 +28,39 @@ public:
     build_bounds_and_costs();
   }
 
-  Solution run() {
+  Solution run(const Basis* warm, WarmState* state) {
     Solution sol;
     if (m_ == 0) return solve_unconstrained();
-
-    init_basis();
 
     const int max_iters = opt_.max_iterations > 0
                               ? opt_.max_iterations
                               : 200 * (n_ + m_) + 20000;
+
+    if (state != nullptr) fingerprint_ = matrix_fingerprint();
+    bool warm_ok = false;
+    if (state != nullptr && state->valid) warm_ok = init_from_state(*state);
+    if (!warm_ok && warm != nullptr) warm_ok = init_basis_warm(*warm);
+    if (warm_ok && warm_infeasible_) {
+      // Composite bound phase 1: bounds moved since the basis was taken
+      // (an application departed and its alphas were clamped to zero),
+      // so some basic variables sit outside their bounds. Drive the
+      // total violation to zero with the violated basics carrying
+      // virtual costs of +/-1; a repair that does not converge falls
+      // back to the cold start, whose artificial phase 1 is the
+      // authority on true infeasibility.
+      in_phase1_ = true;
+      bound_phase1_ = true;
+      const SolveStatus st = iterate(max_iters);
+      in_phase1_ = false;
+      bound_phase1_ = false;
+      if (st != SolveStatus::Optimal ||
+          bound_infeasibility() > opt_.feas_tol * rhs_scale_)
+        warm_ok = false;
+      else
+        sol.phase1_iterations = iters_;
+    }
+    sol.warm_used = warm_ok;
+    if (!warm_ok) init_basis();
 
     // Phase 1: drive artificial infeasibility to zero if any was needed.
     if (need_phase1_) {
@@ -68,6 +94,7 @@ public:
     if (st != SolveStatus::Optimal && st != SolveStatus::Unbounded) return sol;
 
     extract(sol);
+    if (state != nullptr && st == SolveStatus::Optimal) save_state(sol, *state);
     return sol;
   }
 
@@ -205,6 +232,156 @@ private:
     use_bland_ = false;
   }
 
+  /// Maps a saved status back, sanitized against bounds that may have
+  /// moved since the basis was taken: a resting place that no longer
+  /// exists falls back the way the cold start picks resting places
+  /// (nearest-zero finite bound, else free). Basic entries are collected
+  /// into basis_ unless `keep_basis_order` (the capsule path, where the
+  /// saved row order must match the saved inverse).
+  void place_status(int j, BasisStatus st, bool keep_basis_order) {
+    if (st == BasisStatus::Basic) {
+      if (!keep_basis_order) basis_.push_back(j);
+      status_[j] = VarStatus::Basic;
+      return;
+    }
+    VarStatus want = st == BasisStatus::AtUpper   ? VarStatus::AtUpper
+                     : st == BasisStatus::AtLower ? VarStatus::AtLower
+                                                  : VarStatus::Free;
+    if (want == VarStatus::AtLower && !std::isfinite(lb_[j]))
+      want = std::isfinite(ub_[j]) ? VarStatus::AtUpper : VarStatus::Free;
+    if (want == VarStatus::AtUpper && !std::isfinite(ub_[j]))
+      want = std::isfinite(lb_[j]) ? VarStatus::AtLower : VarStatus::Free;
+    if (want == VarStatus::Free && std::isfinite(lb_[j]) &&
+        (std::fabs(lb_[j]) <= std::fabs(ub_[j]) || !std::isfinite(ub_[j])))
+      want = VarStatus::AtLower;
+    else if (want == VarStatus::Free && std::isfinite(ub_[j]))
+      want = VarStatus::AtUpper;
+    set_nonbasic_value(j, want);
+  }
+
+  /// Shared tail of both warm paths: reset the iteration counters and
+  /// derive the basic values from the restored inverse. A restored basis
+  /// needs no artificial phase 1 (artificials stay pinned nonbasic at
+  /// zero); basic values pushed outside their bounds by bound changes
+  /// are flagged for the composite bound phase 1 instead.
+  bool finish_warm_init() {
+    iters_ = 0;
+    stall_ = 0;
+    use_bland_ = false;
+    need_phase1_ = false;
+    xb_.resize(m_);
+    recompute_basic_values();
+    const double tol = opt_.feas_tol * std::max(1.0, rhs_scale_);
+    warm_infeasible_ = false;
+    for (int i = 0; i < m_; ++i) {
+      const int bvar = basis_[i];
+      if (xb_[i] < lb_[bvar] - tol || xb_[i] > ub_[bvar] + tol)
+        warm_infeasible_ = true;
+    }
+    return true;
+  }
+
+  /// Restores a statuses-only basis: B^{-1} must be rebuilt from scratch
+  /// (O(m^3) Gauss-Jordan). Returns false — leaving the caller to run
+  /// the cold start — when the basis has the wrong cardinality, is
+  /// singular, or is no longer primal feasible.
+  bool init_basis_warm(const Basis& warm) {
+    if (static_cast<int>(warm.variables.size()) != n_ ||
+        static_cast<int>(warm.slacks.size()) != m_)
+      return false;
+    status_.assign(total_, VarStatus::AtLower);
+    value_.assign(total_, 0.0);
+    basis_.clear();
+    for (int j = 0; j < n_; ++j) place_status(j, warm.variables[j], false);
+    for (int i = 0; i < m_; ++i) place_status(n_ + i, warm.slacks[i], false);
+    if (static_cast<int>(basis_.size()) != m_) return false;
+    // Artificials stay pinned at their [0,0] bounds from build_bounds_and_costs.
+
+    xb_.assign(m_, 0.0);
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    pivots_since_refactor_ = 0;
+    if (!refactor()) return false;
+    return finish_warm_init();
+  }
+
+  /// Restores a capsule: statuses plus the saved basis inverse, O(m^2).
+  /// Requires the capsule to come from the same constraint matrix (the
+  /// fingerprint check); bounds, costs and rhs may differ. The capsule's
+  /// heavy buffers are *moved* into the worker (the capsule is marked
+  /// consumed); save_state moves them back after an Optimal solve.
+  bool init_from_state(WarmState& state) {
+    if (static_cast<int>(state.basis.variables.size()) != n_ ||
+        static_cast<int>(state.basis.slacks.size()) != m_ ||
+        static_cast<int>(state.basic_vars.size()) != m_ ||
+        state.binv.size() != static_cast<std::size_t>(m_) * m_ ||
+        state.fingerprint != fingerprint_)
+      return false;
+    status_.assign(total_, VarStatus::AtLower);
+    value_.assign(total_, 0.0);
+    for (int j = 0; j < n_; ++j) place_status(j, state.basis.variables[j], true);
+    for (int i = 0; i < m_; ++i)
+      place_status(n_ + i, state.basis.slacks[i], true);
+    int basics = 0;
+    for (int j = 0; j < n_ + m_; ++j) basics += status_[j] == VarStatus::Basic;
+    if (basics != m_) return false;
+    // Each Basic-marked variable must appear in basic_vars exactly once;
+    // a duplicate entry would desynchronize basis_ from status_/binv_.
+    std::vector<char> seen(static_cast<std::size_t>(n_ + m_), 0);
+    for (int b : state.basic_vars) {
+      if (b < 0 || b >= n_ + m_ || status_[b] != VarStatus::Basic ||
+          seen[static_cast<std::size_t>(b)])
+        return false;
+      seen[static_cast<std::size_t>(b)] = 1;
+    }
+    basis_ = std::move(state.basic_vars);
+    binv_ = std::move(state.binv);
+    state.valid = false;  // consumed; save_state re-validates after the solve
+    pivots_since_refactor_ = state.pivots_since_refactor;
+    return finish_warm_init();
+  }
+
+  /// Refreshes the caller's capsule from the optimal basis just reached
+  /// (moving the heavy buffers: the worker is done with them). A
+  /// degenerate optimum with an artificial still basic cannot be
+  /// captured (its column lives outside the public index space); the
+  /// capsule is invalidated so the next solve runs cold.
+  void save_state(const Solution& sol, WarmState& state) {
+    for (int b : basis_)
+      if (b >= n_ + m_) {
+        state.valid = false;
+        return;
+      }
+    state.basis = sol.basis;
+    state.basic_vars = std::move(basis_);
+    state.binv = std::move(binv_);
+    state.pivots_since_refactor = pivots_since_refactor_;
+    state.fingerprint = fingerprint_;
+    state.valid = true;
+  }
+
+  /// FNV-1a over the constraint rows (shape, relations, and every term's
+  /// variable and coefficient bits). Bounds, costs and rhs are excluded:
+  /// those may change between the solves a capsule spans.
+  std::uint64_t matrix_fingerprint() const {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint64_t>(n_));
+    mix(static_cast<std::uint64_t>(m_));
+    for (int c = 0; c < m_; ++c) {
+      mix(static_cast<std::uint64_t>(model_.relation(c)) + 0x517c);
+      for (const Term& t : model_.row(c)) {
+        mix(static_cast<std::uint64_t>(t.var));
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &t.coef, sizeof(bits));
+        mix(bits);
+      }
+    }
+    return h;
+  }
+
   void set_nonbasic_value(int j, VarStatus st) {
     status_[j] = st;
     switch (st) {
@@ -222,10 +399,33 @@ private:
     return cost_[j];
   }
 
+  /// Phase-dependent cost of the basic variable in row i. The composite
+  /// bound phase 1 charges violated basics +/-1 (recomputed every
+  /// iteration: the charge drops once the variable re-enters its range).
+  double basis_cost(int i) const {
+    if (!in_phase1_) return cost_[basis_[i]];
+    if (!bound_phase1_) return basis_[i] >= n_ + m_ ? 1.0 : 0.0;
+    const int b = basis_[i];
+    const double tol = opt_.feas_tol * std::max(1.0, rhs_scale_);
+    if (xb_[i] > ub_[b] + tol) return 1.0;
+    if (xb_[i] < lb_[b] - tol) return -1.0;
+    return 0.0;
+  }
+
   double infeasibility() const {
     double total = 0.0;
     for (int i = 0; i < m_; ++i)
       if (basis_[i] >= n_ + m_) total += std::max(0.0, xb_[i]);
+    return total;
+  }
+
+  /// Total bound violation of the basic values (composite phase 1).
+  double bound_infeasibility() const {
+    double total = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[i];
+      total += std::max(0.0, xb_[i] - ub_[b]) + std::max(0.0, lb_[b] - xb_[i]);
+    }
     return total;
   }
 
@@ -237,7 +437,7 @@ private:
       // BTRAN: y = c_B' B^{-1}.
       std::fill(y.begin(), y.end(), 0.0);
       for (int i = 0; i < m_; ++i) {
-        const double cb = current_cost(basis_[i]);
+        const double cb = basis_cost(i);
         if (cb == 0.0) continue;
         const double* row = &binv_[static_cast<std::size_t>(i) * m_];
         for (int k = 0; k < m_; ++k) y[k] += cb * row[k];
@@ -274,9 +474,17 @@ private:
 
       // Ratio test. The entering variable can move t >= 0 in direction
       // dir until (a) it reaches its own opposite bound, or (b) a basic
-      // variable reaches one of its bounds.
+      // variable reaches one of its bounds. In the composite bound
+      // phase 1 a basic *outside* its bounds blocks only when moving
+      // back toward its violated bound (it stops there, where its +/-1
+      // charge drops); moving further away it imposes no limit — the
+      // pricing step only selects directions that shrink the total
+      // violation.
+      const double btol =
+          bound_phase1_ ? opt_.feas_tol * std::max(1.0, rhs_scale_) : 0.0;
       double t_best = kInf;
       int leave = -1;  // row index; -1 = entering flips to its other bound
+      bool leave_upper = false;  // which bound the leaving basic rests at
       if (std::isfinite(lb_[q]) && std::isfinite(ub_[q])) t_best = ub_[q] - lb_[q];
       double leave_pivot = 0.0;
       for (int i = 0; i < m_; ++i) {
@@ -284,8 +492,19 @@ private:
         if (std::fabs(delta) <= opt_.pivot_tol) continue;
         const int bvar = basis_[i];
         double limit = kInf;
-        if (delta > 0.0) {
-          if (std::isfinite(ub_[bvar])) limit = (ub_[bvar] - xb_[i]) / delta;
+        bool at_upper = false;
+        if (bound_phase1_ && xb_[i] > ub_[bvar] + btol) {
+          if (delta < 0.0) {
+            limit = (ub_[bvar] - xb_[i]) / delta;
+            at_upper = true;
+          }
+        } else if (bound_phase1_ && xb_[i] < lb_[bvar] - btol) {
+          if (delta > 0.0) limit = (lb_[bvar] - xb_[i]) / delta;
+        } else if (delta > 0.0) {
+          if (std::isfinite(ub_[bvar])) {
+            limit = (ub_[bvar] - xb_[i]) / delta;
+            at_upper = true;
+          }
         } else {
           if (std::isfinite(lb_[bvar])) limit = (lb_[bvar] - xb_[i]) / delta;
         }
@@ -298,6 +517,7 @@ private:
           t_best = limit;
           leave = i;
           leave_pivot = w[i];
+          leave_upper = at_upper;
         }
       }
 
@@ -325,9 +545,8 @@ private:
       // Pivot: q enters at row `leave`, the old basic leaves to the bound
       // it just reached.
       const int old_var = basis_[leave];
-      const double delta_leave = -dir * w[leave];
-      set_nonbasic_value(old_var, delta_leave > 0.0 ? VarStatus::AtUpper
-                                                    : VarStatus::AtLower);
+      set_nonbasic_value(old_var,
+                         leave_upper ? VarStatus::AtUpper : VarStatus::AtLower);
       // An artificial that leaves the basis is pinned for good.
       if (old_var >= n_ + m_) {
         lb_[old_var] = ub_[old_var] = 0.0;
@@ -408,7 +627,12 @@ private:
         }
       }
     }
-    // Fresh basic values: x_B = B^{-1} (b - N x_N).
+    recompute_basic_values();
+    return true;
+  }
+
+  /// x_B = B^{-1} (b - N x_N) from the current inverse and nonbasic values.
+  void recompute_basic_values() {
     std::vector<double> r = b_;
     for (int j = 0; j < total_; ++j) {
       if (status_[j] == VarStatus::Basic || value_[j] == 0.0) continue;
@@ -420,7 +644,6 @@ private:
       for (int k = 0; k < m_; ++k) v += row[k] * r[k];
       xb_[i] = v;
     }
-    return true;
   }
 
   void swap_rows(std::vector<double>& mat, int a, int bb) {
@@ -464,18 +687,33 @@ private:
       if (std::isfinite(ub_[j])) sol.x[j] = std::min(sol.x[j], ub_[j]);
     }
     if (sol.status == SolveStatus::Optimal) {
+      const auto public_status = [&](int j) {
+        switch (status_[j]) {
+          case VarStatus::Basic: return BasisStatus::Basic;
+          case VarStatus::AtUpper: return BasisStatus::AtUpper;
+          case VarStatus::Free: return BasisStatus::Free;
+          case VarStatus::AtLower: break;
+        }
+        return BasisStatus::AtLower;
+      };
+      sol.basis.variables.resize(n_);
+      sol.basis.slacks.resize(m_);
+      for (int j = 0; j < n_; ++j) sol.basis.variables[j] = public_status(j);
+      for (int i = 0; i < m_; ++i) sol.basis.slacks[i] = public_status(n_ + i);
       sol.objective = model_.objective_value(sol.x);
-      // Shadow prices: y = c_B' B^{-1} of the internal minimize form,
-      // negated back for Maximize so duals are d(objective)/d(rhs).
-      sol.duals.assign(m_, 0.0);
-      for (int i = 0; i < m_; ++i) {
-        const double cb = cost_[basis_[i]];
-        if (cb == 0.0) continue;
-        const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-        for (int k = 0; k < m_; ++k) sol.duals[k] += cb * row[k];
+      if (opt_.compute_duals) {
+        // Shadow prices: y = c_B' B^{-1} of the internal minimize form,
+        // negated back for Maximize so duals are d(objective)/d(rhs).
+        sol.duals.assign(m_, 0.0);
+        for (int i = 0; i < m_; ++i) {
+          const double cb = cost_[basis_[i]];
+          if (cb == 0.0) continue;
+          const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+          for (int k = 0; k < m_; ++k) sol.duals[k] += cb * row[k];
+        }
+        if (model_.sense() == Sense::Maximize)
+          for (double& d : sol.duals) d = -d;
       }
-      if (model_.sense() == Sense::Maximize)
-        for (double& d : sol.duals) d = -d;
     }
   }
 
@@ -500,17 +738,31 @@ private:
   std::vector<double> binv_, scratch_;
 
   double rhs_scale_ = 1.0;
+  std::uint64_t fingerprint_ = 0;  ///< computed only when a capsule is in play
   bool need_phase1_ = false;
   bool in_phase1_ = false;
+  bool bound_phase1_ = false;      ///< composite flavor: basics carry violation
+  bool warm_infeasible_ = false;   ///< warm restore left basics out of bounds
   bool use_bland_ = false;
   int iters_ = 0, stall_ = 0, pivots_since_refactor_ = 0;
 };
 
 }  // namespace
 
-Solution SimplexSolver::solve(const Model& model) const {
+bool Basis::compatible(const Model& model) const {
+  return static_cast<int>(variables.size()) == model.num_variables() &&
+         static_cast<int>(slacks.size()) == model.num_constraints();
+}
+
+Solution SimplexSolver::solve(const Model& model, const Basis* warm) const {
   Worker worker(model, options_);
-  return worker.run();
+  return worker.run(warm != nullptr && warm->compatible(model) ? warm : nullptr,
+                    nullptr);
+}
+
+Solution SimplexSolver::solve(const Model& model, WarmState* state) const {
+  Worker worker(model, options_);
+  return worker.run(nullptr, state);
 }
 
 }  // namespace dls::lp

@@ -20,6 +20,7 @@
 // (the "LP" upper-bound comparator and the LPR/LPRG/LPRR heuristics).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "lp/model.hpp"
@@ -34,6 +35,51 @@ struct SimplexOptions {
   int max_iterations = 0;    ///< 0 = automatic (scales with model size)
   int refactor_interval = 100;  ///< pivots between basis-inverse rebuilds
   int stall_limit = 500;     ///< degenerate pivots before switching to Bland
+  /// Fill Solution::duals (an O(m^2) extraction). The adaptive
+  /// rescheduler turns this off: its per-event solves never read duals.
+  bool compute_duals = true;
+};
+
+/// Resting place of one variable in a basis snapshot.
+enum class BasisStatus : unsigned char { AtLower, AtUpper, Basic, Free };
+
+/// A restart point for solve(): the status of every structural variable
+/// and of every row's slack at some basis. Obtained from Solution::basis
+/// and fed back as solve()'s `warm` argument, typically against a
+/// neighbouring model of identical shape whose bounds, costs or rhs
+/// moved (the adaptive rescheduler's arrival/departure re-solves). A
+/// basis that does not fit the model — wrong shape, singular, or primal
+/// infeasible under the new data — is ignored and the solve falls back
+/// to the cold all-slack start, so passing a stale basis is always safe.
+struct Basis {
+  std::vector<BasisStatus> variables;  ///< one per structural variable
+  std::vector<BasisStatus> slacks;     ///< one per constraint row
+  [[nodiscard]] bool empty() const { return variables.empty() && slacks.empty(); }
+  /// Shape check only; feasibility is verified during the solve.
+  [[nodiscard]] bool compatible(const Model& model) const;
+};
+
+/// Persistent warm-start capsule: the statuses PLUS the factorized basis
+/// inverse, carried across solves of models that share one constraint
+/// matrix (bounds, costs and rhs may change freely — the adaptive
+/// rescheduler's arrival/departure re-solves). Restoring from a capsule
+/// costs O(m^2) (copy + basic-value recompute) instead of the O(m^3)
+/// refactorization a statuses-only Basis needs, which is what makes
+/// warm solves cheaper than cold ones even on models whose cold start
+/// needs no phase 1. A fingerprint of the constraint rows guards reuse:
+/// a capsule taken from a different matrix is ignored. solve() both
+/// consumes and refreshes the capsule, so callers just keep handing the
+/// same object back.
+struct WarmState {
+  Basis basis;
+  std::vector<int> basic_vars;   ///< row -> basic variable (internal index)
+  std::vector<double> binv;      ///< row-major m x m basis inverse
+  int pivots_since_refactor = 0; ///< drift budget carried across solves
+  std::uint64_t fingerprint = 0; ///< constraint-matrix hash
+  bool valid = false;
+
+  /// Forces the next solve cold while still refreshing the capsule.
+  void invalidate() { valid = false; }
 };
 
 /// Result of a solve. `x` has one entry per model variable.
@@ -46,6 +92,11 @@ struct Solution {
   std::vector<double> duals;
   int iterations = 0;        ///< total pivots across both phases
   int phase1_iterations = 0;
+  /// Optimal basis, filled when status == Optimal; reusable as a warm
+  /// start for a same-shaped model.
+  Basis basis;
+  /// True when a supplied warm basis was accepted (phase 1 was skipped).
+  bool warm_used = false;
 };
 
 class SimplexSolver {
@@ -53,7 +104,17 @@ public:
   explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
 
   /// Solves the model's continuous relaxation (integrality marks ignored).
-  [[nodiscard]] Solution solve(const Model& model) const;
+  /// A non-null `warm` basis seeds the solve when it fits the model and
+  /// is primal feasible under its current bounds; otherwise it is
+  /// silently ignored (Solution::warm_used reports which happened).
+  [[nodiscard]] Solution solve(const Model& model,
+                               const Basis* warm = nullptr) const;
+
+  /// Capsule form: seeds from `state` when it is valid, fits the model's
+  /// shape, was taken from the same constraint matrix, and is still
+  /// primal feasible; falls back to the cold start otherwise. Either
+  /// way, an Optimal solve refreshes the capsule for the next call.
+  [[nodiscard]] Solution solve(const Model& model, WarmState* state) const;
 
   [[nodiscard]] const SimplexOptions& options() const { return options_; }
 

@@ -1,0 +1,97 @@
+// The online workload engine: application lifecycle over a platform.
+//
+// Applications arrive (workload.hpp), are admitted — each cluster hosts
+// at most one active application; later arrivals for a busy cluster wait
+// in its FIFO queue — run at the steady-state rate the adaptive
+// rescheduler (rescheduler.hpp) grants their home cluster, and depart
+// when their total load has drained. Every admission or departure
+// changes the payoff vector and triggers a reschedule; an arrival that
+// merely joins a queue does not.
+//
+// Event model: the engine advances from event to event (next arrival vs
+// earliest projected drain). Unlike sim::SimEngine's lazily-invalidated
+// calendar — where one completion perturbs only its connected component
+// — a reschedule here changes *every* active application's rate at once,
+// so a heap of projected finish times would be fully stale after each
+// event. The engine therefore recomputes the earliest departure by
+// scanning the <= K active applications, which is also O(K) but with no
+// stale entries to skip.
+//
+// Progress: as long as any application is active, the solved allocation
+// gives at least one of them a positive rate (granting an application
+// its idle local speed always improves both objectives, so an all-zero
+// optimum is impossible on platforms with positive cluster speeds), and
+// each event admits or departs at least one application — the loop
+// terminates after exactly 2 * |workload| lifecycle transitions. An
+// individual application can still be starved for a while under
+// Objective::Sum; it drains once enough competitors leave.
+//
+// Rate models: Fluid trusts the allocation (rate = total_alpha of the
+// home cluster, the paper's steady-state reading). Simulated additionally
+// reconstructs the periodic schedule after each reschedule and plays a
+// short segment on the flow-level simulator (sim::simulate_schedule)
+// under a chosen sharing policy, using the *achieved* throughputs as
+// drain rates — bandwidth-sharing overruns then stretch response times
+// instead of being invisible.
+#pragma once
+
+#include <vector>
+
+#include "online/metrics.hpp"
+#include "online/rescheduler.hpp"
+#include "online/workload.hpp"
+#include "sim/simulator.hpp"
+
+namespace dls::online {
+
+enum class RateModel {
+  Fluid,      ///< allocation rates verbatim
+  Simulated,  ///< achieved throughput of a simulated schedule segment
+};
+
+struct OnlineOptions {
+  ReschedulerOptions sched;
+  RateModel rate_model = RateModel::Fluid;
+  /// Sharing policy, segment length and per-connection window (used by
+  /// SharingPolicy::BoundedWindow) for RateModel::Simulated.
+  sim::SharingPolicy sim_policy = sim::SharingPolicy::MaxMin;
+  int sim_periods = 2;
+  double sim_window_units = 50.0;
+  /// Remaining load at or below this is treated as drained (absolute;
+  /// loads are O(100) so this absorbs accumulated drain rounding).
+  double load_eps = 1e-6;
+};
+
+struct OnlineReport {
+  int arrivals = 0;
+  int completed = 0;
+  int reschedules = 0;       ///< solver invocations (support changed)
+  int queued_arrivals = 0;   ///< arrivals that had to wait in a queue
+  int warm_solves = 0;
+  int cold_solves = 0;
+  double warm_seconds = 0.0;
+  double cold_seconds = 0.0;
+  double makespan = 0.0;     ///< last departure time
+  double total_work = 0.0;   ///< load units drained (== sum of loads)
+  int peak_active = 0;
+  int peak_queued = 0;       ///< largest single-cluster queue length
+  OnlineMetrics metrics;
+  /// One record per application, in arrival order, all completed.
+  std::vector<AppRecord> apps;
+};
+
+class OnlineEngine {
+public:
+  OnlineEngine(const platform::Platform& plat, OnlineOptions options);
+
+  /// Replays the workload to completion. Deterministic: the report is a
+  /// pure function of (platform, workload, options). Throws dls::Error
+  /// on invalid workloads or solver failure.
+  [[nodiscard]] OnlineReport run(const Workload& workload) const;
+
+private:
+  const platform::Platform* plat_;
+  OnlineOptions options_;
+};
+
+}  // namespace dls::online

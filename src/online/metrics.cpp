@@ -1,0 +1,40 @@
+#include "online/metrics.hpp"
+
+#include "support/error.hpp"
+
+namespace dls::online {
+
+double jain_index(std::span<const double> xs) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (xs.empty() || sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+void TimeWeighted::add(double value, double weight) {
+  DLS_ASSERT(weight >= 0.0);
+  sum_ += value * weight;
+  weight_ += weight;
+}
+
+double TimeWeighted::mean() const { return weight_ > 0.0 ? sum_ / weight_ : 0.0; }
+
+void OnlineMetrics::record_completion(const AppRecord& app) {
+  response.add(app.response());
+  wait.add(app.wait());
+  slowdown.add(app.slowdown);
+}
+
+void OnlineMetrics::record_interval(double duration, double work_rate,
+                                    double total_speed,
+                                    std::span<const double> weighted_rates) {
+  if (duration <= 0.0) return;
+  utilization.add(total_speed > 0.0 ? work_rate / total_speed : 0.0, duration);
+  fairness.add(jain_index(weighted_rates), duration);
+  active_apps.add(static_cast<double>(weighted_rates.size()), duration);
+}
+
+}  // namespace dls::online

@@ -1,0 +1,125 @@
+#include "online/rescheduler.hpp"
+
+#include <utility>
+
+#include "support/timer.hpp"
+
+namespace dls::online {
+
+namespace {
+
+int support_change(const std::vector<double>& a, const std::vector<double>& b) {
+  int changed = 0;
+  for (std::size_t k = 0; k < a.size(); ++k)
+    changed += (a[k] > 0.0) != (b[k] > 0.0);
+  return changed;
+}
+
+}  // namespace
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::Greedy: return "greedy";
+    case Method::Lpr: return "lpr";
+    case Method::Lprg: return "lprg";
+    case Method::LpBound: return "lp";
+  }
+  return "?";
+}
+
+AdaptiveRescheduler::AdaptiveRescheduler(const platform::Platform& plat,
+                                         ReschedulerOptions options)
+    : plat_(&plat), options_(options) {
+  require(options_.max_support_change >= 0,
+          "AdaptiveRescheduler: max_support_change cannot be negative");
+  // Per-event solves never read shadow prices; skip their extraction.
+  options_.lp.compute_duals = false;
+}
+
+void AdaptiveRescheduler::reset() {
+  warm_state_.invalidate();
+  prev_allocation_.reset();
+  prev_payoffs_.clear();
+}
+
+Reschedule AdaptiveRescheduler::reschedule(const std::vector<double>& payoffs) {
+  if (!base_problem_) {
+    base_problem_.emplace(*plat_, payoffs, options_.objective);
+  }
+  const core::SteadyStateProblem problem = base_problem_->with_payoffs(payoffs);
+
+  // Invalidation rule 1; rules 2 (model shape) and 3 (primal feasibility)
+  // live inside the simplex, which rejects a basis that fails them.
+  const bool have_prev = !prev_payoffs_.empty();
+  const bool small_change =
+      have_prev &&
+      support_change(prev_payoffs_, payoffs) <= options_.max_support_change;
+  const bool try_warm = options_.warm != WarmPolicy::Never &&
+                        (options_.warm == WarmPolicy::Always ? have_prev
+                                                             : small_change);
+
+  WallTimer timer;
+  Reschedule out{core::Allocation(problem.num_clusters())};
+  if (options_.method == Method::Greedy) {
+    // Auto keeps greedy cold: it solves no LP, so there is no phase-1
+    // work to skip, and the seeded variant changes the objective.
+    const bool seed = options_.warm == WarmPolicy::Always && try_warm &&
+                      prev_allocation_.has_value();
+    core::HeuristicResult r =
+        seed ? core::run_greedy_warm(problem, *prev_allocation_, options_.greedy)
+             : core::run_greedy(problem, options_.greedy);
+    require(r.status == lp::SolveStatus::Optimal, "reschedule: greedy failed");
+    out.allocation = std::move(r.allocation);
+    out.objective = r.objective;
+    out.warm = seed;
+  } else {
+    // The solve refreshes the capsule either way; invalidating first is
+    // how rule 1 forces a cold start without losing the refresh.
+    if (!try_warm) warm_state_.invalidate();
+    core::LpWarmStart warm;
+    warm.state = &warm_state_;
+    if (options_.objective == core::Objective::Sum) {
+      if (!reduced_cache_) {
+        reduced_cache_ = problem.build_reduced();
+      } else {
+        problem.update_reduced_payoffs(*reduced_cache_);
+      }
+      warm.reduced = &*reduced_cache_;
+    }
+    if (options_.method == Method::LpBound) {
+      core::LpBoundResult r = core::lp_upper_bound(problem, options_.lp, &warm);
+      require(r.status == lp::SolveStatus::Optimal, "reschedule: LP bound failed");
+      out.allocation = std::move(r.allocation);
+      out.objective = r.objective;
+      out.lp_iterations = r.iterations;
+    } else {
+      core::HeuristicResult r =
+          options_.method == Method::Lpr
+              ? core::run_lpr(problem, options_.lp, &warm)
+              : core::run_lprg(problem, options_.lp, options_.greedy, &warm);
+      require(r.status == lp::SolveStatus::Optimal,
+              std::string("reschedule: method ") + to_string(options_.method) +
+                  " failed");
+      out.allocation = std::move(r.allocation);
+      out.objective = r.objective;
+      out.lp_iterations = r.lp_iterations;
+    }
+    out.warm = warm.used;
+  }
+  out.seconds = timer.seconds();
+
+  if (out.warm) {
+    ++stats_.warm_solves;
+    stats_.warm_seconds += out.seconds;
+    stats_.warm_iterations += out.lp_iterations;
+  } else {
+    ++stats_.cold_solves;
+    stats_.cold_seconds += out.seconds;
+    stats_.cold_iterations += out.lp_iterations;
+  }
+  prev_payoffs_ = payoffs;
+  prev_allocation_ = out.allocation;
+  return out;
+}
+
+}  // namespace dls::online

@@ -1,0 +1,127 @@
+// Adaptive steady-state rescheduling for the online engine.
+//
+// Every arrival or departure changes the payoff vector of the
+// steady-state problem (clusters host at most one active application;
+// an idle cluster has payoff 0). The AdaptiveRescheduler re-solves the
+// problem at each such event, reusing work from the previous solve:
+//
+//   * LP-based methods (LPR, LPRG, LP bound) warm-start the simplex from
+//     the previous event's optimal basis (core::LpWarmStart). Both the
+//     warm and the cold path run the same solver to optimality on the
+//     same model, so the *LP relaxation objective* is provably identical
+//     either way (Method::LpBound therefore matches cold exactly); the
+//     rounding heuristics inherit that value but not the vertex, and a
+//     degenerate optimum can round to a slightly different valid
+//     allocation than the cold path's vertex would.
+//   * The greedy method can seed its residual-capacity pass from the
+//     previous allocation (core::run_greedy_warm) under
+//     WarmPolicy::Always; since greedy solves no LP, WarmPolicy::Auto
+//     runs it cold — a cold greedy is already cheap and the seeded
+//     variant trades objective for allocation stability.
+//
+// Warm-start invalidation (the "mix changed too much" rule):
+//   1. the number of clusters whose activity flipped since the last
+//      solve must not exceed max_support_change (one normal event flips
+//      exactly one), and
+//   2. the saved basis must still fit the model — under Objective::Sum
+//      the model shape is payoff-independent so this always holds, while
+//      Objective::MaxMin adds one fairness row per *active* cluster and
+//      therefore reshapes the model whenever the active count changes
+//      (warm-starts then only survive paired arrival+departure events);
+//   3. the basis must still be primal feasible — a departure that leaves
+//      load allocated to now-forbidden routes fails this check inside
+//      the solver and falls back to a cold start automatically.
+// Rules 2 and 3 are enforced by the simplex itself; the rescheduler only
+// applies rule 1 and the bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/problem.hpp"
+#include "platform/platform.hpp"
+
+namespace dls::online {
+
+enum class Method {
+  Greedy,   ///< paper §5.1 G: no LP, fastest, always valid
+  Lpr,      ///< one LP + round-down
+  Lprg,     ///< one LP + round-down + greedy reclaim (paper's best cheap mix)
+  LpBound,  ///< rational relaxation: fluid rates, fractional betas
+};
+
+[[nodiscard]] const char* to_string(Method method);
+
+enum class WarmPolicy {
+  Auto,    ///< warm-start when the invalidation rules allow (greedy: cold)
+  Never,   ///< always cold-solve (the reference behaviour)
+  Always,  ///< additionally seed the greedy from the previous allocation
+};
+
+struct ReschedulerOptions {
+  Method method = Method::Greedy;
+  core::Objective objective = core::Objective::MaxMin;
+  WarmPolicy warm = WarmPolicy::Auto;
+  /// Invalidation rule 1: cold-solve when more than this many clusters
+  /// changed between active and idle since the previous solve.
+  int max_support_change = 4;
+  lp::SimplexOptions lp;
+  core::GreedyOptions greedy;
+};
+
+/// One reschedule outcome. `warm` reports whether previous-solve state
+/// was actually reused (a warm attempt the solver rejected counts cold).
+struct Reschedule {
+  core::Allocation allocation;
+  double objective = 0.0;
+  bool warm = false;
+  double seconds = 0.0;    ///< wall time of this solve
+  int lp_iterations = 0;   ///< simplex pivots (0 for greedy)
+};
+
+class AdaptiveRescheduler {
+public:
+  AdaptiveRescheduler(const platform::Platform& plat, ReschedulerOptions options);
+
+  /// Solves the steady-state problem for the given payoff vector (one
+  /// entry per cluster, 0 = idle) and records warm state for the next
+  /// call. Throws dls::Error if the underlying method fails.
+  [[nodiscard]] Reschedule reschedule(const std::vector<double>& payoffs);
+
+  /// Drops all warm state; the next reschedule solves cold.
+  void reset();
+
+  struct Stats {
+    int warm_solves = 0;
+    int cold_solves = 0;
+    double warm_seconds = 0.0;
+    double cold_seconds = 0.0;
+    std::int64_t warm_iterations = 0;
+    std::int64_t cold_iterations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const ReschedulerOptions& options() const { return options_; }
+
+private:
+  const platform::Platform* plat_;
+  ReschedulerOptions options_;
+  /// Route tables are payoff-independent; built on the first reschedule
+  /// and re-payoffed (SteadyStateProblem::with_payoffs) on every event.
+  std::optional<core::SteadyStateProblem> base_problem_;
+  /// Factorized-basis capsule reused across LP solves. Under
+  /// Objective::Sum arrivals and departures only move variable bounds
+  /// and costs, so the capsule survives every event; under MaxMin the
+  /// model reshapes with the active count and the solver's fingerprint
+  /// check rejects it (rule 2 of the invalidation policy).
+  lp::WarmState warm_state_;
+  /// Cached fixing-free reduced model, patched per event with
+  /// update_reduced_payoffs (Sum objective only; MaxMin rebuilds).
+  std::optional<core::SteadyStateProblem::ReducedModel> reduced_cache_;
+  std::optional<core::Allocation> prev_allocation_;
+  std::vector<double> prev_payoffs_;
+  Stats stats_;
+};
+
+}  // namespace dls::online

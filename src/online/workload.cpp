@@ -1,0 +1,154 @@
+#include "online/workload.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dls::online {
+
+namespace {
+
+/// Exponential draw of the given mean via inversion; uniform01() is in
+/// [0, 1) so the log argument stays positive.
+double exponential(Rng& rng, double mean) {
+  return -mean * std::log1p(-rng.uniform01());
+}
+
+AppArrival sample_app(Rng& rng, int num_clusters, double time, double mean_load,
+                      double load_spread, double payoff_spread) {
+  AppArrival app;
+  app.time = time;
+  app.cluster = static_cast<int>(rng.index(static_cast<std::size_t>(num_clusters)));
+  app.payoff = rng.uniform(1.0 - payoff_spread, 1.0 + payoff_spread);
+  app.load = rng.uniform(mean_load * (1.0 - load_spread),
+                         mean_load * (1.0 + load_spread));
+  return app;
+}
+
+void check_sampling_params(int num_clusters, int count, double mean_load,
+                           double load_spread, double payoff_spread) {
+  require(num_clusters >= 1, "workload: need at least one cluster");
+  require(count >= 0, "workload: arrival count cannot be negative");
+  require(mean_load > 0.0, "workload: mean load must be positive");
+  require(load_spread >= 0.0 && load_spread < 1.0,
+          "workload: load spread out of [0,1)");
+  require(payoff_spread >= 0.0 && payoff_spread < 1.0,
+          "workload: payoff spread out of [0,1)");
+}
+
+std::string name_or_dash(const std::string& name) {
+  require(name.find_first_of(" \t\n") == std::string::npos,
+          "write_workload: names may not contain whitespace");
+  return name.empty() ? "-" : name;
+}
+
+}  // namespace
+
+void Workload::validate(int num_clusters) const {
+  double prev = 0.0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const AppArrival& a = arrivals[i];
+    const std::string at = " at arrival " + std::to_string(i);
+    require(std::isfinite(a.time) && a.time >= 0.0,
+            "workload: bad arrival time" + at);
+    require(a.time >= prev, "workload: arrival times must be non-decreasing" + at);
+    require(a.cluster >= 0 && a.cluster < num_clusters,
+            "workload: cluster out of range" + at);
+    require(std::isfinite(a.payoff) && a.payoff > 0.0,
+            "workload: payoff must be positive" + at);
+    require(std::isfinite(a.load) && a.load > 0.0,
+            "workload: load must be positive" + at);
+    prev = a.time;
+  }
+}
+
+Workload poisson_workload(const PoissonParams& p, int num_clusters, Rng& rng) {
+  check_sampling_params(num_clusters, p.count, p.mean_load, p.load_spread,
+                        p.payoff_spread);
+  require(p.rate > 0.0, "poisson_workload: rate must be positive");
+  Workload wl;
+  wl.arrivals.reserve(static_cast<std::size_t>(p.count));
+  double t = 0.0;
+  for (int i = 0; i < p.count; ++i) {
+    t += exponential(rng, 1.0 / p.rate);
+    wl.arrivals.push_back(sample_app(rng, num_clusters, t, p.mean_load,
+                                     p.load_spread, p.payoff_spread));
+  }
+  return wl;
+}
+
+Workload onoff_workload(const OnOffParams& p, int num_clusters, Rng& rng) {
+  check_sampling_params(num_clusters, p.count, p.mean_load, p.load_spread,
+                        p.payoff_spread);
+  require(p.burst_rate > 0.0, "onoff_workload: burst rate must be positive");
+  require(p.mean_on > 0.0 && p.mean_off >= 0.0,
+          "onoff_workload: window means must be positive");
+  Workload wl;
+  wl.arrivals.reserve(static_cast<std::size_t>(p.count));
+  double t = 0.0;
+  while (wl.size() < p.count) {
+    // One ON window: Poisson arrivals at burst_rate until the window ends.
+    const double window_end = t + exponential(rng, p.mean_on);
+    while (wl.size() < p.count) {
+      t += exponential(rng, 1.0 / p.burst_rate);
+      if (t >= window_end) break;
+      wl.arrivals.push_back(sample_app(rng, num_clusters, t, p.mean_load,
+                                       p.load_spread, p.payoff_spread));
+    }
+    t = window_end + exponential(rng, p.mean_off);
+  }
+  return wl;
+}
+
+void write_workload(const Workload& workload, std::ostream& os) {
+  os.precision(17);
+  os << "dls-workload 1\n";
+  for (const AppArrival& a : workload.arrivals)
+    os << "app " << a.time << ' ' << a.cluster << ' ' << a.payoff << ' '
+       << a.load << ' ' << name_or_dash(a.name) << '\n';
+}
+
+Workload read_workload(std::istream& is) {
+  std::string header;
+  int version = 0;
+  is >> header >> version;
+  require(is && header == "dls-workload" && version == 1,
+          "read_workload: bad header (expected 'dls-workload 1')");
+  Workload wl;
+  std::string keyword;
+  while (is >> keyword) {
+    require(keyword == "app",
+            "read_workload: unknown keyword '" + keyword + "'");
+    AppArrival a;
+    is >> a.time >> a.cluster >> a.payoff >> a.load;
+    require(static_cast<bool>(is), "read_workload: malformed app line");
+    // The name is optional: take the rest of the line, which may be
+    // empty, "-" (the writer's no-name marker), or a single token.
+    std::string rest;
+    std::getline(is, rest);
+    const std::size_t first = rest.find_first_not_of(" \t\r");
+    if (first != std::string::npos) {
+      const std::size_t last = rest.find_last_not_of(" \t\r");
+      const std::string name = rest.substr(first, last - first + 1);
+      require(name.find_first_of(" \t") == std::string::npos,
+              "read_workload: app name may not contain whitespace");
+      if (name != "-") a.name = name;
+    }
+    wl.arrivals.push_back(std::move(a));
+  }
+  return wl;
+}
+
+std::string to_text(const Workload& workload) {
+  std::ostringstream oss;
+  write_workload(workload, oss);
+  return oss.str();
+}
+
+Workload from_text(const std::string& text) {
+  std::istringstream iss(text);
+  return read_workload(iss);
+}
+
+}  // namespace dls::online

@@ -1,0 +1,95 @@
+// Online workloads: timed application arrivals for the online engine.
+//
+// The paper schedules a fixed application mix in steady state; the online
+// subsystem serves a *stream* of applications instead. An arrival is a
+// finite amount of divisible load that shows up at a home cluster at a
+// point in time, runs at whatever steady-state rate the adaptive
+// rescheduler grants it, and departs once the load drains (engine.hpp
+// owns that lifecycle).
+//
+// Three arrival models are provided:
+//   * Poisson — i.i.d. exponential inter-arrival gaps at a fixed rate,
+//     the classical open-system workload;
+//   * bursty ON/OFF — alternating exponential ON windows (arrivals at a
+//     high rate) and OFF windows (silence), modelling diurnal or
+//     campaign-driven traffic;
+//   * trace-driven — a `.workload` text file, line-oriented in the
+//     spirit of platform/serialization:
+//
+//       dls-workload 1
+//       app <arrival_time> <cluster> <payoff> <load> <name?>
+//
+//     Times must be non-decreasing; names may not contain whitespace and
+//     are written as "-" when absent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace dls::online {
+
+/// One application arrival: `load` units of divisible work appearing at
+/// cluster `cluster` at time `time`, weighted by `payoff` while active.
+struct AppArrival {
+  double time = 0.0;
+  int cluster = 0;
+  double payoff = 1.0;
+  double load = 0.0;
+  std::string name;
+};
+
+struct Workload {
+  std::vector<AppArrival> arrivals;  ///< sorted by non-decreasing time
+
+  [[nodiscard]] int size() const { return static_cast<int>(arrivals.size()); }
+  /// Throws dls::Error unless times are finite, non-negative and sorted,
+  /// clusters lie in [0, num_clusters), and payoffs/loads are positive.
+  void validate(int num_clusters) const;
+};
+
+/// Shared shape of the sampled per-application attributes: the home
+/// cluster is uniform over the platform, load is uniform in
+/// mean_load*(1 ± load_spread) and payoff uniform in 1 ± payoff_spread
+/// (the same spread convention as exp::CaseConfig).
+struct PoissonParams {
+  int count = 1000;            ///< number of arrivals to draw
+  double rate = 1.0;           ///< mean arrivals per time unit
+  double mean_load = 500.0;
+  double load_spread = 0.5;
+  double payoff_spread = 0.5;
+};
+
+/// Poisson arrival process; deterministic given (params, rng state).
+[[nodiscard]] Workload poisson_workload(const PoissonParams& params,
+                                        int num_clusters, Rng& rng);
+
+/// Bursty ON/OFF process: exponential ON windows of mean `mean_on` during
+/// which arrivals are Poisson at `burst_rate`, separated by exponential
+/// OFF windows of mean `mean_off` with no arrivals.
+struct OnOffParams {
+  int count = 1000;
+  double burst_rate = 4.0;   ///< arrivals per time unit inside a burst
+  double mean_on = 25.0;     ///< mean ON-window duration
+  double mean_off = 75.0;    ///< mean OFF-window duration
+  double mean_load = 500.0;
+  double load_spread = 0.5;
+  double payoff_spread = 0.5;
+};
+
+[[nodiscard]] Workload onoff_workload(const OnOffParams& params,
+                                      int num_clusters, Rng& rng);
+
+/// Writes the `.workload` format shown above (17 significant digits, so
+/// replays are bit-exact).
+void write_workload(const Workload& workload, std::ostream& os);
+
+/// Reads a `.workload` stream; throws dls::Error on malformed input.
+[[nodiscard]] Workload read_workload(std::istream& is);
+
+[[nodiscard]] std::string to_text(const Workload& workload);
+[[nodiscard]] Workload from_text(const std::string& text);
+
+}  // namespace dls::online

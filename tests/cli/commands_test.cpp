@@ -165,5 +165,85 @@ TEST(Cli, GeneratedPlatformRoundTripsThroughSolve) {
   std::remove(path.c_str());
 }
 
+TEST(Cli, GenerateTransitAddsRouters) {
+  const CliRun r = run({"generate", "--clusters", "4", "--seed", "2",
+                        "--connected", "--transit", "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("routers 7"), std::string::npos);
+}
+
+TEST(Cli, OnlineGreedyReplayIsDeterministic) {
+  const std::vector<std::string> args{
+      "online", "--clusters", "6", "--connected", "--arrivals", "150",
+      "--seed", "11", "--json"};
+  const CliRun a = run(args);
+  const CliRun b = run(args);
+  EXPECT_EQ(a.code, 0) << a.err;
+  EXPECT_NE(a.out.find("\"completed\":150"), std::string::npos) << a.out;
+  // Identical replays modulo wall-clock measurement fields.
+  const auto strip_timing = [](std::string s) {
+    for (const char* key : {"\"warm_seconds\"", "\"cold_seconds\"",
+                            "\"wall_seconds\""}) {
+      const std::size_t at = s.find(key);
+      if (at == std::string::npos) continue;
+      const std::size_t end = s.find_first_of(",}", s.find(':', at));
+      s.erase(at, end - at);
+    }
+    return s;
+  };
+  EXPECT_EQ(strip_timing(a.out), strip_timing(b.out));
+}
+
+TEST(Cli, OnlineRunsFromWorkloadFile) {
+  const std::string plat = make_platform_file();
+  const std::string wl = ::testing::TempDir() + "cli_test.workload";
+  {
+    std::ofstream f(wl);
+    f << "dls-workload 1\n"
+         "app 0.0 0 1.0 120 alpha\n"
+         "app 0.5 1 1.5 80 beta\n"
+         "app 0.6 0 1.0 60 gamma\n";
+  }
+  const CliRun r = run({"online", "--platform", plat, "--workload", wl,
+                        "--method", "lprg", "--objective", "sum"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("completed"), std::string::npos);
+  EXPECT_NE(r.out.find("3 arrivals"), std::string::npos);
+  std::remove(plat.c_str());
+  std::remove(wl.c_str());
+}
+
+TEST(Cli, OnlineSavesGeneratedWorkload) {
+  const std::string wl = ::testing::TempDir() + "cli_saved.workload";
+  const CliRun r = run({"online", "--clusters", "4", "--connected",
+                        "--arrivals", "20", "--seed", "3",
+                        "--arrival-model", "onoff", "--save-workload", wl});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream f(wl);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "dls-workload 1");
+  std::remove(wl.c_str());
+}
+
+TEST(Cli, OnlineSimRateModelAcceptsEveryPolicy) {
+  for (const char* policy : {"paced", "maxmin", "tcp", "window"}) {
+    const CliRun r = run({"online", "--clusters", "4", "--connected",
+                          "--arrivals", "10", "--seed", "3", "--rate-model",
+                          "sim", "--policy", policy});
+    EXPECT_EQ(r.code, 0) << policy << ": " << r.err;
+  }
+}
+
+TEST(Cli, OnlineRejectsBadOptions) {
+  EXPECT_EQ(run({"online", "--clusters", "4", "--arrivals", "5",
+                 "--method", "frob"}).code, 1);
+  EXPECT_EQ(run({"online", "--clusters", "4", "--arrivals", "5",
+                 "--warm", "maybe"}).code, 1);
+  EXPECT_EQ(run({"online", "--clusters", "4", "--arrivals", "5",
+                 "--rate-model", "quantum"}).code, 1);
+  EXPECT_EQ(run({"online", "--workload", "/nonexistent"}).code, 1);
+}
+
 }  // namespace
 }  // namespace dls::cli

@@ -108,6 +108,49 @@ TEST(Problem, BetaFixingCapsAlpha) {
   EXPECT_NEAR(zero_sol.objective, 0.0, kTol);
 }
 
+TEST(Problem, WithPayoffsSharesRoutesAndRevalidates) {
+  const auto plat = testing::two_symmetric_clusters();
+  const SteadyStateProblem base(plat, {1.0, 1.0}, Objective::Sum);
+  const SteadyStateProblem swapped = base.with_payoffs({0.0, 2.0});
+  EXPECT_EQ(&swapped.routes(), &base.routes());  // shared table, no rebuild
+  EXPECT_EQ(swapped.payoffs()[1], 2.0);
+  EXPECT_THROW((void)base.with_payoffs({0.0, 0.0}), Error);
+  EXPECT_THROW((void)base.with_payoffs({1.0}), Error);
+}
+
+TEST(Problem, UpdateReducedPayoffsMatchesFreshBuild) {
+  platform::GeneratorParams params;
+  params.num_clusters = 6;
+  params.ensure_connected = true;
+  Rng rng(3);
+  const auto plat = generate_platform(params, rng);
+  const SteadyStateProblem base(plat, std::vector<double>(6, 1.0),
+                                Objective::Sum);
+  auto cached = base.build_reduced();
+  const std::vector<double> payoffs{0.0, 1.5, 0.7, 0.0, 1.0, 2.0};
+  const SteadyStateProblem repayoffed = base.with_payoffs(payoffs);
+  repayoffed.update_reduced_payoffs(cached);
+  const auto fresh = repayoffed.build_reduced();
+  const lp::Solution a = lp::SimplexSolver().solve(cached.model);
+  const lp::Solution b = lp::SimplexSolver().solve(fresh.model);
+  ASSERT_EQ(a.status, lp::SolveStatus::Optimal);
+  ASSERT_EQ(b.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(a.objective, b.objective, kTol);
+}
+
+TEST(Problem, UpdateReducedPayoffsRejectsFixedModels) {
+  const auto plat = testing::two_symmetric_clusters();
+  const SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  const int r01 = problem.route_id(0, 1);
+  auto fixed = problem.build_reduced({{r01, 1}});
+  // Re-payoffing would overwrite the pinned (7e) alpha caps.
+  EXPECT_THROW(problem.update_reduced_payoffs(fixed), Error);
+  // MaxMin models reshape per support; also rejected.
+  const SteadyStateProblem maxmin(plat, {1.0, 1.0}, Objective::MaxMin);
+  auto mm = maxmin.build_reduced();
+  EXPECT_THROW(maxmin.update_reduced_payoffs(mm), Error);
+}
+
 TEST(Problem, FixingRejectsInvalidRoute) {
   const auto plat = testing::two_symmetric_clusters();
   SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);

@@ -1,0 +1,230 @@
+// Warm-start tests: statuses-only Basis reuse and the WarmState capsule
+// (factorized basis carried across solves of same-matrix models),
+// including the composite bound phase 1 that repairs a restored basis
+// whose basic values moved outside their bounds.
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "support/rng.hpp"
+
+namespace dls::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+/// Random bounded-variable LP with <= rows and non-negative rhs (the
+/// shape of every model in this repo: the cold all-slack start is
+/// feasible, so warm starts must win on pivots alone).
+Model random_model(Rng& rng, int vars, int rows) {
+  Model m;
+  m.set_sense(Sense::Maximize);
+  for (int j = 0; j < vars; ++j)
+    m.add_variable(0.0, rng.bernoulli(0.3) ? rng.uniform(1.0, 10.0) : kInf,
+                   rng.uniform(0.0, 5.0));
+  for (int c = 0; c < rows; ++c) {
+    std::vector<Term> terms;
+    for (int j = 0; j < vars; ++j)
+      if (rng.bernoulli(0.4)) terms.push_back({j, rng.uniform(0.1, 3.0)});
+    if (terms.empty()) terms.push_back({static_cast<int>(rng.index(vars)), 1.0});
+    m.add_constraint(std::move(terms), Relation::LessEqual,
+                     rng.uniform(5.0, 50.0));
+  }
+  // Box row over every variable so no cost direction is unbounded.
+  std::vector<Term> box;
+  for (int j = 0; j < vars; ++j) box.push_back({j, 1.0});
+  m.add_constraint(std::move(box), Relation::LessEqual, rng.uniform(50.0, 100.0));
+  return m;
+}
+
+TEST(SimplexWarm, SolutionCarriesOptimalBasis) {
+  Rng rng(3);
+  const Model m = random_model(rng, 12, 6);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  ASSERT_TRUE(s.basis.compatible(m));
+  int basics = 0;
+  for (const BasisStatus st : s.basis.variables) basics += st == BasisStatus::Basic;
+  for (const BasisStatus st : s.basis.slacks) basics += st == BasisStatus::Basic;
+  EXPECT_EQ(basics, m.num_constraints());
+}
+
+TEST(SimplexWarm, RestartFromOwnBasisTakesNoPivots) {
+  Rng rng(5);
+  const Model m = random_model(rng, 20, 10);
+  const Solution cold = SimplexSolver().solve(m);
+  ASSERT_EQ(cold.status, SolveStatus::Optimal);
+  const Solution warm = SimplexSolver().solve(m, &cold.basis);
+  ASSERT_EQ(warm.status, SolveStatus::Optimal);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_EQ(warm.iterations, 0);
+  EXPECT_NEAR(warm.objective, cold.objective, kTol);
+}
+
+TEST(SimplexWarm, PerturbedCostsReachSameOptimumWithFewerPivots) {
+  Rng rng(7);
+  int warm_pivots = 0, cold_pivots = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Model m = random_model(rng, 24, 12);
+    const Solution base = SimplexSolver().solve(m);
+    ASSERT_EQ(base.status, SolveStatus::Optimal);
+    // Perturb a few objective coefficients (an "arrival" changes costs).
+    for (int j = 0; j < m.num_variables(); ++j)
+      if (rng.bernoulli(0.2))
+        m.set_objective_coef(j, rng.uniform(0.0, 5.0));
+    const Solution cold = SimplexSolver().solve(m);
+    const Solution warm = SimplexSolver().solve(m, &base.basis);
+    ASSERT_EQ(cold.status, SolveStatus::Optimal);
+    ASSERT_EQ(warm.status, SolveStatus::Optimal);
+    EXPECT_TRUE(warm.warm_used);
+    EXPECT_NEAR(warm.objective, cold.objective, kTol)
+        << "trial " << trial << ": warm and cold optima must agree";
+    warm_pivots += warm.iterations;
+    cold_pivots += cold.iterations;
+  }
+  // A single warm solve may wander past its cold twin, but across the
+  // batch the warm starts must clearly win on pivots.
+  EXPECT_LT(warm_pivots * 2, cold_pivots);
+}
+
+TEST(SimplexWarm, IncompatibleBasisIsIgnored) {
+  Rng rng(9);
+  const Model small = random_model(rng, 6, 3);
+  const Model big = random_model(rng, 20, 10);
+  const Solution s = SimplexSolver().solve(small);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  const Solution t = SimplexSolver().solve(big, &s.basis);
+  ASSERT_EQ(t.status, SolveStatus::Optimal);
+  EXPECT_FALSE(t.warm_used);
+  const Solution ref = SimplexSolver().solve(big);
+  EXPECT_NEAR(t.objective, ref.objective, kTol);
+}
+
+TEST(SimplexWarm, TightenedBoundsAreRepairedNotRejected) {
+  // An optimal basic variable clamped to [0,0] afterwards (an online
+  // "departure") leaves the restored basis primal infeasible; the
+  // composite bound phase 1 must drive it back and still reach the new
+  // optimum cold solving finds.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Model m = random_model(rng, 24, 12);
+    const Solution base = SimplexSolver().solve(m);
+    ASSERT_EQ(base.status, SolveStatus::Optimal);
+    // Clamp the first few positive variables to zero.
+    int clamped = 0;
+    for (int j = 0; j < m.num_variables() && clamped < 4; ++j) {
+      if (base.x[j] > 0.5) {
+        m.set_bounds(j, 0.0, 0.0);
+        m.set_objective_coef(j, 0.0);
+        ++clamped;
+      }
+    }
+    ASSERT_GT(clamped, 0);
+    const Solution cold = SimplexSolver().solve(m);
+    const Solution warm = SimplexSolver().solve(m, &base.basis);
+    ASSERT_EQ(cold.status, SolveStatus::Optimal) << "trial " << trial;
+    ASSERT_EQ(warm.status, SolveStatus::Optimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, kTol) << "trial " << trial;
+    for (int j = 0; j < m.num_variables(); ++j) {
+      EXPECT_LE(warm.x[j], m.upper_bound(j) + kTol);
+      EXPECT_GE(warm.x[j], m.lower_bound(j) - kTol);
+    }
+  }
+}
+
+TEST(SimplexWarm, CapsuleChainsAcrossBoundAndCostChanges) {
+  // The WarmState capsule carries the factorized basis across a long
+  // chain of arrival-like (widen bounds, raise costs) and
+  // departure-like (clamp to zero) edits; every solve must match the
+  // plain cold optimum.
+  Rng rng(13);
+  Model m = random_model(rng, 30, 15);
+  // Start with half the variables "idle": fixed to zero.
+  std::vector<char> active(static_cast<std::size_t>(m.num_variables()), 1);
+  for (int j = 0; j < m.num_variables(); j += 2) {
+    m.set_bounds(j, 0.0, 0.0);
+    m.set_objective_coef(j, 0.0);
+    active[static_cast<std::size_t>(j)] = 0;
+  }
+  const SimplexSolver solver;
+  WarmState state;
+  int warm_used = 0;
+  for (int step = 0; step < 40; ++step) {
+    const int j = static_cast<int>(rng.index(m.num_variables()));
+    if (active[static_cast<std::size_t>(j)]) {
+      m.set_bounds(j, 0.0, 0.0);
+      m.set_objective_coef(j, 0.0);
+      active[static_cast<std::size_t>(j)] = 0;
+    } else {
+      m.set_bounds(j, 0.0, kInf);
+      m.set_objective_coef(j, rng.uniform(0.5, 5.0));
+      active[static_cast<std::size_t>(j)] = 1;
+    }
+    const Solution warm = solver.solve(m, &state);
+    const Solution cold = solver.solve(m);
+    ASSERT_EQ(warm.status, SolveStatus::Optimal) << "step " << step;
+    ASSERT_EQ(cold.status, SolveStatus::Optimal) << "step " << step;
+    EXPECT_NEAR(warm.objective, cold.objective, kTol) << "step " << step;
+    warm_used += warm.warm_used;
+  }
+  // The first solve is cold (empty capsule); the rest should all reuse it.
+  EXPECT_GE(warm_used, 39);
+}
+
+TEST(SimplexWarm, CapsuleFromDifferentMatrixIsRejected) {
+  Rng rng(17);
+  const Model a = random_model(rng, 20, 10);
+  Rng rng2(18);
+  const Model b = random_model(rng2, 20, 10);  // same shape, different rows
+  const SimplexSolver solver;
+  WarmState state;
+  const Solution sa = solver.solve(a, &state);
+  ASSERT_EQ(sa.status, SolveStatus::Optimal);
+  ASSERT_TRUE(state.valid);
+  const Solution sb = solver.solve(b, &state);
+  ASSERT_EQ(sb.status, SolveStatus::Optimal);
+  EXPECT_FALSE(sb.warm_used);  // fingerprint mismatch forces a cold start
+  const Solution ref = solver.solve(b);
+  EXPECT_NEAR(sb.objective, ref.objective, kTol);
+}
+
+TEST(SimplexWarm, CorruptedCapsuleWithDuplicateBasicsFallsBackCold) {
+  Rng rng(23);
+  const Model m = random_model(rng, 16, 8);
+  const SimplexSolver solver;
+  WarmState state;
+  const Solution base = solver.solve(m, &state);
+  ASSERT_EQ(base.status, SolveStatus::Optimal);
+  ASSERT_TRUE(state.valid);
+  // Duplicate one basic entry: statuses still count m_ basics and every
+  // listed entry is individually Basic, but the list is inconsistent.
+  ASSERT_GE(state.basic_vars.size(), 2u);
+  state.basic_vars[0] = state.basic_vars[1];
+  const Solution s = solver.solve(m, &state);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_FALSE(s.warm_used);
+  EXPECT_NEAR(s.objective, base.objective, kTol);
+}
+
+TEST(SimplexWarm, InvalidatedCapsuleForcesColdButRefreshes) {
+  Rng rng(19);
+  const Model m = random_model(rng, 16, 8);
+  const SimplexSolver solver;
+  WarmState state;
+  (void)solver.solve(m, &state);
+  ASSERT_TRUE(state.valid);
+  state.invalidate();
+  const Solution cold = solver.solve(m, &state);
+  EXPECT_FALSE(cold.warm_used);
+  EXPECT_TRUE(state.valid);  // refreshed by the solve
+  const Solution warm = solver.solve(m, &state);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_EQ(warm.iterations, 0);
+}
+
+}  // namespace
+}  // namespace dls::lp

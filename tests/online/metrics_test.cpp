@@ -1,0 +1,66 @@
+// Online metric primitives: Jain index, time-weighted means, and the
+// aggregation rules.
+#include "online/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dls::online {
+namespace {
+
+TEST(Metrics, JainIndexKnownValues) {
+  const std::vector<double> even{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(jain_index(even), 1.0);
+  const std::vector<double> one_hot{5.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(one_hot), 0.25);  // 1/n
+  const std::vector<double> half{1.0, 1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(half), 0.5);
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(Metrics, JainIndexScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(jain_index(a), jain_index(b));
+}
+
+TEST(Metrics, TimeWeightedMean) {
+  TimeWeighted tw;
+  EXPECT_DOUBLE_EQ(tw.mean(), 0.0);
+  tw.add(1.0, 3.0);   // value 1 for 3 time units
+  tw.add(5.0, 1.0);   // value 5 for 1 time unit
+  EXPECT_DOUBLE_EQ(tw.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(tw.total_weight(), 4.0);
+}
+
+TEST(Metrics, RecordIntervalSkipsZeroDuration) {
+  OnlineMetrics m;
+  const std::vector<double> rates{1.0, 2.0};
+  m.record_interval(0.0, 3.0, 10.0, rates);
+  EXPECT_DOUBLE_EQ(m.utilization.total_weight(), 0.0);
+  m.record_interval(2.0, 3.0, 10.0, rates);
+  EXPECT_DOUBLE_EQ(m.utilization.mean(), 0.3);
+  EXPECT_DOUBLE_EQ(m.active_apps.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.fairness.mean(), jain_index(rates));
+}
+
+TEST(Metrics, RecordCompletionFeedsAccumulators) {
+  OnlineMetrics m;
+  AppRecord app;
+  app.arrival = 1.0;
+  app.admit = 2.5;
+  app.depart = 7.0;
+  app.load = 100.0;
+  app.slowdown = 1.5;
+  m.record_completion(app);
+  EXPECT_DOUBLE_EQ(m.response.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(m.wait.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(m.slowdown.mean(), 1.5);
+  EXPECT_EQ(m.response.count(), 1u);
+}
+
+}  // namespace
+}  // namespace dls::online

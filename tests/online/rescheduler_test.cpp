@@ -1,0 +1,216 @@
+// Adaptive rescheduler: warm-started re-solves must match cold solves'
+// objectives (the acceptance cross-check of ISSUE 2), the invalidation
+// rules must hold, and the warm path must actually engage.
+#include "online/rescheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "platform/generator.hpp"
+
+namespace dls::online {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+platform::Platform test_platform(int k, std::uint64_t seed) {
+  platform::GeneratorParams params;
+  params.num_clusters = k;
+  params.ensure_connected = true;
+  Rng rng(seed);
+  return generate_platform(params, rng);
+}
+
+/// Arrival/departure-like payoff sequence: one cluster flips per step.
+std::vector<std::vector<double>> event_sequence(int k, int steps,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> payoffs(static_cast<std::size_t>(k), 0.0);
+  payoffs[0] = 1.0;
+  std::vector<std::vector<double>> seq{payoffs};
+  for (int s = 1; s < steps; ++s) {
+    const std::size_t c = rng.index(static_cast<std::size_t>(k));
+    payoffs[c] = payoffs[c] > 0.0 ? 0.0 : rng.uniform(0.5, 1.5);
+    // Keep at least one application active.
+    bool any = false;
+    for (double p : payoffs) any |= p > 0.0;
+    if (!any) payoffs[c] = 1.0;
+    seq.push_back(payoffs);
+  }
+  return seq;
+}
+
+/// The acceptance cross-check: for every event in the sequence, the
+/// warm-started reschedule reaches the same objective as a cold solve
+/// of the identical instance. Exact (rel_tol ~ 0) for the LP bound —
+/// warm and cold run the same solver to optimality on the same model.
+/// The rounding heuristics inherit the LP *value* but not the vertex:
+/// degenerate optima can round to slightly different valid allocations,
+/// so LPR gets a small relative band instead of equality.
+void check_warm_equals_cold(Method method, core::Objective objective,
+                            double rel_tol) {
+  const platform::Platform plat = test_platform(10, 21);
+  ReschedulerOptions warm_opt;
+  warm_opt.method = method;
+  warm_opt.objective = objective;
+  warm_opt.warm = WarmPolicy::Auto;
+  ReschedulerOptions cold_opt = warm_opt;
+  cold_opt.warm = WarmPolicy::Never;
+  AdaptiveRescheduler warm(plat, warm_opt), cold(plat, cold_opt);
+  int warm_used = 0;
+  for (const auto& payoffs : event_sequence(10, 60, 5)) {
+    const Reschedule rw = warm.reschedule(payoffs);
+    const Reschedule rc = cold.reschedule(payoffs);
+    EXPECT_NEAR(rw.objective, rc.objective,
+                kTol + rel_tol * (1.0 + rc.objective));
+    warm_used += rw.warm;
+    EXPECT_FALSE(rc.warm);
+  }
+  EXPECT_GT(warm_used, 0);
+}
+
+TEST(Rescheduler, WarmMatchesColdObjectiveLpBoundSum) {
+  check_warm_equals_cold(Method::LpBound, core::Objective::Sum, kTol);
+}
+
+TEST(Rescheduler, WarmMatchesColdObjectiveLpBoundMaxMin) {
+  check_warm_equals_cold(Method::LpBound, core::Objective::MaxMin, kTol);
+}
+
+TEST(Rescheduler, LprWarmStaysValidWhileLpValueMatchesCold) {
+  // LPR rounds the LP vertex down, and degenerate optima have several
+  // vertices, so warm and cold LPR allocations (and their objectives)
+  // may legitimately differ by the rounding loss. What must hold on
+  // every event: both allocations are valid, and both are bounded by
+  // the LP relaxation value, which IS vertex-independent (the LpBound
+  // equality tests above pin that down).
+  const platform::Platform plat = test_platform(10, 21);
+  ReschedulerOptions warm_opt;
+  warm_opt.method = Method::Lpr;
+  warm_opt.objective = core::Objective::Sum;
+  ReschedulerOptions cold_opt = warm_opt;
+  cold_opt.warm = WarmPolicy::Never;
+  AdaptiveRescheduler warm(plat, warm_opt), cold(plat, cold_opt);
+  const core::SteadyStateProblem base(plat, std::vector<double>(10, 1.0),
+                                      core::Objective::Sum);
+  int warm_used = 0;
+  for (const auto& payoffs : event_sequence(10, 40, 5)) {
+    const Reschedule rw = warm.reschedule(payoffs);
+    const Reschedule rc = cold.reschedule(payoffs);
+    const auto problem = base.with_payoffs(payoffs);
+    EXPECT_TRUE(core::validate_allocation(problem, rw.allocation).ok);
+    EXPECT_TRUE(core::validate_allocation(problem, rc.allocation).ok);
+    const double bound = core::lp_upper_bound(problem).objective;
+    EXPECT_LE(rw.objective, bound + kTol * (1.0 + bound));
+    EXPECT_LE(rc.objective, bound + kTol * (1.0 + bound));
+    warm_used += rw.warm;
+  }
+  EXPECT_GT(warm_used, 0);
+}
+
+TEST(Rescheduler, WarmEngagesAndSavesPivotsUnderSum) {
+  const platform::Platform plat = test_platform(12, 23);
+  ReschedulerOptions warm_opt;
+  warm_opt.method = Method::LpBound;
+  warm_opt.objective = core::Objective::Sum;
+  ReschedulerOptions cold_opt = warm_opt;
+  cold_opt.warm = WarmPolicy::Never;
+  AdaptiveRescheduler warm(plat, warm_opt), cold(plat, cold_opt);
+  for (const auto& payoffs : event_sequence(12, 80, 7)) {
+    (void)warm.reschedule(payoffs);
+    (void)cold.reschedule(payoffs);
+  }
+  const auto& ws = warm.stats();
+  const auto& cs = cold.stats();
+  // Under Sum the model never reshapes, so after the first (cold) solve
+  // every event warm-starts.
+  EXPECT_EQ(ws.cold_solves, 1);
+  EXPECT_EQ(ws.warm_solves, 79);
+  EXPECT_EQ(cs.warm_solves, 0);
+  // The whole point: the warm path re-optimizes in far fewer pivots.
+  EXPECT_LT(ws.warm_iterations * 2, cs.cold_iterations);
+}
+
+TEST(Rescheduler, MaxMinReshapesSoWarmOnlySurvivesSameActiveCount) {
+  const platform::Platform plat = test_platform(8, 29);
+  ReschedulerOptions opt;
+  opt.method = Method::LpBound;
+  opt.objective = core::Objective::MaxMin;
+  AdaptiveRescheduler sched(plat, opt);
+  std::vector<double> payoffs(8, 0.0);
+  payoffs[0] = payoffs[1] = 1.0;
+  (void)sched.reschedule(payoffs);
+  // Arrival: active count 2 -> 3 reshapes the MaxMin model; the capsule's
+  // fingerprint check must reject it (cold).
+  payoffs[2] = 1.0;
+  EXPECT_FALSE(sched.reschedule(payoffs).warm);
+  // Payoff value change at the same support: same shape, same matrix?
+  // MaxMin fairness rows embed the payoff *values*, so this still
+  // reshapes the matrix and must solve cold.
+  payoffs[2] = 1.2;
+  EXPECT_FALSE(sched.reschedule(payoffs).warm);
+  // Identical payoffs again: identical matrix, warm at zero distance.
+  EXPECT_TRUE(sched.reschedule(payoffs).warm);
+}
+
+TEST(Rescheduler, SupportChangeRuleForcesCold) {
+  const platform::Platform plat = test_platform(10, 31);
+  ReschedulerOptions opt;
+  opt.method = Method::LpBound;
+  opt.objective = core::Objective::Sum;
+  opt.max_support_change = 2;
+  AdaptiveRescheduler sched(plat, opt);
+  std::vector<double> payoffs(10, 1.0);
+  (void)sched.reschedule(payoffs);
+  // Three clusters drain at once: beyond the rule-1 budget, so cold.
+  payoffs[0] = payoffs[1] = payoffs[2] = 0.0;
+  EXPECT_FALSE(sched.reschedule(payoffs).warm);
+  // One flip: within budget, warm.
+  payoffs[0] = 1.0;
+  EXPECT_TRUE(sched.reschedule(payoffs).warm);
+}
+
+TEST(Rescheduler, GreedyAutoStaysColdAlwaysSeeds) {
+  const platform::Platform plat = test_platform(9, 37);
+  ReschedulerOptions opt;
+  opt.method = Method::Greedy;
+  opt.objective = core::Objective::MaxMin;
+  AdaptiveRescheduler auto_sched(plat, opt);
+  opt.warm = WarmPolicy::Always;
+  AdaptiveRescheduler seeded_sched(plat, opt);
+  const core::SteadyStateProblem base(plat, std::vector<double>(9, 1.0),
+                                      core::Objective::MaxMin);
+  for (const auto& payoffs : event_sequence(9, 30, 11)) {
+    const Reschedule a = auto_sched.reschedule(payoffs);
+    const Reschedule s = seeded_sched.reschedule(payoffs);
+    EXPECT_FALSE(a.warm);  // greedy has no LP phase to skip under Auto
+    // Both must produce valid allocations for the instance.
+    const auto problem = base.with_payoffs(payoffs);
+    EXPECT_TRUE(core::validate_allocation(problem, a.allocation).ok);
+    EXPECT_TRUE(core::validate_allocation(problem, s.allocation).ok);
+  }
+  EXPECT_GT(seeded_sched.stats().warm_solves, 0);
+}
+
+TEST(Rescheduler, RejectsAllZeroPayoffs) {
+  const platform::Platform plat = test_platform(4, 41);
+  AdaptiveRescheduler sched(plat, {});
+  EXPECT_THROW((void)sched.reschedule(std::vector<double>(4, 0.0)), Error);
+}
+
+TEST(Rescheduler, ResetDropsWarmState) {
+  const platform::Platform plat = test_platform(8, 43);
+  ReschedulerOptions opt;
+  opt.method = Method::LpBound;
+  opt.objective = core::Objective::Sum;
+  AdaptiveRescheduler sched(plat, opt);
+  std::vector<double> payoffs(8, 1.0);
+  (void)sched.reschedule(payoffs);
+  EXPECT_TRUE(sched.reschedule(payoffs).warm);
+  sched.reset();
+  EXPECT_FALSE(sched.reschedule(payoffs).warm);
+}
+
+}  // namespace
+}  // namespace dls::online

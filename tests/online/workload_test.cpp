@@ -1,0 +1,156 @@
+// Arrival models and the .workload serialization format.
+#include "online/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace dls::online {
+namespace {
+
+TEST(Workload, PoissonIsSortedDeterministicAndInRange) {
+  PoissonParams p;
+  p.count = 500;
+  p.rate = 2.0;
+  Rng a(42), b(42);
+  const Workload wa = poisson_workload(p, 8, a);
+  const Workload wb = poisson_workload(p, 8, b);
+  ASSERT_EQ(wa.size(), 500);
+  EXPECT_EQ(to_text(wa), to_text(wb));
+  EXPECT_NO_THROW(wa.validate(8));
+  double prev = 0.0;
+  for (const AppArrival& app : wa.arrivals) {
+    EXPECT_GE(app.time, prev);
+    EXPECT_GE(app.cluster, 0);
+    EXPECT_LT(app.cluster, 8);
+    EXPECT_GE(app.load, p.mean_load * (1.0 - p.load_spread) - 1e-9);
+    EXPECT_LE(app.load, p.mean_load * (1.0 + p.load_spread) + 1e-9);
+    EXPECT_GT(app.payoff, 0.0);
+    prev = app.time;
+  }
+}
+
+TEST(Workload, PoissonMeanGapMatchesRate) {
+  PoissonParams p;
+  p.count = 4000;
+  p.rate = 5.0;
+  Rng rng(7);
+  const Workload w = poisson_workload(p, 4, rng);
+  const double mean_gap = w.arrivals.back().time / p.count;
+  EXPECT_NEAR(mean_gap, 1.0 / p.rate, 0.02);
+}
+
+TEST(Workload, OnOffIsBurstier) {
+  // Same mean load of arrivals, but ON/OFF should produce a larger
+  // variance of inter-arrival gaps than Poisson at the matched mean rate.
+  const int n = 4000;
+  Rng rng(11);
+  OnOffParams oo;
+  oo.count = n;
+  oo.burst_rate = 8.0;
+  oo.mean_on = 10.0;
+  oo.mean_off = 30.0;
+  const Workload bursty = onoff_workload(oo, 4, rng);
+  EXPECT_NO_THROW(bursty.validate(4));
+
+  const double horizon = bursty.arrivals.back().time;
+  PoissonParams p;
+  p.count = n;
+  p.rate = n / horizon;  // matched mean rate
+  Rng rng2(11);
+  const Workload smooth = poisson_workload(p, 4, rng2);
+
+  const auto gap_cv2 = [](const Workload& w) {  // squared coeff. of variation
+    double mean = 0.0, m2 = 0.0;
+    const std::size_t n_gaps = w.arrivals.size() - 1;
+    for (std::size_t i = 1; i < w.arrivals.size(); ++i)
+      mean += w.arrivals[i].time - w.arrivals[i - 1].time;
+    mean /= static_cast<double>(n_gaps);
+    for (std::size_t i = 1; i < w.arrivals.size(); ++i) {
+      const double d = w.arrivals[i].time - w.arrivals[i - 1].time - mean;
+      m2 += d * d;
+    }
+    return m2 / static_cast<double>(n_gaps) / (mean * mean);
+  };
+  EXPECT_GT(gap_cv2(bursty), 2.0 * gap_cv2(smooth));
+}
+
+TEST(Workload, RoundTripsThroughText) {
+  PoissonParams p;
+  p.count = 50;
+  Rng rng(3);
+  Workload w = poisson_workload(p, 5, rng);
+  w.arrivals[0].name = "first-app";
+  const std::string text = to_text(w);
+  const Workload back = from_text(text);
+  ASSERT_EQ(back.size(), w.size());
+  EXPECT_EQ(back.arrivals[0].name, "first-app");
+  EXPECT_EQ(back.arrivals[1].name, "");
+  for (int i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(back.arrivals[i].time, w.arrivals[i].time);  // bit-exact
+    EXPECT_EQ(back.arrivals[i].cluster, w.arrivals[i].cluster);
+    EXPECT_EQ(back.arrivals[i].payoff, w.arrivals[i].payoff);
+    EXPECT_EQ(back.arrivals[i].load, w.arrivals[i].load);
+  }
+}
+
+TEST(Workload, ReaderRejectsMalformedInput) {
+  EXPECT_THROW(from_text("nonsense 1\n"), Error);
+  EXPECT_THROW(from_text("dls-workload 2\n"), Error);
+  EXPECT_THROW(from_text("dls-workload 1\nfrob 1 2 3 4 -\n"), Error);
+  EXPECT_THROW(from_text("dls-workload 1\napp 1.0 0 1.0\n"), Error);
+  EXPECT_THROW(from_text("dls-workload 1\napp 1.0 0 1.0 50 two words\n"),
+               Error);
+  EXPECT_NO_THROW(from_text("dls-workload 1\n"));
+  EXPECT_NO_THROW(from_text("dls-workload 1\napp 1.0 0 1.0 50 -\n"));
+}
+
+TEST(Workload, ReaderAcceptsOmittedNames) {
+  // The documented format marks the name optional; lines without it must
+  // not swallow the following line's keyword.
+  const Workload w = from_text(
+      "dls-workload 1\n"
+      "app 0.0 0 1.0 120\n"
+      "app 0.5 1 1.5 80 beta\n"
+      "app 0.6 0 1.0 60\n");
+  ASSERT_EQ(w.size(), 3);
+  EXPECT_EQ(w.arrivals[0].name, "");
+  EXPECT_EQ(w.arrivals[1].name, "beta");
+  EXPECT_EQ(w.arrivals[2].name, "");
+  EXPECT_DOUBLE_EQ(w.arrivals[2].load, 60.0);
+}
+
+TEST(Workload, ValidateCatchesBadStreams) {
+  Workload w;
+  w.arrivals.push_back({1.0, 0, 1.0, 10.0, ""});
+  w.arrivals.push_back({0.5, 0, 1.0, 10.0, ""});  // out of order
+  EXPECT_THROW(w.validate(4), Error);
+  w.arrivals.clear();
+  w.arrivals.push_back({1.0, 7, 1.0, 10.0, ""});  // cluster out of range
+  EXPECT_THROW(w.validate(4), Error);
+  w.arrivals.clear();
+  w.arrivals.push_back({1.0, 0, 0.0, 10.0, ""});  // zero payoff
+  EXPECT_THROW(w.validate(4), Error);
+  w.arrivals.clear();
+  w.arrivals.push_back({1.0, 0, 1.0, -1.0, ""});  // negative load
+  EXPECT_THROW(w.validate(4), Error);
+}
+
+TEST(Workload, GeneratorsRejectBadParameters) {
+  Rng rng(1);
+  PoissonParams p;
+  p.rate = 0.0;
+  EXPECT_THROW(poisson_workload(p, 4, rng), Error);
+  p = {};
+  p.load_spread = 1.0;
+  EXPECT_THROW(poisson_workload(p, 4, rng), Error);
+  EXPECT_THROW(poisson_workload({}, 0, rng), Error);
+  OnOffParams oo;
+  oo.burst_rate = -1.0;
+  EXPECT_THROW(onoff_workload(oo, 4, rng), Error);
+}
+
+}  // namespace
+}  // namespace dls::online

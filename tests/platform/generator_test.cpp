@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "platform/serialization.hpp"
 
@@ -123,6 +124,51 @@ TEST(Generator, TransitRoutersExtendPaths) {
   // All pairs still routable after subdivisions.
   for (int k = 0; k < p.num_clusters(); ++k)
     for (int l = 0; l < p.num_clusters(); ++l) EXPECT_TRUE(p.has_route(k, l));
+}
+
+TEST(Generator, TransitRoutersPreserveRouteBottlenecks) {
+  // On a tree backbone (connectivity 0, ensure_connected) every cluster
+  // pair has a unique path, so subdividing links with transit routers
+  // must leave each pair's bottleneck per-connection bandwidth exactly
+  // as it was: both halves of a split inherit the original bw.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorParams base = default_params();
+    base.connectivity = 0.0;
+    base.ensure_connected = true;
+    GeneratorParams with_transit = base;
+    with_transit.num_transit_routers = 6;
+    // Same seed: the pre-subdivision platforms are draw-for-draw equal
+    // (transit placement consumes its randomness after the links).
+    Rng ra(seed), rb(seed);
+    const Platform plain = generate_platform(base, ra);
+    const Platform transit = generate_platform(with_transit, rb);
+    ASSERT_EQ(transit.num_routers(), plain.num_routers() + 6);
+    for (int k = 0; k < plain.num_clusters(); ++k) {
+      for (int l = 0; l < plain.num_clusters(); ++l) {
+        if (k == l) continue;
+        ASSERT_TRUE(transit.has_route(k, l));
+        EXPECT_DOUBLE_EQ(transit.route_bottleneck_bw(k, l),
+                         plain.route_bottleneck_bw(k, l))
+            << "seed " << seed << " pair " << k << "->" << l;
+        // A subdivided path can only have grown in hop count.
+        EXPECT_GE(transit.route(k, l).size(), plain.route(k, l).size());
+      }
+    }
+  }
+}
+
+TEST(Generator, EnsureConnectedReachableAcrossSeeds) {
+  GeneratorParams params = default_params();
+  params.connectivity = 0.05;  // sparse random part; the tree must carry
+  params.ensure_connected = true;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const Platform p = generate_platform(params, rng);
+    for (int k = 0; k < p.num_clusters(); ++k)
+      for (int l = 0; l < p.num_clusters(); ++l)
+        ASSERT_TRUE(p.has_route(k, l))
+            << "seed " << seed << ": " << k << " cannot reach " << l;
+  }
 }
 
 TEST(Generator, RejectsBadParameters) {
