@@ -1,0 +1,180 @@
+// LP scaling bench: sparse-LU vs dense-inverse simplex across platform
+// sizes K (ISSUE 3 tentpole).
+//
+// For each K the steady-state reduced LP (Sum objective, every cluster
+// active) is cold-solved under both basis factorizations, then the
+// sparse path performs one warm (capsule) re-solve after a departure
+// event. Reported per K:
+//
+//   * cold solve seconds and simplex pivots for both paths (means over
+//     `repeats` runs; the two paths must agree on the LP objective,
+//     which this bench asserts);
+//   * warm solve seconds/pivots for the sparse capsule path;
+//   * capsule memory (WarmState::memory_bytes, nnz-scaled) against the
+//     8*m^2 bytes the retired dense-inverse capsule would have pinned.
+//
+// Platforms keep a bounded average router degree (connectivity ~ 8/K)
+// so the link-row count grows linearly with K, the way real federations
+// scale; a constant connectivity would grow m quadratically and the
+// dense baseline could not even allocate its inverse at K = 256.
+//
+// One "JSON {...}" line per K, collected into BENCH_lp_scaling.json at
+// the repo root by CI, which fails the job when the sparse path is
+// slower than the dense baseline at K >= 64. Under DLS_BENCH_SCALE < 1
+// (the CI smoke configuration) the K = 256 point is skipped: its dense
+// baseline alone takes tens of seconds.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "exp/experiment.hpp"
+#include "lp/simplex.hpp"
+#include "platform/generator.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+dls::platform::Platform make_platform(int k, std::uint64_t seed) {
+  dls::platform::GeneratorParams params;
+  params.num_clusters = k;
+  params.connectivity = std::min(0.4, 8.0 / k);
+  params.ensure_connected = true;
+  dls::Rng rng(seed + 6151 * static_cast<std::uint64_t>(k));
+  return generate_platform(params, rng);
+}
+
+struct PathResult {
+  double seconds = 0.0;
+  int pivots = 0;
+  double objective = 0.0;
+};
+
+PathResult cold_solve(const dls::lp::Model& model, dls::lp::Factorization f,
+                      int repeats) {
+  dls::lp::SimplexOptions opt;
+  opt.factorization = f;
+  opt.compute_duals = false;
+  const dls::lp::SimplexSolver solver(opt);
+  PathResult out;
+  out.seconds = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    dls::WallTimer timer;
+    const dls::lp::Solution sol = solver.solve(model);
+    // Best-of-repeats: robust against scheduler/frequency outliers that
+    // would otherwise dominate the sub-millisecond points.
+    out.seconds = std::min(out.seconds, timer.seconds());
+    if (sol.status != dls::lp::SolveStatus::Optimal) {
+      std::cerr << "lp_scaling: cold solve not optimal\n";
+      std::exit(1);
+    }
+    out.pivots = sol.iterations;
+    out.objective = sol.objective;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dls;
+  const std::uint64_t seed = exp::bench_seed();
+  const bool full = exp::bench_scale() >= 1.0;
+  // Floored at 3 even in scaled-down CI runs: the gate compares wall
+  // clocks, and best-of-one has no outlier protection.
+  const int repeats = std::max(3, exp::scaled(3));
+
+  std::cout << "# LP scaling: sparse-LU vs dense-inverse revised simplex\n"
+            << "# reduced steady-state model, Sum objective, all clusters active\n";
+
+  std::vector<std::string> json_lines;
+  std::vector<int> sizes{16, 32, 64, 128};
+  if (full) sizes.push_back(256);
+  for (const int k : sizes) {
+    const platform::Platform plat = make_platform(k, seed);
+    // Half the clusters host applications (with a payoff spread), the
+    // other half are idle CPU donors: active applications ship load to
+    // them, so the LP is contended and a departure genuinely
+    // redistributes capacity instead of leaving the old basis optimal.
+    std::vector<double> payoffs(static_cast<std::size_t>(k), 0.0);
+    for (int c = 0; c < k; c += 2)
+      payoffs[static_cast<std::size_t>(c)] = 1.0 + 0.1 * (c % 5);
+    const core::SteadyStateProblem problem(plat, payoffs, core::Objective::Sum);
+    core::SteadyStateProblem::ReducedModel reduced = problem.build_reduced();
+    const lp::Model& model = reduced.model;
+
+    std::size_t nnz = 0;
+    for (int c = 0; c < model.num_constraints(); ++c) nnz += model.row(c).size();
+
+    const PathResult dense =
+        cold_solve(model, lp::Factorization::DenseInverse, repeats);
+    const PathResult sparse =
+        cold_solve(model, lp::Factorization::SparseLu, repeats);
+    if (std::abs(dense.objective - sparse.objective) >
+        1e-6 * std::max(1.0, std::abs(dense.objective))) {
+      std::cerr << "lp_scaling: dense and sparse objectives diverge at K=" << k
+                << ": " << dense.objective << " vs " << sparse.objective << "\n";
+      return 1;
+    }
+
+    // Warm chain on the sparse path: fill the capsule, then re-solve
+    // after a departure (one cluster's payoff drops to zero — the
+    // online rescheduler's per-event shape).
+    lp::SimplexOptions warm_opt;
+    warm_opt.compute_duals = false;
+    const lp::SimplexSolver warm_solver(warm_opt);
+    lp::WarmState state;
+    (void)warm_solver.solve(model, &state);
+    std::vector<double> departed = payoffs;
+    departed[static_cast<std::size_t>((k / 2) & ~1)] = 0.0;  // an active cluster
+    const core::SteadyStateProblem after = problem.with_payoffs(departed);
+    after.update_reduced_payoffs(reduced);
+    WallTimer warm_timer;
+    const lp::Solution warm = warm_solver.solve(model, &state);
+    const double warm_seconds = warm_timer.seconds();
+    if (warm.status != lp::SolveStatus::Optimal) {
+      std::cerr << "lp_scaling: warm solve not optimal at K=" << k << "\n";
+      return 1;
+    }
+
+    const std::size_t m = static_cast<std::size_t>(model.num_constraints());
+    const std::size_t dense_binv_bytes = m * m * sizeof(double);
+    const double speedup =
+        sparse.seconds > 0.0 ? dense.seconds / sparse.seconds : 0.0;
+
+    std::cout << "K=" << k << ": m=" << model.num_constraints()
+              << " n=" << model.num_variables() << " nnz=" << nnz
+              << "; cold dense " << dense.seconds * 1e3 << " ms ("
+              << dense.pivots << " pivots) vs sparse " << sparse.seconds * 1e3
+              << " ms (" << sparse.pivots << " pivots), speedup " << speedup
+              << "x; warm " << warm_seconds * 1e3 << " ms, capsule "
+              << state.memory_bytes() << " B vs dense " << dense_binv_bytes
+              << " B\n";
+
+    std::ostringstream js;
+    js.precision(6);
+    js << "{\"bench\":\"lp_scaling\",\"k\":" << k
+       << ",\"rows\":" << model.num_constraints()
+       << ",\"cols\":" << model.num_variables() << ",\"nnz\":" << nnz
+       << ",\"repeats\":" << repeats
+       << ",\"dense_cold_seconds\":" << dense.seconds
+       << ",\"dense_pivots\":" << dense.pivots
+       << ",\"sparse_cold_seconds\":" << sparse.seconds
+       << ",\"sparse_pivots\":" << sparse.pivots
+       << ",\"speedup\":" << speedup
+       << ",\"objective\":" << sparse.objective
+       << ",\"sparse_warm_seconds\":" << warm_seconds
+       << ",\"warm_pivots\":" << warm.iterations
+       << ",\"warm_used\":" << (warm.warm_used ? "true" : "false")
+       << ",\"capsule_bytes\":" << state.memory_bytes()
+       << ",\"dense_binv_bytes\":" << dense_binv_bytes << "}";
+    json_lines.push_back(js.str());
+  }
+  for (const std::string& line : json_lines) std::cout << "JSON " << line << "\n";
+  return 0;
+}

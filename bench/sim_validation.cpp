@@ -154,12 +154,15 @@ int main() {
                             ? static_cast<double>(full_rescan) /
                                   static_cast<double>(full_inc)
                             : 0.0;
-    table.add_row({std::to_string(k), TextTable::fmt(paced_overrun.max(), 4),
-                   TextTable::fmt(maxmin_overrun.mean(), 4),
-                   TextTable::fmt(maxmin_overrun.max(), 4),
-                   TextTable::fmt(deficit.max(), 4), std::to_string(full_rescan),
-                   std::to_string(full_inc), TextTable::fmt(drop, 1) + "x",
-                   std::to_string(cases)});
+    // Empty accumulators (every rep failed) have NaN extrema; table_cell
+    // renders the placeholder and json_value keeps the JSON parseable.
+    table.add_row({std::to_string(k),
+                   table_cell(paced_overrun, paced_overrun.max(), 4),
+                   table_cell(maxmin_overrun, maxmin_overrun.mean(), 4),
+                   table_cell(maxmin_overrun, maxmin_overrun.max(), 4),
+                   table_cell(deficit, deficit.max(), 4),
+                   std::to_string(full_rescan), std::to_string(full_inc),
+                   TextTable::fmt(drop, 1) + "x", std::to_string(cases)});
 
     std::ostringstream js;
     js.precision(6);
@@ -175,7 +178,8 @@ int main() {
        << ",\"rate_recomputations_incremental\":" << full_inc
        << ",\"partial_recomputations_incremental\":" << partial_inc
        << ",\"solve_reduction\":" << drop
-       << ",\"max_engine_overrun_gap\":" << engine_gap.max()
+       << ",\"max_engine_overrun_gap\":"
+       << json_value(engine_gap, engine_gap.max(), 6)
        << ",\"wall_seconds\":" << wall << "}";
     json_lines.push_back(js.str());
   }

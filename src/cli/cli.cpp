@@ -379,8 +379,8 @@ int cmd_online(Args& args, std::ostream& out) {
   std::vector<double> responses;
   responses.reserve(report.apps.size());
   for (const auto& app : report.apps) responses.push_back(app.response());
-  const double p95 =
-      responses.empty() ? 0.0 : percentile(responses, 95.0);
+  const bool have_completions = !responses.empty();
+  const double p95 = have_completions ? percentile(responses, 95.0) : 0.0;
 
   if (json) {
     out.precision(10);
@@ -398,10 +398,17 @@ int cmd_online(Args& args, std::ostream& out) {
         << ",\"cold_seconds\":" << report.cold_seconds
         << ",\"makespan\":" << report.makespan
         << ",\"total_work\":" << report.total_work
-        << ",\"mean_response\":" << report.metrics.response.mean()
-        << ",\"p95_response\":" << p95
-        << ",\"mean_wait\":" << report.metrics.wait.mean()
-        << ",\"mean_slowdown\":" << report.metrics.slowdown.mean()
+        << ",\"mean_response\":"
+        << json_value(report.metrics.response, report.metrics.response.mean(), 10);
+    out << ",\"p95_response\":";
+    if (have_completions)
+      out << p95;
+    else
+      out << "null";
+    out << ",\"mean_wait\":"
+        << json_value(report.metrics.wait, report.metrics.wait.mean(), 10)
+        << ",\"mean_slowdown\":"
+        << json_value(report.metrics.slowdown, report.metrics.slowdown.mean(), 10)
         << ",\"mean_utilization\":" << report.metrics.utilization.mean()
         << ",\"mean_fairness\":" << report.metrics.fairness.mean()
         << ",\"mean_active\":" << report.metrics.active_apps.mean()
@@ -417,10 +424,14 @@ int cmd_online(Args& args, std::ostream& out) {
   TextTable table({"metric", "value"});
   table.add_row({"completed", std::to_string(report.completed)});
   table.add_row({"makespan", TextTable::fmt(report.makespan, 2)});
-  table.add_row({"mean response", TextTable::fmt(report.metrics.response.mean(), 3)});
-  table.add_row({"p95 response", TextTable::fmt(p95, 3)});
-  table.add_row({"mean wait", TextTable::fmt(report.metrics.wait.mean(), 3)});
-  table.add_row({"mean slowdown", TextTable::fmt(report.metrics.slowdown.mean(), 3)});
+  table.add_row({"mean response",
+                 table_cell(report.metrics.response, report.metrics.response.mean(), 3)});
+  table.add_row({"p95 response",
+                 have_completions ? TextTable::fmt(p95, 3) : std::string("-")});
+  table.add_row({"mean wait",
+                 table_cell(report.metrics.wait, report.metrics.wait.mean(), 3)});
+  table.add_row({"mean slowdown",
+                 table_cell(report.metrics.slowdown, report.metrics.slowdown.mean(), 3)});
   table.add_row({"mean utilization", TextTable::fmt(report.metrics.utilization.mean(), 4)});
   table.add_row({"mean fairness (Jain)", TextTable::fmt(report.metrics.fairness.mean(), 4)});
   table.add_row({"mean active apps", TextTable::fmt(report.metrics.active_apps.mean(), 2)});

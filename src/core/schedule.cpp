@@ -23,7 +23,10 @@ PeriodicSchedule build_periodic_schedule(const SteadyStateProblem& problem,
                                          const ScheduleOptions& options) {
   require(options.max_denominator >= 1 && options.max_period >= 1,
           "build_periodic_schedule: invalid options");
-  const ValidationReport report = validate_allocation(problem, alloc);
+  // Fractional (relaxed) betas reconstruct fine: the schedule's integer
+  // connection counts come from the rationalized rates below.
+  const ValidationReport report = validate_allocation(
+      problem, alloc, 1e-6, /*require_integer_betas=*/false);
   require(report.ok, "build_periodic_schedule: allocation is not valid: " +
                          (report.violations.empty() ? std::string("?")
                                                     : report.violations.front()));
@@ -58,27 +61,64 @@ PeriodicSchedule build_periodic_schedule(const SteadyStateProblem& problem,
   }
   if (overflow) {
     // Common-denominator fallback: floor every rate onto the grid
-    // 1/max_denominator; period is then exactly max_denominator.
+    // 1/max_denominator; period is then exactly max_denominator. The
+    // floor must be strict — nudging the product upward before flooring
+    // (the old `+ 1e-9`) rounds a rate sitting within epsilon below an
+    // integer *up*, violating the round-down capacity invariant
+    // (DESIGN.md section 4).
     period = options.max_denominator;
     for (RouteRate& rr : rates) {
       const double a = alloc.alpha(rr.k, rr.l);
       const auto num = static_cast<std::int64_t>(
-          std::floor(a * static_cast<double>(period) + 1e-9));
+          std::floor(a * static_cast<double>(period)));
       rr.rate = Rational(num, period);
     }
   }
 
   PeriodicSchedule sched;
   sched.period = period;
+  const platform::Platform& plat = problem.plat();
   for (const RouteRate& rr : rates) {
-    const std::int64_t units = rr.rate.num() * (period / rr.rate.den());
+    std::int64_t units = rr.rate.num() * (period / rr.rate.den());
     if (units <= 0) continue;
-    sched.compute.push_back({rr.k, rr.l, units});
+    int connections = 0;
     if (rr.k != rr.l) {
-      sched.transfers.push_back(
-          {rr.k, rr.l, units,
-           static_cast<int>(std::llround(alloc.beta(rr.k, rr.l)))});
+      // Connection count for (7e): the smallest number of connections
+      // whose per-connection bandwidth sustains the *scheduled* (i.e.
+      // rationalized) rate, never exceeding the allocation's beta
+      // rounded down. Rounding the relaxed beta to nearest — the old
+      // llround — could round a fractional beta up past the link's
+      // max-connect budget (7d) even when the scheduled rate never
+      // needed the extra connection; and since sum(floor(beta)) <=
+      // sum(beta) <= max-connect, the floor cap keeps every link budget
+      // intact. A rate the capped connections cannot carry is rounded
+      // down with them (the LPR treatment of fractional betas: round
+      // down, clip the rate to the rounded bandwidth).
+      // Link-free remote routes (clusters sharing a router) keep
+      // connections = 0: beta is 0 there by (7g) validation, exactly
+      // what the previous llround(beta) emitted.
+      const double pbw = plat.route_bottleneck_bw(rr.k, rr.l);
+      if (std::isfinite(pbw) && pbw > 0.0) {
+        const double needed =
+            static_cast<double>(units) / (static_cast<double>(period) * pbw);
+        // At least 1 (any positive rate ships over a connection); the
+        // comparison with `granted` stays in double so an absurd
+        // `needed` cannot overflow the int cast.
+        const double needed_conn = std::max(1.0, std::ceil(needed - 1e-9));
+        const int granted = static_cast<int>(
+            std::floor(alloc.beta(rr.k, rr.l) + 1e-9));
+        connections = static_cast<double>(granted) < needed_conn
+                          ? granted
+                          : static_cast<int>(needed_conn);
+        if (connections <= 0) continue;  // no whole connection: drop route
+        units = std::min(units,
+                         static_cast<std::int64_t>(std::floor(
+                             connections * pbw * static_cast<double>(period))));
+        if (units <= 0) continue;
+      }
     }
+    sched.compute.push_back({rr.k, rr.l, units});
+    if (rr.k != rr.l) sched.transfers.push_back({rr.k, rr.l, units, connections});
   }
   return sched;
 }

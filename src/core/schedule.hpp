@@ -61,8 +61,10 @@ struct ScheduleOptions {
 };
 
 /// Builds the periodic schedule realizing (close to) the allocation's
-/// throughput. The allocation must be valid (integral betas); throws
-/// dls::Error otherwise.
+/// throughput. The allocation must satisfy equations (7) — fractional
+/// betas are accepted (an LP-bound allocation reconstructs fine: the
+/// schedule's integer connection counts are derived from the
+/// rationalized rates, not from beta); throws dls::Error otherwise.
 [[nodiscard]] PeriodicSchedule build_periodic_schedule(
     const SteadyStateProblem& problem, const Allocation& alloc,
     const ScheduleOptions& options = {});

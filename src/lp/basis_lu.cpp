@@ -1,0 +1,330 @@
+#include "lp/basis_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace dls::lp {
+
+namespace {
+
+/// Relative stability threshold for Markowitz pivot candidates: an entry
+/// competes only when its magnitude reaches this fraction of the largest
+/// magnitude in its column (classical threshold pivoting, u = 0.1 keeps
+/// growth bounded without forcing the dense partial-pivoting order).
+constexpr double kThreshold = 0.1;
+
+/// How many minimum-count columns to examine per pivot choice. The
+/// Markowitz cost is monotone in the column count, so candidates beyond
+/// the first few smallest columns cannot win by much; bounding the scan
+/// keeps pivot selection O(1) amortized per elimination step.
+constexpr int kCandidateCols = 8;
+
+}  // namespace
+
+void BasisLu::clear() {
+  m_ = 0;
+  pivot_row_.clear();
+  pivot_col_.clear();
+  pivot_val_.clear();
+  l_start_.clear();
+  l_row_.clear();
+  l_val_.clear();
+  u_start_.clear();
+  u_col_.clear();
+  u_val_.clear();
+  eta_start_.clear();
+  eta_pos_.clear();
+  eta_val_.clear();
+  eta_pivot_pos_.clear();
+  eta_pivot_val_.clear();
+}
+
+bool BasisLu::factorize(int m, std::span<const int> col_ptr,
+                        std::span<const int> rows, std::span<const double> values,
+                        double abs_pivot_tol) {
+  clear();
+  DLS_ASSERT(static_cast<int>(col_ptr.size()) == m + 1);
+
+  // Active submatrix, column-wise with exact per-row/column counts. The
+  // row lists are supersets (stale column ids are skipped on use).
+  std::vector<std::vector<int>> col_rows(m);
+  std::vector<std::vector<double>> col_vals(m);
+  std::vector<std::vector<int>> row_cols(m);
+  std::vector<int> row_count(m, 0), col_count(m, 0);
+  for (int j = 0; j < m; ++j) {
+    for (int p = col_ptr[j]; p < col_ptr[j + 1]; ++p) {
+      const int i = rows[p];
+      const double v = values[p];
+      if (v == 0.0) continue;
+      col_rows[j].push_back(i);
+      col_vals[j].push_back(v);
+      row_cols[i].push_back(j);
+      ++row_count[i];
+      ++col_count[j];
+    }
+  }
+
+  std::vector<char> row_done(m, 0), col_done(m, 0);
+  pivot_row_.reserve(m);
+  pivot_col_.reserve(m);
+  pivot_val_.reserve(m);
+  l_start_.reserve(m + 1);
+  l_start_.push_back(0);
+  u_start_.reserve(m + 1);
+  u_start_.push_back(0);
+
+  // Singleton-column fast path: a column with one active entry has
+  // Markowitz cost (r-1)*0 = 0, the global minimum, and eliminating it
+  // produces no fill. Simplex bases are largely triangularizable (slack
+  // columns and the fronts they open), so most pivots come from this
+  // stack in O(1) instead of a column scan. Lazily validated on pop.
+  std::vector<int> singletons;
+  for (int j = 0; j < m; ++j)
+    if (col_count[j] == 1) singletons.push_back(j);
+
+  // Scratch for one elimination step: the U-row entries found in other
+  // active columns (column id + value + position inside that column).
+  std::vector<int> urow_cols;
+  std::vector<double> urow_vals;
+
+  for (int step = 0; step < m; ++step) {
+    int best_row = -1, best_col = -1;
+    double best_val = 0.0;
+    while (!singletons.empty()) {
+      const int j = singletons.back();
+      singletons.pop_back();
+      if (col_done[j] || col_count[j] != 1) continue;  // stale entry
+      const double v = col_vals[j].front();
+      if (std::fabs(v) < abs_pivot_tol) break;  // too small: full scan decides
+      best_row = col_rows[j].front();
+      best_col = j;
+      best_val = v;
+      break;
+    }
+
+    if (best_col < 0) {
+      // ---- Markowitz pivot selection ------------------------------------
+      // Scan the kCandidateCols smallest active columns; within each,
+      // only entries above the stability threshold compete. Cost
+      // estimate is the classical (row_count-1)*(col_count-1) fill bound.
+      long long best_cost = std::numeric_limits<long long>::max();
+      for (int pass = 0; pass < 2 && best_col < 0; ++pass) {
+        // Pass 0 honors the stability threshold; pass 1 (rare) accepts
+        // any entry above the absolute tolerance so near-singular bases
+        // still factorize instead of stalling.
+        // Single sweep keeping the kCandidateCols smallest active
+        // columns (insertion into a fixed-size window).
+        int order[kCandidateCols];
+        int filled = 0;
+        for (int j = 0; j < m; ++j) {
+          if (col_done[j]) continue;
+          int pos = filled;
+          while (pos > 0 && col_count[order[pos - 1]] > col_count[j]) --pos;
+          if (pos >= kCandidateCols) continue;
+          if (filled < kCandidateCols) ++filled;
+          for (int s = filled - 1; s > pos; --s) order[s] = order[s - 1];
+          order[pos] = j;
+        }
+        for (int o = 0; o < filled; ++o) {
+          const int j = order[o];
+          if (col_count[j] == 0) return false;  // structurally singular
+          double colmax = 0.0;
+          for (double v : col_vals[j]) colmax = std::max(colmax, std::fabs(v));
+          const double accept = pass == 0
+                                    ? std::max(kThreshold * colmax, abs_pivot_tol)
+                                    : abs_pivot_tol;
+          for (std::size_t p = 0; p < col_rows[j].size(); ++p) {
+            const int i = col_rows[j][p];
+            const double v = col_vals[j][p];
+            if (std::fabs(v) < accept) continue;
+            const long long cost = static_cast<long long>(row_count[i] - 1) *
+                                   static_cast<long long>(col_count[j] - 1);
+            if (cost < best_cost ||
+                (cost == best_cost && std::fabs(v) > std::fabs(best_val))) {
+              best_cost = cost;
+              best_row = i;
+              best_col = j;
+              best_val = v;
+            }
+          }
+        }
+      }
+      if (best_col < 0) return false;  // numerically singular
+    }
+
+    const int pr = best_row, pc = best_col;
+    const double pval = best_val;
+    row_done[pr] = 1;
+    col_done[pc] = 1;
+    pivot_row_.push_back(pr);
+    pivot_col_.push_back(pc);
+    pivot_val_.push_back(pval);
+
+    // ---- L column: multipliers from the pivot column --------------------
+    for (std::size_t p = 0; p < col_rows[pc].size(); ++p) {
+      const int i = col_rows[pc][p];
+      if (i == pr) continue;
+      l_row_.push_back(i);
+      l_val_.push_back(col_vals[pc][p] / pval);
+      --row_count[i];
+    }
+    l_start_.push_back(static_cast<int>(l_row_.size()));
+    col_rows[pc].clear();
+    col_rows[pc].shrink_to_fit();
+    col_vals[pc].clear();
+    col_vals[pc].shrink_to_fit();
+
+    // ---- U row: remove row pr from the other active columns -------------
+    urow_cols.clear();
+    urow_vals.clear();
+    for (const int j : row_cols[pr]) {
+      if (col_done[j]) continue;
+      // Find (pr, j); the row list is a superset, so absence is fine.
+      auto& cr = col_rows[j];
+      auto& cv = col_vals[j];
+      for (std::size_t p = 0; p < cr.size(); ++p) {
+        if (cr[p] != pr) continue;
+        urow_cols.push_back(j);
+        urow_vals.push_back(cv[p]);
+        cr[p] = cr.back();
+        cr.pop_back();
+        cv[p] = cv.back();
+        cv.pop_back();
+        if (--col_count[j] == 1) singletons.push_back(j);
+        break;
+      }
+    }
+    row_cols[pr].clear();
+    row_cols[pr].shrink_to_fit();
+    for (std::size_t q = 0; q < urow_cols.size(); ++q) {
+      u_col_.push_back(urow_cols[q]);
+      u_val_.push_back(urow_vals[q]);
+    }
+    u_start_.push_back(static_cast<int>(u_col_.size()));
+
+    // ---- Schur update: cols[j] -= l * u_j for every U entry -------------
+    const int lbeg = l_start_[step], lend = l_start_[step + 1];
+    for (std::size_t q = 0; q < urow_cols.size(); ++q) {
+      const int j = urow_cols[q];
+      const double u = urow_vals[q];
+      auto& cr = col_rows[j];
+      auto& cv = col_vals[j];
+      for (int p = lbeg; p < lend; ++p) {
+        const int i = l_row_[p];
+        const double delta = l_val_[p] * u;
+        bool found = false;
+        for (std::size_t e = 0; e < cr.size(); ++e) {
+          if (cr[e] == i) {
+            cv[e] -= delta;
+            found = true;
+            break;
+          }
+        }
+        if (!found && delta != 0.0) {  // fill-in
+          cr.push_back(i);
+          cv.push_back(-delta);
+          row_cols[i].push_back(j);
+          ++row_count[i];
+          ++col_count[j];
+        }
+      }
+    }
+  }
+
+  m_ = m;
+  eta_start_.push_back(0);
+  work_.assign(m, 0.0);
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  DLS_ASSERT(valid() && static_cast<int>(x.size()) == m_);
+  // Forward elimination: apply the L operations in pivot order.
+  for (int t = 0; t < m_; ++t) {
+    const double v = x[pivot_row_[t]];
+    if (v == 0.0) continue;
+    for (int p = l_start_[t]; p < l_start_[t + 1]; ++p) x[l_row_[p]] -= l_val_[p] * v;
+  }
+  // Back substitution into slot space.
+  work_.resize(m_);
+  for (int t = m_ - 1; t >= 0; --t) {
+    double v = x[pivot_row_[t]];
+    for (int p = u_start_[t]; p < u_start_[t + 1]; ++p)
+      v -= u_val_[p] * work_[u_col_[p]];
+    work_[pivot_col_[t]] = v / pivot_val_[t];
+  }
+  x.swap(work_);
+  // Eta file, oldest first: x <- E^{-1} x per update.
+  const int etas = eta_count();
+  for (int e = 0; e < etas; ++e) {
+    const int r = eta_pivot_pos_[e];
+    const double xr = x[r] / eta_pivot_val_[e];
+    if (xr != 0.0) {
+      for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
+        x[eta_pos_[p]] -= eta_val_[p] * xr;
+    }
+    x[r] = xr;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& y) const {
+  DLS_ASSERT(valid() && static_cast<int>(y.size()) == m_);
+  // Eta file transposed, newest first: solve E' z = y per update.
+  for (int e = eta_count() - 1; e >= 0; --e) {
+    const int r = eta_pivot_pos_[e];
+    double acc = y[r];
+    for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
+      acc -= eta_val_[p] * y[eta_pos_[p]];
+    y[r] = acc / eta_pivot_val_[e];
+  }
+  // U' forward pass (slot space in, row space out), updates scattered
+  // eagerly so each pivot's value is final when visited.
+  work_.assign(m_, 0.0);
+  for (int t = 0; t < m_; ++t) {
+    const double v = y[pivot_col_[t]] / pivot_val_[t];
+    work_[pivot_row_[t]] = v;
+    if (v == 0.0) continue;
+    for (int p = u_start_[t]; p < u_start_[t + 1]; ++p) y[u_col_[p]] -= u_val_[p] * v;
+  }
+  // L' backward pass.
+  for (int t = m_ - 1; t >= 0; --t) {
+    double acc = 0.0;
+    for (int p = l_start_[t]; p < l_start_[t + 1]; ++p)
+      acc += l_val_[p] * work_[l_row_[p]];
+    work_[pivot_row_[t]] -= acc;
+  }
+  y.swap(work_);
+}
+
+bool BasisLu::update(int r, const std::vector<double>& w, double pivot_tol) {
+  DLS_ASSERT(valid() && static_cast<int>(w.size()) == m_);
+  if (std::fabs(w[r]) <= pivot_tol) return false;
+  for (int i = 0; i < m_; ++i) {
+    if (i == r || w[i] == 0.0) continue;
+    eta_pos_.push_back(i);
+    eta_val_.push_back(w[i]);
+  }
+  eta_start_.push_back(static_cast<int>(eta_pos_.size()));
+  eta_pivot_pos_.push_back(r);
+  eta_pivot_val_.push_back(w[r]);
+  return true;
+}
+
+std::size_t BasisLu::factor_nnz() const {
+  return l_row_.size() + u_col_.size() + pivot_row_.size() + eta_pos_.size() +
+         eta_pivot_pos_.size();
+}
+
+std::size_t BasisLu::memory_bytes() const {
+  const auto ints = pivot_row_.size() + pivot_col_.size() + l_start_.size() +
+                    l_row_.size() + u_start_.size() + u_col_.size() +
+                    eta_start_.size() + eta_pos_.size() + eta_pivot_pos_.size();
+  const auto doubles = pivot_val_.size() + l_val_.size() + u_val_.size() +
+                       eta_val_.size() + eta_pivot_val_.size() + work_.size();
+  return ints * sizeof(int) + doubles * sizeof(double);
+}
+
+}  // namespace dls::lp

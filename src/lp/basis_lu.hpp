@@ -1,0 +1,102 @@
+// Sparse LU factorization of a simplex basis with product-form updates.
+//
+// The basis matrices this repo produces are extremely sparse: a slack
+// column is a singleton and an alpha column touches two gateway rows,
+// one compute row and the links of one route. BasisLu factorizes such a
+// matrix as P B Q = L U by right-looking Gaussian elimination with
+// Markowitz pivoting (minimize (r_i - 1)(c_j - 1) fill estimate among
+// entries passing a relative stability threshold within their column),
+// then answers the two solves the revised simplex needs:
+//
+//   ftran:  B x = b   (entering-column transform, basic-value recompute)
+//   btran:  B' y = c  (pricing multipliers, dual extraction)
+//
+// Between refactorizations, pivots are absorbed by an eta file: when
+// basis slot r is replaced by a column whose FTRAN image is w, the new
+// basis is B E with E = I except column r = w, so one sparse eta vector
+// per pivot extends both solves in O(nnz(w)). The owning solver bounds
+// the eta stack with its refactor interval.
+//
+// Index spaces: ftran maps a right-hand side over *rows* to a solution
+// over *basis slots* (columns); btran maps a cost vector over basis
+// slots to multipliers over rows. Eta vectors live in slot space.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dls::lp {
+
+class BasisLu {
+public:
+  /// Factorizes the m x m basis given in compressed-sparse-column form
+  /// (column j's entries are rows[col_ptr[j]..col_ptr[j+1])). Discards
+  /// any previous factorization and eta file. Returns false — leaving
+  /// the object invalid — when the matrix is numerically singular
+  /// (no remaining pivot reaches `abs_pivot_tol`).
+  bool factorize(int m, std::span<const int> col_ptr, std::span<const int> rows,
+                 std::span<const double> values, double abs_pivot_tol = 1e-12);
+
+  /// True once factorize() has succeeded (updates keep it true).
+  [[nodiscard]] bool valid() const { return m_ > 0; }
+  /// Dimension of the factorized basis; 0 when invalid.
+  [[nodiscard]] int dimension() const { return m_; }
+
+  /// Solves B x = b in place: `x` holds b over rows on entry and the
+  /// solution over basis slots on return.
+  void ftran(std::vector<double>& x) const;
+
+  /// Solves B' y = c in place: `y` holds c over basis slots on entry and
+  /// the solution over rows on return.
+  void btran(std::vector<double>& y) const;
+
+  /// Product-form update after a simplex pivot: slot `r` of the basis is
+  /// replaced by a column whose FTRAN image is `w` (dense, slot space).
+  /// Returns false without changing anything when |w[r]| <= pivot_tol —
+  /// the caller should refactorize from the updated basis instead.
+  bool update(int r, const std::vector<double>& w, double pivot_tol);
+
+  /// Number of eta vectors appended since the last factorize().
+  [[nodiscard]] int eta_count() const { return static_cast<int>(eta_pivot_pos_.size()); }
+  /// Nonzeros held: L + U + pivots + eta file.
+  [[nodiscard]] std::size_t factor_nnz() const;
+  /// Heap bytes of the factorization (what a warm-start capsule carries;
+  /// scales with nnz, not with dimension squared).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Returns to the invalid (never-factorized) state and frees storage.
+  void clear();
+
+private:
+  int m_ = 0;
+
+  // Pivot sequence t = 0..m-1: row, basis slot (column), pivot value.
+  std::vector<int> pivot_row_;
+  std::vector<int> pivot_col_;
+  std::vector<double> pivot_val_;
+
+  // L: per pivot, the elimination multipliers (row index, value), unit
+  // diagonal implicit. Applied in pivot order during ftran.
+  std::vector<int> l_start_;  // size m+1
+  std::vector<int> l_row_;
+  std::vector<double> l_val_;
+
+  // U: per pivot, the eliminated row's surviving entries keyed by the
+  // basis slot that will be pivoted later. Back-substituted in reverse
+  // pivot order.
+  std::vector<int> u_start_;  // size m+1
+  std::vector<int> u_col_;
+  std::vector<double> u_val_;
+
+  // Eta file: per update, the pivot slot, w[r], and the other nonzeros.
+  std::vector<int> eta_start_;  // size eta_count+1
+  std::vector<int> eta_pos_;
+  std::vector<double> eta_val_;
+  std::vector<int> eta_pivot_pos_;
+  std::vector<double> eta_pivot_val_;
+
+  mutable std::vector<double> work_;  ///< solve scratch (single-threaded use)
+};
+
+}  // namespace dls::lp

@@ -20,7 +20,10 @@ enum class VarStatus : unsigned char { Basic, AtLower, AtUpper, Free };
 ///   [n+m, n+2m)       artificial of row i at index n+m+i
 class Worker {
 public:
-  Worker(const Model& model, const SimplexOptions& opt) : model_(model), opt_(opt) {
+  Worker(const Model& model, const SimplexOptions& opt)
+      : model_(model),
+        opt_(opt),
+        dense_(opt.factorization == Factorization::DenseInverse) {
     n_ = model.num_variables();
     m_ = model.num_constraints();
     total_ = n_ + 2 * m_;
@@ -198,7 +201,7 @@ private:
 
     basis_.resize(m_);
     xb_.resize(m_);
-    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    if (dense_) binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
     need_phase1_ = false;
     for (int i = 0; i < m_; ++i) {
       const int s = n_ + i;
@@ -207,7 +210,7 @@ private:
         basis_[i] = s;
         xb_[i] = r[i];
         status_[s] = VarStatus::Basic;
-        binv_at(i, i) = 1.0;
+        if (dense_) binv_at(i, i) = 1.0;
       } else {
         // Park the slack at the violated side's bound and absorb the
         // remainder into a fresh artificial of matching sign.
@@ -222,9 +225,15 @@ private:
         basis_[i] = a;
         xb_[i] = std::fabs(residual);
         status_[a] = VarStatus::Basic;
-        binv_at(i, i) = art_sign_[i];  // B = diag(sigma) on artificial rows
+        if (dense_) binv_at(i, i) = art_sign_[i];  // B = diag(sigma) on art. rows
         need_phase1_ = true;
       }
+    }
+    if (!dense_) {
+      // The all-logical start is diagonal (+/-1), so factorizing cannot
+      // fail; it also recomputes xb_, reproducing the values above.
+      const bool ok = refactor();
+      DLS_ASSERT(ok);
     }
     pivots_since_refactor_ = 0;
     iters_ = 0;
@@ -281,10 +290,10 @@ private:
     return true;
   }
 
-  /// Restores a statuses-only basis: B^{-1} must be rebuilt from scratch
-  /// (O(m^3) Gauss-Jordan). Returns false — leaving the caller to run
-  /// the cold start — when the basis has the wrong cardinality, is
-  /// singular, or is no longer primal feasible.
+  /// Restores a statuses-only basis: the factorization must be rebuilt
+  /// from scratch. Returns false — leaving the caller to run the cold
+  /// start — when the basis has the wrong cardinality, is singular, or
+  /// is no longer primal feasible.
   bool init_basis_warm(const Basis& warm) {
     if (static_cast<int>(warm.variables.size()) != n_ ||
         static_cast<int>(warm.slacks.size()) != m_)
@@ -298,22 +307,24 @@ private:
     // Artificials stay pinned at their [0,0] bounds from build_bounds_and_costs.
 
     xb_.assign(m_, 0.0);
-    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    if (dense_) binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
     pivots_since_refactor_ = 0;
     if (!refactor()) return false;
     return finish_warm_init();
   }
 
-  /// Restores a capsule: statuses plus the saved basis inverse, O(m^2).
-  /// Requires the capsule to come from the same constraint matrix (the
-  /// fingerprint check); bounds, costs and rhs may differ. The capsule's
-  /// heavy buffers are *moved* into the worker (the capsule is marked
-  /// consumed); save_state moves them back after an Optimal solve.
+  /// Restores a capsule: statuses plus the saved factorization, O(m +
+  /// nnz). Requires the capsule to come from the same constraint matrix
+  /// (the fingerprint check); bounds, costs and rhs may differ. The
+  /// capsule's heavy buffers are *moved* into the worker (the capsule is
+  /// marked consumed); save_state moves them back after an Optimal
+  /// solve. A capsule without a usable factorization (saved by the
+  /// dense-inverse path, or consumed under a different Factorization)
+  /// still warm-starts from its basic set via a refactorization.
   bool init_from_state(WarmState& state) {
     if (static_cast<int>(state.basis.variables.size()) != n_ ||
         static_cast<int>(state.basis.slacks.size()) != m_ ||
         static_cast<int>(state.basic_vars.size()) != m_ ||
-        state.binv.size() != static_cast<std::size_t>(m_) * m_ ||
         state.fingerprint != fingerprint_)
       return false;
     status_.assign(total_, VarStatus::AtLower);
@@ -325,7 +336,7 @@ private:
     for (int j = 0; j < n_ + m_; ++j) basics += status_[j] == VarStatus::Basic;
     if (basics != m_) return false;
     // Each Basic-marked variable must appear in basic_vars exactly once;
-    // a duplicate entry would desynchronize basis_ from status_/binv_.
+    // a duplicate entry would desynchronize basis_ from the factorization.
     std::vector<char> seen(static_cast<std::size_t>(n_ + m_), 0);
     for (int b : state.basic_vars) {
       if (b < 0 || b >= n_ + m_ || status_[b] != VarStatus::Basic ||
@@ -334,9 +345,16 @@ private:
       seen[static_cast<std::size_t>(b)] = 1;
     }
     basis_ = std::move(state.basic_vars);
-    binv_ = std::move(state.binv);
     state.valid = false;  // consumed; save_state re-validates after the solve
-    pivots_since_refactor_ = state.pivots_since_refactor;
+    if (!dense_ && state.lu.dimension() == m_) {
+      lu_ = std::move(state.lu);
+      pivots_since_refactor_ = state.pivots_since_refactor;
+    } else {
+      xb_.assign(m_, 0.0);
+      if (dense_) binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+      pivots_since_refactor_ = 0;
+      if (!refactor()) return false;
+    }
     return finish_warm_init();
   }
 
@@ -353,7 +371,10 @@ private:
       }
     state.basis = sol.basis;
     state.basic_vars = std::move(basis_);
-    state.binv = std::move(binv_);
+    if (dense_)
+      state.lu.clear();  // the dense inverse is not persisted
+    else
+      state.lu = std::move(lu_);
     state.pivots_since_refactor = pivots_since_refactor_;
     state.fingerprint = fingerprint_;
     state.valid = true;
@@ -435,15 +456,26 @@ private:
       if (iters_ >= max_iters) return SolveStatus::IterationLimit;
 
       // BTRAN: y = c_B' B^{-1}.
-      std::fill(y.begin(), y.end(), 0.0);
-      for (int i = 0; i < m_; ++i) {
-        const double cb = basis_cost(i);
-        if (cb == 0.0) continue;
-        const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-        for (int k = 0; k < m_; ++k) y[k] += cb * row[k];
+      if (dense_) {
+        std::fill(y.begin(), y.end(), 0.0);
+        for (int i = 0; i < m_; ++i) {
+          const double cb = basis_cost(i);
+          if (cb == 0.0) continue;
+          const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+          for (int k = 0; k < m_; ++k) y[k] += cb * row[k];
+        }
+      } else {
+        for (int i = 0; i < m_; ++i) y[i] = basis_cost(i);
+        lu_.btran(y);
       }
 
-      // Pricing.
+      // Pricing. Dantzig scores that are mathematically tied differ only
+      // by representation noise (dense inverse vs LU arithmetic), so a
+      // candidate must beat the incumbent by a relative margin to take
+      // over — ties then resolve to the lowest index whichever basis
+      // factorization computed y, keeping the visited vertex (and the
+      // rounding heuristics built on it) stable across representations.
+      constexpr double kTieMargin = 1e-9;
       int q = -1;
       bool increase = true;
       double best_score = opt_.opt_tol;
@@ -458,17 +490,23 @@ private:
           if (can_up && d < -opt_.opt_tol) { q = j; increase = true; break; }
           if (can_down && d > opt_.opt_tol) { q = j; increase = false; break; }
         } else {
-          if (can_up && -d > best_score) { best_score = -d; q = j; increase = true; }
-          if (can_down && d > best_score) { best_score = d; q = j; increase = false; }
+          const double bar = best_score * (1.0 + kTieMargin);
+          if (can_up && -d > bar) { best_score = -d; q = j; increase = true; }
+          if (can_down && d > bar) { best_score = d; q = j; increase = false; }
         }
       }
       if (q < 0) return SolveStatus::Optimal;
 
       // FTRAN: w = B^{-1} A_q.
       std::fill(w.begin(), w.end(), 0.0);
-      for_each_in_column(q, [&](int row, double coef) {
-        for (int i = 0; i < m_; ++i) w[i] += binv_at(i, row) * coef;
-      });
+      if (dense_) {
+        for_each_in_column(q, [&](int row, double coef) {
+          for (int i = 0; i < m_; ++i) w[i] += binv_at(i, row) * coef;
+        });
+      } else {
+        for_each_in_column(q, [&](int row, double coef) { w[row] += coef; });
+        lu_.ftran(w);
+      }
 
       const double dir = increase ? 1.0 : -1.0;
 
@@ -511,9 +549,13 @@ private:
         if (limit == kInf) continue;
         limit = std::max(limit, 0.0);  // clamp tolerance-level negatives
         // Prefer strictly smaller limits; on near-ties keep the row with
-        // the largest pivot magnitude for numerical stability.
+        // the largest pivot magnitude for numerical stability. The pivot
+        // comparison carries the same relative margin as pricing so that
+        // mathematically tied pivots resolve by row order, not by
+        // factorization-dependent noise.
         if (limit < t_best - 1e-12 ||
-            (limit < t_best + 1e-12 && std::fabs(w[i]) > std::fabs(leave_pivot))) {
+            (limit < t_best + 1e-12 &&
+             std::fabs(w[i]) > std::fabs(leave_pivot) * (1.0 + kTieMargin))) {
           t_best = limit;
           leave = i;
           leave_pivot = w[i];
@@ -557,7 +599,13 @@ private:
       status_[q] = VarStatus::Basic;
       xb_[leave] = enter_value;
 
-      update_binv(leave, w);
+      if (dense_) {
+        update_binv(leave, w);
+      } else if (!lu_.update(leave, w, opt_.pivot_tol)) {
+        // The ratio test guarantees a usable pivot, so this is a pure
+        // numerical-drift escape hatch: rebuild from the updated basis.
+        if (!refactor()) return SolveStatus::NumericalError;
+      }
 
       if (++pivots_since_refactor_ >= refactor_interval()) {
         if (!refactor()) return SolveStatus::NumericalError;
@@ -566,7 +614,12 @@ private:
   }
 
   int refactor_interval() const {
-    return std::max(opt_.refactor_interval, m_ / 4);
+    // Dense Gauss-Jordan rebuilds are O(m^3), so they are spaced out on
+    // big bases. A sparse refactorization costs O(nnz + fill) — there
+    // the eta file is the real per-iteration cost and the configured
+    // interval is used as-is.
+    return dense_ ? std::max(opt_.refactor_interval, m_ / 4)
+                  : opt_.refactor_interval;
   }
 
   /// Elementary row transformation of B^{-1} for a pivot in row r with
@@ -585,10 +638,27 @@ private:
     }
   }
 
-  /// Rebuilds B^{-1} by Gauss-Jordan with partial pivoting and recomputes
-  /// the basic values from scratch. Returns false on a singular basis.
+  /// Rebuilds the basis factorization from scratch and recomputes the
+  /// basic values. SparseLu gathers the basic columns in CSC form and
+  /// runs the Markowitz LU; DenseInverse runs the legacy Gauss-Jordan
+  /// inversion. Returns false on a singular basis.
   bool refactor() {
     pivots_since_refactor_ = 0;
+    if (!dense_) {
+      csc_ptr_.assign(m_ + 1, 0);
+      csc_row_.clear();
+      csc_val_.clear();
+      for (int i = 0; i < m_; ++i) {
+        for_each_in_column(basis_[i], [&](int row, double coef) {
+          csc_row_.push_back(row);
+          csc_val_.push_back(coef);
+        });
+        csc_ptr_[i + 1] = static_cast<int>(csc_row_.size());
+      }
+      if (!lu_.factorize(m_, csc_ptr_, csc_row_, csc_val_)) return false;
+      recompute_basic_values();
+      return true;
+    }
     // Gather B (dense, column per basic variable).
     scratch_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
     for (int i = 0; i < m_; ++i) {
@@ -631,12 +701,18 @@ private:
     return true;
   }
 
-  /// x_B = B^{-1} (b - N x_N) from the current inverse and nonbasic values.
+  /// x_B = B^{-1} (b - N x_N) from the current factorization and
+  /// nonbasic values.
   void recompute_basic_values() {
     std::vector<double> r = b_;
     for (int j = 0; j < total_; ++j) {
       if (status_[j] == VarStatus::Basic || value_[j] == 0.0) continue;
       for_each_in_column(j, [&](int row, double coef) { r[row] -= coef * value_[j]; });
+    }
+    if (!dense_) {
+      lu_.ftran(r);
+      xb_ = std::move(r);
+      return;
     }
     for (int i = 0; i < m_; ++i) {
       double v = 0.0;
@@ -705,11 +781,16 @@ private:
         // Shadow prices: y = c_B' B^{-1} of the internal minimize form,
         // negated back for Maximize so duals are d(objective)/d(rhs).
         sol.duals.assign(m_, 0.0);
-        for (int i = 0; i < m_; ++i) {
-          const double cb = cost_[basis_[i]];
-          if (cb == 0.0) continue;
-          const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-          for (int k = 0; k < m_; ++k) sol.duals[k] += cb * row[k];
+        if (dense_) {
+          for (int i = 0; i < m_; ++i) {
+            const double cb = cost_[basis_[i]];
+            if (cb == 0.0) continue;
+            const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+            for (int k = 0; k < m_; ++k) sol.duals[k] += cb * row[k];
+          }
+        } else {
+          for (int i = 0; i < m_; ++i) sol.duals[i] = cost_[basis_[i]];
+          lu_.btran(sol.duals);
         }
         if (model_.sense() == Sense::Maximize)
           for (double& d : sol.duals) d = -d;
@@ -723,6 +804,7 @@ private:
 
   const Model& model_;
   const SimplexOptions& opt_;
+  bool dense_ = false;  ///< Factorization::DenseInverse baseline path
   int n_ = 0, m_ = 0, total_ = 0;
 
   // Column-wise structural matrix.
@@ -735,7 +817,10 @@ private:
   std::vector<double> value_;  // nonbasic resting values (basics in xb_)
   std::vector<int> basis_;
   std::vector<double> xb_;
-  std::vector<double> binv_, scratch_;
+  BasisLu lu_;                         // sparse path
+  std::vector<int> csc_ptr_, csc_row_; // basis-gather scratch (sparse path)
+  std::vector<double> csc_val_;
+  std::vector<double> binv_, scratch_; // dense path
 
   double rhs_scale_ = 1.0;
   std::uint64_t fingerprint_ = 0;  ///< computed only when a capsule is in play
@@ -752,6 +837,12 @@ private:
 bool Basis::compatible(const Model& model) const {
   return static_cast<int>(variables.size()) == model.num_variables() &&
          static_cast<int>(slacks.size()) == model.num_constraints();
+}
+
+std::size_t WarmState::memory_bytes() const {
+  return basis.variables.size() * sizeof(BasisStatus) +
+         basis.slacks.size() * sizeof(BasisStatus) +
+         basic_vars.size() * sizeof(int) + lu.memory_bytes() + sizeof(*this);
 }
 
 Solution SimplexSolver::solve(const Model& model, const Basis* warm) const {

@@ -6,10 +6,14 @@
 //     bounds (<=: [0,inf), >=: (-inf,0], =: [0,0]);
 //   * nonbasic variables sit at a finite bound (or at 0 if free); basic
 //     values are x_B = B^{-1}(b - N x_N);
-//   * the basis inverse is kept as a dense matrix updated by elementary
-//     row operations at each pivot and rebuilt from scratch (Gauss-Jordan
-//     with partial pivoting) every `refactor_interval` pivots to bound
-//     numerical drift;
+//   * the basis is kept factorized. The default representation is a
+//     sparse Markowitz LU with product-form (eta) updates per pivot
+//     (lp/basis_lu.hpp), answering the FTRAN/BTRAN solves in O(nnz);
+//     the original dense explicit inverse — elementary row updates,
+//     Gauss-Jordan rebuilds — survives as Factorization::DenseInverse,
+//     the measured baseline of bench/lp_scaling.cpp. Either way the
+//     factorization is rebuilt every `refactor_interval` pivots to
+//     bound numerical drift;
 //   * feasibility is restored in phase 1 by per-row artificial columns
 //     (+/- e_i) minimized to zero, after which their bounds collapse to
 //     [0,0] and phase 2 optimizes the true objective;
@@ -20,24 +24,35 @@
 // (the "LP" upper-bound comparator and the LPR/LPRG/LPRR heuristics).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "lp/basis_lu.hpp"
 #include "lp/model.hpp"
 #include "lp/types.hpp"
 
 namespace dls::lp {
+
+/// Basis representation used by the solver.
+enum class Factorization : unsigned char {
+  SparseLu,      ///< Markowitz LU + eta updates (default; O(nnz) solves)
+  DenseInverse,  ///< explicit m x m inverse (legacy baseline; O(m^2) solves)
+};
 
 struct SimplexOptions {
   double feas_tol = 1e-7;    ///< bound/row violation considered zero
   double opt_tol = 1e-9;     ///< reduced-cost threshold for optimality
   double pivot_tol = 1e-9;   ///< smallest acceptable pivot magnitude
   int max_iterations = 0;    ///< 0 = automatic (scales with model size)
-  int refactor_interval = 100;  ///< pivots between basis-inverse rebuilds
+  int refactor_interval = 100;  ///< pivots between basis refactorizations
   int stall_limit = 500;     ///< degenerate pivots before switching to Bland
-  /// Fill Solution::duals (an O(m^2) extraction). The adaptive
-  /// rescheduler turns this off: its per-event solves never read duals.
+  /// Fill Solution::duals (one extra BTRAN). The adaptive rescheduler
+  /// turns this off: its per-event solves never read duals.
   bool compute_duals = true;
+  /// Basis representation; SparseLu unless a bench/test wants the dense
+  /// baseline.
+  Factorization factorization = Factorization::SparseLu;
 };
 
 /// Resting place of one variable in a basis snapshot.
@@ -59,27 +74,34 @@ struct Basis {
   [[nodiscard]] bool compatible(const Model& model) const;
 };
 
-/// Persistent warm-start capsule: the statuses PLUS the factorized basis
-/// inverse, carried across solves of models that share one constraint
-/// matrix (bounds, costs and rhs may change freely — the adaptive
-/// rescheduler's arrival/departure re-solves). Restoring from a capsule
-/// costs O(m^2) (copy + basic-value recompute) instead of the O(m^3)
-/// refactorization a statuses-only Basis needs, which is what makes
-/// warm solves cheaper than cold ones even on models whose cold start
-/// needs no phase 1. A fingerprint of the constraint rows guards reuse:
-/// a capsule taken from a different matrix is ignored. solve() both
-/// consumes and refreshes the capsule, so callers just keep handing the
-/// same object back.
+/// Persistent warm-start capsule: the statuses PLUS the factorized
+/// basis (sparse LU + eta file), carried across solves of models that
+/// share one constraint matrix (bounds, costs and rhs may change freely
+/// — the adaptive rescheduler's arrival/departure re-solves). Restoring
+/// from a capsule costs O(m + nnz) (move + basic-value recompute)
+/// instead of the refactorization a statuses-only Basis needs, which is
+/// what makes warm solves cheaper than cold ones even on models whose
+/// cold start needs no phase 1; capsule memory scales with the
+/// factorization's nonzeros, not with m^2. A fingerprint of the
+/// constraint rows guards reuse: a capsule taken from a different
+/// matrix is ignored. solve() both consumes and refreshes the capsule,
+/// so callers just keep handing the same object back. A capsule written
+/// by a Factorization::DenseInverse solve carries no factorization (the
+/// dense inverse is not persisted); restoring it refactorizes from the
+/// saved basic set instead.
 struct WarmState {
   Basis basis;
   std::vector<int> basic_vars;   ///< row -> basic variable (internal index)
-  std::vector<double> binv;      ///< row-major m x m basis inverse
+  BasisLu lu;                    ///< factorized basis + eta stack (may be empty)
   int pivots_since_refactor = 0; ///< drift budget carried across solves
   std::uint64_t fingerprint = 0; ///< constraint-matrix hash
   bool valid = false;
 
   /// Forces the next solve cold while still refreshing the capsule.
   void invalidate() { valid = false; }
+
+  /// Heap footprint of the capsule (statuses + basic set + factorization).
+  [[nodiscard]] std::size_t memory_bytes() const;
 };
 
 /// Result of a solve. `x` has one entry per model variable.

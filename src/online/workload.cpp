@@ -83,7 +83,7 @@ Workload onoff_workload(const OnOffParams& p, int num_clusters, Rng& rng) {
                         p.payoff_spread);
   require(p.burst_rate > 0.0, "onoff_workload: burst rate must be positive");
   require(p.mean_on > 0.0 && p.mean_off >= 0.0,
-          "onoff_workload: window means must be positive");
+          "onoff_workload: mean_on must be positive and mean_off non-negative");
   Workload wl;
   wl.arrivals.reserve(static_cast<std::size_t>(p.count));
   double t = 0.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "support/error.hpp"
 
@@ -28,8 +30,26 @@ double Accumulator::stddev() const {
   return std::sqrt(m2_ / static_cast<double>(n_ - 1));
 }
 
-double Accumulator::min() const { return min_; }
-double Accumulator::max() const { return max_; }
+double Accumulator::min() const {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+double Accumulator::max() const {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+std::string table_cell(const Accumulator& acc, double value, int precision) {
+  if (acc.count() == 0) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string json_value(const Accumulator& acc, double value, int precision) {
+  if (acc.count() == 0) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return buf;
+}
 
 double mean(std::span<const double> xs) {
   Accumulator acc;

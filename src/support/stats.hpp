@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace dls {
@@ -16,6 +17,9 @@ public:
   [[nodiscard]] double mean() const;
   /// Sample standard deviation (n-1 denominator); 0 for n < 2.
   [[nodiscard]] double stddev() const;
+  /// Smallest/largest value added; quiet NaN while empty (an empty
+  /// extremum has no honest numeric value — callers that print tables
+  /// should render it as a placeholder, not as a fabricated 0).
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double sum() const { return sum_; }
@@ -28,6 +32,19 @@ private:
   double max_ = 0.0;
   double sum_ = 0.0;
 };
+
+/// Renders an accumulator-derived statistic (`acc.mean()`, `acc.max()`,
+/// ...) for a text table: fixed-precision number, or "-" when the
+/// accumulator is empty — the aggregate of nothing has no honest value
+/// and must not print as a fabricated 0 (or as "nan" for the extrema).
+[[nodiscard]] std::string table_cell(const Accumulator& acc, double value,
+                                     int precision);
+
+/// Same rule for JSON emission: the number, or the literal `null` when
+/// the accumulator is empty (keeps the output parseable — "nan" is not
+/// valid JSON).
+[[nodiscard]] std::string json_value(const Accumulator& acc, double value,
+                                     int precision);
 
 /// Arithmetic mean; 0 for an empty span.
 [[nodiscard]] double mean(std::span<const double> xs);

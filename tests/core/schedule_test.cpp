@@ -122,6 +122,100 @@ TEST(Schedule, CommonDenominatorFallbackBoundsPeriod) {
   EXPECT_TRUE(validate_schedule(problem, sched).ok);
 }
 
+TEST(Schedule, FallbackFloorsStrictlyAtIntegerBoundaries) {
+  // Regression: the common-denominator fallback used to compute
+  // floor(a * period + 1e-9), which rounds a rate sitting within epsilon
+  // *below* an integer up — violating the round-down capacity invariant
+  // (DESIGN.md section 4). The boundary rate here is 5/period minus
+  // 1e-13: the old code scheduled 5 units (throughput above the
+  // allocation), the strict floor schedules 4.
+  const int n = 2;
+  platform::Platform plat;
+  for (int i = 0; i < n; ++i) {
+    const auto r = plat.add_router();
+    plat.add_cluster(1000, 10, r);
+  }
+  plat.compute_shortest_path_routes();
+  SteadyStateProblem problem(plat, std::vector<double>(n, 1.0), Objective::Sum);
+  Allocation alloc(n);
+  alloc.set_alpha(0, 0, 1.0 / 997.0);  // prime denominator forces the fallback
+  const double boundary = (5.0 - 1e-10) / 1000.0;  // a * 1000 = 5 - 1e-10
+  alloc.set_alpha(1, 1, boundary);
+  ScheduleOptions opt;
+  opt.max_denominator = 1000;
+  opt.max_period = 500;  // lcm(997, ...) cannot fit: fallback engages
+  const auto sched = build_periodic_schedule(problem, alloc, opt);
+  ASSERT_EQ(sched.period, 1000);
+  EXPECT_EQ(sched.load_per_period(1), 4);  // floor, not round-to-nearest
+  EXPECT_LE(sched.throughput(1), boundary);
+  EXPECT_TRUE(validate_schedule(problem, sched).ok);
+}
+
+TEST(Schedule, ConnectionsFollowScheduledRateNotRelaxedBeta) {
+  // Regression: connection counts used to be llround(beta). With the
+  // relaxed (fractional) betas of an LP-bound allocation summing to the
+  // link budget, nearest-rounding pushed the per-period counts past
+  // max-connect (7d) and validate_schedule rejected the reconstruction.
+  // The counts must instead be the least number of connections that
+  // sustains the *scheduled* rate.
+  const auto plat = testing::two_symmetric_clusters();  // bw 10, maxcon 4
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  Allocation alloc(2);
+  alloc.set_alpha(0, 1, 9.0);   // needs ceil(9/10)  = 1 connection
+  alloc.set_beta(0, 1, 1.5);    // llround would take 2
+  alloc.set_alpha(1, 0, 14.0);  // needs ceil(14/10) = 2 connections
+  alloc.set_beta(1, 0, 2.5);    // llround would take 3 -> 5 > maxcon 4
+  ASSERT_TRUE(validate_allocation(problem, alloc, 1e-6,
+                                  /*require_integer_betas=*/false)
+                  .ok);
+  const auto sched = build_periodic_schedule(problem, alloc);
+  ASSERT_EQ(sched.transfers.size(), 2u);
+  for (const Transfer& t : sched.transfers) {
+    const double pbw = plat.route_bottleneck_bw(t.from, t.to);
+    const int needed = static_cast<int>(std::ceil(
+        static_cast<double>(t.units) /
+            (static_cast<double>(sched.period) * pbw) -
+        1e-9));
+    EXPECT_EQ(t.connections, std::max(1, needed));
+  }
+  EXPECT_TRUE(validate_schedule(problem, sched).ok)
+      << "llround-derived counts would exceed the (7d) budget here";
+}
+
+TEST(Schedule, RateBeyondFlooredBetaIsRoundedDown) {
+  // A rate that genuinely needs ceil(beta) connections cannot have them
+  // when the fractional betas sum to the link budget: ceil(2.5) +
+  // ceil(1.5) = 5 > maxcon 4. The reconstruction must instead round the
+  // connections down to floor(beta) (whose sum always fits the budget)
+  // and clip the shipped units to what those connections sustain — the
+  // LPR treatment of fractional betas — rather than return a schedule
+  // that validate_schedule rejects.
+  const auto plat = testing::two_symmetric_clusters();  // bw 10, maxcon 4
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  Allocation alloc(2);
+  alloc.set_alpha(0, 1, 25.0);  // needs 3 connections, beta grants 2
+  alloc.set_beta(0, 1, 2.5);
+  alloc.set_alpha(1, 0, 15.0);  // needs 2 connections, beta grants 1
+  alloc.set_beta(1, 0, 1.5);
+  ASSERT_TRUE(validate_allocation(problem, alloc, 1e-6,
+                                  /*require_integer_betas=*/false)
+                  .ok);
+  const auto sched = build_periodic_schedule(problem, alloc);
+  EXPECT_TRUE(validate_schedule(problem, sched).ok);
+  ASSERT_EQ(sched.transfers.size(), 2u);
+  for (const Transfer& t : sched.transfers) {
+    const double cap =
+        t.connections * plat.route_bottleneck_bw(t.from, t.to) *
+        static_cast<double>(sched.period);
+    EXPECT_LE(static_cast<double>(t.units), cap + 1e-9);
+  }
+  // Connections rounded down to the granted whole ones, units clipped.
+  EXPECT_EQ(sched.transfers[0].connections, 2);
+  EXPECT_EQ(sched.transfers[0].units, 20);
+  EXPECT_EQ(sched.transfers[1].connections, 1);
+  EXPECT_EQ(sched.transfers[1].units, 10);
+}
+
 TEST(Schedule, ValidateCatchesOverloadedPeriod) {
   const auto plat = testing::two_symmetric_clusters();
   SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);

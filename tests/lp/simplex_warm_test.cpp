@@ -226,5 +226,175 @@ TEST(SimplexWarm, InvalidatedCapsuleForcesColdButRefreshes) {
   EXPECT_EQ(warm.iterations, 0);
 }
 
+// ---- LP edge cases the LU path must preserve (ISSUE 3) ---------------------
+
+SimplexOptions with_factorization(Factorization f) {
+  SimplexOptions opt;
+  opt.factorization = f;
+  return opt;
+}
+
+const Factorization kBothPaths[] = {Factorization::SparseLu,
+                                    Factorization::DenseInverse};
+
+TEST(SimplexLu, SingularWarmBasisIsRejectedNotCrashed) {
+  // Two structurally identical columns marked basic make the warm basis
+  // singular; the refactorization must fail cleanly and fall back cold.
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x0 = m.add_variable(0.0, 10.0, 3.0);
+  const int x1 = m.add_variable(0.0, 10.0, 2.0);
+  m.add_constraint({{x0, 1.0}, {x1, 1.0}}, Relation::LessEqual, 8.0);
+  m.add_constraint({{x0, 2.0}, {x1, 2.0}}, Relation::LessEqual, 30.0);
+
+  Basis singular;
+  singular.variables = {BasisStatus::Basic, BasisStatus::Basic};
+  singular.slacks = {BasisStatus::AtLower, BasisStatus::AtLower};
+
+  for (const Factorization f : kBothPaths) {
+    const SimplexSolver solver(with_factorization(f));
+    const Solution warm = solver.solve(m, &singular);
+    ASSERT_EQ(warm.status, SolveStatus::Optimal);
+    EXPECT_FALSE(warm.warm_used);  // singular basis silently discarded
+    const Solution cold = solver.solve(m);
+    EXPECT_NEAR(warm.objective, cold.objective, kTol);
+  }
+}
+
+TEST(SimplexLu, RefactorIntervalDriftRecovery) {
+  // Forcing a refactorization after (nearly) every pivot and never
+  // refactorizing inside a solve must both reach the default path's
+  // optimum: the factorization rebuild may not disturb the iterate.
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Model m = random_model(rng, 24, 12);
+    const Solution ref = SimplexSolver().solve(m);
+    ASSERT_EQ(ref.status, SolveStatus::Optimal);
+    for (const Factorization f : kBothPaths) {
+      SimplexOptions eager = with_factorization(f);
+      eager.refactor_interval = 1;
+      SimplexOptions lazy = with_factorization(f);
+      lazy.refactor_interval = 1'000'000;
+      const Solution se = SimplexSolver(eager).solve(m);
+      const Solution sl = SimplexSolver(lazy).solve(m);
+      ASSERT_EQ(se.status, SolveStatus::Optimal) << "trial " << trial;
+      ASSERT_EQ(sl.status, SolveStatus::Optimal) << "trial " << trial;
+      EXPECT_NEAR(se.objective, ref.objective, kTol) << "trial " << trial;
+      EXPECT_NEAR(sl.objective, ref.objective, kTol) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SimplexLu, BlandAntiCyclingAfterStallStillReachesOptimum) {
+  // stall_limit = 0 flips to Bland's rule after the first degenerate
+  // pivot; on a highly degenerate model (many zero-rhs rows) both
+  // factorizations must still terminate at the reference optimum.
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    Model m;
+    m.set_sense(Sense::Maximize);
+    const int vars = 10;
+    for (int j = 0; j < vars; ++j) m.add_variable(0.0, kInf, rng.uniform(0.5, 2.0));
+    for (int c = 0; c < 6; ++c) {
+      std::vector<Term> terms;
+      for (int j = 0; j < vars; ++j)
+        if (rng.bernoulli(0.5)) terms.push_back({j, rng.uniform(0.2, 2.0)});
+      if (terms.empty()) terms.push_back({0, 1.0});
+      // Half the rows are degenerate (rhs 0), forcing zero-length steps.
+      m.add_constraint(std::move(terms), Relation::LessEqual,
+                       rng.bernoulli(0.5) ? 0.0 : rng.uniform(1.0, 10.0));
+    }
+    std::vector<Term> box;
+    for (int j = 0; j < vars; ++j) box.push_back({j, 1.0});
+    m.add_constraint(std::move(box), Relation::LessEqual, 50.0);
+
+    const Solution ref = SimplexSolver().solve(m);
+    ASSERT_EQ(ref.status, SolveStatus::Optimal);
+    for (const Factorization f : kBothPaths) {
+      SimplexOptions opt = with_factorization(f);
+      opt.stall_limit = 0;
+      const Solution s = SimplexSolver(opt).solve(m);
+      ASSERT_EQ(s.status, SolveStatus::Optimal) << "trial " << trial;
+      EXPECT_NEAR(s.objective, ref.objective, kTol) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SimplexLu, WarmAndColdAgreeUnderBothFactorizations) {
+  // The capsule-chain invariant re-run explicitly against the sparse LU
+  // path and the dense baseline: every warm solve must match its cold
+  // twin's objective, and the two factorizations must agree with each
+  // other.
+  for (const Factorization f : kBothPaths) {
+    Rng rng(37);
+    Model m = random_model(rng, 24, 12);
+    const SimplexSolver solver(with_factorization(f));
+    WarmState state;
+    for (int step = 0; step < 15; ++step) {
+      const int j = static_cast<int>(rng.index(m.num_variables()));
+      if (m.upper_bound(j) == 0.0) {
+        m.set_bounds(j, 0.0, kInf);
+        m.set_objective_coef(j, rng.uniform(0.5, 5.0));
+      } else {
+        m.set_bounds(j, 0.0, 0.0);
+        m.set_objective_coef(j, 0.0);
+      }
+      const Solution warm = solver.solve(m, &state);
+      const Solution cold = solver.solve(m);
+      ASSERT_EQ(warm.status, SolveStatus::Optimal) << "step " << step;
+      ASSERT_EQ(cold.status, SolveStatus::Optimal) << "step " << step;
+      EXPECT_NEAR(warm.objective, cold.objective, kTol) << "step " << step;
+    }
+  }
+}
+
+TEST(SimplexLu, SparseCapsuleShrinksBelowDenseInverse) {
+  // The memory claim behind the migration: on a model shaped like ours
+  // (each column touches a handful of rows) the capsule's factorization
+  // footprint must scale with the basis nonzeros, far below the 8*m^2
+  // bytes the dense inverse used to pin.
+  Rng rng(41);
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int rows = 120, vars = 240;
+  std::vector<std::vector<Term>> row_terms(rows);
+  for (int j = 0; j < vars; ++j) {
+    m.add_variable(0.0, kInf, rng.uniform(0.5, 3.0));
+    // Each variable appears in 2-3 rows, like an alpha column touching
+    // its gateway rows plus a link row.
+    const int touches = 2 + static_cast<int>(rng.index(2));
+    for (int t = 0; t < touches; ++t)
+      row_terms[rng.index(rows)].push_back({j, rng.uniform(0.2, 2.0)});
+  }
+  for (int c = 0; c < rows; ++c) {
+    if (row_terms[c].empty()) row_terms[c].push_back({c % vars, 1.0});
+    m.add_constraint(std::move(row_terms[c]), Relation::LessEqual,
+                     rng.uniform(5.0, 50.0));
+  }
+  const SimplexSolver solver;
+  WarmState state;
+  const Solution s = solver.solve(m, &state);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  ASSERT_TRUE(state.valid);
+  const std::size_t dense_bytes = static_cast<std::size_t>(m.num_constraints()) *
+                                  static_cast<std::size_t>(m.num_constraints()) *
+                                  sizeof(double);
+  // The eta file accumulated since the last refactorization dominates a
+  // fresh capsule, so the margin here is modest; it widens with m (the
+  // lp_scaling bench tracks the production-size ratio).
+  EXPECT_LT(state.memory_bytes(), dense_bytes / 2);
+
+  // A tighter refactor interval compacts the eta file and shrinks the
+  // capsule further.
+  SimplexOptions tight;
+  tight.refactor_interval = 10;
+  WarmState small_state;
+  const Solution s2 = SimplexSolver(tight).solve(m, &small_state);
+  ASSERT_EQ(s2.status, SolveStatus::Optimal);
+  ASSERT_TRUE(small_state.valid);
+  EXPECT_LT(small_state.memory_bytes(), dense_bytes / 4);
+  EXPECT_LE(small_state.memory_bytes(), state.memory_bytes());
+}
+
 }  // namespace
 }  // namespace dls::lp

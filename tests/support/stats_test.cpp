@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "support/error.hpp"
@@ -14,6 +15,18 @@ TEST(Accumulator, EmptyIsZero) {
   EXPECT_EQ(acc.count(), 0u);
   EXPECT_EQ(acc.mean(), 0.0);
   EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, EmptyMinMaxAreNaNNotFabricatedZeros) {
+  // Regression: an empty accumulator used to report min() == max() == 0,
+  // which downstream tables printed as if an application had completed
+  // instantly. The extrema of nothing are NaN; callers render "-".
+  Accumulator acc;
+  EXPECT_TRUE(std::isnan(acc.min()));
+  EXPECT_TRUE(std::isnan(acc.max()));
+  acc.add(-3.0);
+  EXPECT_EQ(acc.min(), -3.0);
+  EXPECT_EQ(acc.max(), -3.0);
 }
 
 TEST(Accumulator, SingleValue) {
