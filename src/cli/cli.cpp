@@ -6,6 +6,7 @@
 
 #include "cli/args.hpp"
 #include "core/heuristics.hpp"
+#include "dynamics/events.hpp"
 #include "core/npc/reduction.hpp"
 #include "core/schedule.hpp"
 #include "exp/experiment.hpp"
@@ -30,6 +31,8 @@ void print_usage(std::ostream& os) {
         "  sweep      run heuristics over many random platforms in parallel\n"
         "  online     replay a stream of application arrivals with adaptive\n"
         "             warm-started rescheduling\n"
+        "  dynamics   replay a workload against a platform-event trace\n"
+        "             (failures, drift, churn) and report the degradation\n"
         "  reduce     build the NP-hardness instance from a graph file\n"
         "  help       show this message\n"
         "see src/cli/cli.hpp for the full option list\n";
@@ -278,20 +281,21 @@ int cmd_sweep(Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_online(Args& args, std::ostream& out) {
-  // Platform: a file, or generated in-memory from the `generate` options.
+/// Platform for the online/dynamics replays: a file, or generated
+/// in-memory from the `generate` options.
+platform::Platform platform_from_args(Args& args, std::uint64_t seed) {
   const std::string platform_path = args.get_string("platform", "");
-  const std::uint64_t seed = args.get_u64("seed", 1);
-  platform::Platform plat = [&] {
-    if (!platform_path.empty()) return load_platform(platform_path);
-    platform::GeneratorParams params = generator_params_from_args(args);
-    Rng rng(seed);
-    return generate_platform(params, rng);
-  }();
+  if (!platform_path.empty()) return load_platform(platform_path);
+  platform::GeneratorParams params = generator_params_from_args(args);
+  Rng rng(seed);
+  return generate_platform(params, rng);
+}
 
-  // Workload: a .workload trace, or sampled from an arrival model. The
-  // workload stream is split off the platform seed so the same seed can
-  // replay one workload over several platforms and vice versa.
+/// Workload: a .workload trace, or sampled from an arrival model. The
+/// workload stream is split off the platform seed so the same seed can
+/// replay one workload over several platforms and vice versa.
+online::Workload workload_from_args(Args& args, int num_clusters,
+                                    std::uint64_t seed) {
   const std::string workload_path = args.get_string("workload", "");
   const std::string model = args.get_string("arrival-model", "poisson");
   online::Workload workload = [&] {
@@ -309,7 +313,7 @@ int cmd_online(Args& args, std::ostream& out) {
       p.mean_load = args.get_double("mean-load", 500);
       p.load_spread = args.get_double("load-spread", 0.5);
       p.payoff_spread = args.get_double("payoff-spread", 0.5);
-      return online::poisson_workload(p, plat.num_clusters(), rng);
+      return online::poisson_workload(p, num_clusters, rng);
     }
     if (model == "onoff") {
       online::OnOffParams p;
@@ -320,7 +324,7 @@ int cmd_online(Args& args, std::ostream& out) {
       p.mean_load = args.get_double("mean-load", 500);
       p.load_spread = args.get_double("load-spread", 0.5);
       p.payoff_spread = args.get_double("payoff-spread", 0.5);
-      return online::onoff_workload(p, plat.num_clusters(), rng);
+      return online::onoff_workload(p, num_clusters, rng);
     }
     throw Error("--arrival-model: expected 'poisson' or 'onoff'");
   }();
@@ -330,7 +334,12 @@ int cmd_online(Args& args, std::ostream& out) {
     require(static_cast<bool>(file), "cannot write '" + save_workload + "'");
     online::write_workload(workload, file);
   }
+  return workload;
+}
 
+/// Scheduling options shared by `online` and `dynamics`. `warm_name`
+/// receives the --warm spelling for reporting.
+online::OnlineOptions online_options_from_args(Args& args, std::string* warm_name) {
   online::OnlineOptions options;
   const std::string method = args.get_string("method", "g");
   if (method == "g") {
@@ -355,6 +364,7 @@ int cmd_online(Args& args, std::ostream& out) {
   } else {
     throw Error("--warm: expected auto|never|always");
   }
+  if (warm_name != nullptr) *warm_name = warm;
   options.sched.max_support_change =
       args.get_int("max-support-change", options.sched.max_support_change);
   const std::string rate_model = args.get_string("rate-model", "fluid");
@@ -368,6 +378,16 @@ int cmd_online(Args& args, std::ostream& out) {
   } else {
     throw Error("--rate-model: expected fluid|sim");
   }
+  return options;
+}
+
+int cmd_online(Args& args, std::ostream& out) {
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const platform::Platform plat = platform_from_args(args, seed);
+  const online::Workload workload =
+      workload_from_args(args, plat.num_clusters(), seed);
+  std::string warm;
+  const online::OnlineOptions options = online_options_from_args(args, &warm);
   const bool json = args.get_flag("json");
   args.reject_unknown();
 
@@ -446,6 +466,132 @@ int cmd_online(Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_dynamics(Args& args, std::ostream& out) {
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const platform::Platform plat = platform_from_args(args, seed);
+  const online::Workload workload =
+      workload_from_args(args, plat.num_clusters(), seed);
+  std::string warm;
+  const online::OnlineOptions options = online_options_from_args(args, &warm);
+
+  // Event trace: a .events file, or a generated failure/drift/churn
+  // scenario (one ChurnScenarioGrid cell). The horizon defaults to
+  // stretching past the arrival stream so late drains still see events;
+  // the trace stream is split off both the platform and workload seeds.
+  const std::string events_path = args.get_string("events", "");
+  const dynamics::EventTrace trace = [&] {
+    if (!events_path.empty()) {
+      std::ifstream in(events_path);
+      require(static_cast<bool>(in),
+              "cannot open events file '" + events_path + "'");
+      return dynamics::read_events(in);
+    }
+    const double last_arrival =
+        workload.arrivals.empty() ? 0.0 : workload.arrivals.back().time;
+    const double event_rate = args.get_double("event-rate", 0.02);
+    const double severity = args.get_double("severity", 0.5);
+    const double horizon = args.get_double("horizon", 2.0 * last_arrival + 100.0);
+    Rng rng(seed ^ 0x5bf03635d2d741efULL);
+    return dynamics::scenario_trace(event_rate, severity, horizon, plat, rng);
+  }();
+  const std::string save_events = args.get_string("save-events", "");
+  if (!save_events.empty()) {
+    std::ofstream file(save_events);
+    require(static_cast<bool>(file), "cannot write '" + save_events + "'");
+    dynamics::write_events(trace, file);
+  }
+  const bool json = args.get_flag("json");
+  args.reject_unknown();
+
+  // Replay twice: the static platform is the degradation baseline.
+  const online::OnlineEngine engine(plat, options);
+  WallTimer timer;
+  const online::OnlineReport base = engine.run(workload);
+  const double base_wall = timer.seconds();
+  WallTimer dyn_timer;
+  const online::OnlineReport dyn = engine.run(workload, trace);
+  const double dyn_wall = dyn_timer.seconds();
+
+  const auto ratio = [](double dynamic, double baseline) {
+    return baseline > 0.0 ? dynamic / baseline : 0.0;
+  };
+  const double response_degradation =
+      ratio(dyn.metrics.response.mean(), base.metrics.response.mean());
+  const double slowdown_degradation =
+      ratio(dyn.metrics.slowdown.mean(), base.metrics.slowdown.mean());
+  const double warm_ms =
+      dyn.warm_solves > 0 ? 1e3 * dyn.warm_seconds / dyn.warm_solves : 0.0;
+  const double cold_ms =
+      dyn.cold_solves > 0 ? 1e3 * dyn.cold_seconds / dyn.cold_solves : 0.0;
+
+  if (json) {
+    // Deterministic by construction: counts and metrics only, no wall
+    // times — the same seed reproduces this line bit for bit.
+    out.precision(10);
+    out << "{\"command\":\"dynamics\",\"clusters\":" << plat.num_clusters()
+        << ",\"method\":\"" << to_string(options.sched.method) << "\""
+        << ",\"objective\":\"" << to_string(options.sched.objective) << "\""
+        << ",\"warm_policy\":\"" << warm << "\""
+        << ",\"arrivals\":" << dyn.arrivals
+        << ",\"trace_events\":" << trace.size()
+        << ",\"platform_events\":" << dyn.platform_events
+        << ",\"completed\":" << dyn.completed
+        << ",\"aborted\":" << dyn.aborted
+        << ",\"rejected\":" << dyn.rejected
+        << ",\"reschedules\":" << dyn.reschedules
+        << ",\"warm_solves\":" << dyn.warm_solves
+        << ",\"repaired_solves\":" << dyn.repaired_solves
+        << ",\"cold_solves\":" << dyn.cold_solves
+        << ",\"makespan\":" << dyn.makespan
+        << ",\"total_work\":" << dyn.total_work
+        << ",\"mean_response\":"
+        << json_value(dyn.metrics.response, dyn.metrics.response.mean(), 10)
+        << ",\"mean_slowdown\":"
+        << json_value(dyn.metrics.slowdown, dyn.metrics.slowdown.mean(), 10)
+        << ",\"mean_utilization\":" << dyn.metrics.utilization.mean()
+        << ",\"baseline_completed\":" << base.completed
+        << ",\"baseline_makespan\":" << base.makespan
+        << ",\"baseline_mean_response\":"
+        << json_value(base.metrics.response, base.metrics.response.mean(), 10)
+        << ",\"baseline_mean_slowdown\":"
+        << json_value(base.metrics.slowdown, base.metrics.slowdown.mean(), 10)
+        << ",\"response_degradation\":" << response_degradation
+        << ",\"slowdown_degradation\":" << slowdown_degradation << "}\n";
+    return 0;
+  }
+
+  out << "dynamics: " << dyn.arrivals << " arrivals vs " << trace.size()
+      << " platform events on " << plat.num_clusters() << " clusters, method "
+      << to_string(options.sched.method) << ", objective "
+      << to_string(options.sched.objective) << ", warm " << warm << "\n";
+  TextTable table({"metric", "static", "dynamic"});
+  table.add_row({"completed", std::to_string(base.completed),
+                 std::to_string(dyn.completed)});
+  table.add_row({"aborted / rejected", "0 / 0",
+                 std::to_string(dyn.aborted) + " / " + std::to_string(dyn.rejected)});
+  table.add_row({"makespan", TextTable::fmt(base.makespan, 2),
+                 TextTable::fmt(dyn.makespan, 2)});
+  table.add_row({"mean response",
+                 table_cell(base.metrics.response, base.metrics.response.mean(), 3),
+                 table_cell(dyn.metrics.response, dyn.metrics.response.mean(), 3)});
+  table.add_row({"mean slowdown",
+                 table_cell(base.metrics.slowdown, base.metrics.slowdown.mean(), 3),
+                 table_cell(dyn.metrics.slowdown, dyn.metrics.slowdown.mean(), 3)});
+  table.add_row({"mean utilization",
+                 TextTable::fmt(base.metrics.utilization.mean(), 4),
+                 TextTable::fmt(dyn.metrics.utilization.mean(), 4)});
+  table.print(out);
+  out << "degradation: response x" << TextTable::fmt(response_degradation, 3)
+      << ", slowdown x" << TextTable::fmt(slowdown_degradation, 3) << "\n";
+  out << "dynamic reschedules: " << dyn.reschedules << " (" << dyn.warm_solves
+      << " warm, of which " << dyn.repaired_solves << " basis-repaired; "
+      << dyn.cold_solves << " cold); " << TextTable::fmt(warm_ms, 3)
+      << " ms/warm vs " << TextTable::fmt(cold_ms, 3) << " ms/cold; wall "
+      << TextTable::fmt(base_wall, 2) << "s static + "
+      << TextTable::fmt(dyn_wall, 2) << "s dynamic\n";
+  return 0;
+}
+
 int cmd_reduce(Args& args, std::ostream& out) {
   const std::string path = args.get_string("graph", "");
   args.reject_unknown();
@@ -487,6 +633,7 @@ int run_cli(std::vector<std::string> args, std::ostream& out, std::ostream& err)
     if (cmd == "simulate") return cmd_simulate(parsed, out);
     if (cmd == "sweep") return cmd_sweep(parsed, out);
     if (cmd == "online") return cmd_online(parsed, out);
+    if (cmd == "dynamics") return cmd_dynamics(parsed, out);
     if (cmd == "reduce") return cmd_reduce(parsed, out);
     err << "dls: unknown command '" << cmd << "'\n";
     print_usage(err);

@@ -25,6 +25,15 @@
 //                 [--save-workload FILE] [--json]
 //                 (replay an online arrival stream with adaptive
 //                  warm-started rescheduling; see src/online/)
+//   dls dynamics  --platform FILE | <generate options>
+//                 [--workload FILE | <online workload options>]
+//                 [--events FILE | --event-rate R --severity S --horizon H]
+//                 [--method ...] [--objective ...] [--warm ...] [--seed n]
+//                 [--save-events FILE] [--save-workload FILE] [--json]
+//                 (replay a workload against a platform-event trace —
+//                  link failures, bandwidth drift, cluster churn — and
+//                  report the degradation vs the static platform plus the
+//                  warm/repaired/cold re-solve split; see src/dynamics/)
 //   dls reduce    --graph FILE   (edge list: "n m" then m lines "u v")
 //   dls help
 //

@@ -52,6 +52,10 @@ struct LpWarmStart {
   /// heuristic builds its own.
   const SteadyStateProblem::ReducedModel* reduced = nullptr;
   bool used = false;  ///< set by the heuristic: the seed was accepted
+  /// How the relaxation solve was seeded (lp::WarmKind::Basis = the
+  /// capsule was repaired across a constraint-matrix change, see
+  /// lp::SimplexOptions::warm_repair).
+  lp::WarmKind kind = lp::WarmKind::Cold;
 };
 
 /// What the greedy does when an application picks its local cluster but

@@ -51,7 +51,10 @@ lp::Solution solve_relaxation(const SteadyStateProblem::ReducedModel& reduced,
   lp::Solution sol = warm != nullptr && warm->state != nullptr
                          ? solver.solve(reduced.model, warm->state)
                          : solver.solve(reduced.model);
-  if (warm != nullptr) warm->used = sol.warm_used;
+  if (warm != nullptr) {
+    warm->used = sol.warm_used;
+    warm->kind = sol.warm_kind;
+  }
   return sol;
 }
 

@@ -120,7 +120,10 @@ SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
                      plat_->cluster(l).speed, "speed_" + std::to_string(l));
   }
 
-  // (7c) gateway capacity.
+  // (7c) gateway capacity. A cluster with no remote routes (single-
+  // cluster or fully-disconnected platforms, churned-out clusters) sends
+  // no gateway traffic at all: emitting its row would add a degenerate
+  // 0 <= g_k constraint (and a slack column) per isolated cluster.
   for (int k = 0; k < n; ++k) {
     std::vector<lp::Term> terms;
     for (int l = 0; l < n; ++l) {
@@ -130,6 +133,7 @@ SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
       if (const int in_r = route_id(l, k); in_r >= 0)
         terms.push_back({out.alpha_var[in_r], 1.0});
     }
+    if (terms.empty()) continue;
     m.add_constraint(std::move(terms), lp::Relation::LessEqual,
                      plat_->cluster(k).gateway_bw, "gateway_" + std::to_string(k));
   }
@@ -220,7 +224,7 @@ SteadyStateProblem::FullModel SteadyStateProblem::build_full(bool integer_betas)
     m.add_constraint(std::move(terms), lp::Relation::LessEqual,
                      plat_->cluster(l).speed, "speed_" + std::to_string(l));
   }
-  for (int k = 0; k < n; ++k) {  // (7c)
+  for (int k = 0; k < n; ++k) {  // (7c); isolated clusters skip their row
     std::vector<lp::Term> terms;
     for (int l = 0; l < n; ++l) {
       if (l == k) continue;
@@ -229,6 +233,7 @@ SteadyStateProblem::FullModel SteadyStateProblem::build_full(bool integer_betas)
       if (const int in_r = route_id(l, k); in_r >= 0)
         terms.push_back({out.alpha_var[in_r], 1.0});
     }
+    if (terms.empty()) continue;
     m.add_constraint(std::move(terms), lp::Relation::LessEqual,
                      plat_->cluster(k).gateway_bw, "gateway_" + std::to_string(k));
   }

@@ -1,0 +1,134 @@
+#include "dynamics/dynamic_platform.hpp"
+
+#include <utility>
+
+namespace dls::dynamics {
+
+const char* to_string(ChangeScope scope) {
+  switch (scope) {
+    case ChangeScope::None: return "none";
+    case ChangeScope::Capacity: return "capacity";
+    case ChangeScope::Topology: return "topology";
+  }
+  return "?";
+}
+
+ChangeScope merge_scope(ChangeScope a, ChangeScope b) {
+  return static_cast<ChangeScope>(
+      std::max(static_cast<unsigned char>(a), static_cast<unsigned char>(b)));
+}
+
+DynamicPlatform::DynamicPlatform(platform::Platform base)
+    : plat_(std::move(base)),
+      present_(plat_.num_clusters(), 1),
+      saved_speed_(plat_.num_clusters(), 0.0),
+      link_admin_up_(plat_.num_links()),
+      router_up_(plat_.num_routers(), 1) {
+  for (platform::LinkId i = 0; i < plat_.num_links(); ++i)
+    link_admin_up_[i] = plat_.link(i).up;
+}
+
+bool DynamicPlatform::cluster_present(platform::ClusterId k) const {
+  require(k >= 0 && k < static_cast<int>(present_.size()),
+          "DynamicPlatform: cluster id out of range");
+  return present_[k] != 0;
+}
+
+platform::Platform::RouteFilter DynamicPlatform::present_filter() const {
+  return [this](platform::ClusterId k, platform::ClusterId l) {
+    return present_[k] != 0 && present_[l] != 0;
+  };
+}
+
+bool DynamicPlatform::effective_up(platform::LinkId i) const {
+  const platform::BackboneLink& link = plat_.link(i);
+  return link_admin_up_[i] != 0 && router_up_[link.a] != 0 &&
+         router_up_[link.b] != 0;
+}
+
+int DynamicPlatform::sync_link(platform::LinkId i) {
+  const bool desired = effective_up(i);
+  if (plat_.link(i).up == desired) return 0;
+  // The recovery pass on a restore is presence-filtered, so routes are
+  // never offered to churned-out clusters in the first place.
+  return plat_.set_link_up(i, desired, present_filter());
+}
+
+ChangeScope DynamicPlatform::apply(const PlatformEvent& e) {
+  switch (e.kind) {
+    case EventKind::LinkBandwidth: {
+      if (plat_.link(e.target).bw == e.value) return ChangeScope::None;
+      plat_.set_link_bandwidth(e.target, e.value);
+      // Unrouted links have no LP row and no cached pbw entries.
+      return plat_.num_routes_through(e.target) > 0 ? ChangeScope::Capacity
+                                                    : ChangeScope::None;
+    }
+    case EventKind::LinkMaxConnect: {
+      const int budget = static_cast<int>(e.value);
+      if (plat_.link(e.target).max_connections == budget) return ChangeScope::None;
+      plat_.set_link_max_connections(e.target, budget);
+      return plat_.num_routes_through(e.target) > 0 ? ChangeScope::Capacity
+                                                    : ChangeScope::None;
+    }
+    case EventKind::LinkDown: {
+      if (!link_admin_up_[e.target]) return ChangeScope::None;
+      link_admin_up_[e.target] = 0;
+      return sync_link(e.target) > 0 ? ChangeScope::Topology : ChangeScope::None;
+    }
+    case EventKind::LinkUp: {
+      if (link_admin_up_[e.target]) return ChangeScope::None;
+      link_admin_up_[e.target] = 1;
+      // Stays pending (platform link still down) while an endpoint
+      // router is failed; the router's repair completes the restore.
+      return sync_link(e.target) > 0 ? ChangeScope::Topology : ChangeScope::None;
+    }
+    case EventKind::GatewayBandwidth: {
+      if (plat_.cluster(e.target).gateway_bw == e.value) return ChangeScope::None;
+      plat_.set_cluster_gateway_bw(e.target, e.value);
+      return present_[e.target] ? ChangeScope::Capacity : ChangeScope::None;
+    }
+    case EventKind::ClusterLeave: {
+      if (!present_[e.target]) return ChangeScope::None;
+      present_[e.target] = 0;
+      saved_speed_[e.target] = plat_.cluster(e.target).speed;
+      plat_.set_cluster_speed(e.target, 0.0);
+      // Isolated and compute-disabled: the cluster neither computes nor
+      // exchanges load, but keeps its id so online bookkeeping is
+      // index-stable (the paper-level alternative, remove_cluster,
+      // renumbers every cluster above it).
+      plat_.clear_cluster_routes(e.target);
+      return ChangeScope::Topology;
+    }
+    case EventKind::ClusterJoin: {
+      if (present_[e.target]) return ChangeScope::None;
+      present_[e.target] = 1;
+      plat_.set_cluster_speed(e.target, saved_speed_[e.target]);
+      (void)plat_.reroute_missing_pairs(present_filter());
+      // Even a still-disconnected rejoiner computes locally again.
+      return ChangeScope::Topology;
+    }
+    case EventKind::RouterDown: {
+      if (!router_up_[e.target]) return ChangeScope::None;
+      router_up_[e.target] = 0;
+      int changed = 0;
+      for (platform::LinkId i = 0; i < plat_.num_links(); ++i) {
+        const platform::BackboneLink& link = plat_.link(i);
+        if (link.a == e.target || link.b == e.target) changed += sync_link(i);
+      }
+      return changed > 0 ? ChangeScope::Topology : ChangeScope::None;
+    }
+    case EventKind::RouterUp: {
+      if (router_up_[e.target]) return ChangeScope::None;
+      router_up_[e.target] = 1;
+      int changed = 0;
+      for (platform::LinkId i = 0; i < plat_.num_links(); ++i) {
+        const platform::BackboneLink& link = plat_.link(i);
+        if (link.a == e.target || link.b == e.target) changed += sync_link(i);
+      }
+      return changed > 0 ? ChangeScope::Topology : ChangeScope::None;
+    }
+  }
+  throw Error("DynamicPlatform::apply: unknown event kind");
+}
+
+}  // namespace dls::dynamics

@@ -1,0 +1,76 @@
+// DynamicPlatform: a Platform copy that platform events are applied to,
+// one at a time, through the Platform's incremental mutators.
+//
+// Besides forwarding the mutation it tracks the state the Platform
+// itself does not carry:
+//   * cluster membership — a churned-out cluster keeps its id (the
+//     online engine's bookkeeping stays index-stable) but is isolated:
+//     its routes are dropped, its speed is parked at 0 and arrivals for
+//     it are rejected until it rejoins;
+//   * router up/down state and each link's own (administrative)
+//     up/down state, composed into the platform's effective link state:
+//     a link carries traffic iff its own process has it up AND both of
+//     its endpoint routers are up. A link repair that fires while an
+//     endpoint router is still down therefore stays pending until the
+//     router recovers (independent failure processes routinely
+//     interleave that way), and a router repair never revives a link
+//     whose own failure is unrepaired or whose far-end router is down;
+//   * the change scope of each event, so the rescheduler can decide
+//     between capsule reuse, basis repair and a cold solve.
+//
+// Scope classification:
+//   * Capacity — the route set is intact; only capacities moved. Pure
+//     rhs/bound moves (max-connect, gateway, speed) keep even the
+//     simplex matrix fingerprint; bandwidth moves re-price coefficients
+//     and take the basis-repair path.
+//   * Topology — routes were added/dropped or membership changed: the
+//     LP reshapes and warm state is unusable.
+//   * None — the event changed nothing the steady-state model can see
+//     (duplicate down/up, drift on an unrouted link, ...). None-scoped
+//     events still mutate the platform (e.g. a down link stays down).
+#pragma once
+
+#include "dynamics/events.hpp"
+#include "platform/platform.hpp"
+
+namespace dls::dynamics {
+
+enum class ChangeScope : unsigned char { None, Capacity, Topology };
+
+[[nodiscard]] const char* to_string(ChangeScope scope);
+
+/// The wider of two scopes (None < Capacity < Topology), for folding a
+/// batch of simultaneous events into one rescheduler notification.
+[[nodiscard]] ChangeScope merge_scope(ChangeScope a, ChangeScope b);
+
+class DynamicPlatform {
+public:
+  explicit DynamicPlatform(platform::Platform base);
+
+  [[nodiscard]] const platform::Platform& plat() const { return plat_; }
+
+  /// True when cluster k has not churned out.
+  [[nodiscard]] bool cluster_present(platform::ClusterId k) const;
+
+  /// Applies one event and reports how much of the steady-state model it
+  /// invalidated. Throws dls::Error on out-of-range targets or invalid
+  /// values (EventTrace::validate catches these up front).
+  ChangeScope apply(const PlatformEvent& event);
+
+private:
+  /// Both-endpoints-present filter for Platform recovery passes.
+  [[nodiscard]] platform::Platform::RouteFilter present_filter() const;
+  /// admin state && both endpoint routers up.
+  [[nodiscard]] bool effective_up(platform::LinkId i) const;
+  /// Re-syncs one link's platform state to its effective state; returns
+  /// the number of routes that changed.
+  int sync_link(platform::LinkId i);
+
+  platform::Platform plat_;
+  std::vector<char> present_;
+  std::vector<double> saved_speed_;       ///< speed parked by a leave
+  std::vector<char> link_admin_up_;       ///< the link's own failure state
+  std::vector<char> router_up_;
+};
+
+}  // namespace dls::dynamics

@@ -47,6 +47,33 @@ int Model::add_constraint(std::vector<Term> terms, Relation rel, double rhs,
   return num_constraints() - 1;
 }
 
+void Model::set_row(int c, std::vector<Term> terms) {
+  require(c >= 0 && c < num_constraints(), "Model::set_row: row out of range");
+  for (const Term& t : terms) {
+    check_var(t.var);
+    require(std::isfinite(t.coef), "Model::set_row: non-finite coefficient");
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(terms.size());
+  for (const Term& t : terms) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coef += t.coef;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const Term& t) { return t.coef == 0.0; });
+  rows_[c] = std::move(merged);
+}
+
+void Model::set_rhs(int c, double rhs) {
+  require(c >= 0 && c < num_constraints(), "Model::set_rhs: row out of range");
+  require(std::isfinite(rhs), "Model::set_rhs: non-finite rhs");
+  rhs_[c] = rhs;
+}
+
 void Model::set_objective_coef(int var, double coef) {
   check_var(var);
   require(std::isfinite(coef), "Model::set_objective_coef: non-finite coefficient");

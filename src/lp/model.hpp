@@ -26,6 +26,15 @@ public:
                      std::string name = "");
 
   void set_sense(Sense sense) { sense_ = sense; }
+  /// Replaces one row's terms in place (duplicates merged, zeros dropped
+  /// like add_constraint); relation and rhs keep their values. Currently
+  /// exercised by the warm-repair tests (a capacity event re-pricing one
+  /// row); the dynamics rescheduler itself still rebuilds its reduced
+  /// model per platform event — patching it row-wise through this is the
+  /// designed next optimization.
+  void set_row(int c, std::vector<Term> terms);
+  /// Replaces one row's right-hand side (a pure capacity rescale).
+  void set_rhs(int c, double rhs);
   void set_objective_coef(int var, double coef);
   /// Constant added to the objective value (does not affect the argmax).
   void set_objective_constant(double c) { obj_constant_ = c; }

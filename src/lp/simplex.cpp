@@ -41,8 +41,28 @@ public:
 
     if (state != nullptr) fingerprint_ = matrix_fingerprint();
     bool warm_ok = false;
-    if (state != nullptr && state->valid) warm_ok = init_from_state(*state);
-    if (!warm_ok && warm != nullptr) warm_ok = init_basis_warm(*warm);
+    WarmKind kind = WarmKind::Cold;
+    if (state != nullptr && state->valid) {
+      const bool matrix_changed = state->fingerprint != fingerprint_;
+      warm_ok = init_from_state(*state);
+      if (warm_ok) {
+        kind = WarmKind::Capsule;
+      } else if (opt_.warm_repair && matrix_changed) {
+        // Basis repair: the constraint matrix moved under the capsule (a
+        // platform capacity event re-priced coefficients). Its statuses
+        // may still describe a near-optimal vertex of the new model;
+        // refactorize them against the new matrix and let the composite
+        // bound phase 1 below absorb any primal infeasibility. A basic
+        // set the new matrix makes singular fails the refactorization
+        // and falls through to the cold start.
+        warm_ok = init_basis_warm(state->basis);
+        if (warm_ok) kind = WarmKind::Basis;
+      }
+    }
+    if (!warm_ok && warm != nullptr) {
+      warm_ok = init_basis_warm(*warm);
+      if (warm_ok) kind = WarmKind::Basis;
+    }
     if (warm_ok && warm_infeasible_) {
       // Composite bound phase 1: bounds moved since the basis was taken
       // (an application departed and its alphas were clamped to zero),
@@ -63,6 +83,7 @@ public:
         sol.phase1_iterations = iters_;
     }
     sol.warm_used = warm_ok;
+    sol.warm_kind = warm_ok ? kind : WarmKind::Cold;
     if (!warm_ok) init_basis();
 
     // Phase 1: drive artificial infeasibility to zero if any was needed.

@@ -53,6 +53,16 @@ struct SimplexOptions {
   /// Basis representation; SparseLu unless a bench/test wants the dense
   /// baseline.
   Factorization factorization = Factorization::SparseLu;
+  /// Basis repair across constraint-matrix changes: when a warm capsule
+  /// is rejected by the matrix fingerprint but its statuses still fit
+  /// the model's shape, retry them as a statuses-only start against the
+  /// new matrix — refactorize the basic set and let the composite bound
+  /// phase 1 repair any primal infeasibility — instead of starting cold.
+  /// Off by default: it only makes sense when successive models are
+  /// small perturbations of one another (the dynamics rescheduler's
+  /// capacity events); a capsule from an unrelated model should be
+  /// discarded, not repaired.
+  bool warm_repair = false;
 };
 
 /// Resting place of one variable in a basis snapshot.
@@ -104,6 +114,19 @@ struct WarmState {
   [[nodiscard]] std::size_t memory_bytes() const;
 };
 
+/// How a solve was seeded.
+enum class WarmKind : unsigned char {
+  Cold,     ///< all-slack start (no usable warm state)
+  /// Capsule restored against its own constraint matrix (fingerprint
+  /// matched; the saved factorization is reused when present).
+  Capsule,
+  /// Statuses-only start: the basic set was refactorized against a
+  /// matrix the basis was not taken from (a plain Basis argument, or —
+  /// under SimplexOptions::warm_repair — a capsule whose matrix
+  /// fingerprint no longer matched).
+  Basis,
+};
+
 /// Result of a solve. `x` has one entry per model variable.
 /// `duals` holds one shadow price per row: d(objective)/d(rhs) in the
 /// model's own sense (so for a Maximize model with <= rows, duals >= 0).
@@ -119,6 +142,10 @@ struct Solution {
   Basis basis;
   /// True when a supplied warm basis was accepted (phase 1 was skipped).
   bool warm_used = false;
+  /// Which start actually seeded the solve (Cold when warm_used is
+  /// false). phase1_iterations > 0 with a warm kind means the composite
+  /// bound phase 1 had to repair the restored basis first.
+  WarmKind warm_kind = WarmKind::Cold;
 };
 
 class SimplexSolver {

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "core/schedule.hpp"
+#include "dynamics/dynamic_platform.hpp"
 
 namespace dls::online {
 
@@ -22,8 +23,14 @@ OnlineEngine::OnlineEngine(const platform::Platform& plat, OnlineOptions options
 }
 
 OnlineReport OnlineEngine::run(const Workload& workload) const {
+  return run(workload, dynamics::EventTrace{});
+}
+
+OnlineReport OnlineEngine::run(const Workload& workload,
+                               const dynamics::EventTrace& trace) const {
   const int n = plat_->num_clusters();
   workload.validate(n);
+  trace.validate(*plat_);
   for (const AppArrival& a : workload.arrivals)
     require(a.load > options_.load_eps,
             "OnlineEngine: application loads must exceed load_eps");
@@ -42,10 +49,15 @@ OnlineReport OnlineEngine::run(const Workload& workload) const {
     report.apps.push_back(rec);
   }
 
-  double total_speed = 0.0;
-  for (int k = 0; k < n; ++k) total_speed += plat_->cluster(k).speed;
+  // The replay mutates a private platform copy; the rescheduler and the
+  // simulated rate model read it through this stable reference.
+  dynamics::DynamicPlatform dyn(*plat_);
+  const platform::Platform& plat = dyn.plat();
 
-  AdaptiveRescheduler scheduler(*plat_, options_.sched);
+  double total_speed = 0.0;
+  for (int k = 0; k < n; ++k) total_speed += plat.cluster(k).speed;
+
+  AdaptiveRescheduler scheduler(plat, options_.sched);
   std::optional<core::SteadyStateProblem> sim_base;
   sim::SimOptions sim_options;
   sim_options.policy = options_.sim_policy;
@@ -62,6 +74,7 @@ OnlineReport OnlineEngine::run(const Workload& workload) const {
   int num_active = 0;
   double now = 0.0;
   std::size_t next_arrival = 0;
+  std::size_t next_event = 0;
 
   const auto admit = [&](int app, double at) {
     const int c = report.apps[app].cluster;
@@ -82,6 +95,7 @@ OnlineReport OnlineEngine::run(const Workload& workload) const {
     ++report.reschedules;
     if (r.warm) {
       ++report.warm_solves;
+      report.repaired_solves += r.repaired;
       report.warm_seconds += r.seconds;
     } else {
       ++report.cold_solves;
@@ -95,7 +109,7 @@ OnlineReport OnlineEngine::run(const Workload& workload) const {
     // Simulated: play a schedule segment and adopt achieved throughputs.
     // The route table is payoff-independent: build it once, re-payoff it
     // per event (with_payoffs is O(K); a fresh problem is O(K^2 + links)).
-    if (!sim_base) sim_base.emplace(*plat_, payoffs, options_.sched.objective);
+    if (!sim_base) sim_base.emplace(plat, payoffs, options_.sched.objective);
     const core::SteadyStateProblem problem = sim_base->with_payoffs(payoffs);
     const auto schedule = core::build_periodic_schedule(problem, r.allocation);
     const auto sim = sim::simulate_schedule(problem, schedule, sim_options);
@@ -103,20 +117,32 @@ OnlineReport OnlineEngine::run(const Workload& workload) const {
       if (active[c] >= 0) rate[c] = sim.throughput[c];
   };
 
+  // Churn kill: an application whose home cluster left the platform.
+  const auto abort_app = [&](int app) {
+    AppRecord& rec = report.apps[app];
+    rec.depart = now;
+    rec.outcome = AppOutcome::AbortedChurn;
+    ++report.aborted;
+  };
+
   while (next_arrival < workload.arrivals.size() || num_active > 0) {
-    // Next event: first unprocessed arrival vs earliest projected drain.
+    // Next event: first unprocessed arrival vs earliest projected drain
+    // vs next platform event.
     const double t_arrival = next_arrival < workload.arrivals.size()
                                  ? workload.arrivals[next_arrival].time
                                  : kInf;
+    const double t_platform = next_event < trace.events.size()
+                                  ? trace.events[next_event].time
+                                  : kInf;
     double t_drain = kInf;
     for (int c = 0; c < n; ++c) {
       if (active[c] < 0 || rate[c] <= 0.0) continue;
       t_drain = std::min(t_drain, now + remaining[active[c]] / rate[c]);
     }
-    double t_next = std::min(t_arrival, t_drain);
+    double t_next = std::min({t_arrival, t_drain, t_platform});
     require(std::isfinite(t_next),
             "online engine stalled: active applications but no draining rate "
-            "and no arrivals pending");
+            "and no arrivals or platform events pending");
     t_next = std::max(t_next, now);  // projected drains cannot move time back
 
     // Drain the interval [now, t_next) at the rates that held over it,
@@ -143,8 +169,9 @@ OnlineReport OnlineEngine::run(const Workload& workload) const {
       if (app < 0 || remaining[app] > options_.load_eps) continue;
       AppRecord& rec = report.apps[app];
       rec.depart = now;
-      rec.slowdown = plat_->cluster(c).speed > 0.0
-                         ? rec.response() / (rec.load / plat_->cluster(c).speed)
+      rec.outcome = AppOutcome::Completed;
+      rec.slowdown = plat.cluster(c).speed > 0.0
+                         ? rec.response() / (rec.load / plat.cluster(c).speed)
                          : 0.0;
       report.metrics.record_completion(rec);
       ++report.completed;
@@ -159,12 +186,48 @@ OnlineReport OnlineEngine::run(const Workload& workload) const {
         admit(heir, now);
       }
     }
+    // Platform events due now: mutate the platform copy, fold the change
+    // scopes, and let churn kill the affected applications.
+    dynamics::ChangeScope scope = dynamics::ChangeScope::None;
+    while (next_event < trace.events.size() &&
+           trace.events[next_event].time <= now) {
+      const dynamics::PlatformEvent& ev = trace.events[next_event++];
+      scope = merge_scope(scope, dyn.apply(ev));
+      ++report.platform_events;
+      if (ev.kind == dynamics::EventKind::ClusterLeave) {
+        const int c = ev.target;
+        if (active[c] >= 0) {
+          abort_app(active[c]);
+          active[c] = -1;
+          payoffs[c] = 0.0;
+          --num_active;
+          support_changed = true;
+        }
+        for (int app : queue[c]) abort_app(app);
+        queue[c].clear();
+      }
+    }
+    bool platform_changed = false;
+    if (scope != dynamics::ChangeScope::None) {
+      platform_changed = true;
+      if (scope == dynamics::ChangeScope::Capacity) {
+        scheduler.platform_capacity_changed();
+      } else {
+        scheduler.platform_topology_changed();
+      }
+      sim_base.reset();  // its cached route table is stale
+      total_speed = 0.0;
+      for (int k = 0; k < n; ++k) total_speed += plat.cluster(k).speed;
+    }
     // Arrivals due now.
     while (next_arrival < workload.arrivals.size() &&
            workload.arrivals[next_arrival].time <= now) {
       const int app = static_cast<int>(next_arrival++);
       const int c = report.apps[app].cluster;
-      if (active[c] < 0) {
+      if (!dyn.cluster_present(c)) {
+        report.apps[app].outcome = AppOutcome::RejectedChurn;
+        ++report.rejected;
+      } else if (active[c] < 0) {
         admit(app, now);
         support_changed = true;
       } else {
@@ -176,7 +239,7 @@ OnlineReport OnlineEngine::run(const Workload& workload) const {
     }
     report.peak_active = std::max(report.peak_active, num_active);
 
-    if (support_changed) reschedule();
+    if (support_changed || platform_changed) reschedule();
   }
 
   return report;

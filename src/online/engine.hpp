@@ -33,10 +33,22 @@
 // under a chosen sharing policy, using the *achieved* throughputs as
 // drain rates — bandwidth-sharing overruns then stretch response times
 // instead of being invisible.
+// Platform dynamics (run(workload, trace)): the event loop additionally
+// merges a time-sorted stream of platform events (src/dynamics/). Each
+// due event mutates a private DynamicPlatform copy through the
+// incremental cache-updating mutators; the rescheduler is notified with
+// the folded change scope (capacity events keep the warm capsule for a
+// whole or repaired warm start, topology events force a cold solve) and
+// every active application is re-rated. Cluster churn is destructive:
+// a leaving cluster aborts its active and queued applications and
+// rejects arrivals until it rejoins (so every replay terminates). An
+// empty trace takes the exact same code path as run(workload) and
+// reproduces its report bit for bit.
 #pragma once
 
 #include <vector>
 
+#include "dynamics/events.hpp"
 #include "online/metrics.hpp"
 #include "online/rescheduler.hpp"
 #include "online/workload.hpp"
@@ -65,18 +77,25 @@ struct OnlineOptions {
 struct OnlineReport {
   int arrivals = 0;
   int completed = 0;
+  int aborted = 0;           ///< killed by their home cluster churning out
+  int rejected = 0;          ///< arrived while their home cluster was out
   int reschedules = 0;       ///< solver invocations (support changed)
   int queued_arrivals = 0;   ///< arrivals that had to wait in a queue
+  int platform_events = 0;   ///< dynamics events applied during the replay
   int warm_solves = 0;
   int cold_solves = 0;
+  /// Warm solves that went through the basis-repair path (capacity
+  /// events re-priced the model under the capsule); subset of warm.
+  int repaired_solves = 0;
   double warm_seconds = 0.0;
   double cold_seconds = 0.0;
-  double makespan = 0.0;     ///< last departure time
-  double total_work = 0.0;   ///< load units drained (== sum of loads)
+  double makespan = 0.0;     ///< last departure (completion) time
+  double total_work = 0.0;   ///< load units drained (aborts drain partially)
   int peak_active = 0;
   int peak_queued = 0;       ///< largest single-cluster queue length
   OnlineMetrics metrics;
-  /// One record per application, in arrival order, all completed.
+  /// One record per application, in arrival order; check outcome —
+  /// dynamics replays may abort or reject applications.
   std::vector<AppRecord> apps;
 };
 
@@ -88,6 +107,12 @@ public:
   /// pure function of (platform, workload, options). Throws dls::Error
   /// on invalid workloads or solver failure.
   [[nodiscard]] OnlineReport run(const Workload& workload) const;
+
+  /// Replays the workload against a stream of platform events (see the
+  /// header comment). Deterministic in (platform, workload, trace,
+  /// options); an empty trace reproduces run(workload) bit for bit.
+  [[nodiscard]] OnlineReport run(const Workload& workload,
+                                 const dynamics::EventTrace& trace) const;
 
 private:
   const platform::Platform* plat_;

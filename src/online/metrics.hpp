@@ -36,6 +36,15 @@ private:
   double weight_ = 0.0;
 };
 
+/// How an application's lifecycle ended. Everything but Completed only
+/// occurs under platform dynamics (src/dynamics/ cluster churn).
+enum class AppOutcome : unsigned char {
+  Pending,       ///< still in flight (never in a final report)
+  Completed,     ///< load fully drained
+  AbortedChurn,  ///< active or queued when its home cluster churned out
+  RejectedChurn, ///< arrived while its home cluster was churned out
+};
+
 /// Lifecycle record of one application, filled in by the engine as the
 /// application moves arrive -> admit -> depart.
 struct AppRecord {
@@ -45,9 +54,11 @@ struct AppRecord {
   double load = 0.0;
   double arrival = 0.0;
   double admit = 0.0;    ///< left the queue, became the cluster's active app
-  double depart = 0.0;   ///< load fully drained
+  double depart = 0.0;   ///< load fully drained (abort time for AbortedChurn)
   double slowdown = 0.0; ///< response / (load / home cluster speed)
+  AppOutcome outcome = AppOutcome::Pending;
 
+  /// Meaningful for outcome == Completed only.
   [[nodiscard]] double response() const { return depart - arrival; }
   [[nodiscard]] double wait() const { return admit - arrival; }
 };

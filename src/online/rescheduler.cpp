@@ -34,12 +34,35 @@ AdaptiveRescheduler::AdaptiveRescheduler(const platform::Platform& plat,
           "AdaptiveRescheduler: max_support_change cannot be negative");
   // Per-event solves never read shadow prices; skip their extraction.
   options_.lp.compute_duals = false;
+  // Successive models here are always small perturbations of one
+  // another, the setting basis repair is designed for. With a static
+  // platform the matrix fingerprint always matches and the flag is
+  // inert; after a capacity event it turns the forced cold solve into a
+  // statuses-only repair.
+  options_.lp.warm_repair = true;
 }
 
 void AdaptiveRescheduler::reset() {
   warm_state_.invalidate();
   prev_allocation_.reset();
   prev_payoffs_.clear();
+}
+
+void AdaptiveRescheduler::platform_capacity_changed() {
+  // The route table snapshot caches per-route pbw and the reduced model
+  // caches capacities in bounds/rhs/coefficients: both are stale.
+  base_problem_.reset();
+  reduced_cache_.reset();
+  // Keep warm_state_ (capsule reuse or repair) and prev_payoffs_ (the
+  // support-change rule is about payoffs, which did not move). The
+  // greedy seed allocation may violate the new capacities; drop it.
+  prev_allocation_.reset();
+}
+
+void AdaptiveRescheduler::platform_topology_changed() {
+  base_problem_.reset();
+  reduced_cache_.reset();
+  reset();
 }
 
 Reschedule AdaptiveRescheduler::reschedule(const std::vector<double>& payoffs) {
@@ -105,11 +128,13 @@ Reschedule AdaptiveRescheduler::reschedule(const std::vector<double>& payoffs) {
       out.lp_iterations = r.lp_iterations;
     }
     out.warm = warm.used;
+    out.repaired = warm.kind == lp::WarmKind::Basis;
   }
   out.seconds = timer.seconds();
 
   if (out.warm) {
     ++stats_.warm_solves;
+    stats_.repaired_solves += out.repaired;
     stats_.warm_seconds += out.seconds;
     stats_.warm_iterations += out.lp_iterations;
   } else {

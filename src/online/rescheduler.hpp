@@ -77,6 +77,12 @@ struct Reschedule {
   core::Allocation allocation;
   double objective = 0.0;
   bool warm = false;
+  /// True when the warm start went through the basis-repair path: the
+  /// platform changed under the capsule (capacity event) and its
+  /// statuses were refactorized against the rebuilt model instead of
+  /// being restored whole (lp::WarmKind::Basis). Always false for
+  /// greedy and for cold solves.
+  bool repaired = false;
   double seconds = 0.0;    ///< wall time of this solve
   int lp_iterations = 0;   ///< simplex pivots (0 for greedy)
 };
@@ -93,9 +99,26 @@ public:
   /// Drops all warm state; the next reschedule solves cold.
   void reset();
 
+  /// Tells the rescheduler the platform's capacities changed under it
+  /// (bandwidth/max-connect/gateway/speed rescale — the route set is
+  /// intact). Cached models are rebuilt on the next reschedule; the
+  /// simplex capsule is kept so the solve can warm-start whole (pure
+  /// rhs/bound moves keep the matrix fingerprint) or repair the carried
+  /// basis against the re-priced matrix (lp::SimplexOptions::warm_repair,
+  /// enabled here). The previous greedy allocation is dropped: reseeding
+  /// it could overfill shrunk capacities.
+  void platform_capacity_changed();
+
+  /// Tells the rescheduler the platform's topology changed (routes
+  /// added/dropped, clusters joined/left): the model reshapes, so all
+  /// warm state is dropped and the next solve runs cold.
+  void platform_topology_changed();
+
   struct Stats {
     int warm_solves = 0;
     int cold_solves = 0;
+    /// Warm solves that took the basis-repair path (subset of warm).
+    int repaired_solves = 0;
     double warm_seconds = 0.0;
     double cold_seconds = 0.0;
     std::int64_t warm_iterations = 0;

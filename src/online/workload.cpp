@@ -109,31 +109,77 @@ void write_workload(const Workload& workload, std::ostream& os) {
        << a.load << ' ' << name_or_dash(a.name) << '\n';
 }
 
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& what) {
+  throw Error("read_workload: line " + std::to_string(line) + ": " + what);
+}
+
+double parse_field(std::istringstream& iss, const char* what, int line) {
+  double v = 0.0;
+  if (!(iss >> v))
+    parse_fail(line, std::string("truncated or malformed line (expected ") +
+                         what + ")");
+  return v;
+}
+
+}  // namespace
+
 Workload read_workload(std::istream& is) {
+  // Line-based parse with explicit diagnostics (truncated lines, negative
+  // times, out-of-order arrivals all name their line); the `.events`
+  // parser (dynamics/events.cpp) mirrors this style.
+  std::string line;
+  int line_no = 0;
   std::string header;
-  int version = 0;
-  is >> header >> version;
-  require(is && header == "dls-workload" && version == 1,
-          "read_workload: bad header (expected 'dls-workload 1')");
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    header = line;
+    break;
+  }
+  {
+    std::istringstream iss(header);
+    std::string magic;
+    int version = 0;
+    iss >> magic >> version;
+    require(static_cast<bool>(iss) && magic == "dls-workload" && version == 1,
+            "read_workload: bad header (expected 'dls-workload 1')");
+  }
+
   Workload wl;
-  std::string keyword;
-  while (is >> keyword) {
-    require(keyword == "app",
-            "read_workload: unknown keyword '" + keyword + "'");
+  double prev = 0.0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream iss(line);
+    std::string keyword;
+    iss >> keyword;
+    if (keyword != "app") parse_fail(line_no, "unknown keyword '" + keyword + "'");
     AppArrival a;
-    is >> a.time >> a.cluster >> a.payoff >> a.load;
-    require(static_cast<bool>(is), "read_workload: malformed app line");
-    // The name is optional: take the rest of the line, which may be
-    // empty, "-" (the writer's no-name marker), or a single token.
-    std::string rest;
-    std::getline(is, rest);
-    const std::size_t first = rest.find_first_not_of(" \t\r");
-    if (first != std::string::npos) {
-      const std::size_t last = rest.find_last_not_of(" \t\r");
-      const std::string name = rest.substr(first, last - first + 1);
-      require(name.find_first_of(" \t") == std::string::npos,
-              "read_workload: app name may not contain whitespace");
-      if (name != "-") a.name = name;
+    a.time = parse_field(iss, "an arrival time", line_no);
+    if (!std::isfinite(a.time) || a.time < 0.0)
+      parse_fail(line_no, "arrival time must be finite and non-negative");
+    if (a.time < prev)
+      parse_fail(line_no, "out-of-order arrival time (times must be non-decreasing)");
+    prev = a.time;
+    const double cluster = parse_field(iss, "a cluster id", line_no);
+    if (cluster != std::floor(cluster) || cluster < 0.0 || cluster > 1e9)
+      parse_fail(line_no, "cluster must be a non-negative integer id");
+    a.cluster = static_cast<int>(cluster);
+    a.payoff = parse_field(iss, "a payoff", line_no);
+    if (!std::isfinite(a.payoff) || a.payoff <= 0.0)
+      parse_fail(line_no, "payoff must be positive");
+    a.load = parse_field(iss, "a load", line_no);
+    if (!std::isfinite(a.load) || a.load <= 0.0)
+      parse_fail(line_no, "load must be positive");
+    // The name is optional: the rest of the line may be empty, "-" (the
+    // writer's no-name marker), or a single token.
+    std::string name, extra;
+    if (iss >> name) {
+      if (iss >> extra)
+        parse_fail(line_no, "unexpected trailing token '" + extra + "'");
+      if (name != "-") a.name = std::move(name);
     }
     wl.arrivals.push_back(std::move(a));
   }

@@ -27,10 +27,12 @@ Platform generate_platform(const GeneratorParams& p, Rng& rng) {
           "generate_platform: connectivity out of [0,1]");
   require(p.heterogeneity >= 0.0 && p.heterogeneity < 1.0,
           "generate_platform: heterogeneity out of [0,1)");
-  require(p.mean_gateway_bw > 0 && p.mean_backbone_bw > 0 &&
-              p.mean_max_connections > 0 && p.cluster_speed >= 0 &&
-              p.mean_latency >= 0,
-          "generate_platform: means must be positive");
+  require(p.mean_gateway_bw > 0, "generate_platform: mean gateway bw must be positive");
+  require(p.mean_backbone_bw > 0, "generate_platform: mean backbone bw must be positive");
+  require(p.mean_max_connections > 0,
+          "generate_platform: mean max-connect must be positive");
+  require(p.cluster_speed >= 0, "generate_platform: cluster speed cannot be negative");
+  require(p.mean_latency >= 0, "generate_platform: mean latency cannot be negative");
 
   Platform plat;
   const int k = p.num_clusters;
@@ -41,14 +43,24 @@ Platform generate_platform(const GeneratorParams& p, Rng& rng) {
                      "C" + std::to_string(i));
   }
 
+  // Latency uses the same heterogeneity spread as g/bw/max-connect but
+  // draws from a dedicated substream (split unconditionally, so the main
+  // stream's position is latency-independent): a latency-free run
+  // (mean_latency 0, the paper's model) and a latency-enabled one sample
+  // the identical topology, gateways, bandwidths and max-connect budgets
+  // from the same seed.
+  Rng latency_rng = rng.split();
+
   std::vector<std::vector<char>> joined(k, std::vector<char>(k, 0));
   auto add_link = [&](int a, int b) {
     joined[a][b] = joined[b][a] = 1;
+    const double bw = sample_hetero(rng, p.mean_backbone_bw, p.heterogeneity);
+    const int maxcon = sample_maxcon(rng, p.mean_max_connections, p.heterogeneity);
     const double latency =
-        p.mean_latency > 0.0 ? sample_hetero(rng, p.mean_latency, p.heterogeneity) : 0.0;
-    plat.add_backbone(a, b, sample_hetero(rng, p.mean_backbone_bw, p.heterogeneity),
-                      sample_maxcon(rng, p.mean_max_connections, p.heterogeneity), "",
-                      latency);
+        p.mean_latency > 0.0
+            ? sample_hetero(latency_rng, p.mean_latency, p.heterogeneity)
+            : 0.0;
+    plat.add_backbone(a, b, bw, maxcon, "", latency);
   };
 
   if (p.ensure_connected && k > 1) {

@@ -55,7 +55,8 @@ LinkId Platform::add_backbone(RouterId a, RouterId b, double bw, int max_connect
   require(bw > 0.0 && std::isfinite(bw), "add_backbone: bandwidth must be positive");
   require(max_connections >= 0, "add_backbone: negative max_connections");
   require(latency >= 0.0 && std::isfinite(latency), "add_backbone: negative latency");
-  links_.push_back({a, b, bw, max_connections, latency, std::move(name)});
+  links_.push_back({a, b, bw, max_connections, latency, true, std::move(name)});
+  if (!routes_.empty()) link_pairs_.resize(links_.size());
   return num_links() - 1;
 }
 
@@ -76,6 +77,8 @@ LinkId Platform::subdivide_link(LinkId i, RouterId mid) {
   route_present_.clear();
   route_pbw_.clear();
   route_latency_sum_.clear();
+  link_pairs_.clear();
+  severed_pairs_.clear();
   return add_backbone(mid, tail, bw, maxcon, half_name, half_latency);
 }
 
@@ -103,6 +106,7 @@ void Platform::set_route(ClusterId k, ClusterId l, std::vector<LinkId> links) {
   for (LinkId li : links) {
     check_link(li);
     const BackboneLink& bl = links_[li];
+    require(bl.up, "set_route: link " + std::to_string(li) + " is down");
     if (bl.a == at) {
       at = bl.b;
     } else if (bl.b == at) {
@@ -114,16 +118,8 @@ void Platform::set_route(ClusterId k, ClusterId l, std::vector<LinkId> links) {
   }
   require(at == clusters_[l].router, "set_route: path does not end at target router");
 
-  const int n = num_clusters();
-  if (routes_.empty()) {
-    routes_.assign(static_cast<std::size_t>(n) * n, {});
-    route_present_.assign(static_cast<std::size_t>(n) * n, 0);
-    route_pbw_.assign(static_cast<std::size_t>(n) * n, 0.0);
-    route_latency_sum_.assign(static_cast<std::size_t>(n) * n, 0.0);
-  }
-  routes_[route_index(k, l)] = std::move(links);
-  route_present_[route_index(k, l)] = 1;
-  refresh_route_metrics(k, l);
+  ensure_tables();
+  install_route(k, l, std::move(links));
 }
 
 void Platform::clear_route(ClusterId k, ClusterId l) {
@@ -131,8 +127,7 @@ void Platform::clear_route(ClusterId k, ClusterId l) {
   check_cluster(l);
   require(k != l, "clear_route: local pairs have no route");
   if (routes_.empty()) return;
-  routes_[route_index(k, l)].clear();
-  route_present_[route_index(k, l)] = 0;
+  drop_route(k, l);
 }
 
 bool Platform::has_route(ClusterId k, ClusterId l) const {
@@ -172,53 +167,265 @@ void Platform::refresh_route_metrics(ClusterId k, ClusterId l) {
   route_latency_sum_[route_index(k, l)] = lat;
 }
 
-void Platform::compute_shortest_path_routes() {
+void Platform::ensure_tables() {
+  if (!routes_.empty()) return;
   const int n = num_clusters();
-  const int r = num_routers();
   routes_.assign(static_cast<std::size_t>(n) * n, {});
   route_present_.assign(static_cast<std::size_t>(n) * n, 0);
   route_pbw_.assign(static_cast<std::size_t>(n) * n, 0.0);
   route_latency_sum_.assign(static_cast<std::size_t>(n) * n, 0.0);
-  if (n == 0) return;
+  link_pairs_.assign(links_.size(), {});
+}
 
+void Platform::install_route(ClusterId k, ClusterId l, std::vector<LinkId> path) {
+  drop_route(k, l);
+  const std::size_t idx = route_index(k, l);
+  for (LinkId li : path) link_pairs_[li].push_back({k, l});
+  routes_[idx] = std::move(path);
+  route_present_[idx] = 1;
+  refresh_route_metrics(k, l);
+  // A routed pair is no longer severed.
+  severed_pairs_.erase({k, l});
+}
+
+void Platform::mark_severed(ClusterId k, ClusterId l) {
+  severed_pairs_.insert({k, l});
+}
+
+void Platform::drop_route(ClusterId k, ClusterId l) {
+  const std::size_t idx = route_index(k, l);
+  if (!route_present_[idx]) return;
+  for (LinkId li : routes_[idx]) {
+    auto& pairs = link_pairs_[li];
+    pairs.erase(std::find(pairs.begin(), pairs.end(), std::make_pair(k, l)));
+  }
+  routes_[idx].clear();
+  route_present_[idx] = 0;
+}
+
+std::vector<std::vector<std::pair<RouterId, LinkId>>> Platform::up_adjacency()
+    const {
   // Adjacency sorted by (neighbor, link id) for deterministic BFS trees.
-  std::vector<std::vector<std::pair<RouterId, LinkId>>> adj(r);
+  std::vector<std::vector<std::pair<RouterId, LinkId>>> adj(num_routers());
   for (LinkId i = 0; i < num_links(); ++i) {
+    if (!links_[i].up) continue;
     adj[links_[i].a].push_back({links_[i].b, i});
     adj[links_[i].b].push_back({links_[i].a, i});
   }
   for (auto& nbrs : adj) std::sort(nbrs.begin(), nbrs.end());
+  return adj;
+}
 
+void Platform::bfs(RouterId src,
+                   const std::vector<std::vector<std::pair<RouterId, LinkId>>>& adj,
+                   BfsTree& tree) const {
+  const int r = num_routers();
+  tree.parent.assign(r, -1);
+  tree.parent_link.assign(r, -1);
+  tree.seen.assign(r, 0);
+  std::deque<RouterId> queue{src};
+  tree.seen[src] = 1;
+  while (!queue.empty()) {
+    const RouterId at = queue.front();
+    queue.pop_front();
+    for (const auto& [next, li] : adj[at]) {
+      if (tree.seen[next]) continue;
+      tree.seen[next] = 1;
+      tree.parent[next] = at;
+      tree.parent_link[next] = li;
+      queue.push_back(next);
+    }
+  }
+}
+
+std::vector<LinkId> Platform::tree_path(const BfsTree& tree, RouterId src,
+                                        RouterId dst) const {
+  std::vector<LinkId> path;
+  for (RouterId at = dst; at != src; at = tree.parent[at])
+    path.push_back(tree.parent_link[at]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int Platform::reroute_pairs(
+    const std::vector<std::pair<ClusterId, ClusterId>>& pairs,
+    bool drop_unreachable) {
+  if (pairs.empty()) return 0;
+  const auto adj = up_adjacency();
+  int changed = 0;
+  // One BFS per distinct source cluster; `pairs` is grouped by source.
+  BfsTree tree;
+  ClusterId tree_for = -1;
+  for (const auto& [k, l] : pairs) {
+    if (k != tree_for) {
+      bfs(clusters_[k].router, adj, tree);
+      tree_for = k;
+    }
+    const RouterId src = clusters_[k].router;
+    const RouterId dst = clusters_[l].router;
+    if (tree.seen[dst]) {
+      install_route(k, l, tree_path(tree, src, dst));
+      ++changed;
+    } else if (drop_unreachable && route_present_[route_index(k, l)]) {
+      drop_route(k, l);
+      mark_severed(k, l);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+void Platform::compute_shortest_path_routes() {
+  const int n = num_clusters();
+  routes_.assign(static_cast<std::size_t>(n) * n, {});
+  route_present_.assign(static_cast<std::size_t>(n) * n, 0);
+  route_pbw_.assign(static_cast<std::size_t>(n) * n, 0.0);
+  route_latency_sum_.assign(static_cast<std::size_t>(n) * n, 0.0);
+  link_pairs_.assign(links_.size(), {});
+  severed_pairs_.clear();
+  if (n == 0) return;
+
+  const auto adj = up_adjacency();
+  BfsTree tree;
   for (ClusterId k = 0; k < n; ++k) {
     const RouterId src = clusters_[k].router;
-    std::vector<int> parent_link(r, -1);
-    std::vector<RouterId> parent(r, -1);
-    std::vector<char> seen(r, 0);
-    std::deque<RouterId> queue{src};
-    seen[src] = 1;
-    while (!queue.empty()) {
-      const RouterId at = queue.front();
-      queue.pop_front();
-      for (const auto& [next, li] : adj[at]) {
-        if (seen[next]) continue;
-        seen[next] = 1;
-        parent[next] = at;
-        parent_link[next] = li;
-        queue.push_back(next);
-      }
-    }
+    bfs(src, adj, tree);
     for (ClusterId l = 0; l < n; ++l) {
       if (l == k) continue;
       const RouterId dst = clusters_[l].router;
-      if (!seen[dst]) continue;  // unreachable: no route
-      std::vector<LinkId> path;
-      for (RouterId at = dst; at != src; at = parent[at]) path.push_back(parent_link[at]);
-      std::reverse(path.begin(), path.end());
-      routes_[route_index(k, l)] = std::move(path);
-      route_present_[route_index(k, l)] = 1;
-      refresh_route_metrics(k, l);
+      if (!tree.seen[dst]) continue;  // unreachable: no route
+      install_route(k, l, tree_path(tree, src, dst));
     }
   }
+}
+
+void Platform::set_link_bandwidth(LinkId i, double bw) {
+  check_link(i);
+  require(bw > 0.0 && std::isfinite(bw),
+          "set_link_bandwidth: bandwidth must be positive");
+  links_[i].bw = bw;
+  if (routes_.empty()) return;
+  for (const auto& [k, l] : link_pairs_[i]) refresh_route_metrics(k, l);
+}
+
+void Platform::set_link_max_connections(LinkId i, int max_connections) {
+  check_link(i);
+  require(max_connections >= 0,
+          "set_link_max_connections: negative max_connections");
+  links_[i].max_connections = max_connections;
+}
+
+int Platform::set_link_up(LinkId i, bool up, const RouteFilter& eligible) {
+  check_link(i);
+  if (links_[i].up == up) return 0;
+  links_[i].up = up;
+  if (routes_.empty()) return 0;
+  if (!up) {
+    // Orphaned pairs: everything routed through the failed link. The
+    // incidence list mutates as routes are replaced, so walk a copy,
+    // grouped by source to share BFS trees.
+    auto orphans = link_pairs_[i];
+    std::sort(orphans.begin(), orphans.end());
+    return reroute_pairs(orphans, /*drop_unreachable=*/true);
+  }
+  return reroute_missing_pairs(eligible);
+}
+
+void Platform::set_cluster_speed(ClusterId k, double speed) {
+  check_cluster(k);
+  require(speed >= 0.0 && std::isfinite(speed),
+          "set_cluster_speed: invalid speed");
+  clusters_[k].speed = speed;
+}
+
+void Platform::set_cluster_gateway_bw(ClusterId k, double gateway_bw) {
+  check_cluster(k);
+  require(gateway_bw > 0.0 && std::isfinite(gateway_bw),
+          "set_cluster_gateway_bw: gateway bandwidth must be positive");
+  clusters_[k].gateway_bw = gateway_bw;
+}
+
+int Platform::clear_cluster_routes(ClusterId k) {
+  check_cluster(k);
+  if (routes_.empty()) return 0;
+  int dropped = 0;
+  for (ClusterId l = 0; l < num_clusters(); ++l) {
+    if (l == k) continue;
+    if (route_present_[route_index(k, l)]) {
+      drop_route(k, l);
+      mark_severed(k, l);
+      ++dropped;
+    }
+    if (route_present_[route_index(l, k)]) {
+      drop_route(l, k);
+      mark_severed(l, k);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+int Platform::num_routes_through(LinkId i) const {
+  check_link(i);
+  if (routes_.empty()) return 0;
+  return static_cast<int>(link_pairs_[i].size());
+}
+
+int Platform::reroute_missing_pairs(const RouteFilter& eligible) {
+  if (routes_.empty() || severed_pairs_.empty()) return 0;
+  // Only pairs a failure/churn mutator severed are candidates: a pair a
+  // partial route table never routed stays unrouted. install_route
+  // un-marks each restored pair, so a (set-ordered, i.e. source-grouped)
+  // copy is walked.
+  std::vector<std::pair<ClusterId, ClusterId>> candidates;
+  candidates.reserve(severed_pairs_.size());
+  for (const auto& [k, l] : severed_pairs_)
+    if (!eligible || eligible(k, l)) candidates.push_back({k, l});
+  return reroute_pairs(candidates, /*drop_unreachable=*/false);
+}
+
+void Platform::remove_cluster(ClusterId k) {
+  check_cluster(k);
+  const int old_k = num_clusters();
+  const int new_k = old_k - 1;
+  if (!routes_.empty()) {
+    clear_cluster_routes(k);  // also scrubs the link incidence
+    std::vector<std::vector<LinkId>> routes(static_cast<std::size_t>(new_k) * new_k);
+    std::vector<char> present(static_cast<std::size_t>(new_k) * new_k, 0);
+    std::vector<double> pbw(static_cast<std::size_t>(new_k) * new_k, 0.0);
+    std::vector<double> lat(static_cast<std::size_t>(new_k) * new_k, 0.0);
+    for (int a = 0; a < old_k; ++a) {
+      if (a == k) continue;
+      const int na = a - (a > k);
+      for (int b = 0; b < old_k; ++b) {
+        if (b == k) continue;
+        const int nb = b - (b > k);
+        const std::size_t from = static_cast<std::size_t>(a) * old_k + b;
+        const std::size_t to = static_cast<std::size_t>(na) * new_k + nb;
+        routes[to] = std::move(routes_[from]);
+        present[to] = route_present_[from];
+        pbw[to] = route_pbw_[from];
+        lat[to] = route_latency_sum_[from];
+      }
+    }
+    routes_ = std::move(routes);
+    route_present_ = std::move(present);
+    route_pbw_ = std::move(pbw);
+    route_latency_sum_ = std::move(lat);
+    for (auto& pairs : link_pairs_) {
+      for (auto& [a, b] : pairs) {
+        a -= a > k;
+        b -= b > k;
+      }
+    }
+    std::set<std::pair<ClusterId, ClusterId>> severed;
+    for (const auto& [a, b] : severed_pairs_) {
+      if (a == k || b == k) continue;
+      severed.insert({a - (a > k), b - (b > k)});
+    }
+    severed_pairs_ = std::move(severed);
+  }
+  clusters_.erase(clusters_.begin() + k);
 }
 
 void Platform::validate() const {
@@ -244,6 +451,7 @@ void Platform::validate() const {
         for (LinkId li : routes_[route_index(k, l)]) {
           require(li >= 0 && li < num_links(), "validate: dangling route link");
           const BackboneLink& bl = links_[li];
+          require(bl.up, "validate: route traverses a down link");
           require(bl.a == at || bl.b == at, "validate: broken route path");
           at = bl.a == at ? bl.b : bl.a;
         }

@@ -16,8 +16,11 @@
 // constrain their exchange.
 #pragma once
 
+#include <functional>
+#include <set>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
@@ -44,6 +47,10 @@ struct BackboneLink {
   /// ignores it (the paper defers latencies to future work, §7); the
   /// simulator's TCP-biased sharing policy uses it for RTT weighting.
   double latency = 0.0;
+  /// Operational state (src/dynamics/ failure events toggle it). Down
+  /// links carry no routes and are skipped by BFS routing. Runtime state:
+  /// not serialized by platform/serialization.
+  bool up = true;
   std::string name;
 };
 
@@ -104,21 +111,122 @@ public:
   /// cached like route_bottleneck_bw.
   [[nodiscard]] double route_latency(ClusterId k, ClusterId l) const;
 
-  /// Computes shortest-hop routes (deterministic BFS; ties resolved by
-  /// lowest router/link index) for every ordered cluster pair and installs
-  /// them, replacing any existing table. Unreachable pairs get no route.
+  /// Computes shortest-hop routes (deterministic BFS over up links; ties
+  /// resolved by lowest router/link index) for every ordered cluster pair
+  /// and installs them, replacing any existing table. Unreachable pairs
+  /// get no route. This is the full-rebuild oracle the incremental
+  /// mutators below are benchmarked against (bench/dynamics_churn).
   void compute_shortest_path_routes();
+
+  // ---- dynamics mutators (src/dynamics/ platform events) ----
+  //
+  // Each updates the dense route_pbw_/route_latency_sum_ caches
+  // incrementally: only the pairs whose installed route crosses the
+  // touched link are refreshed (served by a per-link pair incidence kept
+  // current by every route mutator), and BFS re-routing is confined to
+  // pairs orphaned by a topology change — never the O(K^2 * E) full
+  // recompute of compute_shortest_path_routes().
+
+  /// Rescales one link's per-connection bandwidth. O(pairs through the
+  /// link * route length) cache refresh.
+  void set_link_bandwidth(LinkId i, double bw);
+
+  /// Rescales one link's max-connect budget. No cached metric depends on
+  /// it, so this is O(1).
+  void set_link_max_connections(LinkId i, int max_connections);
+
+  /// Restricts a recovery pass to pairs it approves; an empty filter
+  /// approves everything. DynamicPlatform passes cluster presence so
+  /// churned-out clusters are never offered routes in the first place.
+  using RouteFilter = std::function<bool(ClusterId, ClusterId)>;
+
+  /// Takes a link down or brings it back up. Down: every pair routed
+  /// through it is re-routed by BFS over the remaining up links, or loses
+  /// its route when no path survives (the pair is then recorded as
+  /// *severed*). Up: every severed pair approved by `eligible` is
+  /// offered a BFS route over the up links — pairs that never had a
+  /// route (a deliberately partial route table) are left alone, and
+  /// previously re-routed pairs keep their detour (installed routes are
+  /// sticky, matching the paper's fixed-routing-table reading). Returns
+  /// the number of pairs whose route changed; 0 when the link was
+  /// already in that state.
+  int set_link_up(LinkId i, bool up, const RouteFilter& eligible = {});
+
+  /// Updates a cluster's cumulated speed (>= 0). O(1).
+  void set_cluster_speed(ClusterId k, double speed);
+
+  /// Updates a cluster's gateway capacity (> 0). O(1).
+  void set_cluster_gateway_bw(ClusterId k, double gateway_bw);
+
+  /// Removes cluster k entirely: clusters above it shift down one id and
+  /// the route table drops its row and column (other pairs' routes are
+  /// untouched — routes traverse links, never clusters). The cluster's
+  /// gateway disappears with it; backbone links remain. Note: the
+  /// dynamics event replay deliberately models churn as leave/join
+  /// isolation instead (ids stay stable for the online engine's
+  /// bookkeeping); this is the permanent-decommission API for tools
+  /// that edit platforms between runs.
+  void remove_cluster(ClusterId k);
+
+  /// Drops every route from or to cluster k (the cluster-churn "leave"
+  /// isolation step); the dropped pairs are recorded as severed. Returns
+  /// the number of routes dropped.
+  int clear_cluster_routes(ClusterId k);
+
+  /// Offers a BFS route (over up links) to every *severed* pair — one
+  /// that held a route until a failure/churn mutator dropped it — that
+  /// `eligible` approves, and un-marks the pairs it manages to restore.
+  /// Pairs a partial route table never routed are not touched. This is
+  /// the recovery pass behind link-up and cluster-churn "join" events.
+  /// Returns the number of routes installed.
+  int reroute_missing_pairs(const RouteFilter& eligible = {});
+
+  /// Number of installed routes traversing link i (0 when no route table
+  /// is installed). O(1): served from the per-link incidence. A link
+  /// with no routes does not appear in the steady-state LP at all, which
+  /// lets event replays classify capacity moves on it as no-ops.
+  [[nodiscard]] int num_routes_through(LinkId i) const;
 
   /// Throws dls::Error if any invariant is broken (dangling router ids,
   /// non-positive capacities, malformed routes).
   void validate() const;
 
 private:
+  /// Deterministic BFS tree over the up links from one router.
+  struct BfsTree {
+    std::vector<RouterId> parent;
+    std::vector<int> parent_link;
+    std::vector<char> seen;
+  };
+
   void check_cluster(ClusterId k) const;
   void check_router(RouterId r) const;
   void check_link(LinkId i) const;
   [[nodiscard]] std::size_t route_index(ClusterId k, ClusterId l) const;
   void refresh_route_metrics(ClusterId k, ClusterId l);
+  void ensure_tables();
+  /// Installs a pre-validated path and keeps the metric caches and the
+  /// link incidence current; an existing route is replaced.
+  void install_route(ClusterId k, ClusterId l, std::vector<LinkId> path);
+  /// Removes the pair's route from the table and the link incidence.
+  void drop_route(ClusterId k, ClusterId l);
+  /// Records a pair as severed (dropped by a failure/churn mutator).
+  void mark_severed(ClusterId k, ClusterId l);
+  /// Adjacency over up links, sorted for deterministic BFS trees.
+  [[nodiscard]] std::vector<std::vector<std::pair<RouterId, LinkId>>>
+  up_adjacency() const;
+  void bfs(RouterId src,
+           const std::vector<std::vector<std::pair<RouterId, LinkId>>>& adj,
+           BfsTree& tree) const;
+  /// Path from cluster k's router to `dst` in `tree`; empty optional-like
+  /// contract: call only when tree.seen[dst].
+  [[nodiscard]] std::vector<LinkId> tree_path(const BfsTree& tree, RouterId src,
+                                              RouterId dst) const;
+  /// BFS-routes every listed pair (ordered, distinct clusters), dropping
+  /// those that stay unreachable when `drop_unreachable` is set. Returns
+  /// the number of routes changed.
+  int reroute_pairs(const std::vector<std::pair<ClusterId, ClusterId>>& pairs,
+                    bool drop_unreachable);
 
   std::vector<Cluster> clusters_;
   std::vector<BackboneLink> links_;
@@ -132,6 +240,16 @@ private:
   // latency. Entries of absent pairs are meaningless.
   std::vector<double> route_pbw_;
   std::vector<double> route_latency_sum_;
+  // Per-link incidence: the ordered cluster pairs whose installed route
+  // traverses the link. Same lifetime as routes_; kept current by every
+  // route mutator so capacity events refresh only the affected pairs.
+  std::vector<std::vector<std::pair<ClusterId, ClusterId>>> link_pairs_;
+  // Pairs whose route a failure/churn mutator dropped and that have not
+  // been re-routed since. The recovery pass is confined to this set so
+  // a down/up cycle is a no-op on deliberately partial route tables; an
+  // ordered set keeps mark/un-mark O(log) under heavy churn and hands
+  // the recovery pass its candidates already grouped by source cluster.
+  std::set<std::pair<ClusterId, ClusterId>> severed_pairs_;
 };
 
 }  // namespace dls::platform

@@ -24,6 +24,15 @@ SimEngine::SimEngine(std::vector<double> capacities, EngineKind kind)
   res_local_.assign(capacities_.size(), -1);
 }
 
+void SimEngine::set_capacity(int resource, double value) {
+  require(resource >= 0 && resource < static_cast<int>(capacities_.size()),
+          "set_capacity: resource out of range");
+  require(value > 0.0 && std::isfinite(value),
+          "set_capacity: bad resource capacity");
+  require(num_live_ == 0, "set_capacity: a period is in progress");
+  capacities_[resource] = value;
+}
+
 void SimEngine::begin_period(const std::vector<EngineItem>& items) {
   const int n = static_cast<int>(items.size());
   const int num_resources = static_cast<int>(capacities_.size());

@@ -179,6 +179,11 @@ public:
   /// Convenience: begin_period + finish_period.
   PeriodStats run_period(const std::vector<EngineItem>& items);
 
+  /// Replaces one shared resource's capacity (a period-boundary platform
+  /// event, see sim::CapacityRevision). Only legal between periods: the
+  /// live rate tables of a period in progress still price the old value.
+  void set_capacity(int resource, double value);
+
   [[nodiscard]] const std::vector<double>& capacities() const { return capacities_; }
   [[nodiscard]] EngineKind kind() const { return kind_; }
   [[nodiscard]] int num_items() const { return static_cast<int>(items_.size()); }

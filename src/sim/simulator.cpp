@@ -15,18 +15,50 @@ namespace {
 constexpr double kMinAdmission = 1e-6;
 
 std::vector<double> link_admission_factors(const platform::Platform& plat,
-                                           const core::PeriodicSchedule& schedule) {
+                                           const core::PeriodicSchedule& schedule,
+                                           const std::vector<double>& link_maxcon) {
   std::vector<double> opened(plat.num_links(), 0.0);
   for (const core::Transfer& tr : schedule.transfers)
     for (platform::LinkId li : plat.route(tr.from, tr.to))
       opened[li] += tr.connections;
   std::vector<double> factor(plat.num_links(), 1.0);
   for (platform::LinkId li = 0; li < plat.num_links(); ++li) {
-    const double budget = plat.link(li).max_connections;
+    const double budget = link_maxcon[li];
     if (opened[li] > budget)
       factor[li] = std::max(budget / opened[li], kMinAdmission);
   }
   return factor;
+}
+
+void check_revisions(const SimOptions& options, const platform::Platform& plat) {
+  int prev = 0;
+  for (const CapacityRevision& rev : options.revisions) {
+    require(rev.at_period >= prev,
+            "simulate_schedule: revisions must be sorted by at_period");
+    prev = rev.at_period;
+    switch (rev.kind) {
+      case CapacityRevision::Kind::GatewayBw:
+        require(rev.target >= 0 && rev.target < plat.num_clusters() &&
+                    rev.value > 0.0 && std::isfinite(rev.value),
+                "simulate_schedule: bad gateway revision");
+        break;
+      case CapacityRevision::Kind::ClusterSpeed:
+        require(rev.target >= 0 && rev.target < plat.num_clusters() &&
+                    rev.value >= 0.0 && std::isfinite(rev.value),
+                "simulate_schedule: bad speed revision");
+        break;
+      case CapacityRevision::Kind::LinkBw:
+        require(rev.target >= 0 && rev.target < plat.num_links() &&
+                    rev.value > 0.0 && std::isfinite(rev.value),
+                "simulate_schedule: bad link bandwidth revision");
+        break;
+      case CapacityRevision::Kind::LinkMaxConnect:
+        require(rev.target >= 0 && rev.target < plat.num_links() &&
+                    rev.value >= 0.0 && std::isfinite(rev.value),
+                "simulate_schedule: bad max-connect revision");
+        break;
+    }
+  }
 }
 
 }  // namespace
@@ -56,6 +88,15 @@ SimReport simulate_schedule(const core::SteadyStateProblem& problem,
           "simulate_schedule: invalid options");
   const platform::Platform& plat = problem.plat();
   const int n = plat.num_clusters();
+  check_revisions(options, plat);
+
+  // Capacities the revisions may move mid-run; seeded from the platform.
+  std::vector<double> link_bw(plat.num_links());
+  std::vector<double> link_maxcon(plat.num_links());
+  for (platform::LinkId li = 0; li < plat.num_links(); ++li) {
+    link_bw[li] = plat.link(li).bw;
+    link_maxcon[li] = plat.link(li).max_connections;
+  }
 
   // Shared resources: gateway link per cluster, then CPU per cluster.
   // (Backbone links are not shared pools in the paper's model: every
@@ -74,43 +115,49 @@ SimReport simulate_schedule(const core::SteadyStateProblem& problem,
     preset = make_sharing_model(options.policy, options);
     model = preset.get();
   }
-  const std::vector<double> admission = link_admission_factors(plat, schedule);
   const auto period_length = static_cast<double>(schedule.period);
 
-  // Template work items for one period.
+  // Template work items for one period, priced at the current link
+  // capacities; rebuilt whenever a link revision moves them.
   std::vector<EngineItem> period_items;
-  period_items.reserve(schedule.transfers.size() + schedule.compute.size());
-  for (const core::Transfer& tr : schedule.transfers) {
-    EngineItem item;
-    item.size = static_cast<double>(tr.units);
-    item.resources = {tr.from, tr.to};  // both gateways
-    double pbw = std::numeric_limits<double>::infinity();
-    for (platform::LinkId li : plat.route(tr.from, tr.to))
-      pbw = std::min(pbw, plat.link(li).bw * admission[li]);
-    ItemContext ctx;
-    ctx.is_flow = true;
-    ctx.reserved_rate = item.size / period_length;
-    ctx.rtt = 2.0 * plat.route_latency(tr.from, tr.to);
-    ctx.connections = tr.connections;
-    ctx.pbw = pbw;
-    const ItemShaping shaping = model->shape(ctx);
-    const double connection_cap =
-        std::isfinite(pbw) ? tr.connections * pbw : FairShareProblem::kNoCap;
-    item.cap = std::min(connection_cap, shaping.cap);
-    item.weight = shaping.weight;
-    period_items.push_back(std::move(item));
-  }
-  for (const core::ComputeTask& ct : schedule.compute) {
-    EngineItem item;
-    item.size = static_cast<double>(ct.units);
-    item.resources = {n + ct.on_cluster};
-    ItemContext ctx;
-    ctx.reserved_rate = item.size / period_length;
-    const ItemShaping shaping = model->shape(ctx);
-    item.cap = shaping.cap;
-    item.weight = shaping.weight;
-    period_items.push_back(std::move(item));
-  }
+  const auto build_items = [&] {
+    const std::vector<double> admission =
+        link_admission_factors(plat, schedule, link_maxcon);
+    period_items.clear();
+    period_items.reserve(schedule.transfers.size() + schedule.compute.size());
+    for (const core::Transfer& tr : schedule.transfers) {
+      EngineItem item;
+      item.size = static_cast<double>(tr.units);
+      item.resources = {tr.from, tr.to};  // both gateways
+      double pbw = std::numeric_limits<double>::infinity();
+      for (platform::LinkId li : plat.route(tr.from, tr.to))
+        pbw = std::min(pbw, link_bw[li] * admission[li]);
+      ItemContext ctx;
+      ctx.is_flow = true;
+      ctx.reserved_rate = item.size / period_length;
+      ctx.rtt = 2.0 * plat.route_latency(tr.from, tr.to);
+      ctx.connections = tr.connections;
+      ctx.pbw = pbw;
+      const ItemShaping shaping = model->shape(ctx);
+      const double connection_cap =
+          std::isfinite(pbw) ? tr.connections * pbw : FairShareProblem::kNoCap;
+      item.cap = std::min(connection_cap, shaping.cap);
+      item.weight = shaping.weight;
+      period_items.push_back(std::move(item));
+    }
+    for (const core::ComputeTask& ct : schedule.compute) {
+      EngineItem item;
+      item.size = static_cast<double>(ct.units);
+      item.resources = {n + ct.on_cluster};
+      ItemContext ctx;
+      ctx.reserved_rate = item.size / period_length;
+      const ItemShaping shaping = model->shape(ctx);
+      item.cap = shaping.cap;
+      item.weight = shaping.weight;
+      period_items.push_back(std::move(item));
+    }
+  };
+  build_items();
 
   SimReport report;
   report.throughput.assign(n, 0.0);
@@ -120,7 +167,33 @@ SimReport simulate_schedule(const core::SteadyStateProblem& problem,
   double measured_time = 0.0;
   double max_duration = 0.0;
   std::vector<double> measured_load(n, 0.0);
+  std::size_t next_revision = 0;
   for (int p = 0; p < total_periods; ++p) {
+    // Period-boundary platform events: capacities move between periods,
+    // never inside one (the engine's live rate tables stay consistent).
+    bool links_moved = false;
+    while (next_revision < options.revisions.size() &&
+           options.revisions[next_revision].at_period <= p) {
+      const CapacityRevision& rev = options.revisions[next_revision++];
+      switch (rev.kind) {
+        case CapacityRevision::Kind::GatewayBw:
+          engine.set_capacity(rev.target, rev.value);
+          break;
+        case CapacityRevision::Kind::ClusterSpeed:
+          engine.set_capacity(n + rev.target, std::max(rev.value, 1e-12));
+          break;
+        case CapacityRevision::Kind::LinkBw:
+          link_bw[rev.target] = rev.value;
+          links_moved = true;
+          break;
+        case CapacityRevision::Kind::LinkMaxConnect:
+          link_maxcon[rev.target] = rev.value;
+          links_moved = true;
+          break;
+      }
+    }
+    if (links_moved) build_items();
+
     const PeriodStats period = engine.run_period(period_items);
     report.rate_recomputations += period.full_solves;
     report.partial_recomputations += period.partial_solves;

@@ -57,10 +57,32 @@ enum class SharingPolicy {
   BoundedWindow,
 };
 
+/// One mid-run capacity change, honored at a period boundary: from
+/// period `at_period` (0-based, counting warm-up periods first) onwards
+/// the named capacity takes `value`. The schedule itself is not
+/// re-planned — this shows what a fixed periodic schedule achieves when
+/// the platform drifts under it (src/dynamics/ supplies the events; the
+/// online engine re-plans, the simulator deliberately does not).
+struct CapacityRevision {
+  enum class Kind : unsigned char {
+    GatewayBw,       ///< target = cluster id, value = new gateway capacity
+    ClusterSpeed,    ///< target = cluster id, value = new cumulated speed
+    LinkBw,          ///< target = link id, value = new per-connection bw
+    LinkMaxConnect,  ///< target = link id, value = new max-connect budget
+  };
+  int at_period = 0;
+  Kind kind = Kind::LinkBw;
+  int target = 0;
+  double value = 0.0;
+};
+
 struct SimOptions {
   int periods = 20;        ///< periods executed after warm-up
   int warmup_periods = 2;  ///< pipeline fill periods excluded from stats
   SharingPolicy policy = SharingPolicy::Paced;
+  /// Capacity revisions applied at period boundaries, sorted by
+  /// at_period (simulate_schedule validates the order).
+  std::vector<CapacityRevision> revisions;
   /// Minimum RTT under TcpRttBias/BoundedWindow (avoids infinite weight
   /// or cap on zero-latency routes and models host processing delay).
   double rtt_floor = 1e-3;

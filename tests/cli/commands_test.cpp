@@ -245,5 +245,65 @@ TEST(Cli, OnlineRejectsBadOptions) {
   EXPECT_EQ(run({"online", "--workload", "/nonexistent"}).code, 1);
 }
 
+TEST(Cli, DynamicsReplayJsonIsBitIdentical) {
+  // The acceptance bar: same seed, bit-identical metrics JSON (the json
+  // output deliberately carries no wall-clock fields).
+  const std::vector<std::string> args{
+      "dynamics", "--clusters", "6",  "--connected", "--arrivals", "120",
+      "--seed",   "11",         "--method", "lpr", "--objective", "sum",
+      "--event-rate", "0.3", "--severity", "0.6", "--json"};
+  const CliRun a = run(args);
+  const CliRun b = run(args);
+  EXPECT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_NE(a.out.find("\"command\":\"dynamics\""), std::string::npos);
+  EXPECT_NE(a.out.find("\"trace_events\":"), std::string::npos);
+  EXPECT_NE(a.out.find("\"repaired_solves\":"), std::string::npos);
+  EXPECT_NE(a.out.find("\"response_degradation\":"), std::string::npos);
+}
+
+TEST(Cli, DynamicsRunsFromEventsFile) {
+  const std::string plat = make_platform_file();
+  const std::string ev = ::testing::TempDir() + "cli_test.events";
+  {
+    std::ofstream f(ev);
+    f << "dls-events 1\n"
+         "event 2.0 link-down 0\n"
+         "event 4.0 cluster-leave 1\n"
+         "event 6.0 link-up 0\n"
+         "event 8.0 cluster-join 1\n";
+  }
+  const CliRun r = run({"dynamics", "--platform", plat, "--events", ev,
+                        "--arrivals", "30", "--seed", "5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("4 platform events"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("degradation"), std::string::npos);
+  std::remove(plat.c_str());
+  std::remove(ev.c_str());
+}
+
+TEST(Cli, DynamicsSavesGeneratedEventTrace) {
+  const std::string ev = ::testing::TempDir() + "cli_saved.events";
+  const CliRun r = run({"dynamics", "--clusters", "4", "--connected",
+                        "--arrivals", "15", "--seed", "3", "--event-rate",
+                        "0.2", "--save-events", ev});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream f(ev);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "dls-events 1");
+  std::remove(ev.c_str());
+}
+
+TEST(Cli, DynamicsRejectsBadOptions) {
+  EXPECT_EQ(run({"dynamics", "--clusters", "4", "--arrivals", "5",
+                 "--severity", "3"}).code, 1);
+  EXPECT_EQ(run({"dynamics", "--clusters", "4", "--arrivals", "5",
+                 "--event-rate", "-1"}).code, 1);
+  EXPECT_EQ(run({"dynamics", "--events", "/nonexistent"}).code, 1);
+  EXPECT_EQ(run({"dynamics", "--clusters", "4", "--arrivals", "5",
+                 "--frobnicate", "1"}).code, 1);
+}
+
 }  // namespace
 }  // namespace dls::cli

@@ -183,5 +183,67 @@ TEST(Validation, LprAllocationsAlwaysIntegral) {
   }
 }
 
+TEST(DegeneratePlatforms, SingleClusterModelHasNoEmptyRows) {
+  // A lone cluster routes nothing: the model must carry only the speed
+  // row (no degenerate 0 <= g_k gateway rows), and every method must
+  // return the local-only optimum.
+  platform::Platform plat;
+  plat.add_cluster(100, 50, plat.add_router());
+  plat.compute_shortest_path_routes();
+  for (const Objective obj : {Objective::Sum, Objective::MaxMin}) {
+    SteadyStateProblem problem(plat, {1.0}, obj);
+    const auto reduced = problem.build_reduced();
+    for (int c = 0; c < reduced.model.num_constraints(); ++c)
+      EXPECT_FALSE(reduced.model.row(c).empty()) << "row " << c;
+    const int expected_rows = obj == Objective::MaxMin ? 2 : 1;  // speed (+fair)
+    EXPECT_EQ(reduced.model.num_constraints(), expected_rows);
+    const auto full = problem.build_full(false);
+    for (int c = 0; c < full.model.num_constraints(); ++c)
+      EXPECT_FALSE(full.model.row(c).empty()) << "row " << c;
+
+    const auto g = run_greedy(problem);
+    const auto lprg = run_lprg(problem);
+    const auto bound = lp_upper_bound(problem);
+    EXPECT_NEAR(g.objective, 100.0, kTol);
+    EXPECT_NEAR(lprg.objective, 100.0, kTol);
+    EXPECT_NEAR(bound.objective, 100.0, kTol);
+    EXPECT_TRUE(validate_allocation(problem, g.allocation).ok);
+  }
+}
+
+TEST(DegeneratePlatforms, DisconnectedClustersSolveLocalOnly) {
+  // Four clusters, no links at all: every method degrades to purely
+  // local work and the reduced model carries no gateway or link rows.
+  platform::Platform plat;
+  for (int i = 0; i < 4; ++i) plat.add_cluster(50.0 + 10.0 * i, 40, plat.add_router());
+  plat.compute_shortest_path_routes();
+  const std::vector<double> payoffs{1.0, 2.0, 1.0, 0.5};
+  for (const Objective obj : {Objective::Sum, Objective::MaxMin}) {
+    SteadyStateProblem problem(plat, payoffs, obj);
+    const auto reduced = problem.build_reduced();
+    for (int c = 0; c < reduced.model.num_constraints(); ++c)
+      EXPECT_FALSE(reduced.model.row(c).empty());
+    const int fair_rows = obj == Objective::MaxMin ? 4 : 0;
+    EXPECT_EQ(reduced.model.num_constraints(), 4 + fair_rows);  // speed rows only
+
+    // payoff * speed products: 50, 120, 70, 40 -> Sum 280, MaxMin 40.
+    const double optimum = obj == Objective::Sum ? 280.0 : 40.0;
+    for (const auto& result :
+         {run_greedy(problem), run_lpr(problem), run_lprg(problem)}) {
+      ASSERT_EQ(result.status, lp::SolveStatus::Optimal);
+      EXPECT_TRUE(validate_allocation(problem, result.allocation).ok);
+      EXPECT_NEAR(result.objective, optimum, kTol);
+      for (int k = 0; k < 4; ++k)
+        for (int l = 0; l < 4; ++l)
+          if (k != l) EXPECT_EQ(result.allocation.alpha(k, l), 0.0);
+    }
+    // The greedy's take-remaining policy additionally exhausts every
+    // cluster's own speed.
+    const auto g = run_greedy(problem);
+    for (int k = 0; k < 4; ++k)
+      EXPECT_NEAR(g.allocation.alpha(k, k), plat.cluster(k).speed, kTol);
+  }
+}
+
 }  // namespace
 }  // namespace dls::core

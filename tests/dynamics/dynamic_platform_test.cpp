@@ -1,0 +1,286 @@
+#include "dynamics/dynamic_platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "platform/generator.hpp"
+
+namespace dls::dynamics {
+namespace {
+
+/// Triangle with a spur: clusters on r0..r2 plus a leaf cluster on r3.
+/// Link ids: 0 = (r0,r1), 1 = (r1,r2), 2 = (r0,r2), 3 = (r2,r3).
+platform::Platform diamond() {
+  platform::Platform p;
+  const auto r0 = p.add_router("r0");
+  const auto r1 = p.add_router("r1");
+  const auto r2 = p.add_router("r2");
+  const auto r3 = p.add_router("r3");
+  p.add_cluster(100, 50, r0, "C0");
+  p.add_cluster(100, 50, r1, "C1");
+  p.add_cluster(100, 50, r2, "C2");
+  p.add_cluster(100, 50, r3, "C3");
+  p.add_backbone(r0, r1, 10, 4);
+  p.add_backbone(r1, r2, 20, 4);
+  p.add_backbone(r0, r2, 30, 4);
+  p.add_backbone(r2, r3, 40, 4);
+  p.compute_shortest_path_routes();
+  return p;
+}
+
+TEST(DynamicPlatform, BandwidthEventRefreshesCachesAndScopes) {
+  DynamicPlatform dyn(diamond());
+  ASSERT_EQ(dyn.plat().route_bottleneck_bw(0, 1), 10.0);
+  // Route 0->3 is r0-r2-r3: bottleneck min(30, 40) = 30.
+  ASSERT_EQ(dyn.plat().route_bottleneck_bw(0, 3), 30.0);
+
+  EXPECT_EQ(dyn.apply({1.0, EventKind::LinkBandwidth, 2, 15.0}),
+            ChangeScope::Capacity);
+  EXPECT_EQ(dyn.plat().route_bottleneck_bw(0, 3), 15.0);
+  EXPECT_EQ(dyn.plat().route_bottleneck_bw(0, 2), 15.0);
+  EXPECT_EQ(dyn.plat().route_bottleneck_bw(0, 1), 10.0);  // untouched
+
+  // Re-stating the current value is a no-op.
+  EXPECT_EQ(dyn.apply({2.0, EventKind::LinkBandwidth, 2, 15.0}),
+            ChangeScope::None);
+
+  // Max-connect moves no cached metric but is still a capacity change.
+  EXPECT_EQ(dyn.apply({3.0, EventKind::LinkMaxConnect, 0, 9.0}),
+            ChangeScope::Capacity);
+  EXPECT_EQ(dyn.plat().link(0).max_connections, 9);
+}
+
+TEST(DynamicPlatform, LinkDownReroutesOrphansAndUpRestores) {
+  DynamicPlatform dyn(diamond());
+  // Down (r0,r2): pairs 0<->2 and 0<->3 detour through r1.
+  EXPECT_EQ(dyn.apply({1.0, EventKind::LinkDown, 2, 0.0}),
+            ChangeScope::Topology);
+  EXPECT_FALSE(dyn.plat().link(2).up);
+  ASSERT_TRUE(dyn.plat().has_route(0, 2));
+  EXPECT_EQ(dyn.plat().route(0, 2).size(), 2u);  // r0-r1-r2
+  EXPECT_EQ(dyn.plat().route_bottleneck_bw(0, 2), 10.0);
+  EXPECT_EQ(dyn.plat().route(0, 3).size(), 3u);  // r0-r1-r2-r3
+  EXPECT_NO_THROW(dyn.plat().validate());
+
+  // Down (r0,r1) as well: r0 is cut off entirely.
+  EXPECT_EQ(dyn.apply({2.0, EventKind::LinkDown, 0, 0.0}),
+            ChangeScope::Topology);
+  EXPECT_FALSE(dyn.plat().has_route(0, 1));
+  EXPECT_FALSE(dyn.plat().has_route(0, 2));
+  EXPECT_FALSE(dyn.plat().has_route(3, 0));
+  EXPECT_TRUE(dyn.plat().has_route(1, 2));  // unaffected pairs keep routes
+
+  // Repair (r0,r2): the orphaned pairs come back over the repaired link.
+  EXPECT_EQ(dyn.apply({3.0, EventKind::LinkUp, 2, 0.0}),
+            ChangeScope::Topology);
+  ASSERT_TRUE(dyn.plat().has_route(0, 1));
+  EXPECT_EQ(dyn.plat().route_bottleneck_bw(0, 2), 30.0);
+  // Sticky routing: pairs that kept a route during the outage keep
+  // their detour (only route-less pairs are re-offered routes).
+  EXPECT_NO_THROW(dyn.plat().validate());
+
+  // Duplicate events are no-ops.
+  EXPECT_EQ(dyn.apply({4.0, EventKind::LinkUp, 2, 0.0}), ChangeScope::None);
+  EXPECT_EQ(dyn.apply({4.0, EventKind::LinkDown, 0, 0.0}), ChangeScope::None);
+}
+
+TEST(DynamicPlatform, ClusterChurnIsolatesAndRestores) {
+  DynamicPlatform dyn(diamond());
+  EXPECT_TRUE(dyn.cluster_present(2));
+
+  EXPECT_EQ(dyn.apply({1.0, EventKind::ClusterLeave, 2, 0.0}),
+            ChangeScope::Topology);
+  EXPECT_FALSE(dyn.cluster_present(2));
+  EXPECT_EQ(dyn.plat().cluster(2).speed, 0.0);
+  for (int l = 0; l < 4; ++l) {
+    if (l == 2) continue;
+    EXPECT_FALSE(dyn.plat().has_route(2, l)) << l;
+    EXPECT_FALSE(dyn.plat().has_route(l, 2)) << l;
+  }
+  // Other pairs are untouched (C3 still reaches C0 through r2's router:
+  // a cluster leaving does not take its router down).
+  EXPECT_TRUE(dyn.plat().has_route(3, 0));
+
+  // A link repair while C2 is absent must not reconnect it.
+  (void)dyn.apply({2.0, EventKind::LinkDown, 1, 0.0});
+  (void)dyn.apply({3.0, EventKind::LinkUp, 1, 0.0});
+  EXPECT_FALSE(dyn.plat().has_route(2, 0));
+  EXPECT_FALSE(dyn.plat().has_route(0, 2));
+
+  // Duplicate leave is a no-op; join restores speed and routes.
+  EXPECT_EQ(dyn.apply({4.0, EventKind::ClusterLeave, 2, 0.0}),
+            ChangeScope::None);
+  EXPECT_EQ(dyn.apply({5.0, EventKind::ClusterJoin, 2, 0.0}),
+            ChangeScope::Topology);
+  EXPECT_TRUE(dyn.cluster_present(2));
+  EXPECT_EQ(dyn.plat().cluster(2).speed, 100.0);
+  EXPECT_TRUE(dyn.plat().has_route(2, 0));
+  EXPECT_TRUE(dyn.plat().has_route(0, 2));
+  EXPECT_NO_THROW(dyn.plat().validate());
+}
+
+TEST(DynamicPlatform, GatewayDegradationIsCapacityScoped) {
+  DynamicPlatform dyn(diamond());
+  EXPECT_EQ(dyn.apply({1.0, EventKind::GatewayBandwidth, 1, 12.5}),
+            ChangeScope::Capacity);
+  EXPECT_EQ(dyn.plat().cluster(1).gateway_bw, 12.5);
+  EXPECT_EQ(dyn.apply({2.0, EventKind::GatewayBandwidth, 1, 12.5}),
+            ChangeScope::None);
+}
+
+TEST(DynamicPlatform, TransitRouterFailureDropsIncidentLinks) {
+  // Put a transit router in the middle: C0 - transit - C1.
+  platform::Platform p;
+  const auto r0 = p.add_router("r0");
+  const auto rt = p.add_router("transit0");
+  const auto r1 = p.add_router("r1");
+  p.add_cluster(100, 50, r0, "C0");
+  p.add_cluster(100, 50, r1, "C1");
+  p.add_backbone(r0, rt, 10, 4);
+  p.add_backbone(rt, r1, 10, 4);
+  p.compute_shortest_path_routes();
+  ASSERT_TRUE(p.has_route(0, 1));
+
+  DynamicPlatform dyn(std::move(p));
+  EXPECT_EQ(dyn.apply({1.0, EventKind::RouterDown, rt, 0.0}),
+            ChangeScope::Topology);
+  EXPECT_FALSE(dyn.plat().link(0).up);
+  EXPECT_FALSE(dyn.plat().link(1).up);
+  EXPECT_FALSE(dyn.plat().has_route(0, 1));
+
+  // Repair brings exactly the links the failure took down back.
+  EXPECT_EQ(dyn.apply({2.0, EventKind::RouterUp, rt, 0.0}),
+            ChangeScope::Topology);
+  EXPECT_TRUE(dyn.plat().link(0).up);
+  EXPECT_TRUE(dyn.plat().link(1).up);
+  EXPECT_TRUE(dyn.plat().has_route(0, 1));
+  // Repairing an un-failed router is a no-op.
+  EXPECT_EQ(dyn.apply({3.0, EventKind::RouterUp, rt, 0.0}), ChangeScope::None);
+}
+
+TEST(DynamicPlatform, LinkRepairDuringRouterOutageStaysPending) {
+  // Failure processes are independent: a link's repair can fire while an
+  // endpoint router is still down. The link must stay effectively down
+  // (no route through a failed router) until the router recovers, at
+  // which point the pending repair completes.
+  platform::Platform p;
+  const auto r0 = p.add_router("r0");
+  const auto rt = p.add_router("transit0");
+  const auto r1 = p.add_router("r1");
+  p.add_cluster(100, 50, r0, "C0");
+  p.add_cluster(100, 50, r1, "C1");
+  const auto l0 = p.add_backbone(r0, rt, 10, 4);
+  const auto l1 = p.add_backbone(rt, r1, 10, 4);
+  p.compute_shortest_path_routes();
+  DynamicPlatform dyn(std::move(p));
+
+  (void)dyn.apply({1.0, EventKind::LinkDown, l0, 0.0});
+  (void)dyn.apply({2.0, EventKind::RouterDown, rt, 0.0});
+  // The link's own repair fires mid-outage: nothing may come up.
+  EXPECT_EQ(dyn.apply({3.0, EventKind::LinkUp, l0, 0.0}), ChangeScope::None);
+  EXPECT_FALSE(dyn.plat().link(l0).up);
+  EXPECT_FALSE(dyn.plat().has_route(0, 1));
+  EXPECT_NO_THROW(dyn.plat().validate());
+  // Router repair completes both pending restores.
+  EXPECT_EQ(dyn.apply({4.0, EventKind::RouterUp, rt, 0.0}),
+            ChangeScope::Topology);
+  EXPECT_TRUE(dyn.plat().link(l0).up);
+  EXPECT_TRUE(dyn.plat().link(l1).up);
+  EXPECT_TRUE(dyn.plat().has_route(0, 1));
+}
+
+TEST(DynamicPlatform, RouterFailureRespectsIndividualLinkState) {
+  platform::Platform p;
+  const auto r0 = p.add_router("r0");
+  const auto rt = p.add_router("transit0");
+  const auto r1 = p.add_router("r1");
+  p.add_cluster(100, 50, r0, "C0");
+  p.add_cluster(100, 50, r1, "C1");
+  const auto l0 = p.add_backbone(r0, rt, 10, 4);
+  p.add_backbone(rt, r1, 10, 4);
+  p.compute_shortest_path_routes();
+  DynamicPlatform dyn(std::move(p));
+
+  // Link l0 fails on its own, then the router fails and recovers: l0
+  // stays down (its own repair has not happened yet).
+  (void)dyn.apply({1.0, EventKind::LinkDown, l0, 0.0});
+  (void)dyn.apply({2.0, EventKind::RouterDown, rt, 0.0});
+  (void)dyn.apply({3.0, EventKind::RouterUp, rt, 0.0});
+  EXPECT_FALSE(dyn.plat().link(l0).up);
+  EXPECT_TRUE(dyn.plat().link(1).up);
+  EXPECT_FALSE(dyn.plat().has_route(0, 1));
+  (void)dyn.apply({4.0, EventKind::LinkUp, l0, 0.0});
+  EXPECT_TRUE(dyn.plat().has_route(0, 1));
+}
+
+TEST(DynamicPlatform, ScopeOrderingMergesTowardTopology) {
+  EXPECT_EQ(merge_scope(ChangeScope::None, ChangeScope::None), ChangeScope::None);
+  EXPECT_EQ(merge_scope(ChangeScope::None, ChangeScope::Capacity),
+            ChangeScope::Capacity);
+  EXPECT_EQ(merge_scope(ChangeScope::Topology, ChangeScope::Capacity),
+            ChangeScope::Topology);
+}
+
+TEST(DynamicPlatform, ReplayedTraceMatchesFullRecomputeOracle) {
+  // After an arbitrary capacity + failure trace, the incremental caches
+  // must agree with a from-scratch shortest-path recompute on the same
+  // mutated topology (for pairs both sides route; the incremental side
+  // may additionally keep sticky detours the oracle would shorten).
+  platform::GeneratorParams params;
+  params.num_clusters = 12;
+  params.ensure_connected = true;
+  params.num_transit_routers = 3;
+  Rng rng(97);
+  platform::Platform plat = generate_platform(params, rng);
+
+  FailureRepairParams fp;
+  fp.horizon = 400.0;
+  fp.link_mtbf = 150.0;
+  fp.mean_repair = 60.0;
+  Rng erng(13);
+  EventTrace trace = failure_repair_trace(plat, fp, erng);
+  DriftParams dp;
+  dp.horizon = 400.0;
+  dp.step = 50.0;
+  trace = EventTrace::merge(trace, drift_trace(plat, dp, erng));
+
+  DynamicPlatform dyn(plat);
+  for (const PlatformEvent& e : trace.events) (void)dyn.apply(e);
+  EXPECT_NO_THROW(dyn.plat().validate());
+
+  // Oracle: copy the mutated link state onto the original platform and
+  // recompute all routes from scratch.
+  platform::Platform oracle = plat;
+  for (platform::LinkId i = 0; i < plat.num_links(); ++i) {
+    oracle.set_link_bandwidth(i, dyn.plat().link(i).bw);
+    if (oracle.link(i).up != dyn.plat().link(i).up)
+      (void)oracle.set_link_up(i, dyn.plat().link(i).up);
+  }
+  oracle.compute_shortest_path_routes();
+
+  for (int a = 0; a < params.num_clusters; ++a) {
+    for (int b = 0; b < params.num_clusters; ++b) {
+      if (a == b) continue;
+      // The oracle routes every connected pair; the incremental side
+      // must route exactly the same set.
+      ASSERT_EQ(dyn.plat().has_route(a, b), oracle.has_route(a, b))
+          << a << "->" << b;
+      if (!oracle.has_route(a, b)) continue;
+      // Sticky detours may differ from the oracle's shortest path, but
+      // both must be valid and both caches must price their own route
+      // correctly; when the paths coincide the bottleneck must match.
+      if (std::vector<platform::LinkId>(dyn.plat().route(a, b).begin(),
+                                        dyn.plat().route(a, b).end()) ==
+          std::vector<platform::LinkId>(oracle.route(a, b).begin(),
+                                        oracle.route(a, b).end())) {
+        EXPECT_EQ(dyn.plat().route_bottleneck_bw(a, b),
+                  oracle.route_bottleneck_bw(a, b))
+            << a << "->" << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dls::dynamics

@@ -1,0 +1,207 @@
+// Churn-aware online replays: the merged arrival/drain/platform-event
+// loop (online::OnlineEngine::run(workload, trace)).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "online/engine.hpp"
+#include "platform/generator.hpp"
+
+namespace dls::online {
+namespace {
+
+platform::Platform grid_platform(int k, std::uint64_t seed) {
+  platform::GeneratorParams params;
+  params.num_clusters = k;
+  params.ensure_connected = true;
+  Rng rng(seed);
+  return generate_platform(params, rng);
+}
+
+Workload poisson(int count, int k, std::uint64_t seed, double rate = 1.0) {
+  PoissonParams p;
+  p.count = count;
+  p.rate = rate;
+  Rng rng(seed);
+  return poisson_workload(p, k, rng);
+}
+
+/// Metrics fingerprint for bit-exactness checks.
+std::string fingerprint(const OnlineReport& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << r.completed << '|' << r.aborted << '|' << r.rejected << '|'
+     << r.reschedules << '|' << r.makespan << '|' << r.total_work << '|'
+     << r.metrics.response.mean() << '|' << r.metrics.utilization.mean() << '|'
+     << r.metrics.fairness.mean();
+  for (const AppRecord& a : r.apps)
+    os << '|' << a.admit << ',' << a.depart << ',' << static_cast<int>(a.outcome);
+  return os.str();
+}
+
+TEST(OnlineDynamics, EmptyTraceReproducesStaticReplayBitExact) {
+  const platform::Platform plat = grid_platform(6, 5);
+  const Workload wl = poisson(120, 6, 17);
+  for (const Method method : {Method::Greedy, Method::Lpr}) {
+    OnlineOptions options;
+    options.sched.method = method;
+    options.sched.objective = core::Objective::MaxMin;
+    const OnlineEngine engine(plat, options);
+    const OnlineReport a = engine.run(wl);
+    const OnlineReport b = engine.run(wl, dynamics::EventTrace{});
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+    EXPECT_EQ(a.platform_events, 0);
+    EXPECT_EQ(b.aborted, 0);
+    EXPECT_EQ(b.rejected, 0);
+  }
+}
+
+TEST(OnlineDynamics, DynamicReplayIsDeterministic) {
+  const platform::Platform plat = grid_platform(6, 5);
+  const Workload wl = poisson(150, 6, 17, 2.0);
+  Rng trng(23);
+  const dynamics::EventTrace trace =
+      dynamics::scenario_trace(0.3, 0.6, 200.0, plat, trng);
+  OnlineOptions options;
+  options.sched.method = Method::Lpr;
+  options.sched.objective = core::Objective::Sum;
+  const OnlineEngine engine(plat, options);
+  const OnlineReport a = engine.run(wl, trace);
+  const OnlineReport b = engine.run(wl, trace);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_GT(a.platform_events, 0);
+}
+
+TEST(OnlineDynamics, ClusterChurnAbortsActiveAndRejectsArrivals) {
+  const platform::Platform plat = grid_platform(3, 7);
+  Workload wl;
+  wl.arrivals.push_back({0.0, 0, 1.0, 1000.0, "victim"});    // aborted at t=5
+  wl.arrivals.push_back({0.0, 1, 1.0, 1000.0, "queued1"});   // runs on C1
+  wl.arrivals.push_back({1.0, 0, 1.0, 500.0, "queued0"});    // queued, aborted
+  wl.arrivals.push_back({10.0, 0, 1.0, 500.0, "rejected"});  // C0 absent
+  wl.arrivals.push_back({30.0, 0, 1.0, 50.0, "late"});       // C0 back
+
+  dynamics::EventTrace trace;
+  trace.events.push_back({5.0, dynamics::EventKind::ClusterLeave, 0, 0.0});
+  trace.events.push_back({20.0, dynamics::EventKind::ClusterJoin, 0, 0.0});
+
+  OnlineOptions options;
+  options.sched.method = Method::Greedy;
+  options.sched.objective = core::Objective::MaxMin;
+  const OnlineEngine engine(plat, options);
+  const OnlineReport r = engine.run(wl, trace);
+
+  EXPECT_EQ(r.aborted, 2);
+  EXPECT_EQ(r.rejected, 1);
+  EXPECT_EQ(r.completed, 2);
+  EXPECT_EQ(r.apps[0].outcome, AppOutcome::AbortedChurn);
+  EXPECT_EQ(r.apps[0].depart, 5.0);
+  EXPECT_EQ(r.apps[1].outcome, AppOutcome::Completed);
+  EXPECT_EQ(r.apps[2].outcome, AppOutcome::AbortedChurn);
+  EXPECT_EQ(r.apps[3].outcome, AppOutcome::RejectedChurn);
+  EXPECT_EQ(r.apps[4].outcome, AppOutcome::Completed);
+  EXPECT_GE(r.apps[4].admit, 30.0);  // admitted after the rejoin
+  // Only completions feed the response metrics.
+  EXPECT_EQ(r.metrics.response.count(), 2);
+}
+
+TEST(OnlineDynamics, CapacityEventsWarmRepairInsteadOfColdSolving) {
+  const platform::Platform plat = grid_platform(8, 11);
+  const Workload wl = poisson(150, 8, 29, 2.0);
+  // Pure bandwidth drift: every platform event re-prices coefficients,
+  // so each event-triggered re-solve must take the basis-repair path.
+  dynamics::DriftParams dp;
+  dp.horizon = 120.0;
+  dp.step = 10.0;
+  dp.sigma = 0.3;
+  Rng trng(31);
+  const dynamics::EventTrace trace = dynamics::drift_trace(plat, dp, trng);
+
+  OnlineOptions options;
+  options.sched.method = Method::Lpr;
+  options.sched.objective = core::Objective::Sum;
+  const OnlineEngine engine(plat, options);
+  const OnlineReport r = engine.run(wl, trace);
+  EXPECT_GT(r.platform_events, 0);
+  EXPECT_GT(r.repaired_solves, 0);
+  EXPECT_EQ(r.completed, r.arrivals);
+  // Repairs are cheaper than cold solves often enough that the replay
+  // stays overwhelmingly warm.
+  EXPECT_GT(r.warm_solves, r.cold_solves);
+}
+
+TEST(OnlineDynamics, LinkFailuresForceColdSolvesButReplayCompletes) {
+  const platform::Platform plat = grid_platform(8, 11);
+  const Workload wl = poisson(120, 8, 29, 2.0);
+  dynamics::FailureRepairParams fp;
+  fp.horizon = 200.0;
+  fp.link_mtbf = 100.0;
+  fp.mean_repair = 20.0;
+  Rng trng(37);
+  const dynamics::EventTrace trace = failure_repair_trace(plat, fp, trng);
+  ASSERT_GT(trace.size(), 0);
+
+  OnlineOptions options;
+  options.sched.method = Method::Lpr;
+  options.sched.objective = core::Objective::Sum;
+  const OnlineEngine engine(plat, options);
+  const OnlineReport r = engine.run(wl, trace);
+  EXPECT_EQ(r.completed + r.aborted + r.rejected, r.arrivals);
+  EXPECT_GT(r.platform_events, 0);
+  EXPECT_GT(r.cold_solves, 1);  // topology events drop warm state
+}
+
+TEST(OnlineDynamics, DegradedPlatformDegradesResponseTimes) {
+  const platform::Platform plat = grid_platform(6, 13);
+  const Workload wl = poisson(200, 6, 41, 2.0);
+  // Crush every gateway to a trickle halfway through the replay.
+  dynamics::EventTrace trace;
+  for (int k = 0; k < 6; ++k)
+    trace.events.push_back(
+        {20.0, dynamics::EventKind::GatewayBandwidth, k,
+         plat.cluster(k).gateway_bw * 0.02});
+
+  OnlineOptions options;
+  options.sched.method = Method::Greedy;
+  options.sched.objective = core::Objective::MaxMin;
+  const OnlineEngine engine(plat, options);
+  const OnlineReport base = engine.run(wl);
+  const OnlineReport degraded = engine.run(wl, trace);
+  EXPECT_EQ(degraded.completed, degraded.arrivals);
+  // Network help disappears, so responses cannot improve.
+  EXPECT_GE(degraded.metrics.response.mean(),
+            0.99 * base.metrics.response.mean());
+}
+
+TEST(OnlineDynamics, SingleClusterAndDisconnectedPlatformsReplayLocally) {
+  // Single cluster: every method must run the whole stream locally.
+  platform::Platform solo;
+  solo.add_cluster(100, 50, solo.add_router("r0"), "C0");
+  solo.compute_shortest_path_routes();
+  const Workload wl = poisson(40, 1, 3);
+  for (const Method method : {Method::Greedy, Method::Lpr, Method::LpBound}) {
+    for (const core::Objective obj :
+         {core::Objective::Sum, core::Objective::MaxMin}) {
+      OnlineOptions options;
+      options.sched.method = method;
+      options.sched.objective = obj;
+      const OnlineReport r = OnlineEngine(solo, options).run(wl);
+      EXPECT_EQ(r.completed, r.arrivals) << to_string(method);
+    }
+  }
+
+  // Fully disconnected four clusters: all work is local-only too.
+  platform::Platform island;
+  for (int i = 0; i < 4; ++i)
+    island.add_cluster(100, 50, island.add_router(), "C" + std::to_string(i));
+  island.compute_shortest_path_routes();
+  const Workload wl4 = poisson(60, 4, 9);
+  OnlineOptions options;
+  options.sched.method = Method::Lprg;
+  options.sched.objective = core::Objective::Sum;
+  const OnlineReport r = OnlineEngine(island, options).run(wl4);
+  EXPECT_EQ(r.completed, r.arrivals);
+}
+
+}  // namespace
+}  // namespace dls::online

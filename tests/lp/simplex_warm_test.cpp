@@ -396,5 +396,134 @@ TEST(SimplexLu, SparseCapsuleShrinksBelowDenseInverse) {
   EXPECT_LE(small_state.memory_bytes(), state.memory_bytes());
 }
 
+// ---- basis repair across matrix changes (ISSUE 4) --------------------------
+//
+// SimplexOptions::warm_repair lets a capsule whose matrix fingerprint no
+// longer matches retry as a statuses-only start against the new matrix.
+// Capacity-loss events must recover to the cold optimum under both
+// factorizations, whether the carried basis stays feasible, turns
+// infeasible (composite bound repair), or goes singular (cold fallback).
+
+SimplexOptions repair_options(Factorization f) {
+  SimplexOptions opt;
+  opt.factorization = f;
+  opt.warm_repair = true;
+  return opt;
+}
+
+TEST(SimplexWarmRepair, CapacityLossRepairsToColdOptimum) {
+  for (const Factorization f :
+       {Factorization::SparseLu, Factorization::DenseInverse}) {
+    Rng rng(41);
+    Model m = random_model(rng, 24, 12);
+    const SimplexSolver solver(repair_options(f));
+    WarmState state;
+    const Solution base = solver.solve(m, &state);
+    ASSERT_EQ(base.status, SolveStatus::Optimal);
+    ASSERT_TRUE(state.valid);
+
+    // Capacity loss: shrink every coefficient of row 0 (a bandwidth cut
+    // re-prices alpha/pbw terms) and tighten its rhs. The matrix
+    // fingerprint changes, so the capsule cannot restore whole; the
+    // repair path must still reach the cold optimum.
+    Model cut = m;
+    std::vector<Term> row(cut.row(0).begin(), cut.row(0).end());
+    for (Term& t : row) t.coef *= 2.0;  // each unit now costs double
+    cut.set_row(0, std::move(row));
+    cut.set_rhs(0, cut.rhs(0) * 0.6);
+
+    const Solution warm = solver.solve(cut, &state);
+    ASSERT_EQ(warm.status, SolveStatus::Optimal);
+    EXPECT_TRUE(warm.warm_used);
+    EXPECT_EQ(warm.warm_kind, WarmKind::Basis);
+    const Solution cold = SimplexSolver(repair_options(f)).solve(cut);
+    EXPECT_NEAR(warm.objective, cold.objective, kTol)
+        << "factorization " << static_cast<int>(f);
+    EXPECT_LE(warm.iterations, cold.iterations);
+  }
+}
+
+TEST(SimplexWarmRepair, InfeasibleCarriedBasisIsRepairedByBoundPhase1) {
+  for (const Factorization f :
+       {Factorization::SparseLu, Factorization::DenseInverse}) {
+    Rng rng(43);
+    Model m = random_model(rng, 20, 10);
+    const SimplexSolver solver(repair_options(f));
+    WarmState state;
+    const Solution base = solver.solve(m, &state);
+    ASSERT_EQ(base.status, SolveStatus::Optimal);
+
+    // Deep cut: rescale every row's coefficients so the carried basic
+    // values land far outside their bounds — the statuses-only restore
+    // is primal infeasible and must go through the composite repair.
+    Model cut = m;
+    for (int c = 0; c < cut.num_constraints(); ++c) {
+      std::vector<Term> row(cut.row(c).begin(), cut.row(c).end());
+      for (Term& t : row) t.coef *= (c % 2 == 0) ? 3.0 : 0.5;
+      cut.set_row(c, std::move(row));
+    }
+    const Solution warm = solver.solve(cut, &state);
+    ASSERT_EQ(warm.status, SolveStatus::Optimal);
+    const Solution cold = SimplexSolver(repair_options(f)).solve(cut);
+    ASSERT_EQ(cold.status, SolveStatus::Optimal);
+    // Whether the repair survived or fell back cold, the optimum matches.
+    EXPECT_NEAR(warm.objective, cold.objective, kTol)
+        << "factorization " << static_cast<int>(f);
+    if (warm.warm_used) {
+      EXPECT_EQ(warm.warm_kind, WarmKind::Basis);
+      EXPECT_GT(warm.phase1_iterations, 0);  // the repair actually ran
+    }
+  }
+}
+
+TEST(SimplexWarmRepair, SingularizedBasisFallsBackCold) {
+  for (const Factorization f :
+       {Factorization::SparseLu, Factorization::DenseInverse}) {
+    // Two structural variables both basic at the optimum; the capacity
+    // event collapses their columns to be linearly dependent, so the
+    // refactorization of the carried basic set must fail cleanly.
+    Model m;
+    m.set_sense(Sense::Maximize);
+    m.add_variable(0.0, kInf, 3.0, "x");
+    m.add_variable(0.0, kInf, 2.0, "y");
+    m.add_constraint({{0, 1.0}, {1, 2.0}}, Relation::LessEqual, 10.0);
+    m.add_constraint({{0, 2.0}, {1, 1.0}}, Relation::LessEqual, 10.0);
+    const SimplexSolver solver(repair_options(f));
+    WarmState state;
+    const Solution base = solver.solve(m, &state);
+    ASSERT_EQ(base.status, SolveStatus::Optimal);
+    ASSERT_TRUE(state.valid);
+    // Both x and y are basic (optimum at the row intersection).
+    ASSERT_EQ(state.basis.variables[0], BasisStatus::Basic);
+    ASSERT_EQ(state.basis.variables[1], BasisStatus::Basic);
+
+    Model cut = m;
+    cut.set_row(0, {{0, 1.0}, {1, 2.0}});
+    cut.set_row(1, {{0, 2.0}, {1, 4.0}});  // now a multiple of row 0
+    const Solution warm = solver.solve(cut, &state);
+    ASSERT_EQ(warm.status, SolveStatus::Optimal);
+    EXPECT_FALSE(warm.warm_used);  // singular basis discarded, cold start
+    EXPECT_EQ(warm.warm_kind, WarmKind::Cold);
+    const Solution cold = SimplexSolver(repair_options(f)).solve(cut);
+    EXPECT_NEAR(warm.objective, cold.objective, kTol);
+  }
+}
+
+TEST(SimplexWarmRepair, OffByDefaultPreservesColdFallback) {
+  Rng rng(47);
+  const Model a = random_model(rng, 16, 8);
+  Model b = a;
+  std::vector<Term> row(b.row(0).begin(), b.row(0).end());
+  for (Term& t : row) t.coef *= 1.5;
+  b.set_row(0, std::move(row));
+  const SimplexSolver solver;  // warm_repair off
+  WarmState state;
+  ASSERT_EQ(solver.solve(a, &state).status, SolveStatus::Optimal);
+  const Solution s = solver.solve(b, &state);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_FALSE(s.warm_used);
+  EXPECT_EQ(s.warm_kind, WarmKind::Cold);
+}
+
 }  // namespace
 }  // namespace dls::lp

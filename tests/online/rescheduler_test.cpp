@@ -141,17 +141,28 @@ TEST(Rescheduler, MaxMinReshapesSoWarmOnlySurvivesSameActiveCount) {
   std::vector<double> payoffs(8, 0.0);
   payoffs[0] = payoffs[1] = 1.0;
   (void)sched.reschedule(payoffs);
-  // Arrival: active count 2 -> 3 reshapes the MaxMin model; the capsule's
-  // fingerprint check must reject it (cold).
+  // Arrival: active count 2 -> 3 reshapes the MaxMin model (one more
+  // fairness row); neither the capsule nor a basis repair fits the new
+  // shape, so this solves cold.
   payoffs[2] = 1.0;
   EXPECT_FALSE(sched.reschedule(payoffs).warm);
-  // Payoff value change at the same support: same shape, same matrix?
-  // MaxMin fairness rows embed the payoff *values*, so this still
-  // reshapes the matrix and must solve cold.
+  // Payoff value change at the same support: same shape but the MaxMin
+  // fairness rows embed the payoff *values*, so the matrix fingerprint
+  // no longer matches. The rescheduler's basis-repair path (see
+  // lp::SimplexOptions::warm_repair) refactorizes the carried statuses
+  // against the re-priced matrix instead of starting cold.
   payoffs[2] = 1.2;
-  EXPECT_FALSE(sched.reschedule(payoffs).warm);
-  // Identical payoffs again: identical matrix, warm at zero distance.
-  EXPECT_TRUE(sched.reschedule(payoffs).warm);
+  {
+    const Reschedule r = sched.reschedule(payoffs);
+    EXPECT_TRUE(r.warm);
+    EXPECT_TRUE(r.repaired);
+  }
+  // Identical payoffs again: identical matrix, capsule restored whole.
+  {
+    const Reschedule r = sched.reschedule(payoffs);
+    EXPECT_TRUE(r.warm);
+    EXPECT_FALSE(r.repaired);
+  }
 }
 
 TEST(Rescheduler, SupportChangeRuleForcesCold) {
@@ -210,6 +221,59 @@ TEST(Rescheduler, ResetDropsWarmState) {
   EXPECT_TRUE(sched.reschedule(payoffs).warm);
   sched.reset();
   EXPECT_FALSE(sched.reschedule(payoffs).warm);
+}
+
+TEST(Rescheduler, PlatformCapacityChangeWarmRepairsToColdOptimum) {
+  platform::Platform plat = test_platform(8, 43);
+  ReschedulerOptions opt;
+  opt.method = Method::LpBound;
+  opt.objective = core::Objective::Sum;
+  AdaptiveRescheduler sched(plat, opt);
+  const std::vector<double> payoffs(8, 1.0);
+  (void)sched.reschedule(payoffs);
+
+  // A bandwidth cut re-prices matrix coefficients: the capsule cannot
+  // restore whole, but the repair path keeps the solve warm and its
+  // objective must match a from-scratch solve on the mutated platform.
+  plat.set_link_bandwidth(0, plat.link(0).bw * 0.5);
+  sched.platform_capacity_changed();
+  const Reschedule repaired = sched.reschedule(payoffs);
+  EXPECT_TRUE(repaired.warm);
+  EXPECT_TRUE(repaired.repaired);
+
+  AdaptiveRescheduler fresh(plat, opt);
+  EXPECT_NEAR(repaired.objective, fresh.reschedule(payoffs).objective, kTol);
+  EXPECT_EQ(sched.stats().repaired_solves, 1);
+
+  // A pure rhs move (max-connect) keeps the fingerprint: the capsule
+  // restores whole, no repair involved.
+  plat.set_link_max_connections(0, plat.link(0).max_connections / 2 + 1);
+  sched.platform_capacity_changed();
+  const Reschedule whole = sched.reschedule(payoffs);
+  EXPECT_TRUE(whole.warm);
+  EXPECT_FALSE(whole.repaired);
+  AdaptiveRescheduler fresh2(plat, opt);
+  EXPECT_NEAR(whole.objective, fresh2.reschedule(payoffs).objective, kTol);
+}
+
+TEST(Rescheduler, PlatformTopologyChangeForcesColdSolve) {
+  platform::Platform plat = test_platform(8, 47);
+  ReschedulerOptions opt;
+  opt.method = Method::LpBound;
+  opt.objective = core::Objective::Sum;
+  AdaptiveRescheduler sched(plat, opt);
+  const std::vector<double> payoffs(8, 1.0);
+  (void)sched.reschedule(payoffs);
+
+  (void)plat.set_link_up(0, false);  // route set changes, model reshapes
+  sched.platform_topology_changed();
+  const Reschedule r = sched.reschedule(payoffs);
+  EXPECT_FALSE(r.warm);
+  EXPECT_FALSE(r.repaired);
+  AdaptiveRescheduler fresh(plat, opt);
+  EXPECT_NEAR(r.objective, fresh.reschedule(payoffs).objective, kTol);
+  // The cold solve refreshed the capsule: the next event is warm again.
+  EXPECT_TRUE(sched.reschedule(payoffs).warm);
 }
 
 }  // namespace

@@ -107,6 +107,38 @@ TEST(Workload, ReaderRejectsMalformedInput) {
   EXPECT_NO_THROW(from_text("dls-workload 1\napp 1.0 0 1.0 50 -\n"));
 }
 
+TEST(Workload, ReaderDiagnosticsNameLineAndDefect) {
+  const auto fails_with = [](const std::string& text, const std::string& what) {
+    try {
+      (void)from_text(text);
+      ADD_FAILURE() << "expected failure for: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+          << "got: " << e.what();
+    }
+  };
+  fails_with("dls-workload 1\napp 1.0 0\n", "truncated or malformed");
+  fails_with("dls-workload 1\napp -3 0 1.0 50\n", "non-negative");
+  fails_with("dls-workload 1\napp 5 0 1 50\napp 2 0 1 50\n",
+             "out-of-order arrival");
+  fails_with("dls-workload 1\napp 1.0 0.5 1.0 50\n", "integer id");
+  fails_with("dls-workload 1\napp 1.0 0 -1.0 50\n", "payoff must be positive");
+  fails_with("dls-workload 1\napp 1.0 0 1.0 0\n", "load must be positive");
+  // The defect names its line (defect on line 3 here).
+  try {
+    (void)from_text("dls-workload 1\napp 1 0 1 50\napp 2 0 1\n");
+    ADD_FAILURE() << "expected failure";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << "got: " << e.what();
+  }
+  // Blank lines are tolerated and not counted as records.
+  const Workload w =
+      from_text("dls-workload 1\n\napp 1 0 1 50 -\n\napp 2 1 1 60 job\n");
+  ASSERT_EQ(w.size(), 2);
+  EXPECT_EQ(w.arrivals[1].name, "job");
+}
+
 TEST(Workload, ReaderAcceptsOmittedNames) {
   // The documented format marks the name optional; lines without it must
   // not swallow the following line's keyword.

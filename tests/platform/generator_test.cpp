@@ -187,6 +187,37 @@ TEST(Generator, RejectsBadParameters) {
   EXPECT_THROW(generate_platform(p, rng), Error);
 }
 
+TEST(Generator, LatencySamplingMatchesCapacityStream) {
+  // Latency uses the same heterogeneity spread as g/bw/max-connect and
+  // is drawn after them: with the same seed, a latency-free run and a
+  // latency-enabled run produce identical topologies, gateways,
+  // bandwidths and max-connect budgets.
+  GeneratorParams params = default_params();
+  params.num_clusters = 12;
+  params.heterogeneity = 0.4;
+  params.ensure_connected = true;
+  Rng r1(77);
+  const Platform bare = generate_platform(params, r1);
+
+  params.mean_latency = 0.05;
+  Rng r2(77);
+  const Platform latent = generate_platform(params, r2);
+
+  ASSERT_EQ(bare.num_links(), latent.num_links());
+  for (int i = 0; i < bare.num_links(); ++i) {
+    EXPECT_EQ(bare.link(i).a, latent.link(i).a);
+    EXPECT_EQ(bare.link(i).b, latent.link(i).b);
+    EXPECT_EQ(bare.link(i).bw, latent.link(i).bw) << "link " << i;
+    EXPECT_EQ(bare.link(i).max_connections, latent.link(i).max_connections);
+    EXPECT_EQ(bare.link(i).latency, 0.0);
+    // Latency itself honors the heterogeneity spread.
+    EXPECT_GE(latent.link(i).latency, 0.05 * 0.6 - 1e-12);
+    EXPECT_LE(latent.link(i).latency, 0.05 * 1.4 + 1e-12);
+  }
+  for (int k = 0; k < bare.num_clusters(); ++k)
+    EXPECT_EQ(bare.cluster(k).gateway_bw, latent.cluster(k).gateway_bw);
+}
+
 TEST(Generator, SingleClusterPlatform) {
   GeneratorParams params = default_params();
   params.num_clusters = 1;

@@ -113,6 +113,91 @@ TEST(Simulator, RejectsBadOptions) {
   EXPECT_THROW(simulate_schedule(problem, sched, opt), dls::Error);
 }
 
+// ---- period-boundary capacity revisions (ISSUE 4) --------------------------
+
+TEST(Simulator, SpeedRevisionStretchesLaterPeriods) {
+  // Local-only schedule saturating the CPU: halving the speed midway
+  // must double the duration of the remaining periods.
+  const auto plat = single_cluster();
+  SteadyStateProblem problem(plat, {1.0}, Objective::Sum);
+  core::Allocation alloc(1);
+  alloc.set_alpha(0, 0, 100.0);
+  const auto sched = core::build_periodic_schedule(problem, alloc);
+
+  SimOptions opt;
+  opt.warmup_periods = 0;
+  opt.periods = 4;
+  opt.policy = SharingPolicy::MaxMin;  // work-conserving: speed-bound
+  opt.revisions.push_back(
+      {2, CapacityRevision::Kind::ClusterSpeed, 0, 50.0});
+  const auto degraded = simulate_schedule(problem, sched, opt);
+  // Two periods at full speed (duration T), two at half (duration 2T):
+  // total measured time 6T instead of 4T (clocked periods).
+  SimOptions base = opt;
+  base.revisions.clear();
+  const auto reference = simulate_schedule(problem, sched, base);
+  EXPECT_NEAR(degraded.total_time, 1.5 * reference.total_time, 1e-6);
+  EXPECT_NEAR(degraded.worst_overrun_ratio, 2.0, 1e-6);
+}
+
+TEST(Simulator, LinkRevisionRepricesFlowCapsAtBoundary) {
+  // Cross transfer at link bandwidth 10, 1 connection: the flow cap is
+  // beta * pbw. Cutting the link to bw 2 mid-run stretches transfers.
+  const auto plat = two_clusters();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  core::Allocation alloc(2);
+  alloc.set_alpha(0, 0, 90.0);
+  alloc.set_alpha(1, 1, 90.0);
+  alloc.set_alpha(0, 1, 10.0);
+  alloc.set_beta(0, 1, 1.0);
+  const auto sched = core::build_periodic_schedule(problem, alloc);
+
+  SimOptions opt;
+  opt.warmup_periods = 0;
+  opt.periods = 2;
+  opt.policy = SharingPolicy::MaxMin;
+  opt.revisions.push_back({1, CapacityRevision::Kind::LinkBw, 0, 2.0});
+  const auto r = simulate_schedule(problem, sched, opt);
+  // The second period's transfer runs at bw 2 instead of 10: the 10-unit
+  // transfer takes 5 time units against a period of ~1.
+  EXPECT_GT(r.worst_overrun_ratio, 2.0);
+
+  // Max-connect collapse to 0 degrades via admission scaling instead of
+  // deadlocking.
+  SimOptions starve = opt;
+  starve.revisions = {{1, CapacityRevision::Kind::LinkMaxConnect, 0, 0.0}};
+  const auto starved = simulate_schedule(problem, sched, starve);
+  EXPECT_GT(starved.worst_overrun_ratio, r.worst_overrun_ratio);
+}
+
+TEST(Simulator, GatewayRevisionAppliesBetweenPeriods) {
+  const auto plat = two_clusters();
+  SteadyStateProblem problem(plat, {1.0, 1.0}, Objective::Sum);
+  core::Allocation alloc(2);
+  alloc.set_alpha(0, 0, 90.0);
+  alloc.set_alpha(1, 1, 90.0);
+  alloc.set_alpha(0, 1, 10.0);
+  alloc.set_beta(0, 1, 1.0);
+  const auto sched = core::build_periodic_schedule(problem, alloc);
+  SimOptions opt;
+  opt.warmup_periods = 0;
+  opt.periods = 3;
+  opt.policy = SharingPolicy::MaxMin;
+  opt.revisions.push_back({1, CapacityRevision::Kind::GatewayBw, 0, 1.0});
+  const auto r = simulate_schedule(problem, sched, opt);
+  EXPECT_GT(r.worst_overrun_ratio, 1.5);  // the 10-unit transfer crawls
+
+  // Revisions must be sorted and name valid targets.
+  SimOptions bad = opt;
+  bad.revisions = {{2, CapacityRevision::Kind::GatewayBw, 0, 5.0},
+                   {1, CapacityRevision::Kind::GatewayBw, 1, 5.0}};
+  EXPECT_THROW(simulate_schedule(problem, sched, bad), dls::Error);
+  bad.revisions = {{0, CapacityRevision::Kind::LinkBw, 7, 5.0}};
+  EXPECT_THROW(simulate_schedule(problem, sched, bad), dls::Error);
+  bad.revisions = {{0, CapacityRevision::Kind::GatewayBw, 0, -1.0}};
+  EXPECT_THROW(simulate_schedule(problem, sched, bad), dls::Error);
+}
+
 /// End-to-end property: for random platforms, the full pipeline
 /// (generate -> LPRG -> schedule -> simulate) under *paced* execution
 /// meets the period exactly — the analytical steady-state model is
