@@ -20,9 +20,17 @@
 //          warm_cold_ratio = mean warm ms / mean cold ms,
 //      expected well below 1 for K >= 64 (gated in CI).
 //
+//   3. Churn-degradation campaign: the committed declarative spec
+//      data/dynamics_churn.campaign replays the same Poisson stream
+//      against the static platform and against a generated
+//      failure/drift/churn trace through the campaign runner, and the
+//      response/slowdown degradation is read off the two aggregation
+//      groups.
+//
 // One machine-readable JSON object per K is printed on its own line
 // (prefix "JSON "), mirroring the other bench drivers; CI collects
-// these into BENCH_dynamics.json at the repo root.
+// these into BENCH_dynamics.json at the repo root (the campaign row is
+// tagged "dynamics_campaign" so the K-gated assertions skip it).
 #include <cmath>
 #include <cstdint>
 #include <iostream>
@@ -30,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/runner.hpp"
 #include "dynamics/dynamic_platform.hpp"
 #include "exp/experiment.hpp"
 #include "online/rescheduler.hpp"
@@ -202,6 +211,49 @@ int main() {
        << ",\"objective_gap\":" << objective_gap << "}";
     json_lines.push_back(js.str());
   }
+  // ---- 3. churn-degradation campaign from the committed spec ----
+  {
+    campaign::ScenarioSpec spec = campaign::read_campaign_file(
+        {"data/dynamics_churn.campaign", "../data/dynamics_churn.campaign"});
+    spec.replications = exp::scaled(spec.replications);
+
+    campaign::RunnerOptions options;
+    options.jobs = exp::bench_jobs();
+    const campaign::CampaignReport report = campaign::run_campaign(spec, options);
+
+    const auto group_mean = [&](const std::string& scenario,
+                                const std::string& metric) {
+      return campaign::group_metric_mean(report, scenario, metric);
+    };
+    const auto ratio = [](double dyn, double base) {
+      return base > 0.0 ? dyn / base : 0.0;
+    };
+    const double response_degradation =
+        ratio(group_mean("dynamic", "mean_response"),
+              group_mean("static", "mean_response"));
+    const double slowdown_degradation =
+        ratio(group_mean("dynamic", "mean_slowdown"),
+              group_mean("static", "mean_slowdown"));
+
+    std::cout << "campaign '" << spec.name << "': " << report.total_cases
+              << " cases (" << spec.replications
+              << " replications), response degradation x"
+              << response_degradation << ", slowdown x" << slowdown_degradation
+              << "\n";
+
+    std::ostringstream js;
+    js.precision(6);
+    js << "{\"bench\":\"dynamics_campaign\",\"cases\":" << report.total_cases
+       << ",\"replications\":" << spec.replications
+       << ",\"static_mean_response\":" << group_mean("static", "mean_response")
+       << ",\"dynamic_mean_response\":" << group_mean("dynamic", "mean_response")
+       << ",\"response_degradation\":" << response_degradation
+       << ",\"slowdown_degradation\":" << slowdown_degradation
+       << ",\"dynamic_completed\":" << group_mean("dynamic", "completed")
+       << ",\"dynamic_aborted\":" << group_mean("dynamic", "aborted") << "}";
+    json_lines.push_back(js.str());
+  }
+
   for (const std::string& line : json_lines) std::cout << "JSON " << line << "\n";
   return 0;
 }

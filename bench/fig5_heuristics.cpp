@@ -28,7 +28,7 @@ int main() {
                    "SUM(G)/LP", "cases"});
   const platform::Table1Grid grid;
   for (const int k : ks) {
-    exp::RatioStats mm_lprg, mm_g, sum_lprg, sum_g;
+    exp::RatioAccumulator mm_lprg, mm_g, sum_lprg, sum_g;
     int cases = 0;
     for (int rep = 0; rep < per_k; ++rep) {
       Rng rng(seed + 104729ULL * k + rep);

@@ -29,7 +29,7 @@ int main() {
                    "SUM(LPRR)/LP", "SUM(G)/LP", "cases"});
   const platform::Table1Grid grid;
   for (const int k : {15, 20, 25}) {
-    exp::RatioStats mm_lprr, mm_lprg, mm_g, mm_eq, mm_1s, mm_1seq, sum_lprr, sum_g;
+    exp::RatioAccumulator mm_lprr, mm_lprg, mm_g, mm_eq, mm_1s, mm_1seq, sum_lprr, sum_g;
     int cases = 0;
     for (int rep = 0; rep < per_k; ++rep) {
       Rng rng(seed + 15485863ULL * k + rep);

@@ -25,7 +25,7 @@ int main() {
                    "SUM(LPRG)/LP", "cases"});
   const platform::Table1Grid grid;
   for (const double spread : {0.0, 0.2, 0.4, 0.6, 0.8}) {
-    exp::RatioStats mm_g, mm_lprg, sum_g, sum_lprg;
+    exp::RatioAccumulator mm_g, mm_lprg, sum_g, sum_lprg;
     int cases = 0;
     for (int rep = 0; rep < per_cell; ++rep) {
       Rng rng(seed + 7001ULL * rep + static_cast<std::uint64_t>(spread * 100));

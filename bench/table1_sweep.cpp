@@ -1,83 +1,83 @@
-// Table 1 sweep reproduction (§6.1 headline numbers): a stratified sample
-// of the paper's 269,835-configuration grid. For each K, platforms are
-// drawn with the remaining five parameters sampled uniformly from the
-// Table-1 values, and the §6.1 aggregates are reported:
+// Table 1 sweep reproduction (§6.1 headline numbers), driven by the
+// committed declarative spec data/table1_sweep.campaign through the
+// campaign runner: a stratified sample of the paper's
+// 269,835-configuration grid, with the greedy local-exhaust ablation on
+// the spec's exhaust axis. The §6.1 aggregates are recomputed from the
+// runner's streaming per-case record sink:
 //
 //   * mean LPRG/G objective ratio: paper reports 1.98 for MAXMIN and 1.02
 //     for SUM over all platforms;
 //   * LPR's ratio to LP: "very poor", often rounding everything to zero.
+//
+// DLS_BENCH_SCALE scales the spec's replication count; DLS_BENCH_JOBS
+// sets the worker count; DLS_BENCH_SEED overrides the spec seed.
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 
+#include "campaign/runner.hpp"
 #include "exp/experiment.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace dls;
-  const std::uint64_t seed = exp::bench_seed();
-  const int per_cell = exp::scaled(8);
-  std::vector<int> ks{5, 15, 25, 35, 45, 55, 65, 75};
-  if (exp::bench_scale() >= 2.0) ks.insert(ks.end(), {85, 95});
+  campaign::ScenarioSpec spec = campaign::read_campaign_file(
+      {"data/table1_sweep.campaign", "../data/table1_sweep.campaign"});
+  spec.replications = exp::scaled(spec.replications);
+  if (std::getenv("DLS_BENCH_SEED") != nullptr) spec.seed = exp::bench_seed();
 
   std::cout << "# Table 1 sweep (stratified sample): headline aggregates of section 6.1\n"
-            << "# paper expectation: LPRG/G ~ 1.98 (MAXMIN), ~ 1.02 (SUM); LPR/LP near 0\n";
+            << "# paper expectation: LPRG/G ~ 1.98 (MAXMIN), ~ 1.02 (SUM); LPR/LP near 0\n"
+            << "# spec: " << spec.name << ", " << spec.platforms.size()
+            << " grid cells x " << spec.replications << " replications\n";
 
+  // Streaming aggregation over the runner's ordered per-case records:
+  // every statistic below is derived from the case stream, not from a
+  // materialized result vector.
   Accumulator lprg_over_g_mm, lprg_over_g_sum, lprg_over_gdrop_mm, lprg_over_gdrop_sum;
-  exp::RatioStats lpr_mm, lpr_sum, lprg_mm, lprg_sum, g_mm, g_sum, gdrop_mm, gdrop_sum;
-  int lpr_zero = 0, total = 0;
+  exp::RatioAccumulator lpr_mm, lpr_sum, lprg_mm, lprg_sum, g_mm, g_sum, gdrop_mm,
+      gdrop_sum;
+  int lpr_zero = 0, total = 0, failed = 0;
 
-  // Four method variants per replication; replications are independent,
-  // so the whole grid runs as one parallel sweep (DLS_BENCH_JOBS workers).
-  const platform::Table1Grid grid;
-  std::vector<exp::CaseConfig> configs;
-  for (const int k : ks) {
-    for (int rep = 0; rep < per_cell; ++rep) {
-      Rng rng(seed + 32452843ULL * k + rep);
-      exp::CaseConfig config;
-      config.params = exp::sample_grid_params(grid, k, rng);
-      config.seed = rng.next_u64();
-
-      config.objective = core::Objective::MaxMin;
-      configs.push_back(config);
-      config.objective = core::Objective::Sum;
-      configs.push_back(config);
-      // Greedy local-exhaust ablation: the literal paper reading drops an
-      // application whose local cap is 0 instead of taking the residual.
-      config.greedy.local_exhaust = core::LocalExhaustPolicy::DropApplication;
-      config.objective = core::Objective::MaxMin;
-      configs.push_back(config);
-      config.objective = core::Objective::Sum;
-      configs.push_back(config);
+  campaign::RunnerOptions options;
+  options.jobs = exp::bench_jobs();
+  options.case_sink = [&](const campaign::CampaignReport& report,
+                          const campaign::CaseRecord& record) {
+    const campaign::GroupAggregate& group = report.groups[record.group];
+    const auto value = [&](const char* name) {
+      for (std::size_t i = 0; i < group.metrics.size(); ++i)
+        if (group.metrics[i].name == name) return record.values[i];
+      return std::numeric_limits<double>::quiet_NaN();
+    };
+    if (value("ok") != 1.0) {
+      ++failed;
+      return;
     }
-  }
-  const std::vector<exp::CaseResult> results =
-      exp::run_cases(configs, exp::bench_jobs());
-  for (std::size_t base = 0; base + 3 < results.size(); base += 4) {
-    {
-      const exp::CaseResult& mm = results[base];
-      const exp::CaseResult& sum = results[base + 1];
-      const exp::CaseResult& mm_drop = results[base + 2];
-      const exp::CaseResult& sum_drop = results[base + 3];
-      if (!mm.ok || !sum.ok || !mm_drop.ok || !sum_drop.ok) continue;
-      ++total;
-
-      if (mm.g > 1e-9) lprg_over_g_mm.add(mm.lprg / mm.g);
-      if (sum.g > 1e-9) lprg_over_g_sum.add(sum.lprg / sum.g);
-      if (mm_drop.g > 1e-9) lprg_over_gdrop_mm.add(mm_drop.lprg / mm_drop.g);
-      if (sum_drop.g > 1e-9) lprg_over_gdrop_sum.add(sum_drop.lprg / sum_drop.g);
-      lpr_mm.add(mm.lpr, mm.lp);
-      lpr_sum.add(sum.lpr, sum.lp);
-      lprg_mm.add(mm.lprg, mm.lp);
-      lprg_sum.add(sum.lprg, sum.lp);
-      g_mm.add(mm.g, mm.lp);
-      g_sum.add(sum.g, sum.lp);
-      gdrop_mm.add(mm_drop.g, mm_drop.lp);
-      gdrop_sum.add(sum_drop.g, sum_drop.lp);
-      if (mm.lpr < 1e-9 && mm.lp > 1e-9) ++lpr_zero;
+    ++total;
+    const bool mm = group.objective == "maxmin";
+    const bool drop = group.exhaust == "drop";
+    // Per-case ratios are already normalized by the LP bound, so the
+    // RatioAccumulators receive (ratio, 1).
+    const double rg = value("ratio_g");
+    const double rlpr = value("ratio_lpr");
+    const double rlprg = value("ratio_lprg");
+    const double over_g = value("lprg_over_g");
+    if (drop) {
+      (mm ? gdrop_mm : gdrop_sum).add(rg, 1.0);
+      if (!std::isnan(over_g)) (mm ? lprg_over_gdrop_mm : lprg_over_gdrop_sum).add(over_g);
+      return;
     }
-  }
+    (mm ? g_mm : g_sum).add(rg, 1.0);
+    (mm ? lpr_mm : lpr_sum).add(rlpr, 1.0);
+    (mm ? lprg_mm : lprg_sum).add(rlprg, 1.0);
+    if (!std::isnan(over_g)) (mm ? lprg_over_g_mm : lprg_over_g_sum).add(over_g);
+    if (mm && rlpr < 1e-9 && value("lp_bound") > 1e-9) ++lpr_zero;
+  };
+
+  const campaign::CampaignReport report = campaign::run_campaign(spec, options);
 
   TextTable table({"aggregate", "MAXMIN", "SUM"});
   table.add_row({"mean LPRG/G", TextTable::fmt(lprg_over_g_mm.mean(), 3),
@@ -92,8 +92,13 @@ int main() {
                  TextTable::fmt(g_sum.mean(), 3)});
   table.add_row({"mean G(drop-app)/LP", TextTable::fmt(gdrop_mm.mean(), 3),
                  TextTable::fmt(gdrop_sum.mean(), 3)});
+  table.add_row({"stddev LPRG/LP", TextTable::fmt(lprg_mm.stddev(), 3),
+                 TextTable::fmt(lprg_sum.stddev(), 3)});
   table.print(std::cout);
-  std::cout << "platforms: " << total << "; MAXMIN cases where LPR rounded to zero: "
+  std::cout << "cases: " << total << " ok, " << failed << " failed of "
+            << report.total_cases << " (" << report.platform_builds
+            << " platform builds, " << report.platform_cache_hits
+            << " cache hits); MAXMIN cases where LPR rounded to zero: "
             << lpr_zero << "\n";
   return 0;
 }

@@ -1,0 +1,701 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <limits>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "dynamics/events.hpp"
+#include "exp/experiment.hpp"
+#include "online/engine.hpp"
+#include "platform/serialization.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dls::campaign {
+
+namespace {
+
+// ---- seed streams -----------------------------------------------------------
+
+/// Hash-combine with a SplitMix64 finalizer: every derived stream is a
+/// pure function of (spec seed, axis indices), independent of sharding
+/// and worker count.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+constexpr std::uint64_t kPlatformSalt = 0x706c6174ULL;  // "plat"
+constexpr std::uint64_t kPayoffSalt = 0x7061796fULL;    // "payo"
+constexpr std::uint64_t kWorkloadSalt = 0x776f726bULL;  // "work"
+constexpr std::uint64_t kEventsSalt = 0x6576656eULL;    // "even"
+
+std::uint64_t platform_seed(const ScenarioSpec& spec, int cell, int rep) {
+  return mix(mix(mix(spec.seed, kPlatformSalt), cell), rep);
+}
+
+// ---- case matrix ------------------------------------------------------------
+
+struct CaseDef {
+  std::size_t group = 0;
+  int cell = 0;
+  int scen = 0;
+  int objective = 0;
+  int warm = 0;     ///< stream cases only
+  int method = 0;   ///< stream cases only (index into spec.methods)
+  int exhaust = 0;  ///< offline cases only
+  int rep = 0;
+  bool offline = false;
+};
+
+bool has_method(const ScenarioSpec& spec, Method m) {
+  return std::find(spec.methods.begin(), spec.methods.end(), m) !=
+         spec.methods.end();
+}
+
+std::vector<std::string> offline_metric_names(const ScenarioSpec& spec) {
+  std::vector<std::string> names{"ok"};
+  for (const Method m : {Method::G, Method::Lpr, Method::Lprg, Method::Lprr}) {
+    if (has_method(spec, m))
+      names.push_back(std::string("ratio_") + to_string(m));
+  }
+  if (has_method(spec, Method::G) && has_method(spec, Method::Lprg))
+    names.push_back("lprg_over_g");
+  names.push_back("lp_bound");
+  return names;
+}
+
+std::vector<std::string> stream_metric_names() {
+  return {"ok",           "completed",      "aborted",
+          "rejected",     "queued_arrivals", "reschedules",
+          "warm_solves",  "repaired_solves", "cold_solves",
+          "platform_events", "makespan",     "total_work",
+          "mean_response", "mean_wait",      "mean_slowdown",
+          "mean_utilization", "mean_fairness", "peak_active",
+          "peak_queued"};
+}
+
+online::Method to_online(Method m) {
+  switch (m) {
+    case Method::G: return online::Method::Greedy;
+    case Method::Lpr: return online::Method::Lpr;
+    case Method::Lprg: return online::Method::Lprg;
+    case Method::Lp: return online::Method::LpBound;
+    case Method::Lprr: break;
+  }
+  throw Error("campaign: method lprr has no online rescheduler");
+}
+
+/// Expands the spec into groups (into `report`) and the flat case list.
+std::vector<CaseDef> expand(const ScenarioSpec& spec, CampaignReport& report) {
+  const std::vector<std::string> offline_names = offline_metric_names(spec);
+  const std::vector<std::string> stream_names = stream_metric_names();
+  std::vector<CaseDef> defs;
+
+  const auto add_group = [&](const CaseDef& proto, bool offline,
+                             const std::vector<std::string>& names) {
+    GroupAggregate g;
+    g.platform = spec.platforms[proto.cell].label;
+    g.scenario = spec.scenarios[proto.scen].label;
+    g.objective = axis_name(spec.objectives[proto.objective]);
+    g.offline = offline;
+    g.method = offline ? "*" : to_string(spec.methods[proto.method]);
+    g.warm = offline ? "*" : to_string(spec.warm[proto.warm]);
+    g.exhaust = offline ? to_string(spec.exhaust[proto.exhaust]) : "*";
+    for (const std::string& name : names) g.metrics.push_back({name, {}, P2Quantile(0.5), P2Quantile(0.95)});
+    report.groups.push_back(std::move(g));
+    return report.groups.size() - 1;
+  };
+
+  for (int cell = 0; cell < static_cast<int>(spec.platforms.size()); ++cell) {
+    for (int scen = 0; scen < static_cast<int>(spec.scenarios.size()); ++scen) {
+      const bool offline = spec.scenarios[scen].offline();
+      for (int obj = 0; obj < static_cast<int>(spec.objectives.size()); ++obj) {
+        CaseDef proto;
+        proto.cell = cell;
+        proto.scen = scen;
+        proto.objective = obj;
+        proto.offline = offline;
+        if (offline) {
+          for (int ex = 0; ex < static_cast<int>(spec.exhaust.size()); ++ex) {
+            proto.exhaust = ex;
+            proto.group = add_group(proto, true, offline_names);
+            for (int rep = 0; rep < spec.replications; ++rep) {
+              proto.rep = rep;
+              defs.push_back(proto);
+            }
+          }
+        } else {
+          for (int w = 0; w < static_cast<int>(spec.warm.size()); ++w) {
+            for (int m = 0; m < static_cast<int>(spec.methods.size()); ++m) {
+              proto.warm = w;
+              proto.method = m;
+              proto.group = add_group(proto, false, stream_names);
+              for (int rep = 0; rep < spec.replications; ++rep) {
+                proto.rep = rep;
+                defs.push_back(proto);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return defs;
+}
+
+// ---- shared artifacts -------------------------------------------------------
+
+/// Caches generated platforms per (cell, replication) and referenced
+/// files once per campaign. Lookups race benignly: a missed entry is
+/// rebuilt deterministically from its seed, so duplicated work never
+/// changes a result.
+class ArtifactCache {
+public:
+  explicit ArtifactCache(const ScenarioSpec& spec) : spec_(&spec) {}
+
+  std::shared_ptr<const platform::Platform> platform_for(int cell, int rep) {
+    const PlatformSource& src = spec_->platforms[cell];
+    // A file platform is replication-independent: one entry.
+    const int key_rep = src.kind == PlatformSource::Kind::File ? 0 : rep;
+    const std::pair<int, int> key{cell, key_rep};
+    {
+      std::scoped_lock lock(mutex_);
+      const auto it = platforms_.find(key);
+      if (it != platforms_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    auto built = std::make_shared<const platform::Platform>(build(src, cell, key_rep));
+    std::scoped_lock lock(mutex_);
+    ++builds_;
+    // Bounded insert, no eviction: evicting early keys would throw away
+    // exactly the platforms the next scenario/objective group revisits
+    // first. Campaigns larger than the cap rebuild the overflow
+    // deterministically per use instead.
+    if (platforms_.size() >= kMaxEntries) return built;
+    const auto [it, inserted] = platforms_.emplace(key, std::move(built));
+    return it->second;
+  }
+
+  std::shared_ptr<const online::Workload> workload_file(const std::string& path) {
+    std::scoped_lock lock(mutex_);
+    auto& slot = workloads_[path];
+    if (!slot) {
+      std::ifstream in(path);
+      require(static_cast<bool>(in),
+              "campaign: cannot open workload file '" + path + "'");
+      slot = std::make_shared<const online::Workload>(online::read_workload(in));
+    }
+    return slot;
+  }
+
+  std::shared_ptr<const dynamics::EventTrace> events_file(const std::string& path) {
+    std::scoped_lock lock(mutex_);
+    auto& slot = events_[path];
+    if (!slot) {
+      std::ifstream in(path);
+      require(static_cast<bool>(in),
+              "campaign: cannot open events file '" + path + "'");
+      slot = std::make_shared<const dynamics::EventTrace>(dynamics::read_events(in));
+    }
+    return slot;
+  }
+
+  [[nodiscard]] std::size_t builds() const { return builds_; }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+
+private:
+  platform::Platform build(const PlatformSource& src, int cell, int rep) const {
+    switch (src.kind) {
+      case PlatformSource::Kind::File: {
+        std::ifstream in(src.path);
+        require(static_cast<bool>(in),
+                "campaign: cannot open platform file '" + src.path + "'");
+        return platform::read_platform(in);
+      }
+      case PlatformSource::Kind::Generate: {
+        Rng rng(platform_seed(*spec_, cell, rep));
+        return generate_platform(src.params, rng);
+      }
+      case PlatformSource::Kind::Grid: {
+        Rng rng(platform_seed(*spec_, cell, rep));
+        const platform::Table1Grid grid;
+        const platform::GeneratorParams params =
+            exp::sample_grid_params(grid, src.grid_clusters, rng);
+        return generate_platform(params, rng);
+      }
+    }
+    throw Error("campaign: unknown platform kind");
+  }
+
+  static constexpr std::size_t kMaxEntries = 1024;
+
+  const ScenarioSpec* spec_;
+  std::mutex mutex_;
+  std::map<std::pair<int, int>, std::shared_ptr<const platform::Platform>> platforms_;
+  std::map<std::string, std::shared_ptr<const online::Workload>> workloads_;
+  std::map<std::string, std::shared_ptr<const dynamics::EventTrace>> events_;
+  std::size_t builds_ = 0;
+  std::size_t hits_ = 0;
+};
+
+// ---- case kernels -----------------------------------------------------------
+
+double qnan() { return std::numeric_limits<double>::quiet_NaN(); }
+
+double ratio_or_nan(double method_value, double lp_value) {
+  if (!(lp_value > 1e-12) || std::isnan(method_value)) return qnan();
+  return method_value / lp_value;
+}
+
+std::vector<double> run_offline_case(const ScenarioSpec& spec, const CaseDef& def,
+                                     ArtifactCache& cache) {
+  const auto plat = cache.platform_for(def.cell, def.rep);
+  exp::CaseConfig config;
+  config.objective = spec.objectives[def.objective];
+  config.payoff_spread = spec.payoff_spread;
+  config.greedy.local_exhaust = spec.exhaust[def.exhaust];
+  config.with_lpr = has_method(spec, Method::Lpr);
+  config.with_lprg = has_method(spec, Method::Lprg);
+  config.with_lprr = has_method(spec, Method::Lprr);
+  config.seed = mix(platform_seed(spec, def.cell, def.rep), kPayoffSalt);
+  const exp::CaseResult r = exp::run_case(config, *plat);
+
+  // A failed case (any solve non-optimal) contributes only ok=0: its
+  // partially-filled method values are unusable per the CaseResult
+  // contract and must not leak into the aggregates.
+  std::vector<double> values;
+  values.push_back(r.ok ? 1.0 : 0.0);
+  const auto guarded = [&](double v) { return r.ok ? v : qnan(); };
+  if (has_method(spec, Method::G)) values.push_back(guarded(ratio_or_nan(r.g, r.lp)));
+  if (has_method(spec, Method::Lpr))
+    values.push_back(guarded(ratio_or_nan(r.lpr, r.lp)));
+  if (has_method(spec, Method::Lprg))
+    values.push_back(guarded(ratio_or_nan(r.lprg, r.lp)));
+  if (has_method(spec, Method::Lprr))
+    values.push_back(guarded(ratio_or_nan(r.lprr, r.lp)));
+  if (has_method(spec, Method::G) && has_method(spec, Method::Lprg))
+    values.push_back(
+        guarded(r.g > 1e-9 && !std::isnan(r.lprg) ? r.lprg / r.g : qnan()));
+  values.push_back(guarded(std::isnan(r.lp) ? qnan() : r.lp));
+  return values;
+}
+
+std::vector<double> run_stream_case(const ScenarioSpec& spec, const CaseDef& def,
+                                    ArtifactCache& cache) {
+  const WorkloadSource& scen = spec.scenarios[def.scen];
+  const auto plat = cache.platform_for(def.cell, def.rep);
+  const int k = plat->num_clusters();
+
+  // Trace workloads stay shared (no per-case copy of the arrivals
+  // vector); generated kinds materialize into the local buffer.
+  std::shared_ptr<const online::Workload> shared_workload;
+  online::Workload generated;
+  switch (scen.kind) {
+    case WorkloadSource::Kind::Trace:
+      shared_workload = cache.workload_file(scen.path);
+      break;
+    // The workload stream deliberately does NOT depend on the scenario
+    // index: scenarios that share workload parameters (the static vs
+    // dynamic pairing of the degradation reports) replay literally the
+    // same arrivals, and scenarios with different parameters share
+    // common random numbers.
+    case WorkloadSource::Kind::Batch: {
+      Rng rng(mix(mix(spec.seed, kWorkloadSalt), def.rep));
+      generated = online::batch_workload(scen.poisson, k, rng);
+      break;
+    }
+    case WorkloadSource::Kind::Poisson: {
+      Rng rng(mix(mix(spec.seed, kWorkloadSalt), def.rep));
+      generated = online::poisson_workload(scen.poisson, k, rng);
+      break;
+    }
+    case WorkloadSource::Kind::OnOff: {
+      Rng rng(mix(mix(spec.seed, kWorkloadSalt), def.rep));
+      generated = online::onoff_workload(scen.onoff, k, rng);
+      break;
+    }
+    case WorkloadSource::Kind::None:
+      throw Error("campaign: offline scenario reached the stream kernel");
+  }
+  const online::Workload& workload = shared_workload ? *shared_workload : generated;
+
+  online::OnlineOptions options;
+  options.sched.method = to_online(spec.methods[def.method]);
+  options.sched.objective = spec.objectives[def.objective];
+  options.sched.warm = spec.warm[def.warm];
+  options.sched.max_support_change = spec.max_support_change;
+  options.sched.greedy.local_exhaust = spec.exhaust.front();
+  options.rate_model = spec.rate_model;
+  options.sim_policy = spec.sim_policy;
+  options.sim_window_units = spec.sim_window_units;
+
+  const online::OnlineEngine engine(*plat, options);
+  online::OnlineReport report;
+  switch (scen.dyn) {
+    case WorkloadSource::DynKind::None:
+      report = engine.run(workload);
+      break;
+    case WorkloadSource::DynKind::Trace:
+      report = engine.run(workload, *cache.events_file(scen.events_path));
+      break;
+    case WorkloadSource::DynKind::Scenario: {
+      const double last_arrival =
+          workload.arrivals.empty() ? 0.0 : workload.arrivals.back().time;
+      const double horizon =
+          scen.horizon > 0.0 ? scen.horizon : 2.0 * last_arrival + 100.0;
+      Rng rng(mix(mix(mix(mix(spec.seed, kEventsSalt), def.cell), def.scen),
+                  def.rep));
+      const dynamics::EventTrace trace =
+          dynamics::scenario_trace(scen.event_rate, scen.severity, horizon,
+                                   *plat, rng);
+      report = engine.run(workload, trace);
+      break;
+    }
+  }
+
+  const auto acc_mean = [](const Accumulator& acc) {
+    return acc.count() == 0 ? qnan() : acc.mean();
+  };
+  // Same empty-aggregate honesty for the time-weighted series: a replay
+  // that accumulated no weight has no utilization/fairness to report.
+  const auto tw_mean = [](const online::TimeWeighted& tw) {
+    return tw.total_weight() > 0.0 ? tw.mean() : qnan();
+  };
+  return {1.0,
+          static_cast<double>(report.completed),
+          static_cast<double>(report.aborted),
+          static_cast<double>(report.rejected),
+          static_cast<double>(report.queued_arrivals),
+          static_cast<double>(report.reschedules),
+          static_cast<double>(report.warm_solves),
+          static_cast<double>(report.repaired_solves),
+          static_cast<double>(report.cold_solves),
+          static_cast<double>(report.platform_events),
+          report.makespan,
+          report.total_work,
+          acc_mean(report.metrics.response),
+          acc_mean(report.metrics.wait),
+          acc_mean(report.metrics.slowdown),
+          tw_mean(report.metrics.utilization),
+          tw_mean(report.metrics.fairness),
+          static_cast<double>(report.peak_active),
+          static_cast<double>(report.peak_queued)};
+}
+
+// ---- streaming ordered reduction --------------------------------------------
+
+/// Restores case order between the dynamically-scheduled workers and
+/// the aggregates: records wait in a bounded buffer until every earlier
+/// case has been folded. The worker owning the next expected position is
+/// never blocked, so the buffer cannot deadlock; everyone else blocks
+/// once `capacity` records are pending, which bounds memory at
+/// O(workers * chunk) instead of O(cases).
+class OrderedReducer {
+public:
+  OrderedReducer(CampaignReport& report, const RunnerOptions& options,
+                 std::size_t capacity)
+      : report_(&report), options_(&options),
+        capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  void push(std::size_t pos, CaseRecord record) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return pos == next_ || pending_.size() < capacity_; });
+    if (pos != next_) {
+      pending_.emplace(pos, std::move(record));
+      return;
+    }
+    apply(record);
+    ++next_;
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first == next_) {
+      apply(it->second);
+      ++next_;
+      it = pending_.erase(it);
+    }
+    cv_.notify_all();
+  }
+
+  /// First exception a case_sink threw; rethrown by run_campaign. The
+  /// reduction itself keeps draining so no worker deadlocks on a
+  /// next-position that would otherwise never arrive.
+  [[nodiscard]] std::exception_ptr sink_error() const { return sink_error_; }
+
+private:
+  void apply(const CaseRecord& record) {
+    GroupAggregate& group = report_->groups[record.group];
+    for (std::size_t i = 0; i < record.values.size(); ++i) {
+      const double v = record.values[i];
+      if (std::isnan(v)) continue;
+      MetricAggregate& metric = group.metrics[i];
+      metric.acc.add(v);
+      metric.p50.add(v);
+      metric.p95.add(v);
+    }
+    if (options_->case_sink && !sink_error_ && !record.values.empty()) {
+      try {
+        options_->case_sink(*report_, record);
+      } catch (...) {
+        sink_error_ = std::current_exception();
+      }
+    }
+  }
+
+  CampaignReport* report_;
+  const RunnerOptions* options_;
+  std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t next_ = 0;
+  std::map<std::size_t, CaseRecord> pending_;
+  std::exception_ptr sink_error_;
+};
+
+}  // namespace
+
+CampaignReport run_campaign(const ScenarioSpec& spec, const RunnerOptions& options) {
+  spec.validate();
+  require(options.jobs >= 0, "run_campaign: negative job count");
+  require(options.shard_count >= 1 && options.shard_index >= 0 &&
+              options.shard_index < options.shard_count,
+          "run_campaign: shard index out of range");
+  require(options.chunk >= 1, "run_campaign: chunk must be >= 1");
+
+  CampaignReport report;
+  report.name = spec.name;
+  report.shard_index = options.shard_index;
+  report.shard_count = options.shard_count;
+  report.replications = spec.replications;
+  const std::vector<CaseDef> defs = expand(spec, report);
+  report.total_cases = defs.size();
+
+  // Shard partition: case index mod shard_count.
+  std::vector<std::size_t> mine;
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    if (i % static_cast<std::size_t>(options.shard_count) ==
+        static_cast<std::size_t>(options.shard_index))
+      mine.push_back(i);
+  }
+  report.executed_cases = mine.size();
+
+  ArtifactCache cache(spec);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const std::size_t workers =
+      options.jobs == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                        : static_cast<std::size_t>(options.jobs);
+  OrderedReducer reducer(report, options,
+                         std::max<std::size_t>(64, 4 * workers * options.chunk));
+
+  const auto body = [&](std::size_t pos) {
+    const CaseDef& def = defs[mine[pos]];
+    CaseRecord record;
+    record.index = mine[pos];
+    record.group = def.group;
+    record.rep = def.rep;
+    try {
+      record.values = def.offline ? run_offline_case(spec, def, cache)
+                                  : run_stream_case(spec, def, cache);
+    } catch (...) {
+      {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Tombstone: keeps the ordered reduction flowing so no worker
+      // blocks forever waiting on this position. Empty values are
+      // skipped by apply().
+      record.values.clear();
+    }
+    reducer.push(pos, std::move(record));
+  };
+
+  if (options.jobs == 1 || mine.size() <= 1) {
+    for (std::size_t pos = 0; pos < mine.size(); ++pos) body(pos);
+  } else {
+    ThreadPool pool(workers);
+    parallel_for(pool, 0, mine.size(), body, options.chunk);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  if (reducer.sink_error()) std::rethrow_exception(reducer.sink_error());
+
+  report.platform_builds = cache.builds();
+  report.platform_cache_hits = cache.hits();
+  return report;
+}
+
+// ---- report emission --------------------------------------------------------
+
+namespace {
+
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// A metric statistic, or `null` for the aggregate of nothing.
+std::string json_stat(const MetricAggregate& m, double value) {
+  if (m.acc.count() == 0) return "null";
+  return fmt17(value);
+}
+
+/// RFC-4180-style quoting: generated platform labels legitimately
+/// contain commas ("gen:clusters=4,connectivity=0.4").
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_report_json(const CampaignReport& report, std::ostream& os) {
+  os << "{\"command\":\"campaign\",\"name\":\"" << json_escape(report.name)
+     << "\",\"shard\":\"" << report.shard_index << "/" << report.shard_count
+     << "\",\"cases\":" << report.total_cases
+     << ",\"executed\":" << report.executed_cases
+     << ",\"replications\":" << report.replications << ",\"groups\":[";
+  for (std::size_t g = 0; g < report.groups.size(); ++g) {
+    const GroupAggregate& group = report.groups[g];
+    if (g > 0) os << ',';
+    os << "{\"platform\":\"" << json_escape(group.platform)
+       << "\",\"scenario\":\"" << json_escape(group.scenario)
+       << "\",\"objective\":\"" << group.objective
+       << "\",\"method\":\"" << group.method
+       << "\",\"warm\":\"" << group.warm
+       << "\",\"exhaust\":\"" << group.exhaust
+       << "\",\"kind\":\"" << (group.offline ? "offline" : "stream")
+       << "\",\"metrics\":[";
+    for (std::size_t i = 0; i < group.metrics.size(); ++i) {
+      const MetricAggregate& m = group.metrics[i];
+      if (i > 0) os << ',';
+      os << "{\"name\":\"" << m.name << "\",\"count\":" << m.acc.count()
+         << ",\"mean\":" << json_stat(m, m.acc.mean())
+         << ",\"stddev\":" << json_stat(m, m.acc.stddev())
+         << ",\"min\":" << json_stat(m, m.acc.min())
+         << ",\"max\":" << json_stat(m, m.acc.max())
+         << ",\"p50\":" << json_stat(m, m.p50.value())
+         << ",\"p95\":" << json_stat(m, m.p95.value()) << "}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+void write_report_csv(const CampaignReport& report, std::ostream& os) {
+  os << "platform,scenario,objective,method,warm,exhaust,metric,count,mean,"
+        "stddev,min,max,p50,p95\n";
+  for (const GroupAggregate& group : report.groups) {
+    for (const MetricAggregate& m : group.metrics) {
+      os << csv_field(group.platform) << ',' << csv_field(group.scenario) << ','
+         << group.objective << ',' << group.method << ',' << group.warm << ','
+         << group.exhaust << ',' << csv_field(m.name) << ',' << m.acc.count();
+      const auto cell = [&](double v) {
+        os << ',';
+        if (m.acc.count() > 0) os << fmt17(v);
+      };
+      cell(m.acc.mean());
+      cell(m.acc.stddev());
+      cell(m.acc.min());
+      cell(m.acc.max());
+      cell(m.p50.value());
+      cell(m.p95.value());
+      os << '\n';
+    }
+  }
+}
+
+void write_report_text(const CampaignReport& report, std::ostream& os,
+                       double wall_seconds) {
+  os << "campaign '" << report.name << "': " << report.executed_cases << "/"
+     << report.total_cases << " cases (shard " << report.shard_index << "/"
+     << report.shard_count << ", " << report.replications
+     << " replications), " << report.groups.size() << " groups, "
+     << report.platform_builds << " platform builds + "
+     << report.platform_cache_hits << " cache hits, "
+     << TextTable::fmt(wall_seconds, 2) << "s\n";
+  for (const GroupAggregate& group : report.groups) {
+    os << "[platform=" << group.platform << " scenario=" << group.scenario
+       << " objective=" << group.objective << " method=" << group.method
+       << " warm=" << group.warm << " exhaust=" << group.exhaust << "]\n";
+    TextTable table({"metric", "count", "mean", "stddev", "min", "max", "p50",
+                     "p95"});
+    for (const MetricAggregate& m : group.metrics) {
+      table.add_row({m.name, std::to_string(m.acc.count()),
+                     table_cell(m.acc, m.acc.mean(), 4),
+                     table_cell(m.acc, m.acc.stddev(), 4),
+                     table_cell(m.acc, m.acc.min(), 4),
+                     table_cell(m.acc, m.acc.max(), 4),
+                     table_cell(m.acc, m.p50.value(), 4),
+                     table_cell(m.acc, m.p95.value(), 4)});
+    }
+    table.print(os);
+  }
+}
+
+double group_metric_mean(const CampaignReport& report,
+                         const std::string& scenario,
+                         const std::string& metric) {
+  for (const GroupAggregate& group : report.groups) {
+    if (group.scenario != scenario) continue;
+    for (const MetricAggregate& m : group.metrics)
+      if (m.name == metric) return m.acc.mean();
+  }
+  return 0.0;
+}
+
+void write_case_json(const CampaignReport& report, const CaseRecord& record,
+                     std::ostream& os) {
+  const GroupAggregate& group = report.groups[record.group];
+  os << "{\"case\":" << record.index << ",\"platform\":\""
+     << json_escape(group.platform) << "\",\"scenario\":\""
+     << json_escape(group.scenario) << "\",\"objective\":\"" << group.objective
+     << "\",\"method\":\"" << group.method << "\",\"warm\":\"" << group.warm
+     << "\",\"exhaust\":\"" << group.exhaust << "\",\"rep\":" << record.rep
+     << ",\"metrics\":{";
+  for (std::size_t i = 0; i < record.values.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << group.metrics[i].name << "\":";
+    if (std::isnan(record.values[i]))
+      os << "null";
+    else
+      os << fmt17(record.values[i]);
+  }
+  os << "}}\n";
+}
+
+}  // namespace dls::campaign

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
 #include "cli/args.hpp"
 #include "core/heuristics.hpp"
 #include "dynamics/events.hpp"
@@ -28,6 +30,8 @@ void print_usage(std::ostream& os) {
         "  generate   create a random platform (Table-1 style parameters)\n"
         "  solve      run a scheduling method on a platform file\n"
         "  simulate   solve, reconstruct the periodic schedule, execute it\n"
+        "  campaign   run a declarative .campaign scenario matrix through\n"
+        "             the sharded streaming runner\n"
         "  sweep      run heuristics over many random platforms in parallel\n"
         "  online     replay a stream of application arrivals with adaptive\n"
         "             warm-started rescheduling\n"
@@ -233,11 +237,12 @@ int cmd_simulate(Args& args, std::ostream& out) {
   return 0;
 }
 
+/// `sweep` is a thin adapter over the campaign runner: one grid cell,
+/// one offline scenario, replications = --cases.
 int cmd_sweep(Args& args, std::ostream& out) {
-  exp::CaseConfig base;
-  base.params.num_clusters = args.get_int("clusters", 10);
-  base.objective = resolve_objective(args);
-  base.with_lprr = args.get_flag("lprr");
+  const int clusters = args.get_int("clusters", 10);
+  const core::Objective objective = resolve_objective(args);
+  const bool with_lprr = args.get_flag("lprr");
   const int cases = args.get_int("cases", 20);
   const int jobs = args.get_int("jobs", 0);
   const std::uint64_t seed = args.get_u64("seed", 1);
@@ -245,39 +250,112 @@ int cmd_sweep(Args& args, std::ostream& out) {
   require(cases >= 1, "--cases: need at least one replication");
   require(jobs >= 0, "--jobs: cannot be negative");
 
-  const platform::Table1Grid grid;
-  std::vector<exp::CaseConfig> configs(cases, base);
-  for (int i = 0; i < cases; ++i) {
-    Rng rng(seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i));
-    configs[i].params =
-        exp::sample_grid_params(grid, base.params.num_clusters, rng);
-    configs[i].seed = rng.next_u64();
+  campaign::ScenarioSpec spec;
+  spec.name = "sweep";
+  spec.seed = seed;
+  spec.replications = cases;
+  campaign::PlatformSource cell;
+  cell.kind = campaign::PlatformSource::Kind::Grid;
+  cell.grid_clusters = clusters;
+  cell.label = "grid:K=" + std::to_string(clusters);
+  spec.platforms = {std::move(cell)};
+  campaign::WorkloadSource none;
+  none.label = "none";
+  spec.scenarios = {std::move(none)};
+  spec.methods = {campaign::Method::G, campaign::Method::Lpr,
+                  campaign::Method::Lprg};
+  if (with_lprr) spec.methods.push_back(campaign::Method::Lprr);
+  spec.objectives = {objective};
+
+  campaign::RunnerOptions opt;
+  opt.jobs = jobs;
+  WallTimer timer;
+  const campaign::CampaignReport report = campaign::run_campaign(spec, opt);
+  const double wall = timer.seconds();
+
+  const campaign::GroupAggregate& group = report.groups.front();
+  const auto metric = [&](const std::string& name) -> const campaign::MetricAggregate& {
+    for (const campaign::MetricAggregate& m : group.metrics)
+      if (m.name == name) return m;
+    throw Error("sweep: missing campaign metric '" + name + "'");
+  };
+  const int ok = static_cast<int>(metric("ok").acc.sum());
+  out << "sweep: K=" << clusters << ", " << ok << "/" << cases
+      << " cases ok, " << TextTable::fmt(wall, 2) << "s\n";
+  TextTable table({"method", "mean ratio to LP", "stddev", "cases"});
+  const auto add_method = [&](const char* label, const std::string& name) {
+    const campaign::MetricAggregate& m = metric(name);
+    table.add_row({label, table_cell(m.acc, m.acc.mean(), 3),
+                   table_cell(m.acc, m.acc.stddev(), 3),
+                   std::to_string(m.acc.count())});
+  };
+  add_method("G", "ratio_g");
+  add_method("LPR", "ratio_lpr");
+  add_method("LPRG", "ratio_lprg");
+  if (with_lprr) add_method("LPRR", "ratio_lprr");
+  table.print(out);
+  return 0;
+}
+
+int cmd_campaign(Args& args, std::ostream& out) {
+  const std::string spec_path = args.get_string("spec", "");
+  require(!spec_path.empty(), "--spec: a .campaign file is required");
+  std::ifstream in(spec_path);
+  require(static_cast<bool>(in), "cannot open campaign spec '" + spec_path + "'");
+  const campaign::ScenarioSpec spec = campaign::read_campaign(in);
+
+  campaign::RunnerOptions opt;
+  opt.jobs = args.get_int("jobs", 0);
+  require(opt.jobs >= 0, "--jobs: cannot be negative");
+  const std::string shard = args.get_string("shard", "");
+  if (!shard.empty()) {
+    // Strict i/n: both components must be all-digits — "1x3/4" silently
+    // running as shard 1/4 would corrupt a multi-machine union.
+    const auto parse_component = [](const std::string& text) -> long {
+      if (text.empty() ||
+          text.find_first_not_of("0123456789") != std::string::npos)
+        return -1;
+      try {
+        return std::stol(text);
+      } catch (const std::exception&) {
+        return -1;
+      }
+    };
+    const std::size_t slash = shard.find('/');
+    const long parsed_i =
+        slash == std::string::npos ? -1 : parse_component(shard.substr(0, slash));
+    const long parsed_n =
+        slash == std::string::npos ? -1 : parse_component(shard.substr(slash + 1));
+    require(parsed_i >= 0 && parsed_n >= 1 && parsed_i < parsed_n,
+            "--shard: expected i/n with 0 <= i < n");
+    opt.shard_index = static_cast<int>(parsed_i);
+    opt.shard_count = static_cast<int>(parsed_n);
+  }
+  const bool json = args.get_flag("json");
+  const bool csv = args.get_flag("csv");
+  require(!(json && csv), "--json and --csv are mutually exclusive");
+  const std::string cases_path = args.get_string("cases", "");
+  args.reject_unknown();
+
+  std::ofstream cases_file;
+  if (!cases_path.empty()) {
+    cases_file.open(cases_path);
+    require(static_cast<bool>(cases_file), "cannot write '" + cases_path + "'");
+    opt.case_sink = [&cases_file](const campaign::CampaignReport& report,
+                                  const campaign::CaseRecord& record) {
+      campaign::write_case_json(report, record, cases_file);
+    };
   }
 
   WallTimer timer;
-  const std::vector<exp::CaseResult> results = exp::run_cases(configs, jobs);
-  const double wall = timer.seconds();
-
-  exp::RatioStats g, lpr, lprg, lprr;
-  int ok = 0;
-  for (const exp::CaseResult& r : results) {
-    if (!r.ok) continue;
-    ++ok;
-    g.add(r.g, r.lp);
-    lpr.add(r.lpr, r.lp);
-    lprg.add(r.lprg, r.lp);
-    if (base.with_lprr) lprr.add(r.lprr, r.lp);
+  const campaign::CampaignReport report = campaign::run_campaign(spec, opt);
+  if (json) {
+    campaign::write_report_json(report, out);
+  } else if (csv) {
+    campaign::write_report_csv(report, out);
+  } else {
+    campaign::write_report_text(report, out, timer.seconds());
   }
-  out << "sweep: K=" << base.params.num_clusters << ", " << ok << "/" << cases
-      << " cases ok, " << TextTable::fmt(wall, 2) << "s\n";
-  TextTable table({"method", "mean ratio to LP", "cases"});
-  table.add_row({"G", TextTable::fmt(g.mean(), 3), std::to_string(g.count())});
-  table.add_row({"LPR", TextTable::fmt(lpr.mean(), 3), std::to_string(lpr.count())});
-  table.add_row({"LPRG", TextTable::fmt(lprg.mean(), 3), std::to_string(lprg.count())});
-  if (base.with_lprr)
-    table.add_row(
-        {"LPRR", TextTable::fmt(lprr.mean(), 3), std::to_string(lprr.count())});
-  table.print(out);
   return 0;
 }
 
@@ -291,42 +369,68 @@ platform::Platform platform_from_args(Args& args, std::uint64_t seed) {
   return generate_platform(params, rng);
 }
 
-/// Workload: a .workload trace, or sampled from an arrival model. The
-/// workload stream is split off the platform seed so the same seed can
-/// replay one workload over several platforms and vice versa.
-online::Workload workload_from_args(Args& args, int num_clusters,
-                                    std::uint64_t seed) {
+/// Workload axis value from the online/dynamics flags: a .workload
+/// trace, or an arrival-model description. Shared by the single-replay
+/// path (realized below) and the --reps campaign path (handed to the
+/// runner as-is).
+campaign::WorkloadSource workload_source_from_args(Args& args) {
+  campaign::WorkloadSource src;
   const std::string workload_path = args.get_string("workload", "");
   const std::string model = args.get_string("arrival-model", "poisson");
+  if (!workload_path.empty()) {
+    src.kind = campaign::WorkloadSource::Kind::Trace;
+    src.path = workload_path;
+    src.label = "trace";
+    return src;
+  }
+  if (model == "poisson") {
+    src.kind = campaign::WorkloadSource::Kind::Poisson;
+    src.poisson.count = args.get_int("arrivals", 1000);
+    src.poisson.rate = args.get_double("arrival-rate", 1.0);
+    src.poisson.mean_load = args.get_double("mean-load", 500);
+    src.poisson.load_spread = args.get_double("load-spread", 0.5);
+    src.poisson.payoff_spread = args.get_double("payoff-spread", 0.5);
+    src.label = "poisson";
+    return src;
+  }
+  if (model == "onoff") {
+    src.kind = campaign::WorkloadSource::Kind::OnOff;
+    src.onoff.count = args.get_int("arrivals", 1000);
+    src.onoff.burst_rate = args.get_double("arrival-rate", 4.0);
+    src.onoff.mean_on = args.get_double("mean-on", 25);
+    src.onoff.mean_off = args.get_double("mean-off", 75);
+    src.onoff.mean_load = args.get_double("mean-load", 500);
+    src.onoff.load_spread = args.get_double("load-spread", 0.5);
+    src.onoff.payoff_spread = args.get_double("payoff-spread", 0.5);
+    src.label = "onoff";
+    return src;
+  }
+  throw Error("--arrival-model: expected 'poisson' or 'onoff'");
+}
+
+/// Workload for the single-replay path. The workload stream is split
+/// off the platform seed so the same seed can replay one workload over
+/// several platforms and vice versa.
+online::Workload workload_from_args(Args& args, int num_clusters,
+                                    std::uint64_t seed) {
+  const campaign::WorkloadSource src = workload_source_from_args(args);
   online::Workload workload = [&] {
-    if (!workload_path.empty()) {
-      std::ifstream in(workload_path);
-      require(static_cast<bool>(in),
-              "cannot open workload file '" + workload_path + "'");
-      return online::read_workload(in);
+    switch (src.kind) {
+      case campaign::WorkloadSource::Kind::Trace: {
+        std::ifstream in(src.path);
+        require(static_cast<bool>(in),
+                "cannot open workload file '" + src.path + "'");
+        return online::read_workload(in);
+      }
+      case campaign::WorkloadSource::Kind::Poisson: {
+        Rng rng(seed ^ 0xda3e39cb94b95bdbULL);
+        return online::poisson_workload(src.poisson, num_clusters, rng);
+      }
+      default: {
+        Rng rng(seed ^ 0xda3e39cb94b95bdbULL);
+        return online::onoff_workload(src.onoff, num_clusters, rng);
+      }
     }
-    Rng rng(seed ^ 0xda3e39cb94b95bdbULL);
-    if (model == "poisson") {
-      online::PoissonParams p;
-      p.count = args.get_int("arrivals", 1000);
-      p.rate = args.get_double("arrival-rate", 1.0);
-      p.mean_load = args.get_double("mean-load", 500);
-      p.load_spread = args.get_double("load-spread", 0.5);
-      p.payoff_spread = args.get_double("payoff-spread", 0.5);
-      return online::poisson_workload(p, num_clusters, rng);
-    }
-    if (model == "onoff") {
-      online::OnOffParams p;
-      p.count = args.get_int("arrivals", 1000);
-      p.burst_rate = args.get_double("arrival-rate", 4.0);
-      p.mean_on = args.get_double("mean-on", 25);
-      p.mean_off = args.get_double("mean-off", 75);
-      p.mean_load = args.get_double("mean-load", 500);
-      p.load_spread = args.get_double("load-spread", 0.5);
-      p.payoff_spread = args.get_double("payoff-spread", 0.5);
-      return online::onoff_workload(p, num_clusters, rng);
-    }
-    throw Error("--arrival-model: expected 'poisson' or 'onoff'");
   }();
   const std::string save_workload = args.get_string("save-workload", "");
   if (!save_workload.empty()) {
@@ -381,8 +485,118 @@ online::OnlineOptions online_options_from_args(Args& args, std::string* warm_nam
   return options;
 }
 
+/// Platform axis value for the --reps campaign path (not realized here).
+campaign::PlatformSource platform_source_from_args(Args& args) {
+  campaign::PlatformSource p;
+  const std::string platform_path = args.get_string("platform", "");
+  if (!platform_path.empty()) {
+    p.kind = campaign::PlatformSource::Kind::File;
+    p.path = platform_path;
+    p.label = "platform";
+  } else {
+    p.kind = campaign::PlatformSource::Kind::Generate;
+    p.params = generator_params_from_args(args);
+    p.label = "gen:K=" + std::to_string(p.params.num_clusters);
+  }
+  return p;
+}
+
+campaign::Method to_campaign(online::Method m) {
+  switch (m) {
+    case online::Method::Greedy: return campaign::Method::G;
+    case online::Method::Lpr: return campaign::Method::Lpr;
+    case online::Method::Lprg: return campaign::Method::Lprg;
+    case online::Method::LpBound: return campaign::Method::Lp;
+  }
+  return campaign::Method::G;
+}
+
+/// `dls online --reps N` / `dls dynamics --reps N`: seed-list
+/// replication across the thread pool, reusing the campaign runner (one
+/// platform cell, one method/objective/warm value, N replications; the
+/// dynamics variant adds a static-baseline scenario next to the dynamic
+/// one so the degradation report survives aggregation).
+int run_replicated(Args& args, std::ostream& out, std::uint64_t seed, int reps,
+                   bool with_dynamics) {
+  const int jobs = args.get_int("jobs", 0);
+  require(jobs >= 0, "--jobs: cannot be negative");
+  // Each replication derives its own workload/event stream from the
+  // campaign seed; there is no single trace to save.
+  require(args.get_string("save-workload", "").empty(),
+          "--save-workload is not supported with --reps (each replication "
+          "derives its own stream; replay one seed without --reps to save it)");
+  require(args.get_string("save-events", "").empty(),
+          "--save-events is not supported with --reps (each replication "
+          "derives its own trace; replay one seed without --reps to save it)");
+
+  campaign::ScenarioSpec spec;
+  spec.name = with_dynamics ? "dynamics" : "online";
+  spec.seed = seed;
+  spec.replications = reps;
+  spec.platforms = {platform_source_from_args(args)};
+  campaign::WorkloadSource wl = workload_source_from_args(args);
+  std::string warm;
+  const online::OnlineOptions options = online_options_from_args(args, &warm);
+  spec.methods = {to_campaign(options.sched.method)};
+  spec.objectives = {options.sched.objective};
+  spec.warm = {options.sched.warm};
+  spec.max_support_change = options.sched.max_support_change;
+  spec.rate_model = options.rate_model;
+  spec.sim_policy = options.sim_policy;
+  spec.sim_window_units = options.sim_window_units;
+  if (with_dynamics) {
+    campaign::WorkloadSource stat = wl;
+    stat.label = "static";
+    campaign::WorkloadSource dyn = std::move(wl);
+    dyn.label = "dynamic";
+    const std::string events_path = args.get_string("events", "");
+    if (!events_path.empty()) {
+      dyn.dyn = campaign::WorkloadSource::DynKind::Trace;
+      dyn.events_path = events_path;
+    } else {
+      dyn.dyn = campaign::WorkloadSource::DynKind::Scenario;
+      dyn.event_rate = args.get_double("event-rate", 0.02);
+      dyn.severity = args.get_double("severity", 0.5);
+      dyn.horizon = args.get_double("horizon", 0.0);
+    }
+    spec.scenarios = {std::move(stat), std::move(dyn)};
+  } else {
+    wl.label = "stream";
+    spec.scenarios = {std::move(wl)};
+  }
+  const bool json = args.get_flag("json");
+  args.reject_unknown();
+
+  campaign::RunnerOptions opt;
+  opt.jobs = jobs;
+  WallTimer timer;
+  const campaign::CampaignReport report = campaign::run_campaign(spec, opt);
+  if (json) {
+    campaign::write_report_json(report, out);
+    return 0;
+  }
+  campaign::write_report_text(report, out, timer.seconds());
+  if (with_dynamics) {
+    const auto degradation = [&](const std::string& metric) {
+      const double base = campaign::group_metric_mean(report, "static", metric);
+      const double dyn = campaign::group_metric_mean(report, "dynamic", metric);
+      return base > 0.0 ? dyn / base : 0.0;
+    };
+    out << "degradation over " << reps << " replications: response x"
+        << TextTable::fmt(degradation("mean_response"), 3) << ", slowdown x"
+        << TextTable::fmt(degradation("mean_slowdown"), 3) << "\n";
+  }
+  return 0;
+}
+
 int cmd_online(Args& args, std::ostream& out) {
   const std::uint64_t seed = args.get_u64("seed", 1);
+  const int reps = args.get_int("reps", 1);
+  require(reps >= 1, "--reps: need at least one replication");
+  if (reps > 1) return run_replicated(args, out, seed, reps, false);
+  // A single replay has nothing to parallelize, but scripts sweeping
+  // --reps down to 1 may still pass the pool size.
+  (void)args.get_int("jobs", 0);
   const platform::Platform plat = platform_from_args(args, seed);
   const online::Workload workload =
       workload_from_args(args, plat.num_clusters(), seed);
@@ -468,6 +682,10 @@ int cmd_online(Args& args, std::ostream& out) {
 
 int cmd_dynamics(Args& args, std::ostream& out) {
   const std::uint64_t seed = args.get_u64("seed", 1);
+  const int reps = args.get_int("reps", 1);
+  require(reps >= 1, "--reps: need at least one replication");
+  if (reps > 1) return run_replicated(args, out, seed, reps, true);
+  (void)args.get_int("jobs", 0);  // see cmd_online
   const platform::Platform plat = platform_from_args(args, seed);
   const online::Workload workload =
       workload_from_args(args, plat.num_clusters(), seed);
@@ -631,6 +849,7 @@ int run_cli(std::vector<std::string> args, std::ostream& out, std::ostream& err)
     if (cmd == "generate") return cmd_generate(parsed, out);
     if (cmd == "solve") return cmd_solve(parsed, out);
     if (cmd == "simulate") return cmd_simulate(parsed, out);
+    if (cmd == "campaign") return cmd_campaign(parsed, out);
     if (cmd == "sweep") return cmd_sweep(parsed, out);
     if (cmd == "online") return cmd_online(parsed, out);
     if (cmd == "dynamics") return cmd_dynamics(parsed, out);

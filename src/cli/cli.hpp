@@ -13,8 +13,17 @@
 //                 [--payoffs ...] [--policy paced|maxmin|tcp|window]
 //                 [--window units] [--periods n] [--seed n]
 //                 [--sim-engine incremental|rescan]
+//   dls campaign  --spec FILE [--jobs J] [--shard i/n] [--json|--csv]
+//                 [--cases FILE]
+//                 (run a declarative .campaign scenario matrix through
+//                  the sharded streaming runner; see src/campaign/.
+//                  --shard partitions the case matrix deterministically
+//                  for multi-machine splits; --cases streams one JSON
+//                  line per finished case, in case order)
 //   dls sweep     --clusters K --cases N [--jobs J] [--objective ...]
-//                 [--seed n] [--lprr]   (parallel replication sweep)
+//                 [--seed n] [--lprr]
+//                 (parallel replication sweep; a thin adapter that
+//                  builds a one-cell campaign spec and runs it)
 //   dls online    --platform FILE | <generate options>
 //                 [--workload FILE | --arrivals N --arrival-rate R
 //                  --arrival-model poisson|onoff --mean-load L
@@ -23,13 +32,18 @@
 //                 [--warm auto|never|always] [--max-support-change N]
 //                 [--rate-model fluid|sim] [--policy ...] [--seed n]
 //                 [--save-workload FILE] [--json]
+//                 [--reps N --jobs J]
 //                 (replay an online arrival stream with adaptive
-//                  warm-started rescheduling; see src/online/)
+//                  warm-started rescheduling; see src/online/.
+//                  --reps > 1 replays N seed-derived replications
+//                  across the thread pool via the campaign runner and
+//                  reports aggregate statistics)
 //   dls dynamics  --platform FILE | <generate options>
 //                 [--workload FILE | <online workload options>]
 //                 [--events FILE | --event-rate R --severity S --horizon H]
 //                 [--method ...] [--objective ...] [--warm ...] [--seed n]
 //                 [--save-events FILE] [--save-workload FILE] [--json]
+//                 [--reps N --jobs J]   (aggregated replications, as above)
 //                 (replay a workload against a platform-event trace —
 //                  link failures, bandwidth drift, cluster churn — and
 //                  report the degradation vs the static platform plus the

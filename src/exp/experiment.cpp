@@ -24,11 +24,13 @@ void check_valid(const core::SteadyStateProblem& problem,
 
 }  // namespace
 
-CaseResult run_case(const CaseConfig& config) {
-  require(config.payoff_spread >= 0.0 && config.payoff_spread < 1.0,
-          "run_case: payoff_spread must be in [0, 1)");
-  Rng rng(config.seed);
-  const platform::Platform plat = generate_platform(config.params, rng);
+namespace {
+
+/// The shared case kernel: `rng` has already produced the platform (or
+/// is fresh when the platform came from a cache) and now drives payoffs
+/// and the LPRR coins.
+CaseResult run_case_on(const CaseConfig& config, const platform::Platform& plat,
+                       Rng& rng) {
   std::vector<double> payoffs(plat.num_clusters());
   for (double& p : payoffs)
     p = rng.uniform(1.0 - config.payoff_spread, 1.0 + config.payoff_spread);
@@ -49,19 +51,23 @@ CaseResult run_case(const CaseConfig& config) {
   check_valid(problem, g, "G");
   out.g = g.objective;
 
-  timer.reset();
-  const auto lpr = core::run_lpr(problem);
-  out.t_lpr = {timer.seconds(), lpr.lp_solves};
-  if (lpr.status != lp::SolveStatus::Optimal) return out;
-  check_valid(problem, lpr, "LPR");
-  out.lpr = lpr.objective;
+  if (config.with_lpr) {
+    timer.reset();
+    const auto lpr = core::run_lpr(problem);
+    out.t_lpr = {timer.seconds(), lpr.lp_solves};
+    if (lpr.status != lp::SolveStatus::Optimal) return out;
+    check_valid(problem, lpr, "LPR");
+    out.lpr = lpr.objective;
+  }
 
-  timer.reset();
-  const auto lprg = core::run_lprg(problem, {}, config.greedy);
-  out.t_lprg = {timer.seconds(), lprg.lp_solves};
-  if (lprg.status != lp::SolveStatus::Optimal) return out;
-  check_valid(problem, lprg, "LPRG");
-  out.lprg = lprg.objective;
+  if (config.with_lprg) {
+    timer.reset();
+    const auto lprg = core::run_lprg(problem, {}, config.greedy);
+    out.t_lprg = {timer.seconds(), lprg.lp_solves};
+    if (lprg.status != lp::SolveStatus::Optimal) return out;
+    check_valid(problem, lprg, "LPRG");
+    out.lprg = lprg.objective;
+  }
 
   if (config.with_lprr) {
     Rng coin = rng.split();
@@ -105,6 +111,23 @@ CaseResult run_case(const CaseConfig& config) {
   return out;
 }
 
+}  // namespace
+
+CaseResult run_case(const CaseConfig& config) {
+  require(config.payoff_spread >= 0.0 && config.payoff_spread < 1.0,
+          "run_case: payoff_spread must be in [0, 1)");
+  Rng rng(config.seed);
+  const platform::Platform plat = generate_platform(config.params, rng);
+  return run_case_on(config, plat, rng);
+}
+
+CaseResult run_case(const CaseConfig& config, const platform::Platform& plat) {
+  require(config.payoff_spread >= 0.0 && config.payoff_spread < 1.0,
+          "run_case: payoff_spread must be in [0, 1)");
+  Rng rng(config.seed);
+  return run_case_on(config, plat, rng);
+}
+
 std::vector<CaseResult> run_cases(const std::vector<CaseConfig>& configs, int jobs) {
   require(jobs >= 0, "run_cases: negative job count");
   std::vector<CaseResult> results(configs.size());
@@ -113,8 +136,10 @@ std::vector<CaseResult> run_cases(const std::vector<CaseConfig>& configs, int jo
     return results;
   }
   ThreadPool pool(static_cast<std::size_t>(jobs));
+  // Chunk size 1: cases are coarse (milliseconds to seconds each) and
+  // often cost-skewed, so per-case dynamic pull is the right grain.
   parallel_for(pool, 0, configs.size(),
-               [&](std::size_t i) { results[i] = run_case(configs[i]); });
+               [&](std::size_t i) { results[i] = run_case(configs[i]); }, 1);
   return results;
 }
 
@@ -132,13 +157,10 @@ platform::GeneratorParams sample_grid_params(const platform::Table1Grid& grid,
   return p;
 }
 
-void RatioStats::add(double method_value, double lp_value) {
+void RatioAccumulator::add(double method_value, double lp_value) {
   if (!(lp_value > 1e-12) || std::isnan(method_value)) return;
-  sum_ += method_value / lp_value;
-  ++count_;
+  acc_.add(method_value / lp_value);
 }
-
-double RatioStats::mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
 
 double bench_scale() {
   const char* env = std::getenv("DLS_BENCH_SCALE");

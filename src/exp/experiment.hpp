@@ -11,6 +11,7 @@
 #include "core/problem.hpp"
 #include "platform/generator.hpp"
 #include "support/rng.hpp"
+#include "support/stats.hpp"
 
 namespace dls::exp {
 
@@ -18,6 +19,11 @@ struct CaseConfig {
   platform::GeneratorParams params;
   core::Objective objective = core::Objective::MaxMin;
   std::uint64_t seed = 1;   ///< drives both the platform and LPRR's coins
+  /// The LP-based methods each cost at least one relaxation solve; a
+  /// campaign whose method axis excludes them skips that work (greedy
+  /// and the LP bound always run — they anchor every ratio).
+  bool with_lpr = true;
+  bool with_lprg = true;
   bool with_lprr = false;   ///< LPRR costs ~K^2 LP solves; opt in
   bool with_lprr_eq = false;
   bool with_lprr_oneshot = false;  ///< both one-shot rounding ablations
@@ -58,6 +64,16 @@ struct CaseResult {
 /// violation throws (it would invalidate the whole experiment).
 [[nodiscard]] CaseResult run_case(const CaseConfig& config);
 
+/// The same case kernel on a pre-built platform — the campaign runner's
+/// per-cell artifact cache hands one generated (or file-loaded) Platform
+/// to every case that differs only in objective/method/seed, so the
+/// platform and its route tables are built once. Payoffs and the LPRR
+/// coins are drawn from a fresh Rng(config.seed); config.params is
+/// ignored. Note the stream differs from run_case(config), which
+/// interleaves platform generation into the same Rng.
+[[nodiscard]] CaseResult run_case(const CaseConfig& config,
+                                  const platform::Platform& plat);
+
 /// Runs every config as an independent replication across a thread pool.
 /// jobs = 0 uses all hardware threads; jobs = 1 runs inline. Results are
 /// deterministic and order-stable: result i depends only on configs[i]
@@ -72,16 +88,19 @@ struct CaseResult {
 [[nodiscard]] platform::GeneratorParams sample_grid_params(
     const platform::Table1Grid& grid, int num_clusters, Rng& rng);
 
-/// Accumulates mean(method / lp) over cases, skipping degenerate lp = 0.
-class RatioStats {
+/// Accumulates method / lp ratios over cases (skipping degenerate lp = 0
+/// and not-run NaN methods) into a full support::Accumulator, so sweep
+/// and campaign reports carry stddev and count alongside the mean.
+class RatioAccumulator {
 public:
   void add(double method_value, double lp_value);
-  [[nodiscard]] double mean() const;
-  [[nodiscard]] int count() const { return count_; }
+  [[nodiscard]] double mean() const { return acc_.mean(); }
+  [[nodiscard]] double stddev() const { return acc_.stddev(); }
+  [[nodiscard]] int count() const { return static_cast<int>(acc_.count()); }
+  [[nodiscard]] const Accumulator& acc() const { return acc_; }
 
 private:
-  double sum_ = 0.0;
-  int count_ = 0;
+  Accumulator acc_;
 };
 
 /// Bench scale factor from DLS_BENCH_SCALE (default 1.0; e.g. 0.2 for a

@@ -78,6 +78,17 @@ Workload poisson_workload(const PoissonParams& p, int num_clusters, Rng& rng) {
   return wl;
 }
 
+Workload batch_workload(const PoissonParams& p, int num_clusters, Rng& rng) {
+  check_sampling_params(num_clusters, p.count, p.mean_load, p.load_spread,
+                        p.payoff_spread);
+  Workload wl;
+  wl.arrivals.reserve(static_cast<std::size_t>(p.count));
+  for (int i = 0; i < p.count; ++i)
+    wl.arrivals.push_back(sample_app(rng, num_clusters, 0.0, p.mean_load,
+                                     p.load_spread, p.payoff_spread));
+  return wl;
+}
+
 Workload onoff_workload(const OnOffParams& p, int num_clusters, Rng& rng) {
   check_sampling_params(num_clusters, p.count, p.mean_load, p.load_spread,
                         p.payoff_spread);

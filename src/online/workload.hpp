@@ -66,6 +66,12 @@ struct PoissonParams {
 [[nodiscard]] Workload poisson_workload(const PoissonParams& params,
                                         int num_clusters, Rng& rng);
 
+/// Closed batch: `params.count` applications all arriving at t = 0
+/// (params.rate is ignored). The campaign subsystem's `workload batch`
+/// kind; same sampling and validation as the open-system models.
+[[nodiscard]] Workload batch_workload(const PoissonParams& params,
+                                      int num_clusters, Rng& rng);
+
 /// Bursty ON/OFF process: exponential ON windows of mean `mean_on` during
 /// which arrivals are Poisson at `burst_rate`, separated by exponential
 /// OFF windows of mean `mean_off` with no arrivals.

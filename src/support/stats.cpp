@@ -37,6 +37,87 @@ double Accumulator::max() const {
   return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
 }
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  require(q > 0.0 && q < 1.0, "P2Quantile: q out of (0, 1)");
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q;
+  desired_[2] = 1.0 + 4.0 * q;
+  desired_[3] = 3.0 + 2.0 * q;
+  desired_[4] = 5.0;
+  increment_[0] = 0.0;
+  increment_[1] = q / 2.0;
+  increment_[2] = q;
+  increment_[3] = (1.0 + q) / 2.0;
+  increment_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  require(!std::isnan(x), "P2Quantile: NaN observation");
+  if (n_ < 5) {
+    heights_[n_] = x;
+    ++n_;
+    std::sort(heights_, heights_ + n_);
+    if (n_ == 5) {
+      for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+    }
+    return;
+  }
+
+  // Locate the cell [heights_[k], heights_[k+1]) containing x, widening
+  // the extreme markers when x falls outside them.
+  int k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  ++n_;
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+  // Re-space the three interior markers towards their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction of the adjusted height.
+      const double qp =
+          heights_[i] +
+          sign / (pos_[i + 1] - pos_[i - 1]) *
+              ((pos_[i] - pos_[i - 1] + sign) * (heights_[i + 1] - heights_[i]) /
+                   (pos_[i + 1] - pos_[i]) +
+               (pos_[i + 1] - pos_[i] - sign) * (heights_[i] - heights_[i - 1]) /
+                   (pos_[i] - pos_[i - 1]));
+      if (heights_[i - 1] < qp && qp < heights_[i + 1]) {
+        heights_[i] = qp;
+      } else {
+        // Parabolic step left the bracket: fall back to linear.
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (n_ <= 5) {
+    // Exact small-sample percentile, same interpolation as percentile().
+    const double rank = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, n_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return heights_[lo] + frac * (heights_[hi] - heights_[lo]);
+  }
+  return heights_[2];
+}
+
 std::string table_cell(const Accumulator& acc, double value, int precision) {
   if (acc.count() == 0) return "-";
   char buf[64];

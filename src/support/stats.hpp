@@ -33,6 +33,33 @@ private:
   double sum_ = 0.0;
 };
 
+/// Streaming quantile estimator (Jain & Chlamtac's P-squared algorithm):
+/// five markers tracked with parabolic interpolation, O(1) memory per
+/// quantile, so million-case campaign sweeps can report percentiles
+/// without materializing a result vector. Exact for the first five
+/// observations (they are simply kept sorted); afterwards the classical
+/// P^2 marker updates apply. The estimate is a pure function of the
+/// insertion *sequence* — the campaign runner feeds it in case order, so
+/// reports are bit-identical for any worker count.
+class P2Quantile {
+public:
+  /// q in (0, 1), e.g. 0.5 for the median, 0.95 for p95.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Current estimate; quiet NaN while empty.
+  [[nodiscard]] double value() const;
+
+private:
+  double q_;
+  std::size_t n_ = 0;
+  double heights_[5]{};   ///< marker heights (first 5 adds: sorted samples)
+  double pos_[5]{};       ///< marker positions (1-based observation counts)
+  double desired_[5]{};   ///< desired marker positions
+  double increment_[5]{}; ///< per-observation increments of desired_
+};
+
 /// Renders an accumulator-derived statistic (`acc.mean()`, `acc.max()`,
 /// ...) for a text table: fixed-precision number, or "-" when the
 /// accumulator is empty — the aggregate of nothing has no honest value

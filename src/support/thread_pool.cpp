@@ -1,6 +1,7 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "support/error.hpp"
@@ -68,9 +69,35 @@ void ThreadPool::worker_loop() {
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body) {
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t chunk) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
+  if (chunk == 0) chunk = std::max<std::size_t>(1, n / (pool.size() * 8));
+  // The cursor lives on this stack frame; pool.wait() below keeps the
+  // frame alive until every worker job has returned.
+  std::atomic<std::size_t> next{begin};
+  const std::size_t jobs = std::min(pool.size(), (n + chunk - 1) / chunk);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    pool.submit([&body, &next, end, chunk] {
+      for (;;) {
+        const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= end) return;
+        const std::size_t hi = std::min(lo + chunk, end);
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      }
+    });
+  }
+  pool.wait();
+}
+
+void parallel_for_static(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Exactly the partition parallel_for shipped before the dynamic
+  // cursor: four contiguous blocks per worker, assigned up front — an
+  // honest baseline, not a strawman.
   const std::size_t blocks = std::min(n, pool.size() * 4);
   const std::size_t chunk = (n + blocks - 1) / blocks;
   for (std::size_t b = begin; b < end; b += chunk) {

@@ -2,10 +2,12 @@
 //
 // The experiment sweep evaluates thousands of independent platforms; each
 // platform is a task. Tasks are plain std::function jobs; parallel_for
-// partitions an index range into per-worker blocks to avoid queue
-// contention for fine-grained bodies. Exceptions thrown by a task are
-// captured and rethrown to the caller of wait()/parallel_for (first one
-// wins), so a failing experiment aborts the sweep instead of vanishing.
+// hands out chunks of an index range through a shared atomic cursor, so
+// skewed per-index costs (an LPRR case is ~K^2 LP solves next to a
+// millisecond greedy case) cannot strand the tail of the range on one
+// worker. Exceptions thrown by a task are captured and rethrown to the
+// caller of wait()/parallel_for (first one wins), so a failing
+// experiment aborts the sweep instead of vanishing.
 #pragma once
 
 #include <condition_variable>
@@ -53,8 +55,22 @@ private:
 };
 
 /// Runs body(i) for i in [begin, end) across the pool, blocking until done.
-/// The range is split into contiguous blocks, one batch per worker.
+/// Dynamic chunked scheduling: workers pull `chunk`-sized index blocks
+/// from a shared atomic cursor until the range is drained, so one
+/// expensive index only costs its own worker while the rest of the pool
+/// keeps draining the range. chunk = 0 picks a small automatic chunk
+/// (range / (workers * 8), at least 1). The set of indices executed is
+/// always exactly [begin, end); only the index->worker assignment varies.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body);
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t chunk = 0);
+
+/// The pre-campaign static partition, kept verbatim as the
+/// load-imbalance baseline for bench/campaign_sched: the range is cut
+/// into at most four contiguous blocks per worker up front, so a
+/// cluster of expensive indices in one block serializes on a single
+/// worker no matter how idle the rest of the pool is.
+void parallel_for_static(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body);
 
 }  // namespace dls

@@ -7,6 +7,10 @@
 #include <fstream>
 #include <sstream>
 
+#ifndef DLS_SOURCE_DIR
+#define DLS_SOURCE_DIR "."
+#endif
+
 namespace dls::cli {
 namespace {
 
@@ -122,6 +126,8 @@ TEST(Cli, SweepRunsCasesInParallel) {
   EXPECT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.out.find("3/3 cases ok"), std::string::npos);
   EXPECT_NE(r.out.find("LPRG"), std::string::npos);
+  // The Accumulator-backed aggregation carries the spread.
+  EXPECT_NE(r.out.find("stddev"), std::string::npos);
   // Identical numbers regardless of worker count (determinism); the first
   // line carries wall time and is skipped.
   const CliRun serial = run({"sweep", "--clusters", "4", "--cases", "3", "--jobs",
@@ -129,6 +135,119 @@ TEST(Cli, SweepRunsCasesInParallel) {
   EXPECT_EQ(serial.out.substr(serial.out.find('\n')),
             r.out.substr(r.out.find('\n')));
   EXPECT_EQ(run({"sweep", "--cases", "0"}).code, 1);
+}
+
+/// The committed example spec, resolved against the source tree.
+std::string example_campaign_path() {
+  return std::string(DLS_SOURCE_DIR) + "/data/example.campaign";
+}
+
+TEST(Cli, CampaignRunsTheCommittedExampleSpec) {
+  const CliRun r = run({"campaign", "--spec", example_campaign_path(),
+                        "--jobs", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("campaign 'example'"), std::string::npos);
+  // All three surfaces in one run: offline sweep, stream, dynamics.
+  EXPECT_NE(r.out.find("scenario=none"), std::string::npos);
+  EXPECT_NE(r.out.find("scenario=poisson"), std::string::npos);
+  EXPECT_NE(r.out.find("platform_events"), std::string::npos);
+}
+
+TEST(Cli, CampaignJsonIsWorkerCountInvariant) {
+  const CliRun serial = run({"campaign", "--spec", example_campaign_path(),
+                             "--jobs", "1", "--json"});
+  const CliRun parallel = run({"campaign", "--spec", example_campaign_path(),
+                               "--jobs", "8", "--json"});
+  EXPECT_EQ(serial.code, 0) << serial.err;
+  EXPECT_EQ(serial.out, parallel.out);
+  EXPECT_NE(serial.out.find("\"command\":\"campaign\""), std::string::npos);
+}
+
+TEST(Cli, CampaignCsvAndCaseStream) {
+  const std::string cases = ::testing::TempDir() + "cli_campaign.jsonl";
+  const CliRun r = run({"campaign", "--spec", example_campaign_path(),
+                        "--jobs", "2", "--csv", "--cases", cases});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("platform,scenario,objective"), std::string::npos);
+  std::ifstream f(cases);
+  std::string line;
+  int lines = 0;
+  std::size_t previous_case = 0;
+  while (std::getline(f, line)) {
+    EXPECT_EQ(line.find("{\"case\":"), 0u);
+    // The stream arrives in case order.
+    const std::size_t id = std::stoul(line.substr(8));
+    if (lines > 0) EXPECT_GT(id, previous_case);
+    previous_case = id;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 56);  // the example spec's full matrix
+  std::remove(cases.c_str());
+}
+
+TEST(Cli, CampaignRejectsBadOptions) {
+  const std::string spec = example_campaign_path();
+  EXPECT_EQ(run({"campaign"}).code, 1);
+  EXPECT_EQ(run({"campaign", "--spec", "/nonexistent.campaign"}).code, 1);
+  EXPECT_EQ(run({"campaign", "--spec", spec, "--shard", "2/2"}).code, 1);
+  EXPECT_EQ(run({"campaign", "--spec", spec, "--shard", "nope"}).code, 1);
+  // Trailing garbage must not silently parse as a valid shard.
+  EXPECT_EQ(run({"campaign", "--spec", spec, "--shard", "1x3/4"}).code, 1);
+  EXPECT_EQ(run({"campaign", "--spec", spec, "--shard", "0/4junk"}).code, 1);
+  EXPECT_EQ(run({"campaign", "--spec", spec, "--json", "--csv"}).code, 1);
+  // Parse diagnostics surface the line number.
+  const std::string bad = ::testing::TempDir() + "cli_bad.campaign";
+  {
+    std::ofstream f(bad);
+    f << "dls-campaign 1\nworkload frobnicate\n";
+  }
+  const CliRun r = run({"campaign", "--spec", bad});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("line 2"), std::string::npos) << r.err;
+  std::remove(bad.c_str());
+}
+
+TEST(Cli, OnlineRepsAggregatesAcrossThePool) {
+  const std::vector<std::string> args{
+      "online", "--clusters", "5", "--connected", "--arrivals", "20",
+      "--seed", "3", "--reps", "3", "--jobs", "2"};
+  const CliRun r = run(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("campaign 'online'"), std::string::npos);
+  EXPECT_NE(r.out.find("mean_response"), std::string::npos);
+  // Deterministic across worker counts (json mode strips wall times).
+  std::vector<std::string> json_args{
+      "online", "--clusters", "5", "--connected", "--arrivals", "20",
+      "--seed", "3", "--reps", "3", "--jobs", "2", "--json"};
+  const CliRun a = run(json_args);
+  json_args[json_args.size() - 2] = "1";
+  const CliRun b = run(json_args);
+  EXPECT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);
+  // --jobs stays accepted when a script sweeps --reps down to 1.
+  EXPECT_EQ(run({"online", "--clusters", "4", "--connected", "--arrivals",
+                 "5", "--reps", "1", "--jobs", "2"})
+                .code,
+            0);
+  // --save-workload has no single stream to save under --reps: the
+  // error must say so instead of claiming an unknown option.
+  const CliRun save = run({"online", "--clusters", "4", "--connected",
+                           "--arrivals", "5", "--reps", "2",
+                           "--save-workload", "/tmp/x.workload"});
+  EXPECT_EQ(save.code, 1);
+  EXPECT_NE(save.err.find("not supported with --reps"), std::string::npos)
+      << save.err;
+}
+
+TEST(Cli, DynamicsRepsReportsAggregateDegradation) {
+  const CliRun r = run({"dynamics", "--clusters", "5", "--connected",
+                        "--arrivals", "15", "--seed", "3", "--event-rate",
+                        "0.2", "--severity", "0.6", "--reps", "3",
+                        "--jobs", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("scenario=static"), std::string::npos);
+  EXPECT_NE(r.out.find("scenario=dynamic"), std::string::npos);
+  EXPECT_NE(r.out.find("degradation over 3 replications"), std::string::npos);
 }
 
 TEST(Cli, ReduceGraph) {

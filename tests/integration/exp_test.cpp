@@ -113,17 +113,22 @@ TEST(SampleGridParams, DrawsFromTableOneValues) {
   }
 }
 
-TEST(RatioStats, MeanAndGuards) {
-  RatioStats stats;
+TEST(RatioAccumulator, MeanStddevAndGuards) {
+  RatioAccumulator stats;
   stats.add(5.0, 10.0);
   stats.add(10.0, 10.0);
   EXPECT_EQ(stats.count(), 2);
   EXPECT_DOUBLE_EQ(stats.mean(), 0.75);
+  // Accumulator-backed: the full spread statistics ride along.
+  EXPECT_DOUBLE_EQ(stats.stddev(), std::sqrt(0.125 / 1.0));
+  EXPECT_DOUBLE_EQ(stats.acc().min(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.acc().max(), 1.0);
   stats.add(1.0, 0.0);  // degenerate lp: skipped
   stats.add(std::nan(""), 10.0);  // not-run method: skipped
   EXPECT_EQ(stats.count(), 2);
-  RatioStats empty;
+  RatioAccumulator empty;
   EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.stddev(), 0.0);
 }
 
 TEST(BenchEnv, ScaleParsing) {

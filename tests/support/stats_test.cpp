@@ -74,5 +74,56 @@ TEST(Stats, PercentileValidation) {
   EXPECT_THROW(percentile(std::vector<double>{1.0}, 101), Error);
 }
 
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  EXPECT_TRUE(std::isnan(q.value()));
+  q.add(30.0);
+  EXPECT_DOUBLE_EQ(q.value(), 30.0);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.value(), 20.0);
+  q.add(20.0);
+  // n <= 5 is exact and matches percentile()'s interpolation.
+  EXPECT_DOUBLE_EQ(q.value(), percentile(std::vector<double>{10, 20, 30}, 50));
+  q.add(40.0);
+  q.add(50.0);
+  EXPECT_DOUBLE_EQ(q.value(),
+                   percentile(std::vector<double>{10, 20, 30, 40, 50}, 50));
+}
+
+TEST(P2Quantile, TracksLargeStreamsApproximately) {
+  // Deterministic pseudo-uniform stream: the P^2 markers must land near
+  // the exact percentiles without storing the observations.
+  std::vector<double> xs;
+  double state = 0.3;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 997.0 + 0.1234567;
+    state -= std::floor(state);
+    xs.push_back(state);
+  }
+  for (const double p : {0.5, 0.95}) {
+    P2Quantile q(p);
+    for (const double x : xs) q.add(x);
+    EXPECT_EQ(q.count(), xs.size());
+    const double exact = percentile(xs, 100.0 * p);
+    EXPECT_NEAR(q.value(), exact, 0.02) << "p=" << p;
+  }
+}
+
+TEST(P2Quantile, IsAPureFunctionOfTheInsertionSequence) {
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(std::sin(i * 12.9898) * 43758.5453);
+  P2Quantile a(0.95), b(0.95);
+  for (const double x : xs) a.add(x);
+  for (const double x : xs) b.add(x);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(P2Quantile, RejectsBadInputs) {
+  EXPECT_THROW(P2Quantile(0.0), Error);
+  EXPECT_THROW(P2Quantile(1.0), Error);
+  P2Quantile q(0.5);
+  EXPECT_THROW(q.add(std::nan("")), Error);
+}
+
 }  // namespace
 }  // namespace dls

@@ -66,5 +66,65 @@ TEST(ParallelFor, ComputesSum) {
   EXPECT_EQ(total, 10000L * 9999 / 2);
 }
 
+TEST(ParallelFor, EveryChunkSizeCoversTheRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{64}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; }, chunk);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "chunk " << chunk;
+  }
+}
+
+TEST(ParallelFor, NonZeroRangeStart) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 40, hits.size(), [&](std::size_t i) { ++hits[i]; }, 7);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), i >= 40 ? 1 : 0);
+}
+
+TEST(ParallelFor, DynamicScheduleDrainsSkewAcrossWorkers) {
+  // One index is vastly more expensive than the rest. With dynamic
+  // pull the other workers must process (nearly) everything else while
+  // the slow index runs; here we just assert full coverage and that the
+  // slow index did not serialize the whole range behind it.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::atomic<int> done_before_slow_finished{0};
+  parallel_for(
+      pool, 0, 200,
+      [&](std::size_t i) {
+        if (i == 0) {
+          // Busy-wait until most other indices finished (dynamic
+          // scheduling lets them proceed on the other workers).
+          while (done.load() < 150) std::this_thread::yield();
+          done_before_slow_finished = done.load();
+        }
+        ++done;
+      },
+      1);
+  EXPECT_EQ(done.load(), 200);
+  EXPECT_GE(done_before_slow_finished.load(), 150);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [&](std::size_t i) {
+                              if (i == 42) throw Error("boom");
+                            },
+                            1),
+               Error);
+}
+
+TEST(ParallelForStatic, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);
+  parallel_for_static(pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  parallel_for_static(pool, 5, 5, [](std::size_t) { FAIL(); });
+}
+
 }  // namespace
 }  // namespace dls
