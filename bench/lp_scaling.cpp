@@ -1,17 +1,26 @@
-// LP scaling bench: sparse-LU vs dense-inverse simplex across platform
-// sizes K (ISSUE 3 tentpole).
+// LP scaling bench: factorization x pricing-rule matrix for the revised
+// simplex across platform sizes K (ISSUE 3 tentpole, extended by the
+// ISSUE 6 kernel overhaul).
 //
 // For each K the steady-state reduced LP (Sum objective, every cluster
-// active) is cold-solved under both basis factorizations, then the
-// sparse path performs one warm (capsule) re-solve after a departure
-// event. Reported per K:
+// active) is cold-solved under:
 //
-//   * cold solve seconds and simplex pivots for both paths (means over
-//     `repeats` runs; the two paths must agree on the LP objective,
-//     which this bench asserts);
-//   * warm solve seconds/pivots for the sparse capsule path;
-//   * capsule memory (WarmState::memory_bytes, nnz-scaled) against the
-//     8*m^2 bytes the retired dense-inverse capsule would have pinned.
+//   * dense   — DenseInverse + Dantzig: the historical dense baseline;
+//   * sparse  — SparseLu + Dantzig: the pre-overhaul sparse path (the
+//               field names below keep their PR-5 meaning so committed
+//               baselines stay comparable);
+//   * partial — SparseLu + Partial (candidate-list Dantzig);
+//   * se      — SparseLu + SteepestEdge (devex): the new default;
+//   * auto    — everything defaulted (Auto factorization picks dense
+//               below the crossover, Auto pricing picks steepest edge).
+//
+// All five must agree on the LP objective (asserted, 1e-6 relative).
+// Reported per K: best-of-repeats cold seconds, simplex pivots,
+// microseconds per pivot, refactorization count, and peak eta-file
+// nonzeros; then one warm (capsule) re-solve after a departure event,
+// and a batch section solving payoff-re-priced variants through
+// lp::BatchSolver (shared column analysis + per-thread arenas) against
+// a fresh-solver sequential loop, asserting bit-identical objectives.
 //
 // Platforms keep a bounded average router degree (connectivity ~ 8/K)
 // so the link-row count grows linearly with K, the way real federations
@@ -19,11 +28,12 @@
 // dense baseline could not even allocate its inverse at K = 256.
 //
 // One "JSON {...}" line per K, collected into BENCH_lp_scaling.json at
-// the repo root by CI, which fails the job when the sparse path is
-// slower than the dense baseline at K >= 64. Under DLS_BENCH_SCALE < 1
+// the repo root by CI, which gates on sparse-beats-dense and
+// steepest-edge-beats-Dantzig at K >= 64. Under DLS_BENCH_SCALE < 1
 // (the CI smoke configuration) the K = 256 point is skipped: its dense
-// baseline alone takes tens of seconds.
+// baseline alone takes seconds.
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -34,6 +44,7 @@
 
 #include "core/problem.hpp"
 #include "exp/experiment.hpp"
+#include "lp/batch.hpp"
 #include "lp/simplex.hpp"
 #include "platform/generator.hpp"
 #include "support/timer.hpp"
@@ -53,12 +64,15 @@ struct PathResult {
   double seconds = 0.0;
   int pivots = 0;
   double objective = 0.0;
+  int refactors = 0;
+  std::size_t eta_peak = 0;
 };
 
 PathResult cold_solve(const dls::lp::Model& model, dls::lp::Factorization f,
-                      int repeats) {
+                      dls::lp::Pricing p, int repeats) {
   dls::lp::SimplexOptions opt;
   opt.factorization = f;
+  opt.pricing = p;
   opt.compute_duals = false;
   const dls::lp::SimplexSolver solver(opt);
   PathResult out;
@@ -75,8 +89,18 @@ PathResult cold_solve(const dls::lp::Model& model, dls::lp::Factorization f,
     }
     out.pivots = sol.iterations;
     out.objective = sol.objective;
+    out.refactors = sol.refactorizations;
+    out.eta_peak = sol.eta_peak_nnz;
   }
   return out;
+}
+
+bool objectives_agree(double a, double b) {
+  return std::abs(a - b) <= 1e-6 * std::max(1.0, std::abs(a));
+}
+
+double us_per_pivot(const PathResult& r) {
+  return r.pivots > 0 ? r.seconds * 1e6 / r.pivots : 0.0;
 }
 
 }  // namespace
@@ -88,8 +112,9 @@ int main() {
   // Floored at 3 even in scaled-down CI runs: the gate compares wall
   // clocks, and best-of-one has no outlier protection.
   const int repeats = std::max(3, exp::scaled(3));
+  const int batch_models = std::max(4, exp::scaled(16));
 
-  std::cout << "# LP scaling: sparse-LU vs dense-inverse revised simplex\n"
+  std::cout << "# LP scaling: factorization x pricing matrix, revised simplex\n"
             << "# reduced steady-state model, Sum objective, all clusters active\n";
 
   std::vector<std::string> json_lines;
@@ -111,50 +136,111 @@ int main() {
     std::size_t nnz = 0;
     for (int c = 0; c < model.num_constraints(); ++c) nnz += model.row(c).size();
 
-    const PathResult dense =
-        cold_solve(model, lp::Factorization::DenseInverse, repeats);
-    const PathResult sparse =
-        cold_solve(model, lp::Factorization::SparseLu, repeats);
-    if (std::abs(dense.objective - sparse.objective) >
-        1e-6 * std::max(1.0, std::abs(dense.objective))) {
-      std::cerr << "lp_scaling: dense and sparse objectives diverge at K=" << k
-                << ": " << dense.objective << " vs " << sparse.objective << "\n";
-      return 1;
+    const PathResult dense = cold_solve(model, lp::Factorization::DenseInverse,
+                                        lp::Pricing::Dantzig, repeats);
+    const PathResult sparse = cold_solve(model, lp::Factorization::SparseLu,
+                                         lp::Pricing::Dantzig, repeats);
+    const PathResult partial = cold_solve(model, lp::Factorization::SparseLu,
+                                          lp::Pricing::Partial, repeats);
+    const PathResult se = cold_solve(model, lp::Factorization::SparseLu,
+                                     lp::Pricing::SteepestEdge, repeats);
+    const PathResult autop =
+        cold_solve(model, lp::Factorization::Auto, lp::Pricing::Auto, repeats);
+    for (const PathResult* r : {&sparse, &partial, &se, &autop}) {
+      if (!objectives_agree(dense.objective, r->objective)) {
+        std::cerr << "lp_scaling: objectives diverge at K=" << k << ": "
+                  << dense.objective << " vs " << r->objective << "\n";
+        return 1;
+      }
     }
 
-    // Warm chain on the sparse path: fill the capsule, then re-solve
+    // Warm chain under the defaults: fill the capsule, then re-solve
     // after a departure (one cluster's payoff drops to zero — the
     // online rescheduler's per-event shape).
+    // Solver configured like the online rescheduler's per-event path:
+    // no duals, a persistent arena, a live capsule.
     lp::SimplexOptions warm_opt;
     warm_opt.compute_duals = false;
     const lp::SimplexSolver warm_solver(warm_opt);
+    lp::SolveArena warm_arena;
     lp::WarmState state;
-    (void)warm_solver.solve(model, &state);
+    (void)warm_solver.solve(model, &state, warm_arena);
     std::vector<double> departed = payoffs;
     departed[static_cast<std::size_t>((k / 2) & ~1)] = 0.0;  // an active cluster
     const core::SteadyStateProblem after = problem.with_payoffs(departed);
     after.update_reduced_payoffs(reduced);
     WallTimer warm_timer;
-    const lp::Solution warm = warm_solver.solve(model, &state);
+    const lp::Solution warm = warm_solver.solve(model, &state, warm_arena);
     const double warm_seconds = warm_timer.seconds();
     if (warm.status != lp::SolveStatus::Optimal) {
       std::cerr << "lp_scaling: warm solve not optimal at K=" << k << "\n";
       return 1;
     }
 
+    // Batch section: payoff-re-priced variants of this K's model (same
+    // constraint matrix, different costs — the campaign-cell shape).
+    // BatchSolver must beat, and bit-match, a fresh-solver loop.
+    std::vector<core::SteadyStateProblem::ReducedModel> variants;
+    variants.reserve(static_cast<std::size_t>(batch_models));
+    for (int v = 0; v < batch_models; ++v) {
+      std::vector<double> p = payoffs;
+      for (std::size_t c = 0; c < p.size(); c += 2)
+        p[c] = 1.0 + 0.07 * static_cast<double>((v + static_cast<int>(c)) % 7);
+      variants.push_back(problem.with_payoffs(p).build_reduced());
+    }
+    std::vector<const lp::Model*> batch_ptrs;
+    for (const auto& v : variants) batch_ptrs.push_back(&v.model);
+
+    lp::SimplexOptions batch_opt;
+    batch_opt.compute_duals = false;
+    std::vector<double> plain_obj;
+    WallTimer plain_timer;
+    for (const lp::Model* m : batch_ptrs)
+      plain_obj.push_back(lp::SimplexSolver(batch_opt).solve(*m).objective);
+    const double plain_seconds = plain_timer.seconds();
+
+    lp::BatchSolver batch(batch_opt, exp::bench_jobs());
+    WallTimer batch_timer;
+    const std::vector<lp::Solution> batched =
+        batch.solve_all(std::span<const lp::Model* const>(batch_ptrs));
+    const double batch_seconds = batch_timer.seconds();
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      if (batched[i].objective != plain_obj[i]) {
+        std::cerr << "lp_scaling: batch solve not bit-identical at K=" << k
+                  << " model " << i << "\n";
+        return 1;
+      }
+    }
+    const lp::BatchSolver::Stats bstats = batch.stats();
+
     const std::size_t m = static_cast<std::size_t>(model.num_constraints());
     const std::size_t dense_binv_bytes = m * m * sizeof(double);
     const double speedup =
         sparse.seconds > 0.0 ? dense.seconds / sparse.seconds : 0.0;
+    const double se_speedup =
+        se.seconds > 0.0 ? sparse.seconds / se.seconds : 0.0;
+    const double pivot_ratio =
+        se.pivots > 0 ? static_cast<double>(sparse.pivots) / se.pivots : 0.0;
+    const double batch_speedup =
+        batch_seconds > 0.0 ? plain_seconds / batch_seconds : 0.0;
 
     std::cout << "K=" << k << ": m=" << model.num_constraints()
               << " n=" << model.num_variables() << " nnz=" << nnz
-              << "; cold dense " << dense.seconds * 1e3 << " ms ("
-              << dense.pivots << " pivots) vs sparse " << sparse.seconds * 1e3
-              << " ms (" << sparse.pivots << " pivots), speedup " << speedup
-              << "x; warm " << warm_seconds * 1e3 << " ms, capsule "
-              << state.memory_bytes() << " B vs dense " << dense_binv_bytes
-              << " B\n";
+              << "\n  cold  dense " << dense.seconds * 1e3 << " ms/"
+              << dense.pivots << "p, sparse(dantzig) " << sparse.seconds * 1e3
+              << " ms/" << sparse.pivots << "p, partial "
+              << partial.seconds * 1e3 << " ms/" << partial.pivots
+              << "p, steepest " << se.seconds * 1e3 << " ms/" << se.pivots
+              << "p (" << se.refactors << " refac, eta peak " << se.eta_peak
+              << "), auto " << autop.seconds * 1e3 << " ms/" << autop.pivots
+              << "p\n  se vs dantzig: " << se_speedup << "x time, "
+              << pivot_ratio << "x pivots; warm " << warm_seconds * 1e3
+              << " ms/" << warm.iterations << "p, capsule "
+              << state.memory_bytes() << " B\n  batch " << batch_models
+              << " models: plain " << plain_seconds * 1e3 << " ms, batch "
+              << batch_seconds * 1e3 << " ms (" << batch_speedup << "x, "
+              << bstats.cache_misses << " structure build(s) for "
+              << batch_models << " solves)\n";
 
     std::ostringstream js;
     js.precision(6);
@@ -166,13 +252,32 @@ int main() {
        << ",\"dense_pivots\":" << dense.pivots
        << ",\"sparse_cold_seconds\":" << sparse.seconds
        << ",\"sparse_pivots\":" << sparse.pivots
+       << ",\"sparse_us_per_pivot\":" << us_per_pivot(sparse)
+       << ",\"partial_cold_seconds\":" << partial.seconds
+       << ",\"partial_pivots\":" << partial.pivots
+       << ",\"se_cold_seconds\":" << se.seconds
+       << ",\"se_pivots\":" << se.pivots
+       << ",\"se_us_per_pivot\":" << us_per_pivot(se)
+       << ",\"se_refactorizations\":" << se.refactors
+       << ",\"se_eta_peak_nnz\":" << se.eta_peak
+       << ",\"auto_cold_seconds\":" << autop.seconds
+       << ",\"auto_pivots\":" << autop.pivots
        << ",\"speedup\":" << speedup
+       << ",\"se_speedup_vs_sparse\":" << se_speedup
+       << ",\"se_pivot_ratio\":" << pivot_ratio
        << ",\"objective\":" << sparse.objective
        << ",\"sparse_warm_seconds\":" << warm_seconds
        << ",\"warm_pivots\":" << warm.iterations
        << ",\"warm_used\":" << (warm.warm_used ? "true" : "false")
        << ",\"capsule_bytes\":" << state.memory_bytes()
-       << ",\"dense_binv_bytes\":" << dense_binv_bytes << "}";
+       << ",\"dense_binv_bytes\":" << dense_binv_bytes
+       << ",\"batch_models\":" << batch_models
+       << ",\"batch_plain_seconds\":" << plain_seconds
+       << ",\"batch_seconds\":" << batch_seconds
+       << ",\"batch_speedup\":" << batch_speedup
+       << ",\"batch_cache_hits\":" << bstats.cache_hits
+       << ",\"batch_cache_builds\":" << bstats.cache_misses
+       << ",\"batch_arenas\":" << bstats.arenas << "}";
     json_lines.push_back(js.str());
   }
   for (const std::string& line : json_lines) std::cout << "JSON " << line << "\n";

@@ -267,7 +267,7 @@ double ratio_or_nan(double method_value, double lp_value) {
 }
 
 std::vector<double> run_offline_case(const ScenarioSpec& spec, const CaseDef& def,
-                                     ArtifactCache& cache) {
+                                     ArtifactCache& cache, lp::BatchSolver& lps) {
   const auto plat = cache.platform_for(def.cell, def.rep);
   exp::CaseConfig config;
   config.objective = spec.objectives[def.objective];
@@ -277,7 +277,7 @@ std::vector<double> run_offline_case(const ScenarioSpec& spec, const CaseDef& de
   config.with_lprg = has_method(spec, Method::Lprg);
   config.with_lprr = has_method(spec, Method::Lprr);
   config.seed = mix(platform_seed(spec, def.cell, def.rep), kPayoffSalt);
-  const exp::CaseResult r = exp::run_case(config, *plat);
+  const exp::CaseResult r = exp::run_case(config, *plat, lps);
 
   // A failed case (any solve non-optimal) contributes only ok=0: its
   // partially-filled method values are unusable per the CaseResult
@@ -497,6 +497,9 @@ CampaignReport run_campaign(const ScenarioSpec& spec, const RunnerOptions& optio
   report.executed_cases = mine.size();
 
   ArtifactCache cache(spec);
+  // One batch for the whole campaign: offline cases on any worker share
+  // the column-structure cache; each worker keeps its own solve arena.
+  lp::BatchSolver lps;
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
@@ -513,7 +516,7 @@ CampaignReport run_campaign(const ScenarioSpec& spec, const RunnerOptions& optio
     record.group = def.group;
     record.rep = def.rep;
     try {
-      record.values = def.offline ? run_offline_case(spec, def, cache)
+      record.values = def.offline ? run_offline_case(spec, def, cache, lps)
                                   : run_stream_case(spec, def, cache);
     } catch (...) {
       {

@@ -46,6 +46,11 @@ struct HeuristicResult {
 /// differ between the two paths on degenerate optima.
 struct LpWarmStart {
   lp::WarmState* state = nullptr;
+  /// Optional solve arena (lp::SolveArena, typically
+  /// lp::BatchSolver::local_arena()): reuses simplex working storage
+  /// and the shared column-structure cache across solves. Pure
+  /// performance — results are bit-identical with or without it.
+  lp::SolveArena* arena = nullptr;
   /// Optional pre-built fixing-free reduced model for this problem
   /// (typically one cached instance patched per event with
   /// SteadyStateProblem::update_reduced_payoffs). When null the
@@ -116,6 +121,9 @@ struct LprrOptions {
   /// equal-probability rounding survivable.
   bool resolve_between_fixings = true;
   lp::SimplexOptions lp;
+  /// Optional solve arena shared across LPRR's ~K^2 relaxation solves
+  /// (same contract as LpWarmStart::arena: faster, bit-identical).
+  lp::SolveArena* arena = nullptr;
 };
 
 /// LPRR: one LP re-solve per fixed route (~K^2 solves); rounding up is

@@ -48,9 +48,12 @@ lp::Solution solve_relaxation(const SteadyStateProblem::ReducedModel& reduced,
                               const lp::SimplexOptions& lp_options,
                               LpWarmStart* warm) {
   const lp::SimplexSolver solver(lp_options);
-  lp::Solution sol = warm != nullptr && warm->state != nullptr
-                         ? solver.solve(reduced.model, warm->state)
-                         : solver.solve(reduced.model);
+  lp::WarmState* state = warm != nullptr ? warm->state : nullptr;
+  lp::SolveArena* arena = warm != nullptr ? warm->arena : nullptr;
+  lp::Solution sol = arena != nullptr ? solver.solve(reduced.model, state, *arena)
+                                      : (state != nullptr
+                                             ? solver.solve(reduced.model, state)
+                                             : solver.solve(reduced.model));
   if (warm != nullptr) {
     warm->used = sol.warm_used;
     warm->kind = sol.warm_kind;
@@ -117,6 +120,10 @@ HeuristicResult run_lprg(const SteadyStateProblem& problem,
 HeuristicResult run_lprr(const SteadyStateProblem& problem, Rng& rng,
                          const LprrOptions& options) {
   const lp::SimplexSolver solver(options.lp);
+  const auto solve_lp = [&](const lp::Model& model) {
+    return options.arena != nullptr ? solver.solve(model, *options.arena)
+                                    : solver.solve(model);
+  };
 
   std::vector<SteadyStateProblem::BetaFixing> fixings;
   std::vector<char> is_fixed(problem.routes().size(), 0);
@@ -160,7 +167,7 @@ HeuristicResult run_lprr(const SteadyStateProblem& problem, Rng& rng,
   if (options.resolve_between_fixings) {
     while (!unfixed.empty()) {
       const auto reduced = problem.build_reduced(fixings);
-      const lp::Solution sol = solver.solve(reduced.model);
+      const lp::Solution sol = solve_lp(reduced.model);
       ++lp_solves;
       if (sol.status != lp::SolveStatus::Optimal) {
         HeuristicResult r = failed(problem, sol.status);
@@ -190,7 +197,7 @@ HeuristicResult run_lprr(const SteadyStateProblem& problem, Rng& rng,
     // One-shot: round every beta from a single relaxation solve, in a
     // random order (the order matters through the budget demotions).
     const auto reduced = problem.build_reduced();
-    const lp::Solution sol = solver.solve(reduced.model);
+    const lp::Solution sol = solve_lp(reduced.model);
     ++lp_solves;
     if (sol.status != lp::SolveStatus::Optimal) {
       HeuristicResult r = failed(problem, sol.status);
@@ -207,7 +214,7 @@ HeuristicResult run_lprr(const SteadyStateProblem& problem, Rng& rng,
 
   // Final solve with every beta pinned gives the best alphas under them.
   const auto reduced = problem.build_reduced(fixings);
-  const lp::Solution sol = solver.solve(reduced.model);
+  const lp::Solution sol = solve_lp(reduced.model);
   ++lp_solves;
   if (sol.status != lp::SolveStatus::Optimal) {
     HeuristicResult r = failed(problem, sol.status);

@@ -28,19 +28,26 @@ namespace {
 
 /// The shared case kernel: `rng` has already produced the platform (or
 /// is fresh when the platform came from a cache) and now drives payoffs
-/// and the LPRR coins.
+/// and the LPRR coins. When `arena` is non-null every LP solve in the
+/// case goes through it (shared column analysis, zero steady-state
+/// allocation); the numbers are identical either way.
 CaseResult run_case_on(const CaseConfig& config, const platform::Platform& plat,
-                       Rng& rng) {
+                       Rng& rng, lp::SolveArena* arena) {
   std::vector<double> payoffs(plat.num_clusters());
   for (double& p : payoffs)
     p = rng.uniform(1.0 - config.payoff_spread, 1.0 + config.payoff_spread);
   const core::SteadyStateProblem problem(plat, payoffs, config.objective);
 
+  // Fresh per call: LpWarmStart carries per-solve outputs (used/kind).
+  core::LpWarmStart warm;
+  warm.arena = arena;
+  core::LpWarmStart* warm_ptr = arena != nullptr ? &warm : nullptr;
+
   CaseResult out;
   WallTimer timer;
 
   timer.reset();
-  const auto bound = core::lp_upper_bound(problem);
+  const auto bound = core::lp_upper_bound(problem, {}, warm_ptr);
   out.t_lp = {timer.seconds(), 1};
   if (bound.status != lp::SolveStatus::Optimal) return out;
   out.lp = bound.objective;
@@ -53,7 +60,7 @@ CaseResult run_case_on(const CaseConfig& config, const platform::Platform& plat,
 
   if (config.with_lpr) {
     timer.reset();
-    const auto lpr = core::run_lpr(problem);
+    const auto lpr = core::run_lpr(problem, {}, warm_ptr);
     out.t_lpr = {timer.seconds(), lpr.lp_solves};
     if (lpr.status != lp::SolveStatus::Optimal) return out;
     check_valid(problem, lpr, "LPR");
@@ -62,7 +69,7 @@ CaseResult run_case_on(const CaseConfig& config, const platform::Platform& plat,
 
   if (config.with_lprg) {
     timer.reset();
-    const auto lprg = core::run_lprg(problem, {}, config.greedy);
+    const auto lprg = core::run_lprg(problem, {}, config.greedy, warm_ptr);
     out.t_lprg = {timer.seconds(), lprg.lp_solves};
     if (lprg.status != lp::SolveStatus::Optimal) return out;
     check_valid(problem, lprg, "LPRG");
@@ -71,8 +78,10 @@ CaseResult run_case_on(const CaseConfig& config, const platform::Platform& plat,
 
   if (config.with_lprr) {
     Rng coin = rng.split();
+    core::LprrOptions options;
+    options.arena = arena;
     timer.reset();
-    const auto lprr = core::run_lprr(problem, coin);
+    const auto lprr = core::run_lprr(problem, coin, options);
     out.t_lprr = {timer.seconds(), lprr.lp_solves};
     if (lprr.status != lp::SolveStatus::Optimal) return out;
     check_valid(problem, lprr, "LPRR");
@@ -82,6 +91,7 @@ CaseResult run_case_on(const CaseConfig& config, const platform::Platform& plat,
     Rng coin = rng.split();
     core::LprrOptions options;
     options.equal_probability = true;
+    options.arena = arena;
     const auto lprr_eq = core::run_lprr(problem, coin, options);
     if (lprr_eq.status != lp::SolveStatus::Optimal) return out;
     check_valid(problem, lprr_eq, "LPRR-EQ");
@@ -90,6 +100,7 @@ CaseResult run_case_on(const CaseConfig& config, const platform::Platform& plat,
   if (config.with_lprr_oneshot) {
     core::LprrOptions options;
     options.resolve_between_fixings = false;
+    options.arena = arena;
     {
       Rng coin = rng.split();
       const auto r = core::run_lprr(problem, coin, options);
@@ -118,28 +129,46 @@ CaseResult run_case(const CaseConfig& config) {
           "run_case: payoff_spread must be in [0, 1)");
   Rng rng(config.seed);
   const platform::Platform plat = generate_platform(config.params, rng);
-  return run_case_on(config, plat, rng);
+  return run_case_on(config, plat, rng, nullptr);
 }
 
 CaseResult run_case(const CaseConfig& config, const platform::Platform& plat) {
   require(config.payoff_spread >= 0.0 && config.payoff_spread < 1.0,
           "run_case: payoff_spread must be in [0, 1)");
   Rng rng(config.seed);
-  return run_case_on(config, plat, rng);
+  return run_case_on(config, plat, rng, nullptr);
+}
+
+CaseResult run_case(const CaseConfig& config, lp::BatchSolver& lps) {
+  require(config.payoff_spread >= 0.0 && config.payoff_spread < 1.0,
+          "run_case: payoff_spread must be in [0, 1)");
+  Rng rng(config.seed);
+  const platform::Platform plat = generate_platform(config.params, rng);
+  return run_case_on(config, plat, rng, &lps.local_arena());
+}
+
+CaseResult run_case(const CaseConfig& config, const platform::Platform& plat,
+                    lp::BatchSolver& lps) {
+  require(config.payoff_spread >= 0.0 && config.payoff_spread < 1.0,
+          "run_case: payoff_spread must be in [0, 1)");
+  Rng rng(config.seed);
+  return run_case_on(config, plat, rng, &lps.local_arena());
 }
 
 std::vector<CaseResult> run_cases(const std::vector<CaseConfig>& configs, int jobs) {
   require(jobs >= 0, "run_cases: negative job count");
   std::vector<CaseResult> results(configs.size());
+  lp::BatchSolver batch;  // shared analysis; one arena per worker thread
   if (configs.size() <= 1 || jobs == 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) results[i] = run_case(configs[i]);
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      results[i] = run_case(configs[i], batch);
     return results;
   }
   ThreadPool pool(static_cast<std::size_t>(jobs));
   // Chunk size 1: cases are coarse (milliseconds to seconds each) and
   // often cost-skewed, so per-case dynamic pull is the right grain.
   parallel_for(pool, 0, configs.size(),
-               [&](std::size_t i) { results[i] = run_case(configs[i]); }, 1);
+               [&](std::size_t i) { results[i] = run_case(configs[i], batch); }, 1);
   return results;
 }
 

@@ -9,6 +9,7 @@
 
 #include "core/heuristics.hpp"
 #include "core/problem.hpp"
+#include "lp/batch.hpp"
 #include "platform/generator.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -74,12 +75,24 @@ struct CaseResult {
 [[nodiscard]] CaseResult run_case(const CaseConfig& config,
                                   const platform::Platform& plat);
 
-/// Runs every config as an independent replication across a thread pool.
-/// jobs = 0 uses all hardware threads; jobs = 1 runs inline. Results are
-/// deterministic and order-stable: result i depends only on configs[i]
-/// (each case derives its randomness from its own seed), so the worker
-/// count never changes the numbers. The first exception thrown by any
-/// case is rethrown after the sweep stops.
+/// The same kernels routed through a shared BatchSolver: every LP solve
+/// in the case (the bound, LPR/LPRG's relaxation, LPRR's ~K^2 re-solves)
+/// reuses the calling thread's arena and the batch's shared
+/// column-structure cache. Numbers are bit-identical to the plain
+/// overloads — the batch only removes redundant analysis and allocation.
+/// Safe to share one BatchSolver across concurrent callers.
+[[nodiscard]] CaseResult run_case(const CaseConfig& config, lp::BatchSolver& lps);
+[[nodiscard]] CaseResult run_case(const CaseConfig& config,
+                                  const platform::Platform& plat,
+                                  lp::BatchSolver& lps);
+
+/// Runs every config as an independent replication across a thread pool,
+/// sharing one BatchSolver (per-thread arenas + one column-structure
+/// cache) across the sweep. jobs = 0 uses all hardware threads; jobs = 1
+/// runs inline. Results are deterministic and order-stable: result i
+/// depends only on configs[i] (each case derives its randomness from its
+/// own seed), so the worker count never changes the numbers. The first
+/// exception thrown by any case is rethrown after the sweep stops.
 [[nodiscard]] std::vector<CaseResult> run_cases(const std::vector<CaseConfig>& configs,
                                                 int jobs = 0);
 

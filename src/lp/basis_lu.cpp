@@ -299,6 +299,19 @@ void BasisLu::btran(std::vector<double>& y) const {
   y.swap(work_);
 }
 
+void BasisLu::btran_unit(int slot, std::vector<double>& y,
+                         std::vector<int>* nonzeros) const {
+  DLS_ASSERT(valid() && slot >= 0 && slot < m_);
+  y.assign(m_, 0.0);
+  y[slot] = 1.0;
+  btran(y);
+  if (nonzeros != nullptr) {
+    nonzeros->clear();
+    for (int i = 0; i < m_; ++i)
+      if (y[i] != 0.0) nonzeros->push_back(i);
+  }
+}
+
 bool BasisLu::update(int r, const std::vector<double>& w, double pivot_tol) {
   DLS_ASSERT(valid() && static_cast<int>(w.size()) == m_);
   if (std::fabs(w[r]) <= pivot_tol) return false;

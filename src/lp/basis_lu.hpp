@@ -15,7 +15,8 @@
 // basis slot r is replaced by a column whose FTRAN image is w, the new
 // basis is B E with E = I except column r = w, so one sparse eta vector
 // per pivot extends both solves in O(nnz(w)). The owning solver bounds
-// the eta stack with its refactor interval.
+// the eta stack with its refactorization policy (comparing eta_nnz()
+// against base_nnz(), plus a pivot-count backstop).
 //
 // Index spaces: ftran maps a right-hand side over *rows* to a solution
 // over *basis slots* (columns); btran maps a cost vector over basis
@@ -57,8 +58,25 @@ public:
   /// the caller should refactorize from the updated basis instead.
   bool update(int r, const std::vector<double>& w, double pivot_tol);
 
+  /// btran of a slot-space unit vector e_slot: `y` is resized and
+  /// overwritten with row `slot` of B^{-1} (over rows). When `nonzeros`
+  /// is non-null it receives the indices of y's nonzero entries — the
+  /// support the simplex pricing update scatters its pivot row from.
+  void btran_unit(int slot, std::vector<double>& y,
+                  std::vector<int>* nonzeros = nullptr) const;
+
   /// Number of eta vectors appended since the last factorize().
   [[nodiscard]] int eta_count() const { return static_cast<int>(eta_pivot_pos_.size()); }
+  /// Nonzeros of the base factorization alone (L + U + pivots).
+  [[nodiscard]] std::size_t base_nnz() const {
+    return l_row_.size() + u_col_.size() + pivot_row_.size();
+  }
+  /// Nonzeros accumulated in the eta file since the last factorize();
+  /// what the owning solver's fill-based refactorization trigger and
+  /// capsule compression compare against base_nnz().
+  [[nodiscard]] std::size_t eta_nnz() const {
+    return eta_pos_.size() + eta_pivot_pos_.size();
+  }
   /// Nonzeros held: L + U + pivots + eta file.
   [[nodiscard]] std::size_t factor_nnz() const;
   /// Heap bytes of the factorization (what a warm-start capsule carries;

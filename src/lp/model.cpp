@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "support/error.hpp"
 
@@ -16,6 +17,7 @@ int Model::add_variable(double lb, double ub, double obj, std::string name) {
   obj_.push_back(obj);
   integer_.push_back(false);
   var_name_.push_back(std::move(name));
+  fingerprint_.v.store(0, std::memory_order_relaxed);
   return num_variables() - 1;
 }
 
@@ -44,6 +46,7 @@ int Model::add_constraint(std::vector<Term> terms, Relation rel, double rhs,
   rel_.push_back(rel);
   rhs_.push_back(rhs);
   row_name_.push_back(std::move(name));
+  fingerprint_.v.store(0, std::memory_order_relaxed);
   return num_constraints() - 1;
 }
 
@@ -66,6 +69,7 @@ void Model::set_row(int c, std::vector<Term> terms) {
   }
   std::erase_if(merged, [](const Term& t) { return t.coef == 0.0; });
   rows_[c] = std::move(merged);
+  fingerprint_.v.store(0, std::memory_order_relaxed);
 }
 
 void Model::set_rhs(int c, double rhs) {
@@ -129,6 +133,31 @@ bool Model::is_integer_feasible(std::span<const double> x, double tol) const {
     if (std::fabs(x[j] - std::round(x[j])) > tol) return false;
   }
   return true;
+}
+
+std::uint64_t Model::structure_fingerprint() const {
+  std::uint64_t h = fingerprint_.v.load(std::memory_order_relaxed);
+  if (h != 0) return h;
+  h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(num_variables()));
+  mix(static_cast<std::uint64_t>(num_constraints()));
+  for (int c = 0; c < num_constraints(); ++c) {
+    mix(static_cast<std::uint64_t>(rel_[c]) + 0x517c);
+    for (const Term& t : rows_[c]) {
+      mix(static_cast<std::uint64_t>(t.var));
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &t.coef, sizeof(bits));
+      mix(bits);
+    }
+  }
+  // h == 0 is unreachable for FNV-1a over a nonempty input in practice;
+  // if it ever happened the only cost is recomputing on each call.
+  fingerprint_.v.store(h, std::memory_order_relaxed);
+  return h;
 }
 
 void Model::check_var(int var) const {

@@ -6,6 +6,8 @@
 // clones bound sets per node without copying rows.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -69,8 +71,31 @@ public:
   /// True iff every integer-marked variable of `x` is within `tol` of an integer.
   [[nodiscard]] bool is_integer_feasible(std::span<const double> x, double tol) const;
 
+  /// FNV-1a hash of the constraint *structure* (dimensions, relations,
+  /// term indices and coefficient bits). Costs, bounds, rhs and
+  /// integrality are deliberately excluded, so re-priced variants of one
+  /// matrix share a fingerprint (this is what keys the solver's column
+  /// cache and warm-start capsules). Computed lazily and cached; the
+  /// structural mutators (add_variable, add_constraint, set_row)
+  /// invalidate the cache, the non-structural ones keep it.
+  [[nodiscard]] std::uint64_t structure_fingerprint() const;
+
 private:
   void check_var(int var) const;
+
+  /// Copyable lazily-filled hash slot; 0 means "not computed yet".
+  /// Atomic so concurrent read-only solves of one model may race to fill
+  /// it (they all store the same value).
+  struct CachedHash {
+    std::atomic<std::uint64_t> v{0};
+    CachedHash() = default;
+    CachedHash(const CachedHash& o)
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    CachedHash& operator=(const CachedHash& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
 
   Sense sense_ = Sense::Minimize;
   double obj_constant_ = 0.0;
@@ -81,6 +106,7 @@ private:
   std::vector<Relation> rel_;
   std::vector<double> rhs_;
   std::vector<std::string> row_name_;
+  mutable CachedHash fingerprint_;
 };
 
 }  // namespace dls::lp

@@ -10,36 +10,171 @@
 
 namespace dls::lp {
 
-namespace {
+namespace detail {
 
 enum class VarStatus : unsigned char { Basic, AtLower, AtUpper, Free };
+
+/// All reusable solver buffers. A solve fully (re)initializes every
+/// buffer it reads, so only capacity — never content — survives between
+/// solves; results are bit-identical whether an arena is reused, fresh,
+/// or shared sequentially between threads.
+struct ArenaImpl {
+  std::shared_ptr<ColumnCacheStore> store;          // optional shared analysis
+  std::shared_ptr<const ColumnCache> columns;       // last structure used
+
+  // Model-derived data (bounds/costs/rhs of the internal minimize form).
+  std::vector<double> lb, ub, cost, b;
+  std::vector<double> art_sign;
+
+  // Basis state.
+  std::vector<VarStatus> status;
+  std::vector<double> value, xb;
+  std::vector<int> basis;
+  BasisLu lu;
+  std::vector<int> csc_ptr, csc_row;
+  std::vector<double> csc_val;
+  std::vector<double> binv, scratch;  // dense path
+
+  // Iteration scratch.
+  std::vector<double> y, w, rho, r;
+
+  // Incremental pricing state.
+  std::vector<double> d, weights, alpha;
+  std::vector<int> cand, touched, rho_nz;
+  std::vector<char> in_cand;
+};
+
+std::uint64_t matrix_fingerprint(const Model& model) {
+  // The hash lives on the Model (lazily computed, invalidated only by
+  // structural mutators), so warm re-solves and re-priced batch variants
+  // pay it once instead of once per solve.
+  return model.structure_fingerprint();
+}
+
+std::shared_ptr<const ColumnCache> build_column_cache(const Model& model) {
+  auto cache = std::make_shared<ColumnCache>();
+  const int n = model.num_variables();
+  const int m = model.num_constraints();
+  cache->fingerprint = matrix_fingerprint(model);
+  cache->rows = m;
+  cache->cols = n;
+  cache->col_ptr.assign(n + 1, 0);
+  std::vector<int> counts(n, 0);
+  for (int c = 0; c < m; ++c)
+    for (const Term& t : model.row(c)) ++counts[t.var];
+  for (int j = 0; j < n; ++j)
+    cache->col_ptr[j + 1] = cache->col_ptr[j] + counts[j];
+  const int nnz = cache->col_ptr[n];
+  cache->col_row.resize(nnz);
+  cache->col_val.resize(nnz);
+  std::vector<int> fill(n, 0);
+  for (int c = 0; c < m; ++c) {
+    for (const Term& t : model.row(c)) {
+      const int pos = cache->col_ptr[t.var] + fill[t.var]++;
+      cache->col_row[pos] = c;
+      cache->col_val[pos] = t.coef;
+    }
+  }
+  return cache;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::VarStatus;
+
+/// Scores that are mathematically tied differ only by representation
+/// noise (dense inverse vs LU arithmetic), so a candidate must beat the
+/// incumbent by this relative margin to take over — ties then resolve by
+/// scan order whichever factorization computed the inputs, keeping the
+/// visited vertex (and the rounding heuristics built on it) stable
+/// across representations.
+constexpr double kTieMargin = 1e-9;
+
+/// Devex weights above this trigger a reference-framework reset (a full
+/// pricing refresh, which reinitializes every weight to 1).
+constexpr double kWeightCap = 1e7;
 
 /// Full solver state for one solve() call. Variable indexing:
 ///   [0, n)            structural variables (model order)
 ///   [n, n+m)          slack of row i at index n+i
 ///   [n+m, n+2m)       artificial of row i at index n+m+i
+/// All bulk storage lives in the arena (references below), so repeated
+/// solves through one arena allocate nothing once capacities warm up.
 class Worker {
 public:
-  Worker(const Model& model, const SimplexOptions& opt)
+  Worker(const Model& model, const SimplexOptions& opt, detail::ArenaImpl& arena)
       : model_(model),
         opt_(opt),
-        dense_(opt.factorization == Factorization::DenseInverse) {
+        a_(arena),
+        lb_(arena.lb),
+        ub_(arena.ub),
+        cost_(arena.cost),
+        b_(arena.b),
+        art_sign_(arena.art_sign),
+        status_(arena.status),
+        value_(arena.value),
+        xb_(arena.xb),
+        basis_(arena.basis),
+        lu_(arena.lu),
+        csc_ptr_(arena.csc_ptr),
+        csc_row_(arena.csc_row),
+        csc_val_(arena.csc_val),
+        binv_(arena.binv),
+        scratch_(arena.scratch),
+        y_(arena.y),
+        w_(arena.w),
+        rho_(arena.rho),
+        r_(arena.r),
+        d_(arena.d),
+        weights_(arena.weights),
+        alpha_(arena.alpha),
+        cand_(arena.cand),
+        touched_(arena.touched),
+        rho_nz_(arena.rho_nz),
+        in_cand_(arena.in_cand) {
     n_ = model.num_variables();
     m_ = model.num_constraints();
     total_ = n_ + 2 * m_;
-    build_columns();
+    dense_ = opt.factorization == Factorization::DenseInverse ||
+             (opt.factorization == Factorization::Auto &&
+              m_ <= opt.dense_crossover_rows);
+    rule_ = opt.pricing == Pricing::Auto ? Pricing::SteepestEdge : opt.pricing;
+    window_ = opt.partial_window > 0 ? opt.partial_window
+                                     : std::max(64, (n_ + m_) / 16);
+    cand_cap_ = opt.se_candidate_cap > 0
+                    ? static_cast<std::size_t>(opt.se_candidate_cap)
+                : opt.se_candidate_cap == 0
+                    ? static_cast<std::size_t>(std::max(512, (n_ + m_) / 16))
+                    : static_cast<std::size_t>(n_) + static_cast<std::size_t>(m_);
+    fingerprint_ = detail::matrix_fingerprint(model);
+    resolve_columns();
     build_bounds_and_costs();
   }
 
   Solution run(const Basis* warm, WarmState* state) {
+    Solution sol = run_inner(warm, state);
+    sol.factorization_used =
+        dense_ ? Factorization::DenseInverse : Factorization::SparseLu;
+    sol.pricing_used = rule_;
+    sol.refactorizations = refactor_count_;
+    sol.pricing_refreshes = refresh_count_;
+    sol.eta_peak_nnz = eta_peak_;
+    sol.column_cache_hit = cache_hit_;
+    return sol;
+  }
+
+private:
+  Solution run_inner(const Basis* warm, WarmState* state) {
     Solution sol;
     if (m_ == 0) return solve_unconstrained();
 
     const int max_iters = opt_.max_iterations > 0
                               ? opt_.max_iterations
                               : 200 * (n_ + m_) + 20000;
+    if (rule_ != Pricing::Dantzig) alpha_.assign(n_ + m_, 0.0);
 
-    if (state != nullptr) fingerprint_ = matrix_fingerprint();
     bool warm_ok = false;
     WarmKind kind = WarmKind::Cold;
     if (state != nullptr && state->valid) {
@@ -115,6 +250,8 @@ public:
     const SolveStatus st = iterate(max_iters);
     sol.iterations = iters_;
     sol.status = st;
+    if (!dense_ && lu_.valid())
+      eta_peak_ = std::max(eta_peak_, lu_.eta_nnz());
     if (st != SolveStatus::Optimal && st != SolveStatus::Unbounded) return sol;
 
     extract(sol);
@@ -122,36 +259,42 @@ public:
     return sol;
   }
 
-private:
   // ---- setup -------------------------------------------------------------
 
-  void build_columns() {
-    // Structural columns, gathered column-wise from the model's rows.
-    col_ptr_.assign(total_ + 1, 0);
-    std::vector<int> counts(n_, 0);
-    for (int c = 0; c < m_; ++c)
-      for (const Term& t : model_.row(c)) ++counts[t.var];
-    for (int j = 0; j < n_; ++j) col_ptr_[j + 1] = col_ptr_[j] + counts[j];
-    const int struct_nnz = col_ptr_[n_];
-    col_row_.resize(struct_nnz);
-    col_val_.resize(struct_nnz);
-    std::vector<int> fill(n_, 0);
-    for (int c = 0; c < m_; ++c) {
-      for (const Term& t : model_.row(c)) {
-        const int pos = col_ptr_[t.var] + fill[t.var]++;
-        col_row_[pos] = c;
-        col_val_[pos] = t.coef;
+  /// Binds cols_ to the column-wise structural matrix: the arena's last
+  /// structure if the fingerprint still matches, else the shared store,
+  /// else a fresh build (published to the store when one is attached).
+  void resolve_columns() {
+    if (a_.columns && a_.columns->fingerprint == fingerprint_ &&
+        a_.columns->rows == m_ && a_.columns->cols == n_) {
+      cols_ = a_.columns.get();
+      cache_hit_ = true;
+      return;
+    }
+    if (a_.store) {
+      if (auto c = a_.store->find(fingerprint_);
+          c && c->rows == m_ && c->cols == n_) {
+        a_.columns = std::move(c);
+        cols_ = a_.columns.get();
+        cache_hit_ = true;
+        return;
       }
     }
-    // Slack and artificial columns are singletons (e_i, sigma_i e_i); they
-    // are synthesized on the fly by for_each_in_column().
-    for (int j = n_; j <= total_ - 1; ++j) col_ptr_[j + 1] = col_ptr_[n_];
+    a_.columns = detail::build_column_cache(model_);
+    cols_ = a_.columns.get();
+    cache_hit_ = false;
+    if (a_.store) a_.store->insert(a_.columns);
   }
 
+  /// Slack and artificial columns are singletons (e_i, sigma_i e_i);
+  /// they are synthesized on the fly, structural columns come from the
+  /// shared column cache.
   template <typename Fn>
   void for_each_in_column(int j, Fn&& fn) const {
     if (j < n_) {
-      for (int p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) fn(col_row_[p], col_val_[p]);
+      const detail::ColumnCache& c = *cols_;
+      for (int p = c.col_ptr[j]; p < c.col_ptr[j + 1]; ++p)
+        fn(c.col_row[p], c.col_val[p]);
     } else if (j < n_ + m_) {
       fn(j - n_, 1.0);
     } else {
@@ -214,10 +357,10 @@ private:
     }
 
     // Row activity of the nonbasic start.
-    std::vector<double> r = b_;
+    r_ = b_;
     for (int j = 0; j < n_; ++j) {
       if (value_[j] == 0.0) continue;
-      for_each_in_column(j, [&](int row, double coef) { r[row] -= coef * value_[j]; });
+      for_each_in_column(j, [&](int row, double coef) { r_[row] -= coef * value_[j]; });
     }
 
     basis_.resize(m_);
@@ -226,18 +369,18 @@ private:
     need_phase1_ = false;
     for (int i = 0; i < m_; ++i) {
       const int s = n_ + i;
-      const bool fits = r[i] >= lb_[s] - opt_.feas_tol && r[i] <= ub_[s] + opt_.feas_tol;
+      const bool fits = r_[i] >= lb_[s] - opt_.feas_tol && r_[i] <= ub_[s] + opt_.feas_tol;
       if (fits) {
         basis_[i] = s;
-        xb_[i] = r[i];
+        xb_[i] = r_[i];
         status_[s] = VarStatus::Basic;
         if (dense_) binv_at(i, i) = 1.0;
       } else {
         // Park the slack at the violated side's bound and absorb the
         // remainder into a fresh artificial of matching sign.
-        const double parked = r[i] > ub_[s] ? ub_[s] : lb_[s];
-        set_nonbasic_value(s, r[i] > ub_[s] ? VarStatus::AtUpper : VarStatus::AtLower);
-        const double residual = r[i] - parked;
+        const double parked = r_[i] > ub_[s] ? ub_[s] : lb_[s];
+        set_nonbasic_value(s, r_[i] > ub_[s] ? VarStatus::AtUpper : VarStatus::AtLower);
+        const double residual = r_[i] - parked;
         const int a = n_ + m_ + i;
         art_sign_[i] = residual >= 0.0 ? 1.0 : -1.0;
         lb_[a] = 0.0;
@@ -383,13 +526,30 @@ private:
   /// (moving the heavy buffers: the worker is done with them). A
   /// degenerate optimum with an artificial still basic cannot be
   /// captured (its column lives outside the public index space); the
-  /// capsule is invalidated so the next solve runs cold.
+  /// capsule is invalidated so the next solve runs cold. An eta file
+  /// that outgrew capsule_eta_fill is compressed away by one extra
+  /// refactorization first, so the capsule a long warm chain keeps
+  /// re-saving stays O(base LU nnz) instead of accreting etas.
   void save_state(const Solution& sol, WarmState& state) {
     for (int b : basis_)
       if (b >= n_ + m_) {
         state.valid = false;
         return;
       }
+    if (!dense_) {
+      eta_peak_ = std::max(eta_peak_, lu_.eta_nnz());
+      if (opt_.capsule_eta_fill >= 0.0 &&
+          static_cast<double>(lu_.eta_nnz()) >
+              opt_.capsule_eta_fill *
+                  static_cast<double>(std::max(lu_.base_nnz(),
+                                               static_cast<std::size_t>(m_)))) {
+        // Post-extract, so the basic-value recompute inside is harmless.
+        if (!refactor()) {
+          state.valid = false;
+          return;
+        }
+      }
+    }
     state.basis = sol.basis;
     state.basic_vars = std::move(basis_);
     if (dense_)
@@ -399,29 +559,6 @@ private:
     state.pivots_since_refactor = pivots_since_refactor_;
     state.fingerprint = fingerprint_;
     state.valid = true;
-  }
-
-  /// FNV-1a over the constraint rows (shape, relations, and every term's
-  /// variable and coefficient bits). Bounds, costs and rhs are excluded:
-  /// those may change between the solves a capsule spans.
-  std::uint64_t matrix_fingerprint() const {
-    std::uint64_t h = 1469598103934665603ULL;
-    const auto mix = [&h](std::uint64_t v) {
-      h ^= v;
-      h *= 1099511628211ULL;
-    };
-    mix(static_cast<std::uint64_t>(n_));
-    mix(static_cast<std::uint64_t>(m_));
-    for (int c = 0; c < m_; ++c) {
-      mix(static_cast<std::uint64_t>(model_.relation(c)) + 0x517c);
-      for (const Term& t : model_.row(c)) {
-        mix(static_cast<std::uint64_t>(t.var));
-        std::uint64_t bits = 0;
-        std::memcpy(&bits, &t.coef, sizeof(bits));
-        mix(bits);
-      }
-    }
-    return h;
   }
 
   void set_nonbasic_value(int j, VarStatus st) {
@@ -434,7 +571,7 @@ private:
     }
   }
 
-  // ---- iteration ---------------------------------------------------------
+  // ---- pricing -----------------------------------------------------------
 
   double current_cost(int j) const {
     if (in_phase1_) return j >= n_ + m_ ? 1.0 : 0.0;
@@ -454,6 +591,366 @@ private:
     return 0.0;
   }
 
+  /// BTRAN of the phase-aware basic costs: y_ = c_B' B^{-1}.
+  void compute_pricing_y() {
+    y_.resize(m_);
+    if (dense_) {
+      std::fill(y_.begin(), y_.end(), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        const double cb = basis_cost(i);
+        if (cb == 0.0) continue;
+        const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+        for (int k = 0; k < m_; ++k) y_[k] += cb * row[k];
+      }
+    } else {
+      for (int i = 0; i < m_; ++i) y_[i] = basis_cost(i);
+      lu_.btran(y_);
+    }
+  }
+
+  /// Legacy full-scan pricing over freshly computed reduced costs: the
+  /// Dantzig oracle, and the only pricing valid when the cost vector
+  /// moves mid-iteration (composite bound phase 1) or when Bland's rule
+  /// needs exact signs (anti-cycling).
+  void pick_entering_full(int& q, bool& increase) {
+    q = -1;
+    increase = true;
+    double best_score = opt_.opt_tol;
+    for (int j = 0; j < total_; ++j) {
+      if (status_[j] == VarStatus::Basic) continue;
+      if (lb_[j] == ub_[j]) continue;  // fixed: can never move
+      double d = current_cost(j);
+      for_each_in_column(j, [&](int row, double coef) { d -= y_[row] * coef; });
+      const bool can_up = status_[j] != VarStatus::AtUpper;
+      const bool can_down = status_[j] != VarStatus::AtLower;
+      if (use_bland_) {
+        if (can_up && d < -opt_.opt_tol) { q = j; increase = true; break; }
+        if (can_down && d > opt_.opt_tol) { q = j; increase = false; break; }
+      } else {
+        const double bar = best_score * (1.0 + kTieMargin);
+        if (can_up && -d > bar) { best_score = -d; q = j; increase = true; }
+        if (can_down && d > bar) { best_score = d; q = j; increase = false; }
+      }
+    }
+  }
+
+  /// Windowed variant of the legacy scan for the composite bound
+  /// phase 1 under the incremental rules: the virtual costs move with
+  /// every pivot, so nothing can be maintained across iterations — but a
+  /// full O(nnz) sweep per pivot is overkill when any descent direction
+  /// makes progress. Scans cycling windows of freshly computed reduced
+  /// costs and takes the best of the first window that holds a
+  /// candidate; a full cycle with nothing attractive is exact
+  /// optimality, same as the full scan. (The Dantzig oracle and Bland's
+  /// rule keep the full scan: the former by definition, the latter for
+  /// its termination guarantee.)
+  void pick_entering_window(int& q, bool& increase) {
+    q = -1;
+    increase = true;
+    const int nn = total_;
+    int start = phase1_cursor_;
+    int examined = 0;
+    double best_score = opt_.opt_tol;
+    while (examined < nn) {
+      const int count = std::min(window_, nn - examined);
+      for (int t = 0; t < count; ++t) {
+        int j = start + t;
+        if (j >= nn) j -= nn;
+        if (status_[j] == VarStatus::Basic || lb_[j] == ub_[j]) continue;
+        double d = current_cost(j);
+        for_each_in_column(j, [&](int row, double coef) { d -= y_[row] * coef; });
+        const double bar = best_score * (1.0 + kTieMargin);
+        if (status_[j] != VarStatus::AtUpper && -d > bar) {
+          best_score = -d;
+          q = j;
+          increase = true;
+        }
+        if (status_[j] != VarStatus::AtLower && d > bar) {
+          best_score = d;
+          q = j;
+          increase = false;
+        }
+      }
+      examined += count;
+      start += count;
+      if (start >= nn) start -= nn;
+      if (q >= 0) break;
+    }
+    phase1_cursor_ = start;
+  }
+
+  /// Drops the weakest candidates until roughly cand_cap_ remain, using
+  /// a histogram over the binary exponents of |d| instead of a selection
+  /// sort: one pass counts candidates per binade, a walk from the top
+  /// binade finds the cutoff that keeps at least cand_cap_, and a final
+  /// pass compacts the list in place — index order (and thus the
+  /// tie-breaking scan order) is preserved, and no comparator ever runs.
+  /// Whole binades are kept or dropped, so heavy score ties can leave
+  /// somewhat more than cand_cap_ candidates; that only costs speed,
+  /// never correctness (off-list columns are re-found by the next
+  /// refresh).
+  void truncate_candidates() {
+    constexpr int kBuckets = 2048;  // full biased-exponent range of a double
+    int hist[kBuckets];
+    std::memset(hist, 0, sizeof(hist));
+    const auto binade = [this](int j) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d_[j], sizeof(bits));
+      return static_cast<int>((bits >> 52) & 0x7ff);
+    };
+    for (const int j : cand_) ++hist[binade(j)];
+    std::size_t kept = 0;
+    int cutoff = 0;
+    for (int b = kBuckets - 1; b >= 0; --b) {
+      kept += static_cast<std::size_t>(hist[b]);
+      if (kept >= cand_cap_) {
+        cutoff = b;
+        break;
+      }
+    }
+    std::size_t keep = 0;
+    for (std::size_t s = 0; s < cand_.size(); ++s) {
+      const int j = cand_[s];
+      if (binade(j) >= cutoff) {
+        cand_[keep++] = j;
+      } else {
+        in_cand_[j] = 0;
+      }
+    }
+    cand_.resize(keep);
+  }
+
+  /// Profitable to move in some allowed direction at the opt tolerance.
+  bool attractive(int j) const {
+    const double d = d_[j];
+    return (status_[j] != VarStatus::AtUpper && d < -opt_.opt_tol) ||
+           (status_[j] != VarStatus::AtLower && d > opt_.opt_tol);
+  }
+
+  /// Recomputes the whole reduced-cost vector (one BTRAN + one sweep of
+  /// the column structures), resets the Devex reference framework, and
+  /// rebuilds the candidate list. Runs at phase entry, after every
+  /// refactorization (the incremental updates drift at the same rate the
+  /// factorization does), on Devex weight overflow, and as the
+  /// confirmation pass before declaring optimality.
+  void refresh_pricing() {
+    ++refresh_count_;
+    const int nn = n_ + m_;
+    compute_pricing_y();
+    d_.resize(nn);
+    for (int j = 0; j < nn; ++j) {
+      if (status_[j] == VarStatus::Basic) {
+        d_[j] = 0.0;
+        continue;
+      }
+      double d = current_cost(j);
+      for_each_in_column(j, [&](int row, double coef) { d -= y_[row] * coef; });
+      d_[j] = d;
+    }
+    if (rule_ == Pricing::SteepestEdge) {
+      weights_.assign(nn, 1.0);
+      cand_.clear();
+      in_cand_.assign(nn, 0);
+      for (int j = 0; j < nn; ++j) {
+        if (status_[j] == VarStatus::Basic || lb_[j] == ub_[j]) continue;
+        if (attractive(j)) {
+          cand_.push_back(j);
+          in_cand_[j] = 1;
+        }
+      }
+      if (cand_.size() > cand_cap_) truncate_candidates();
+    }
+    d_fresh_ = true;
+    pricing_ready_ = true;
+  }
+
+  /// Entering-variable selection over the incrementally maintained
+  /// reduced costs. SteepestEdge scans (and compacts) the candidate
+  /// list, scoring d^2/weight; Partial scans a cycling window with
+  /// Dantzig scores, stopping at the first window holding a candidate.
+  void pick_entering_incremental(int& q, bool& increase) {
+    q = -1;
+    increase = true;
+    if (rule_ == Pricing::SteepestEdge) {
+      double best = 0.0;
+      std::size_t keep = 0;
+      for (std::size_t s = 0; s < cand_.size(); ++s) {
+        const int j = cand_[s];
+        if (status_[j] == VarStatus::Basic || lb_[j] == ub_[j] ||
+            !attractive(j)) {
+          in_cand_[j] = 0;  // lazily dropped; re-added if it turns attractive
+          continue;
+        }
+        cand_[keep++] = j;
+        const double d = d_[j];
+        const double score = d * d / weights_[j];
+        if (score > best * (1.0 + kTieMargin)) {
+          best = score;
+          q = j;
+          increase = d < 0.0;
+        }
+      }
+      cand_.resize(keep);
+      return;
+    }
+    const int nn = n_ + m_;
+    int start = partial_cursor_;
+    int examined = 0;
+    double best_score = opt_.opt_tol;
+    while (examined < nn) {
+      const int count = std::min(window_, nn - examined);
+      for (int t = 0; t < count; ++t) {
+        int j = start + t;
+        if (j >= nn) j -= nn;
+        if (status_[j] == VarStatus::Basic || lb_[j] == ub_[j]) continue;
+        const double d = d_[j];
+        const double bar = best_score * (1.0 + kTieMargin);
+        if (status_[j] != VarStatus::AtUpper && -d > bar) {
+          best_score = -d;
+          q = j;
+          increase = true;
+        }
+        if (status_[j] != VarStatus::AtLower && d > bar) {
+          best_score = d;
+          q = j;
+          increase = false;
+        }
+      }
+      examined += count;
+      start += count;
+      if (start >= nn) start -= nn;
+      if (q >= 0) break;
+    }
+    partial_cursor_ = start;
+  }
+
+  /// Post-pivot maintenance of the incremental pricing state: with the
+  /// pivot row alpha_r = rho' A (rho = row `leave` of the pre-update
+  /// B^{-1}, so this must run before the factorization absorbs the
+  /// pivot), every reduced cost moves by d_j -= (d_q / alpha_rq) *
+  /// alpha_rj, and the Devex weights take their reference update from
+  /// the same row. Called after the status flips (q basic, old_var at a
+  /// bound), so the touched sweep skips q and updates old_var naturally.
+  void update_pricing(int q, int old_var, int leave, double pivot) {
+    const int nn = n_ + m_;
+    const double ratio = d_[q] / pivot;
+    const double wq = rule_ == Pricing::SteepestEdge ? weights_[q] : 0.0;
+    const double inv_p2 = 1.0 / (pivot * pivot);
+
+    // rho = (row `leave` of B^{-1})' with its nonzero support.
+    const double* rv;
+    if (dense_) {
+      rv = &binv_[static_cast<std::size_t>(leave) * m_];
+      rho_nz_.clear();
+      for (int i = 0; i < m_; ++i)
+        if (rv[i] != 0.0) rho_nz_.push_back(i);
+    } else {
+      lu_.btran_unit(leave, rho_, &rho_nz_);
+      rv = rho_.data();
+    }
+
+    // Two ways to apply alpha = rho' A.
+    //
+    // Row-wise scatters every touched column (exact maintenance of the
+    // whole d_ vector, and newly attractive columns join the candidate
+    // list); its cost is the nnz of the rows in rho's support, which on
+    // a near-dense rho is the whole matrix. Column-wise computes
+    // alpha_j = rho . A_j for the *candidates only* — the off-candidate
+    // reduced costs go stale, which steepest-edge tolerates because
+    // optimality is only ever declared off a fresh confirmation pass
+    // (refresh_pricing rebuilds the list when the candidates run dry).
+    // On a warm re-solve the candidate list is a few dozen columns while
+    // rho is dense, so the candidate sweep turns an O(nnz) pivot into a
+    // near-free one. Pick whichever sweep reads fewer coefficients; the
+    // choice is deterministic (it depends only on the pivot path so
+    // far), so solves stay reproducible.
+    std::size_t rowwise_cost = rho_nz_.size();
+    for (const int i : rho_nz_) rowwise_cost += model_.row(i).size();
+    const std::size_t avg_col_nnz =
+        1 + static_cast<std::size_t>(cols_->col_ptr[n_]) /
+                static_cast<std::size_t>(std::max(1, n_));
+    const bool column_wise = rule_ == Pricing::SteepestEdge &&
+                             cand_.size() * avg_col_nnz < rowwise_cost;
+
+    if (column_wise) {
+      std::size_t keep = 0;
+      for (std::size_t s = 0; s < cand_.size(); ++s) {
+        const int j = cand_[s];
+        if (status_[j] == VarStatus::Basic || lb_[j] == ub_[j]) {
+          in_cand_[j] = 0;
+          continue;
+        }
+        cand_[keep++] = j;
+        double aj = 0.0;
+        for_each_in_column(j, [&](int row, double coef) { aj += rv[row] * coef; });
+        if (aj == 0.0) continue;
+        d_[j] -= ratio * aj;
+        const double w_new = aj * aj * inv_p2 * wq;
+        if (w_new > weights_[j]) {
+          weights_[j] = w_new;
+          if (w_new > kWeightCap) weight_overflow_ = true;
+        }
+      }
+      cand_.resize(keep);
+    } else {
+      // Artificial columns are skipped: they are only ever basic or fixed.
+      touched_.clear();
+      for (const int i : rho_nz_) {
+        const double ri = rv[i];
+        const int s = n_ + i;
+        if (alpha_[s] == 0.0) touched_.push_back(s);
+        alpha_[s] += ri;
+        for (const Term& t : model_.row(i)) {
+          if (alpha_[t.var] == 0.0) touched_.push_back(t.var);
+          alpha_[t.var] += ri * t.coef;
+        }
+      }
+
+      for (const int j : touched_) {
+        const double aj = alpha_[j];
+        alpha_[j] = 0.0;
+        if (aj == 0.0) continue;  // duplicate entry after exact cancellation
+        if (status_[j] == VarStatus::Basic || lb_[j] == ub_[j]) continue;
+        d_[j] -= ratio * aj;
+        if (rule_ == Pricing::SteepestEdge) {
+          const double w_new = aj * aj * inv_p2 * wq;
+          if (w_new > weights_[j]) {
+            weights_[j] = w_new;
+            if (w_new > kWeightCap) weight_overflow_ = true;
+          }
+          // Newly attractive columns rejoin the list, but never past
+          // twice the cap — beyond that they wait for the next refresh,
+          // keeping the per-pivot scan bounded.
+          if (!in_cand_[j] && cand_.size() < 2 * cand_cap_ && attractive(j)) {
+            in_cand_[j] = 1;
+            cand_.push_back(j);
+          }
+        }
+      }
+    }
+
+    d_[q] = 0.0;  // entered the basis
+    if (old_var < nn) {  // a leaving artificial is pinned, never re-priced
+      d_[old_var] = -ratio;
+      if (rule_ == Pricing::SteepestEdge) {
+        weights_[old_var] = std::max(wq * inv_p2, 1.0);
+        if (!in_cand_[old_var] && attractive(old_var)) {
+          in_cand_[old_var] = 1;
+          cand_.push_back(old_var);
+        }
+      }
+    }
+    d_fresh_ = false;
+    if (weight_overflow_) {
+      // Reference framework exhausted: schedule a full refresh, which
+      // restarts every weight at 1.
+      weight_overflow_ = false;
+      pricing_ready_ = false;
+    }
+  }
+
+  // ---- iteration ---------------------------------------------------------
+
   double infeasibility() const {
     double total = 0.0;
     for (int i = 0; i < m_; ++i)
@@ -472,61 +969,51 @@ private:
   }
 
   SolveStatus iterate(int max_iters) {
-    std::vector<double> y(m_), w(m_);
+    y_.resize(m_);
+    w_.resize(m_);
+    pricing_ready_ = false;  // every phase starts from a fresh pricing pass
     while (true) {
       if (iters_ >= max_iters) return SolveStatus::IterationLimit;
 
-      // BTRAN: y = c_B' B^{-1}.
-      if (dense_) {
-        std::fill(y.begin(), y.end(), 0.0);
-        for (int i = 0; i < m_; ++i) {
-          const double cb = basis_cost(i);
-          if (cb == 0.0) continue;
-          const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-          for (int k = 0; k < m_; ++k) y[k] += cb * row[k];
-        }
-      } else {
-        for (int i = 0; i < m_; ++i) y[i] = basis_cost(i);
-        lu_.btran(y);
-      }
-
-      // Pricing. Dantzig scores that are mathematically tied differ only
-      // by representation noise (dense inverse vs LU arithmetic), so a
-      // candidate must beat the incumbent by a relative margin to take
-      // over — ties then resolve to the lowest index whichever basis
-      // factorization computed y, keeping the visited vertex (and the
-      // rounding heuristics built on it) stable across representations.
-      constexpr double kTieMargin = 1e-9;
+      // The incremental rules assume a cost vector that is constant
+      // across pivots; the composite bound phase 1 violates that (its
+      // virtual costs follow the violations), and Bland's termination
+      // guarantee needs exact reduced-cost signs. Both fall back to the
+      // legacy recompute-every-iteration loop, as does the Dantzig
+      // oracle by definition.
+      const bool legacy =
+          rule_ == Pricing::Dantzig || bound_phase1_ || use_bland_;
       int q = -1;
       bool increase = true;
-      double best_score = opt_.opt_tol;
-      for (int j = 0; j < total_; ++j) {
-        if (status_[j] == VarStatus::Basic) continue;
-        if (lb_[j] == ub_[j]) continue;  // fixed: can never move
-        double d = current_cost(j);
-        for_each_in_column(j, [&](int row, double coef) { d -= y[row] * coef; });
-        const bool can_up = status_[j] != VarStatus::AtUpper;
-        const bool can_down = status_[j] != VarStatus::AtLower;
-        if (use_bland_) {
-          if (can_up && d < -opt_.opt_tol) { q = j; increase = true; break; }
-          if (can_down && d > opt_.opt_tol) { q = j; increase = false; break; }
+      if (legacy) {
+        compute_pricing_y();
+        if (bound_phase1_ && !use_bland_ && rule_ != Pricing::Dantzig) {
+          pick_entering_window(q, increase);
         } else {
-          const double bar = best_score * (1.0 + kTieMargin);
-          if (can_up && -d > bar) { best_score = -d; q = j; increase = true; }
-          if (can_down && d > bar) { best_score = d; q = j; increase = false; }
+          pick_entering_full(q, increase);
+        }
+      } else {
+        if (!pricing_ready_) refresh_pricing();
+        pick_entering_incremental(q, increase);
+        if (q < 0 && !d_fresh_) {
+          // Confirmation pass: the maintained reduced costs carry
+          // rounding drift, so optimality is only declared off a
+          // freshly recomputed vector.
+          refresh_pricing();
+          pick_entering_incremental(q, increase);
         }
       }
       if (q < 0) return SolveStatus::Optimal;
 
       // FTRAN: w = B^{-1} A_q.
-      std::fill(w.begin(), w.end(), 0.0);
+      std::fill(w_.begin(), w_.end(), 0.0);
       if (dense_) {
         for_each_in_column(q, [&](int row, double coef) {
-          for (int i = 0; i < m_; ++i) w[i] += binv_at(i, row) * coef;
+          for (int i = 0; i < m_; ++i) w_[i] += binv_at(i, row) * coef;
         });
       } else {
-        for_each_in_column(q, [&](int row, double coef) { w[row] += coef; });
-        lu_.ftran(w);
+        for_each_in_column(q, [&](int row, double coef) { w_[row] += coef; });
+        lu_.ftran(w_);
       }
 
       const double dir = increase ? 1.0 : -1.0;
@@ -547,7 +1034,7 @@ private:
       if (std::isfinite(lb_[q]) && std::isfinite(ub_[q])) t_best = ub_[q] - lb_[q];
       double leave_pivot = 0.0;
       for (int i = 0; i < m_; ++i) {
-        const double delta = -dir * w[i];  // d(x_B[i]) / dt
+        const double delta = -dir * w_[i];  // d(x_B[i]) / dt
         if (std::fabs(delta) <= opt_.pivot_tol) continue;
         const int bvar = basis_[i];
         double limit = kInf;
@@ -576,10 +1063,10 @@ private:
         // factorization-dependent noise.
         if (limit < t_best - 1e-12 ||
             (limit < t_best + 1e-12 &&
-             std::fabs(w[i]) > std::fabs(leave_pivot) * (1.0 + kTieMargin))) {
+             std::fabs(w_[i]) > std::fabs(leave_pivot) * (1.0 + kTieMargin))) {
           t_best = limit;
           leave = i;
-          leave_pivot = w[i];
+          leave_pivot = w_[i];
           leave_upper = at_upper;
         }
       }
@@ -597,10 +1084,10 @@ private:
       }
 
       // Apply the step to the basic values.
-      for (int i = 0; i < m_; ++i) xb_[i] -= dir * t_best * w[i];
+      for (int i = 0; i < m_; ++i) xb_[i] -= dir * t_best * w_[i];
 
       if (leave < 0) {
-        // Bound flip: basis unchanged.
+        // Bound flip: basis (and the reduced costs) unchanged.
         set_nonbasic_value(q, increase ? VarStatus::AtUpper : VarStatus::AtLower);
         continue;
       }
@@ -620,27 +1107,45 @@ private:
       status_[q] = VarStatus::Basic;
       xb_[leave] = enter_value;
 
+      // Pricing update needs the pre-update factorization for its BTRAN.
+      if (!legacy) update_pricing(q, old_var, leave, leave_pivot);
+
       if (dense_) {
-        update_binv(leave, w);
-      } else if (!lu_.update(leave, w, opt_.pivot_tol)) {
+        update_binv(leave, w_);
+      } else if (!lu_.update(leave, w_, opt_.pivot_tol)) {
         // The ratio test guarantees a usable pivot, so this is a pure
         // numerical-drift escape hatch: rebuild from the updated basis.
         if (!refactor()) return SolveStatus::NumericalError;
+        pricing_ready_ = false;
       }
 
-      if (++pivots_since_refactor_ >= refactor_interval()) {
+      if (++pivots_since_refactor_ >= refactor_cap() || eta_fill_exceeded()) {
         if (!refactor()) return SolveStatus::NumericalError;
+        pricing_ready_ = false;
       }
     }
   }
 
-  int refactor_interval() const {
+  int refactor_cap() const {
     // Dense Gauss-Jordan rebuilds are O(m^3), so they are spaced out on
-    // big bases. A sparse refactorization costs O(nnz + fill) — there
-    // the eta file is the real per-iteration cost and the configured
-    // interval is used as-is.
-    return dense_ ? std::max(opt_.refactor_interval, m_ / 4)
-                  : opt_.refactor_interval;
+    // big bases. On the sparse path the fill trigger below is the
+    // policy; the pivot count is only a numerical-drift backstop, scaled
+    // to the basis size. Disabling the fill trigger (refactor_fill <= 0)
+    // restores the historical fixed-interval behavior.
+    if (dense_) return std::max(opt_.refactor_interval, m_ / 4);
+    return opt_.refactor_fill > 0.0 ? std::max(opt_.refactor_interval, m_)
+                                    : opt_.refactor_interval;
+  }
+
+  /// Fill-based refactorization trigger: the eta file has outgrown
+  /// refactor_fill times the base LU, so FTRAN/BTRAN now spend more time
+  /// replaying etas than a rebuilt factorization would cost.
+  bool eta_fill_exceeded() const {
+    if (dense_ || opt_.refactor_fill <= 0.0) return false;
+    return static_cast<double>(lu_.eta_nnz()) >
+           opt_.refactor_fill *
+               static_cast<double>(
+                   std::max(lu_.base_nnz(), static_cast<std::size_t>(m_)));
   }
 
   /// Elementary row transformation of B^{-1} for a pivot in row r with
@@ -665,7 +1170,9 @@ private:
   /// inversion. Returns false on a singular basis.
   bool refactor() {
     pivots_since_refactor_ = 0;
+    ++refactor_count_;
     if (!dense_) {
+      if (lu_.valid()) eta_peak_ = std::max(eta_peak_, lu_.eta_nnz());
       csc_ptr_.assign(m_ + 1, 0);
       csc_row_.clear();
       csc_val_.clear();
@@ -687,7 +1194,7 @@ private:
                          [&](int row, double coef) { scratch_at(row, i) = coef; });
     }
     // Invert scratch into binv_.
-    std::fill(binv_.begin(), binv_.end(), 0.0);
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
     for (int i = 0; i < m_; ++i) binv_at(i, i) = 1.0;
     for (int col = 0; col < m_; ++col) {
       int piv_row = col;
@@ -725,20 +1232,20 @@ private:
   /// x_B = B^{-1} (b - N x_N) from the current factorization and
   /// nonbasic values.
   void recompute_basic_values() {
-    std::vector<double> r = b_;
+    r_ = b_;
     for (int j = 0; j < total_; ++j) {
       if (status_[j] == VarStatus::Basic || value_[j] == 0.0) continue;
-      for_each_in_column(j, [&](int row, double coef) { r[row] -= coef * value_[j]; });
+      for_each_in_column(j, [&](int row, double coef) { r_[row] -= coef * value_[j]; });
     }
     if (!dense_) {
-      lu_.ftran(r);
-      xb_ = std::move(r);
+      lu_.ftran(r_);
+      xb_.swap(r_);
       return;
     }
     for (int i = 0; i < m_; ++i) {
       double v = 0.0;
       const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-      for (int k = 0; k < m_; ++k) v += row[k] * r[k];
+      for (int k = 0; k < m_; ++k) v += row[k] * r_[k];
       xb_[i] = v;
     }
   }
@@ -825,32 +1332,61 @@ private:
 
   const Model& model_;
   const SimplexOptions& opt_;
+  detail::ArenaImpl& a_;
+
+  // Arena-backed buffers (aliases keep the solver body readable).
+  std::vector<double>& lb_;
+  std::vector<double>& ub_;
+  std::vector<double>& cost_;
+  std::vector<double>& b_;
+  std::vector<double>& art_sign_;
+  std::vector<VarStatus>& status_;
+  std::vector<double>& value_;  // nonbasic resting values (basics in xb_)
+  std::vector<double>& xb_;
+  std::vector<int>& basis_;
+  BasisLu& lu_;                          // sparse path
+  std::vector<int>& csc_ptr_;            // basis-gather scratch (sparse path)
+  std::vector<int>& csc_row_;
+  std::vector<double>& csc_val_;
+  std::vector<double>& binv_;            // dense path
+  std::vector<double>& scratch_;
+  std::vector<double>& y_;
+  std::vector<double>& w_;
+  std::vector<double>& rho_;
+  std::vector<double>& r_;
+  std::vector<double>& d_;       // incremental reduced costs
+  std::vector<double>& weights_; // Devex reference weights
+  std::vector<double>& alpha_;   // pivot-row scatter (kept all-zero between uses)
+  std::vector<int>& cand_;       // steepest-edge candidate list
+  std::vector<int>& touched_;
+  std::vector<int>& rho_nz_;
+  std::vector<char>& in_cand_;
+
+  const detail::ColumnCache* cols_ = nullptr;
+  bool cache_hit_ = false;
+
   bool dense_ = false;  ///< Factorization::DenseInverse baseline path
+  Pricing rule_ = Pricing::SteepestEdge;
   int n_ = 0, m_ = 0, total_ = 0;
-
-  // Column-wise structural matrix.
-  std::vector<int> col_ptr_, col_row_;
-  std::vector<double> col_val_;
-  std::vector<double> art_sign_;
-
-  std::vector<double> lb_, ub_, cost_, b_;
-  std::vector<VarStatus> status_;
-  std::vector<double> value_;  // nonbasic resting values (basics in xb_)
-  std::vector<int> basis_;
-  std::vector<double> xb_;
-  BasisLu lu_;                         // sparse path
-  std::vector<int> csc_ptr_, csc_row_; // basis-gather scratch (sparse path)
-  std::vector<double> csc_val_;
-  std::vector<double> binv_, scratch_; // dense path
+  int window_ = 0;           ///< partial-pricing window size
+  int phase1_cursor_ = 0;    ///< cycling cursor of the phase-1 window scan
+  std::size_t cand_cap_ = 0; ///< steepest-edge candidate-list cap
+  int partial_cursor_ = 0;
 
   double rhs_scale_ = 1.0;
-  std::uint64_t fingerprint_ = 0;  ///< computed only when a capsule is in play
+  std::uint64_t fingerprint_ = 0;
   bool need_phase1_ = false;
   bool in_phase1_ = false;
   bool bound_phase1_ = false;      ///< composite flavor: basics carry violation
   bool warm_infeasible_ = false;   ///< warm restore left basics out of bounds
   bool use_bland_ = false;
+  bool pricing_ready_ = false;     ///< incremental d_/weights_ initialized
+  bool d_fresh_ = false;           ///< d_ recomputed since the last pivot
+  bool weight_overflow_ = false;
   int iters_ = 0, stall_ = 0, pivots_since_refactor_ = 0;
+  int refactor_count_ = 0;
+  int refresh_count_ = 0;
+  std::size_t eta_peak_ = 0;
 };
 
 }  // namespace
@@ -866,14 +1402,69 @@ std::size_t WarmState::memory_bytes() const {
          basic_vars.size() * sizeof(int) + lu.memory_bytes() + sizeof(*this);
 }
 
+std::shared_ptr<const detail::ColumnCache> ColumnCacheStore::find(
+    std::uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = caches_.find(fingerprint);
+  if (it == caches_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ColumnCacheStore::insert(std::shared_ptr<const detail::ColumnCache> cache) {
+  if (!cache) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  caches_.emplace(cache->fingerprint, std::move(cache));
+}
+
+std::size_t ColumnCacheStore::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t ColumnCacheStore::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+SolveArena::SolveArena() : impl_(std::make_unique<detail::ArenaImpl>()) {}
+
+SolveArena::SolveArena(std::shared_ptr<ColumnCacheStore> store)
+    : impl_(std::make_unique<detail::ArenaImpl>()) {
+  impl_->store = std::move(store);
+}
+
+SolveArena::~SolveArena() = default;
+SolveArena::SolveArena(SolveArena&&) noexcept = default;
+SolveArena& SolveArena::operator=(SolveArena&&) noexcept = default;
+
 Solution SimplexSolver::solve(const Model& model, const Basis* warm) const {
-  Worker worker(model, options_);
+  SolveArena arena;
+  return solve(model, warm, arena);
+}
+
+Solution SimplexSolver::solve(const Model& model, WarmState* state) const {
+  SolveArena arena;
+  return solve(model, state, arena);
+}
+
+Solution SimplexSolver::solve(const Model& model, SolveArena& arena) const {
+  return solve(model, static_cast<const Basis*>(nullptr), arena);
+}
+
+Solution SimplexSolver::solve(const Model& model, const Basis* warm,
+                              SolveArena& arena) const {
+  Worker worker(model, options_, arena.impl());
   return worker.run(warm != nullptr && warm->compatible(model) ? warm : nullptr,
                     nullptr);
 }
 
-Solution SimplexSolver::solve(const Model& model, WarmState* state) const {
-  Worker worker(model, options_);
+Solution SimplexSolver::solve(const Model& model, WarmState* state,
+                              SolveArena& arena) const {
+  Worker worker(model, options_, arena.impl());
   return worker.run(nullptr, state);
 }
 

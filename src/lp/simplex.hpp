@@ -11,14 +11,23 @@
 //     (lp/basis_lu.hpp), answering the FTRAN/BTRAN solves in O(nnz);
 //     the original dense explicit inverse — elementary row updates,
 //     Gauss-Jordan rebuilds — survives as Factorization::DenseInverse,
-//     the measured baseline of bench/lp_scaling.cpp. Either way the
-//     factorization is rebuilt every `refactor_interval` pivots to
-//     bound numerical drift;
+//     the measured baseline of bench/lp_scaling.cpp, and is auto-selected
+//     for small bases where its cache behavior wins (the crossover is
+//     SimplexOptions::dense_crossover_rows);
+//   * the sparse factorization is rebuilt when the eta file's accumulated
+//     fill exceeds a multiple of the base LU's nonzeros (plus a pivot
+//     cap against numerical drift), instead of on a fixed pivot count;
 //   * feasibility is restored in phase 1 by per-row artificial columns
 //     (+/- e_i) minimized to zero, after which their bounds collapse to
 //     [0,0] and phase 2 optimizes the true objective;
-//   * Dantzig pricing with an automatic switch to Bland's rule after a
-//     long degenerate stall, which guarantees termination.
+//   * pricing is pluggable (SimplexOptions::pricing). Dantzig full-scan
+//     pricing — one BTRAN plus a dot product per column per iteration —
+//     is kept as the oracle rule; the fast rules (partial pricing with a
+//     cycling candidate window, and steepest-edge with Devex-style
+//     reference weights) maintain the whole reduced-cost vector
+//     incrementally from the pivot row, so an iteration costs O(fill)
+//     instead of O(rows x cols). Every rule switches to Bland's rule
+//     after a long degenerate stall, which guarantees termination.
 //
 // This is the LP engine behind every rational relaxation in the paper
 // (the "LP" upper-bound comparator and the LPR/LPRG/LPRR heuristics).
@@ -26,6 +35,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "lp/basis_lu.hpp"
@@ -36,8 +48,31 @@ namespace dls::lp {
 
 /// Basis representation used by the solver.
 enum class Factorization : unsigned char {
-  SparseLu,      ///< Markowitz LU + eta updates (default; O(nnz) solves)
+  /// DenseInverse below SimplexOptions::dense_crossover_rows, SparseLu
+  /// above it (default): small bases fit the dense inverse in cache and
+  /// skip the sparse bookkeeping; large bases need O(nnz) solves.
+  Auto,
+  SparseLu,      ///< Markowitz LU + eta updates (O(nnz) solves)
   DenseInverse,  ///< explicit m x m inverse (legacy baseline; O(m^2) solves)
+};
+
+/// Entering-variable selection rule.
+enum class Pricing : unsigned char {
+  Auto,     ///< currently SteepestEdge (the measured fastest; may re-gate)
+  /// Full scan with freshly computed reduced costs every iteration (one
+  /// BTRAN + one dot product per column). The reference oracle: slowest,
+  /// simplest, and the rule every other rule is equivalence-tested
+  /// against.
+  Dantzig,
+  /// Dantzig scores over an incrementally maintained reduced-cost
+  /// vector, scanned through a cycling candidate window of
+  /// `partial_window` columns per iteration.
+  Partial,
+  /// Steepest-edge with Devex reference weights: picks the entering
+  /// variable maximizing d_j^2 / w_j, with the weights updated per pivot
+  /// from the pivot row. Cuts both the per-iteration cost (incremental
+  /// reduced costs, candidate-list scan) and the pivot count.
+  SteepestEdge,
 };
 
 struct SimplexOptions {
@@ -45,14 +80,46 @@ struct SimplexOptions {
   double opt_tol = 1e-9;     ///< reduced-cost threshold for optimality
   double pivot_tol = 1e-9;   ///< smallest acceptable pivot magnitude
   int max_iterations = 0;    ///< 0 = automatic (scales with model size)
-  int refactor_interval = 100;  ///< pivots between basis refactorizations
+  /// Pivot cap between refactorizations: numerical-drift bound for the
+  /// dense path (which refactors on this fixed interval) and the safety
+  /// cap for the sparse path (which normally refactors earlier, when the
+  /// eta file outgrows `refactor_fill`).
+  int refactor_interval = 100;
+  /// Sparse path: refactorize when the eta file's nonzeros exceed this
+  /// multiple of the base LU's nonzeros. Bounds the FTRAN/BTRAN cost per
+  /// pivot by the basis fill instead of the pivot count; <= 0 disables
+  /// the fill trigger (the pivot cap then governs alone).
+  double refactor_fill = 2.0;
+  /// Warm-capsule eta compression: when a capsule is saved with an eta
+  /// file above this multiple of the base LU nnz, the basis is
+  /// refactorized first so the capsule carries a compact factorization
+  /// (WarmState stays O(base nnz) across arbitrarily long warm chains).
+  /// < 0 disables compression.
+  double capsule_eta_fill = 0.25;
   int stall_limit = 500;     ///< degenerate pivots before switching to Bland
   /// Fill Solution::duals (one extra BTRAN). The adaptive rescheduler
   /// turns this off: its per-event solves never read duals.
   bool compute_duals = true;
-  /// Basis representation; SparseLu unless a bench/test wants the dense
-  /// baseline.
-  Factorization factorization = Factorization::SparseLu;
+  /// Basis representation; Auto resolves per model via
+  /// `dense_crossover_rows`.
+  Factorization factorization = Factorization::Auto;
+  /// Auto factorization crossover: bases with at most this many rows use
+  /// the dense inverse (measured faster up to K~16 platforms, m <= ~100);
+  /// larger bases use the sparse LU.
+  int dense_crossover_rows = 112;
+  /// Entering-variable rule; Auto currently resolves to SteepestEdge.
+  Pricing pricing = Pricing::Auto;
+  /// Partial pricing window (columns scanned per iteration before the
+  /// cursor cycles on). 0 = automatic: max(64, total columns / 16).
+  int partial_window = 0;
+  /// Steepest-edge candidate cap: every pricing refresh keeps only the
+  /// strongest this-many candidates (by reduced-cost magnitude), which
+  /// bounds the per-pivot scan and update cost on wide models. Columns
+  /// left off the list go stale until the next refresh — safe, because
+  /// optimality is only declared off a fresh confirmation pass, which
+  /// rebuilds the full list. 0 = automatic: max(512, total columns / 16);
+  /// negative = unbounded (the pre-cap behavior).
+  int se_candidate_cap = 0;
   /// Basis repair across constraint-matrix changes: when a warm capsule
   /// is rejected by the matrix fingerprint but its statuses still fit
   /// the model's shape, retry them as a statuses-only start against the
@@ -92,13 +159,15 @@ struct Basis {
 /// instead of the refactorization a statuses-only Basis needs, which is
 /// what makes warm solves cheaper than cold ones even on models whose
 /// cold start needs no phase 1; capsule memory scales with the
-/// factorization's nonzeros, not with m^2. A fingerprint of the
-/// constraint rows guards reuse: a capsule taken from a different
-/// matrix is ignored. solve() both consumes and refreshes the capsule,
-/// so callers just keep handing the same object back. A capsule written
-/// by a Factorization::DenseInverse solve carries no factorization (the
-/// dense inverse is not persisted); restoring it refactorizes from the
-/// saved basic set instead.
+/// factorization's nonzeros, not with m^2, and an oversized eta file is
+/// compressed away by a refactorization before the capsule is written
+/// (SimplexOptions::capsule_eta_fill), so long warm chains cannot grow
+/// it. A fingerprint of the constraint rows guards reuse: a capsule
+/// taken from a different matrix is ignored. solve() both consumes and
+/// refreshes the capsule, so callers just keep handing the same object
+/// back. A capsule written by a dense-inverse solve carries no
+/// factorization (the dense inverse is not persisted); restoring it
+/// refactorizes from the saved basic set instead.
 struct WarmState {
   Basis basis;
   std::vector<int> basic_vars;   ///< row -> basic variable (internal index)
@@ -146,10 +215,91 @@ struct Solution {
   /// false). phase1_iterations > 0 with a warm kind means the composite
   /// bound phase 1 had to repair the restored basis first.
   WarmKind warm_kind = WarmKind::Cold;
+  /// What the Auto options actually resolved to, plus factorization
+  /// telemetry for bench/lp_scaling's per-rule columns.
+  Factorization factorization_used = Factorization::SparseLu;
+  Pricing pricing_used = Pricing::Dantzig;
+  int refactorizations = 0;      ///< basis rebuilds during the solve
+  int pricing_refreshes = 0;     ///< full reduced-cost recomputations
+  std::size_t eta_peak_nnz = 0;  ///< largest eta file reached between rebuilds
+  bool column_cache_hit = false; ///< column structure came from a cache
+};
+
+namespace detail {
+
+/// Column-wise sparse copy of a model's structural constraint matrix —
+/// the solver-internal representation every solve needs. Immutable once
+/// built, keyed by the constraint-matrix fingerprint, and shared across
+/// solves (and threads) of models with identical rows: the batch API's
+/// "one symbolic analysis per campaign cell".
+struct ColumnCache {
+  std::uint64_t fingerprint = 0;
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> col_ptr;   ///< size cols+1
+  std::vector<int> col_row;
+  std::vector<double> col_val;
+};
+
+/// FNV-1a over the constraint rows (shape, relations, and every term's
+/// variable and coefficient bits). Bounds, costs and rhs are excluded:
+/// those may change between the solves a warm capsule (or a column
+/// cache) spans.
+[[nodiscard]] std::uint64_t matrix_fingerprint(const Model& model);
+
+/// Builds the column-wise structure for `model`.
+[[nodiscard]] std::shared_ptr<const ColumnCache> build_column_cache(
+    const Model& model);
+
+struct ArenaImpl;  ///< all reusable solver buffers; defined in simplex.cpp
+
+}  // namespace detail
+
+/// Thread-safe store of column caches keyed by matrix fingerprint: the
+/// shared symbolic analysis behind BatchSolver. Arenas attached to the
+/// same store publish the structures they build and reuse each other's.
+class ColumnCacheStore {
+ public:
+  [[nodiscard]] std::shared_ptr<const detail::ColumnCache> find(
+      std::uint64_t fingerprint) const;
+  void insert(std::shared_ptr<const detail::ColumnCache> cache);
+  /// Lookup counters (hits/misses across all attached arenas).
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const detail::ColumnCache>>
+      caches_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+/// Reusable solver workspace: every buffer a solve needs (bounds, costs,
+/// statuses, factorization scratch, pricing vectors, the column-wise
+/// matrix copy) lives here and is recycled across solves, so a solve on
+/// a previously seen shape allocates nothing. One arena serves one
+/// thread at a time (solves reset what they read, so sharing sequentially
+/// is always safe — results are bit-identical with or without an arena).
+/// Attach a ColumnCacheStore to share column structures across arenas.
+class SolveArena {
+ public:
+  SolveArena();
+  explicit SolveArena(std::shared_ptr<ColumnCacheStore> store);
+  ~SolveArena();
+  SolveArena(SolveArena&&) noexcept;
+  SolveArena& operator=(SolveArena&&) noexcept;
+  SolveArena(const SolveArena&) = delete;
+  SolveArena& operator=(const SolveArena&) = delete;
+
+  [[nodiscard]] detail::ArenaImpl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<detail::ArenaImpl> impl_;
 };
 
 class SimplexSolver {
-public:
+ public:
   explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
 
   /// Solves the model's continuous relaxation (integrality marks ignored).
@@ -165,9 +315,18 @@ public:
   /// way, an Optimal solve refreshes the capsule for the next call.
   [[nodiscard]] Solution solve(const Model& model, WarmState* state) const;
 
+  /// Arena forms: identical results, but all scratch comes from (and
+  /// stays in) `arena` — the no-per-solve-allocation path BatchSolver
+  /// and the campaign kernels run on.
+  [[nodiscard]] Solution solve(const Model& model, SolveArena& arena) const;
+  [[nodiscard]] Solution solve(const Model& model, const Basis* warm,
+                               SolveArena& arena) const;
+  [[nodiscard]] Solution solve(const Model& model, WarmState* state,
+                               SolveArena& arena) const;
+
   [[nodiscard]] const SimplexOptions& options() const { return options_; }
 
-private:
+ private:
   SimplexOptions options_;
 };
 

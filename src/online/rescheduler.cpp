@@ -101,6 +101,7 @@ Reschedule AdaptiveRescheduler::reschedule(const std::vector<double>& payoffs) {
     if (!try_warm) warm_state_.invalidate();
     core::LpWarmStart warm;
     warm.state = &warm_state_;
+    warm.arena = &arena_;
     if (options_.objective == core::Objective::Sum) {
       if (!reduced_cache_) {
         reduced_cache_ = problem.build_reduced();

@@ -139,6 +139,9 @@ private:
   /// model reshapes with the active count and the solver's fingerprint
   /// check rejects it (rule 2 of the invalidation policy).
   lp::WarmState warm_state_;
+  /// Simplex working storage reused across every event's LP solves —
+  /// after the first event a reschedule allocates nothing in the solver.
+  lp::SolveArena arena_;
   /// Cached fixing-free reduced model, patched per event with
   /// update_reduced_payoffs (Sum objective only; MaxMin rebuilds).
   std::optional<core::SteadyStateProblem::ReducedModel> reduced_cache_;

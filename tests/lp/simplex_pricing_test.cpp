@@ -1,0 +1,227 @@
+// Pricing-rule and refactorization-policy equivalence tests (ISSUE 6).
+//
+// Every pricing rule (Dantzig, Partial, SteepestEdge) under every basis
+// representation (SparseLu, DenseInverse) walks a different pivot path,
+// but they all solve the same LP: the optimal objective must agree to
+// rounding error on every model. The refactorization policy (eta-fill
+// trigger, capsule compression) only changes *when* the basis is
+// refactorized, never what it represents — so any policy setting must
+// reproduce the reference solve exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "platform/generator.hpp"
+#include "support/rng.hpp"
+
+namespace dls::lp {
+namespace {
+
+constexpr double kObjTol = 1e-6;
+
+const std::vector<Pricing> kRules{Pricing::Dantzig, Pricing::Partial,
+                                  Pricing::SteepestEdge};
+const std::vector<Factorization> kFactorizations{Factorization::SparseLu,
+                                                 Factorization::DenseInverse};
+
+Solution solve_with(const Model& m, Factorization f, Pricing p,
+                    SimplexOptions opt = {}) {
+  opt.factorization = f;
+  opt.pricing = p;
+  return SimplexSolver(opt).solve(m);
+}
+
+bool close(double a, double b) {
+  return std::abs(a - b) <= kObjTol * std::max(1.0, std::abs(a));
+}
+
+/// Random feasible maximize-LP with box bounds (interior-point trick).
+Model make_random_lp(Rng& rng, int n, int m) {
+  Model model;
+  std::vector<double> interior(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const double hi = rng.uniform(1.0, 20.0);
+    model.add_variable(0.0, hi, rng.uniform(-5.0, 5.0));
+    interior[static_cast<std::size_t>(j)] = rng.uniform(0.0, hi);
+  }
+  model.set_sense(Sense::Maximize);
+  for (int i = 0; i < m; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j)
+      if (rng.bernoulli(0.4) && terms.size() + 1 < 12)
+        terms.push_back({j, rng.uniform(-3.0, 3.0)});
+    if (terms.empty()) terms.push_back({static_cast<int>(rng.index(n)), 1.0});
+    double activity = 0.0;
+    for (const Term& t : terms)
+      activity += t.coef * interior[static_cast<std::size_t>(t.var)];
+    model.add_constraint(std::move(terms), Relation::LessEqual,
+                         activity + rng.uniform(0.1, 5.0));
+  }
+  return model;
+}
+
+/// The repo's real workload: a Table-1-style steady-state reduced model.
+Model make_steady_model(int k, std::uint64_t seed) {
+  platform::GeneratorParams params;
+  params.num_clusters = k;
+  params.connectivity = std::min(0.4, 8.0 / k);
+  params.ensure_connected = true;
+  Rng rng(seed);
+  const platform::Platform plat = generate_platform(params, rng);
+  std::vector<double> payoffs(static_cast<std::size_t>(k), 0.0);
+  for (int c = 0; c < k; c += 2)
+    payoffs[static_cast<std::size_t>(c)] = 1.0 + 0.1 * (c % 5);
+  const core::SteadyStateProblem problem(plat, payoffs, core::Objective::Sum);
+  return problem.build_reduced().model;
+}
+
+TEST(SimplexPricing, AllRulesAgreeOnRandomLps) {
+  Rng rng(61061);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int n = static_cast<int>(rng.uniform_int(2, 14));
+    const int m = static_cast<int>(rng.uniform_int(1, 14));
+    const Model model = make_random_lp(rng, n, m);
+
+    const Solution ref =
+        solve_with(model, Factorization::DenseInverse, Pricing::Dantzig);
+    ASSERT_EQ(ref.status, SolveStatus::Optimal) << "iter " << iter;
+    for (const Factorization f : kFactorizations) {
+      for (const Pricing p : kRules) {
+        const Solution s = solve_with(model, f, p);
+        ASSERT_EQ(s.status, SolveStatus::Optimal) << "iter " << iter;
+        EXPECT_TRUE(close(ref.objective, s.objective))
+            << "iter " << iter << ": " << ref.objective << " vs "
+            << s.objective;
+        EXPECT_TRUE(model.is_feasible(s.x, 1e-6)) << "iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(SimplexPricing, AllRulesAgreeOnSteadyStateModel) {
+  const Model model = make_steady_model(32, 777);
+  const Solution dantzig =
+      solve_with(model, Factorization::SparseLu, Pricing::Dantzig);
+  ASSERT_EQ(dantzig.status, SolveStatus::Optimal);
+  for (const Factorization f : kFactorizations) {
+    for (const Pricing p : kRules) {
+      const Solution s = solve_with(model, f, p);
+      ASSERT_EQ(s.status, SolveStatus::Optimal);
+      EXPECT_TRUE(close(dantzig.objective, s.objective));
+    }
+  }
+  // The point of steepest-edge: materially fewer pivots than Dantzig on
+  // the real workload (deterministic model, deterministic pivot paths).
+  const Solution se =
+      solve_with(model, Factorization::SparseLu, Pricing::SteepestEdge);
+  EXPECT_LT(se.iterations, dantzig.iterations);
+}
+
+TEST(SimplexPricing, DegenerateTiesSolveUnderEveryRule) {
+  // Heavily degenerate: every vertex of the assignment-like polytope has
+  // many ties, which stresses the Bland fallback interplay.
+  Model m;
+  for (int j = 0; j < 6; ++j) m.add_variable(0.0, 1.0, 1.0);
+  m.set_sense(Sense::Maximize);
+  for (int i = 0; i < 3; ++i)
+    m.add_constraint({{2 * i, 1.0}, {2 * i + 1, 1.0}}, Relation::LessEqual, 1.0);
+  m.add_constraint({{0, 1.0}, {2, 1.0}, {4, 1.0}}, Relation::LessEqual, 2.0);
+  m.add_constraint({{1, 1.0}, {3, 1.0}, {5, 1.0}}, Relation::LessEqual, 2.0);
+  for (const Factorization f : kFactorizations) {
+    for (const Pricing p : kRules) {
+      const Solution s = solve_with(m, f, p);
+      ASSERT_EQ(s.status, SolveStatus::Optimal);
+      EXPECT_TRUE(close(3.0, s.objective));
+    }
+  }
+}
+
+TEST(SimplexPricing, FillTriggerMatchesFixedIntervalResults) {
+  const Model model = make_steady_model(32, 4242);
+  SimplexOptions reference;
+  reference.refactor_fill = 0.0;  // historical fixed-interval policy
+  const Solution ref = SimplexSolver(reference).solve(model);
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+
+  for (const double fill : {0.25, 1.0, 4.0}) {
+    SimplexOptions opt;
+    opt.refactor_fill = fill;
+    const Solution s = SimplexSolver(opt).solve(model);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    // Refactorization frequency may perturb the pivot path (a refactor
+    // recomputes basic values, nudging near-tied ratio tests) but never
+    // the optimum it converges to.
+    EXPECT_TRUE(close(ref.objective, s.objective)) << "fill " << fill;
+  }
+  // A tight trigger refactorizes at least as often as a loose one.
+  SimplexOptions tight, loose;
+  tight.refactor_fill = 0.05;
+  loose.refactor_fill = 16.0;
+  EXPECT_GE(SimplexSolver(tight).solve(model).refactorizations,
+            SimplexSolver(loose).solve(model).refactorizations);
+}
+
+TEST(SimplexPricing, CapsuleCompressionPreservesWarmSolves) {
+  const Model model = make_steady_model(24, 99);
+  for (const double capsule_fill : {0.0, 0.05, 1e9}) {
+    SimplexOptions opt;
+    opt.capsule_eta_fill = capsule_fill;
+    const SimplexSolver solver(opt);
+    WarmState state;
+    const Solution cold = solver.solve(model, &state);
+    ASSERT_EQ(cold.status, SolveStatus::Optimal);
+    const Solution warm = solver.solve(model, &state);
+    ASSERT_EQ(warm.status, SolveStatus::Optimal);
+    EXPECT_TRUE(warm.warm_used);
+    // A compressed capsule (fresh factorization, no eta file) and an
+    // uncompressed one represent the same basis: the warm re-solve must
+    // land on the same objective with zero pivots either way.
+    EXPECT_EQ(warm.iterations, 0) << "capsule_fill " << capsule_fill;
+    EXPECT_TRUE(close(cold.objective, warm.objective));
+  }
+  // Compression actually shrinks the capsule when the eta file is fat.
+  SimplexOptions keep, compress;
+  keep.capsule_eta_fill = 1e9;     // never compress
+  compress.capsule_eta_fill = 0.0;  // always refactorize before saving
+  WarmState kept, compressed;
+  (void)SimplexSolver(keep).solve(model, &kept);
+  (void)SimplexSolver(compress).solve(model, &compressed);
+  EXPECT_LE(compressed.memory_bytes(), kept.memory_bytes());
+}
+
+TEST(SimplexPricing, AutoFactorizationUsesCrossover) {
+  SimplexOptions opt;  // defaults: Factorization::Auto
+  const Model small = make_steady_model(16, 5);  // well under the crossover
+  const Solution s_small = SimplexSolver(opt).solve(small);
+  ASSERT_EQ(s_small.status, SolveStatus::Optimal);
+  EXPECT_EQ(s_small.factorization_used, Factorization::DenseInverse);
+
+  const Model large = make_steady_model(48, 5);  // hundreds of rows
+  const Solution s_large = SimplexSolver(opt).solve(large);
+  ASSERT_EQ(s_large.status, SolveStatus::Optimal);
+  EXPECT_EQ(s_large.factorization_used, Factorization::SparseLu);
+  EXPECT_EQ(s_large.pricing_used, Pricing::SteepestEdge);  // Auto pricing
+
+  SimplexOptions forced = opt;
+  forced.dense_crossover_rows = 0;
+  EXPECT_EQ(SimplexSolver(forced).solve(small).factorization_used,
+            Factorization::SparseLu);
+}
+
+TEST(SimplexPricing, SolutionCarriesKernelStats) {
+  const Model model = make_steady_model(32, 31);
+  SimplexOptions opt;
+  opt.refactor_fill = 0.5;
+  const Solution s = SimplexSolver(opt).solve(model);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_GT(s.iterations, 0);
+  EXPECT_GE(s.refactorizations, 0);
+  EXPECT_GT(s.eta_peak_nnz, 0u);
+}
+
+}  // namespace
+}  // namespace dls::lp
