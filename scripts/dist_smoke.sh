@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Distributed-campaign smoke test with real processes (the loopback unit
+# tests cover the same paths in-process; this exercises actual fork/exec,
+# SIGKILL and sockets):
+#
+#   phase A: coordinator + 2 workers, one worker SIGKILLed mid-range —
+#            the report must be byte-identical to the single-process
+#            reference and the lost range must have been re-queued.
+#   phase B: coordinator stopped after 2 snapshots (simulated crash),
+#            restarted with --resume and a fresh fleet — byte-identical
+#            again, with completed ranges not re-executed.
+#
+# usage: dist_smoke.sh <dls-binary> <spec.campaign>
+set -euo pipefail
+
+DLS=${1:?usage: dist_smoke.sh <dls-binary> <spec.campaign>}
+SPEC=${2:?usage: dist_smoke.sh <dls-binary> <spec.campaign>}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+wait_port() {
+  for _ in $(seq 100); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "dist_smoke: coordinator never wrote its port file $1" >&2
+  return 1
+}
+
+echo "== reference: single-process run"
+"$DLS" campaign --spec "$SPEC" --jobs 2 --json > "$TMP/ref.json"
+
+echo "== phase A: 2 workers, one SIGKILLed mid-range"
+rm -f "$TMP/port"
+"$DLS" campaign --spec "$SPEC" --serve 0 --port-file "$TMP/port" \
+  --range-size 4 --heartbeat-timeout 10 --json \
+  > "$TMP/a.json" 2> "$TMP/a.log" &
+COORD=$!
+wait_port "$TMP/port"
+PORT=$(cat "$TMP/port")
+# --die-mid-range raises SIGKILL on receipt of the 2nd lease: a real
+# process death with the lease outstanding.
+"$DLS" worker --connect "127.0.0.1:$PORT" --jobs 2 --die-mid-range 2 \
+  > /dev/null 2>&1 || true &
+"$DLS" worker --connect "127.0.0.1:$PORT" --jobs 2 > /dev/null 2>&1 &
+wait "$COORD" && COORD_CODE=0 || COORD_CODE=$?
+wait || true
+[ "$COORD_CODE" -eq 0 ] || {
+  echo "dist_smoke: phase A coordinator failed ($COORD_CODE)" >&2
+  cat "$TMP/a.log" >&2
+  exit 1
+}
+cmp "$TMP/ref.json" "$TMP/a.json" || {
+  echo "dist_smoke: phase A report differs from the reference" >&2
+  exit 1
+}
+grep -q "requeued range" "$TMP/a.log" || {
+  echo "dist_smoke: expected a requeued range in the coordinator log" >&2
+  cat "$TMP/a.log" >&2
+  exit 1
+}
+echo "   OK: bit-identical report, lost range re-queued"
+
+echo "== phase B: coordinator crash after 2 snapshots, then --resume"
+rm -f "$TMP/port"
+"$DLS" campaign --spec "$SPEC" --serve 0 --port-file "$TMP/port" \
+  --checkpoint "$TMP/ckpt" --snapshot-every 1 --range-size 4 \
+  --exit-after-snapshots 2 --json > /dev/null 2> "$TMP/b1.log" &
+COORD=$!
+wait_port "$TMP/port"
+PORT=$(cat "$TMP/port")
+"$DLS" worker --connect "127.0.0.1:$PORT" --jobs 2 > /dev/null 2>&1 &
+wait "$COORD" && COORD_CODE=0 || COORD_CODE=$?
+wait || true
+# Exit 3 = stopped before completion with the checkpoint retained.
+[ "$COORD_CODE" -eq 3 ] || {
+  echo "dist_smoke: phase B interrupted coordinator exited $COORD_CODE, wanted 3" >&2
+  cat "$TMP/b1.log" >&2
+  exit 1
+}
+[ -s "$TMP/ckpt" ] || {
+  echo "dist_smoke: no checkpoint written" >&2
+  exit 1
+}
+
+rm -f "$TMP/port"
+"$DLS" campaign --spec "$SPEC" --serve 0 --port-file "$TMP/port" \
+  --checkpoint "$TMP/ckpt" --snapshot-every 4 --range-size 4 --resume \
+  --json > "$TMP/b.json" 2> "$TMP/b2.log" &
+COORD=$!
+wait_port "$TMP/port"
+PORT=$(cat "$TMP/port")
+"$DLS" worker --connect "127.0.0.1:$PORT" --jobs 2 > /dev/null 2>&1 &
+"$DLS" worker --connect "127.0.0.1:$PORT" --jobs 2 > /dev/null 2>&1 &
+wait "$COORD" && COORD_CODE=0 || COORD_CODE=$?
+wait || true
+[ "$COORD_CODE" -eq 0 ] || {
+  echo "dist_smoke: phase B resumed coordinator failed ($COORD_CODE)" >&2
+  cat "$TMP/b2.log" >&2
+  exit 1
+}
+cmp "$TMP/ref.json" "$TMP/b.json" || {
+  echo "dist_smoke: resumed report differs from the reference" >&2
+  exit 1
+}
+grep -q "resumed from" "$TMP/b2.log" || {
+  echo "dist_smoke: expected a resume line in the coordinator log" >&2
+  cat "$TMP/b2.log" >&2
+  exit 1
+}
+echo "   OK: resumed run bit-identical, completed ranges skipped"
+echo "dist_smoke: PASS"

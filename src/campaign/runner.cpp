@@ -1,23 +1,18 @@
 #include "campaign/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
-#include <limits>
-#include <fstream>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
-#include "dynamics/events.hpp"
-#include "exp/experiment.hpp"
-#include "online/engine.hpp"
-#include "platform/serialization.hpp"
+#include "campaign/exec.hpp"
+#include "campaign/plan.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -25,381 +20,6 @@
 namespace dls::campaign {
 
 namespace {
-
-// ---- seed streams -----------------------------------------------------------
-
-/// Hash-combine with a SplitMix64 finalizer: every derived stream is a
-/// pure function of (spec seed, axis indices), independent of sharding
-/// and worker count.
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebULL;
-  h ^= h >> 31;
-  return h;
-}
-
-constexpr std::uint64_t kPlatformSalt = 0x706c6174ULL;  // "plat"
-constexpr std::uint64_t kPayoffSalt = 0x7061796fULL;    // "payo"
-constexpr std::uint64_t kWorkloadSalt = 0x776f726bULL;  // "work"
-constexpr std::uint64_t kEventsSalt = 0x6576656eULL;    // "even"
-
-std::uint64_t platform_seed(const ScenarioSpec& spec, int cell, int rep) {
-  return mix(mix(mix(spec.seed, kPlatformSalt), cell), rep);
-}
-
-// ---- case matrix ------------------------------------------------------------
-
-struct CaseDef {
-  std::size_t group = 0;
-  int cell = 0;
-  int scen = 0;
-  int objective = 0;
-  int warm = 0;     ///< stream cases only
-  int method = 0;   ///< stream cases only (index into spec.methods)
-  int exhaust = 0;  ///< offline cases only
-  int rep = 0;
-  bool offline = false;
-};
-
-bool has_method(const ScenarioSpec& spec, Method m) {
-  return std::find(spec.methods.begin(), spec.methods.end(), m) !=
-         spec.methods.end();
-}
-
-std::vector<std::string> offline_metric_names(const ScenarioSpec& spec) {
-  std::vector<std::string> names{"ok"};
-  for (const Method m : {Method::G, Method::Lpr, Method::Lprg, Method::Lprr}) {
-    if (has_method(spec, m))
-      names.push_back(std::string("ratio_") + to_string(m));
-  }
-  if (has_method(spec, Method::G) && has_method(spec, Method::Lprg))
-    names.push_back("lprg_over_g");
-  names.push_back("lp_bound");
-  return names;
-}
-
-std::vector<std::string> stream_metric_names() {
-  return {"ok",           "completed",      "aborted",
-          "rejected",     "queued_arrivals", "reschedules",
-          "warm_solves",  "repaired_solves", "cold_solves",
-          "platform_events", "makespan",     "total_work",
-          "mean_response", "mean_wait",      "mean_slowdown",
-          "mean_utilization", "mean_fairness", "peak_active",
-          "peak_queued"};
-}
-
-online::Method to_online(Method m) {
-  switch (m) {
-    case Method::G: return online::Method::Greedy;
-    case Method::Lpr: return online::Method::Lpr;
-    case Method::Lprg: return online::Method::Lprg;
-    case Method::Lp: return online::Method::LpBound;
-    case Method::Lprr: break;
-  }
-  throw Error("campaign: method lprr has no online rescheduler");
-}
-
-/// Expands the spec into groups (into `report`) and the flat case list.
-std::vector<CaseDef> expand(const ScenarioSpec& spec, CampaignReport& report) {
-  const std::vector<std::string> offline_names = offline_metric_names(spec);
-  const std::vector<std::string> stream_names = stream_metric_names();
-  std::vector<CaseDef> defs;
-
-  const auto add_group = [&](const CaseDef& proto, bool offline,
-                             const std::vector<std::string>& names) {
-    GroupAggregate g;
-    g.platform = spec.platforms[proto.cell].label;
-    g.scenario = spec.scenarios[proto.scen].label;
-    g.objective = axis_name(spec.objectives[proto.objective]);
-    g.offline = offline;
-    g.method = offline ? "*" : to_string(spec.methods[proto.method]);
-    g.warm = offline ? "*" : to_string(spec.warm[proto.warm]);
-    g.exhaust = offline ? to_string(spec.exhaust[proto.exhaust]) : "*";
-    for (const std::string& name : names) g.metrics.push_back({name, {}, P2Quantile(0.5), P2Quantile(0.95)});
-    report.groups.push_back(std::move(g));
-    return report.groups.size() - 1;
-  };
-
-  for (int cell = 0; cell < static_cast<int>(spec.platforms.size()); ++cell) {
-    for (int scen = 0; scen < static_cast<int>(spec.scenarios.size()); ++scen) {
-      const bool offline = spec.scenarios[scen].offline();
-      for (int obj = 0; obj < static_cast<int>(spec.objectives.size()); ++obj) {
-        CaseDef proto;
-        proto.cell = cell;
-        proto.scen = scen;
-        proto.objective = obj;
-        proto.offline = offline;
-        if (offline) {
-          for (int ex = 0; ex < static_cast<int>(spec.exhaust.size()); ++ex) {
-            proto.exhaust = ex;
-            proto.group = add_group(proto, true, offline_names);
-            for (int rep = 0; rep < spec.replications; ++rep) {
-              proto.rep = rep;
-              defs.push_back(proto);
-            }
-          }
-        } else {
-          for (int w = 0; w < static_cast<int>(spec.warm.size()); ++w) {
-            for (int m = 0; m < static_cast<int>(spec.methods.size()); ++m) {
-              proto.warm = w;
-              proto.method = m;
-              proto.group = add_group(proto, false, stream_names);
-              for (int rep = 0; rep < spec.replications; ++rep) {
-                proto.rep = rep;
-                defs.push_back(proto);
-              }
-            }
-          }
-        }
-      }
-    }
-  }
-  return defs;
-}
-
-// ---- shared artifacts -------------------------------------------------------
-
-/// Caches generated platforms per (cell, replication) and referenced
-/// files once per campaign. Lookups race benignly: a missed entry is
-/// rebuilt deterministically from its seed, so duplicated work never
-/// changes a result.
-class ArtifactCache {
-public:
-  explicit ArtifactCache(const ScenarioSpec& spec) : spec_(&spec) {}
-
-  std::shared_ptr<const platform::Platform> platform_for(int cell, int rep) {
-    const PlatformSource& src = spec_->platforms[cell];
-    // A file platform is replication-independent: one entry.
-    const int key_rep = src.kind == PlatformSource::Kind::File ? 0 : rep;
-    const std::pair<int, int> key{cell, key_rep};
-    {
-      std::scoped_lock lock(mutex_);
-      const auto it = platforms_.find(key);
-      if (it != platforms_.end()) {
-        ++hits_;
-        return it->second;
-      }
-    }
-    auto built = std::make_shared<const platform::Platform>(build(src, cell, key_rep));
-    std::scoped_lock lock(mutex_);
-    ++builds_;
-    // Bounded insert, no eviction: evicting early keys would throw away
-    // exactly the platforms the next scenario/objective group revisits
-    // first. Campaigns larger than the cap rebuild the overflow
-    // deterministically per use instead.
-    if (platforms_.size() >= kMaxEntries) return built;
-    const auto [it, inserted] = platforms_.emplace(key, std::move(built));
-    return it->second;
-  }
-
-  std::shared_ptr<const online::Workload> workload_file(const std::string& path) {
-    std::scoped_lock lock(mutex_);
-    auto& slot = workloads_[path];
-    if (!slot) {
-      std::ifstream in(path);
-      require(static_cast<bool>(in),
-              "campaign: cannot open workload file '" + path + "'");
-      slot = std::make_shared<const online::Workload>(online::read_workload(in));
-    }
-    return slot;
-  }
-
-  std::shared_ptr<const dynamics::EventTrace> events_file(const std::string& path) {
-    std::scoped_lock lock(mutex_);
-    auto& slot = events_[path];
-    if (!slot) {
-      std::ifstream in(path);
-      require(static_cast<bool>(in),
-              "campaign: cannot open events file '" + path + "'");
-      slot = std::make_shared<const dynamics::EventTrace>(dynamics::read_events(in));
-    }
-    return slot;
-  }
-
-  [[nodiscard]] std::size_t builds() const { return builds_; }
-  [[nodiscard]] std::size_t hits() const { return hits_; }
-
-private:
-  platform::Platform build(const PlatformSource& src, int cell, int rep) const {
-    switch (src.kind) {
-      case PlatformSource::Kind::File: {
-        std::ifstream in(src.path);
-        require(static_cast<bool>(in),
-                "campaign: cannot open platform file '" + src.path + "'");
-        return platform::read_platform(in);
-      }
-      case PlatformSource::Kind::Generate: {
-        Rng rng(platform_seed(*spec_, cell, rep));
-        return generate_platform(src.params, rng);
-      }
-      case PlatformSource::Kind::Grid: {
-        Rng rng(platform_seed(*spec_, cell, rep));
-        const platform::Table1Grid grid;
-        const platform::GeneratorParams params =
-            exp::sample_grid_params(grid, src.grid_clusters, rng);
-        return generate_platform(params, rng);
-      }
-    }
-    throw Error("campaign: unknown platform kind");
-  }
-
-  static constexpr std::size_t kMaxEntries = 1024;
-
-  const ScenarioSpec* spec_;
-  std::mutex mutex_;
-  std::map<std::pair<int, int>, std::shared_ptr<const platform::Platform>> platforms_;
-  std::map<std::string, std::shared_ptr<const online::Workload>> workloads_;
-  std::map<std::string, std::shared_ptr<const dynamics::EventTrace>> events_;
-  std::size_t builds_ = 0;
-  std::size_t hits_ = 0;
-};
-
-// ---- case kernels -----------------------------------------------------------
-
-double qnan() { return std::numeric_limits<double>::quiet_NaN(); }
-
-double ratio_or_nan(double method_value, double lp_value) {
-  if (!(lp_value > 1e-12) || std::isnan(method_value)) return qnan();
-  return method_value / lp_value;
-}
-
-std::vector<double> run_offline_case(const ScenarioSpec& spec, const CaseDef& def,
-                                     ArtifactCache& cache, lp::BatchSolver& lps) {
-  const auto plat = cache.platform_for(def.cell, def.rep);
-  exp::CaseConfig config;
-  config.objective = spec.objectives[def.objective];
-  config.payoff_spread = spec.payoff_spread;
-  config.greedy.local_exhaust = spec.exhaust[def.exhaust];
-  config.with_lpr = has_method(spec, Method::Lpr);
-  config.with_lprg = has_method(spec, Method::Lprg);
-  config.with_lprr = has_method(spec, Method::Lprr);
-  config.seed = mix(platform_seed(spec, def.cell, def.rep), kPayoffSalt);
-  const exp::CaseResult r = exp::run_case(config, *plat, lps);
-
-  // A failed case (any solve non-optimal) contributes only ok=0: its
-  // partially-filled method values are unusable per the CaseResult
-  // contract and must not leak into the aggregates.
-  std::vector<double> values;
-  values.push_back(r.ok ? 1.0 : 0.0);
-  const auto guarded = [&](double v) { return r.ok ? v : qnan(); };
-  if (has_method(spec, Method::G)) values.push_back(guarded(ratio_or_nan(r.g, r.lp)));
-  if (has_method(spec, Method::Lpr))
-    values.push_back(guarded(ratio_or_nan(r.lpr, r.lp)));
-  if (has_method(spec, Method::Lprg))
-    values.push_back(guarded(ratio_or_nan(r.lprg, r.lp)));
-  if (has_method(spec, Method::Lprr))
-    values.push_back(guarded(ratio_or_nan(r.lprr, r.lp)));
-  if (has_method(spec, Method::G) && has_method(spec, Method::Lprg))
-    values.push_back(
-        guarded(r.g > 1e-9 && !std::isnan(r.lprg) ? r.lprg / r.g : qnan()));
-  values.push_back(guarded(std::isnan(r.lp) ? qnan() : r.lp));
-  return values;
-}
-
-std::vector<double> run_stream_case(const ScenarioSpec& spec, const CaseDef& def,
-                                    ArtifactCache& cache) {
-  const WorkloadSource& scen = spec.scenarios[def.scen];
-  const auto plat = cache.platform_for(def.cell, def.rep);
-  const int k = plat->num_clusters();
-
-  // Trace workloads stay shared (no per-case copy of the arrivals
-  // vector); generated kinds materialize into the local buffer.
-  std::shared_ptr<const online::Workload> shared_workload;
-  online::Workload generated;
-  switch (scen.kind) {
-    case WorkloadSource::Kind::Trace:
-      shared_workload = cache.workload_file(scen.path);
-      break;
-    // The workload stream deliberately does NOT depend on the scenario
-    // index: scenarios that share workload parameters (the static vs
-    // dynamic pairing of the degradation reports) replay literally the
-    // same arrivals, and scenarios with different parameters share
-    // common random numbers.
-    case WorkloadSource::Kind::Batch: {
-      Rng rng(mix(mix(spec.seed, kWorkloadSalt), def.rep));
-      generated = online::batch_workload(scen.poisson, k, rng);
-      break;
-    }
-    case WorkloadSource::Kind::Poisson: {
-      Rng rng(mix(mix(spec.seed, kWorkloadSalt), def.rep));
-      generated = online::poisson_workload(scen.poisson, k, rng);
-      break;
-    }
-    case WorkloadSource::Kind::OnOff: {
-      Rng rng(mix(mix(spec.seed, kWorkloadSalt), def.rep));
-      generated = online::onoff_workload(scen.onoff, k, rng);
-      break;
-    }
-    case WorkloadSource::Kind::None:
-      throw Error("campaign: offline scenario reached the stream kernel");
-  }
-  const online::Workload& workload = shared_workload ? *shared_workload : generated;
-
-  online::OnlineOptions options;
-  options.sched.method = to_online(spec.methods[def.method]);
-  options.sched.objective = spec.objectives[def.objective];
-  options.sched.warm = spec.warm[def.warm];
-  options.sched.max_support_change = spec.max_support_change;
-  options.sched.greedy.local_exhaust = spec.exhaust.front();
-  options.rate_model = spec.rate_model;
-  options.sim_policy = spec.sim_policy;
-  options.sim_window_units = spec.sim_window_units;
-
-  const online::OnlineEngine engine(*plat, options);
-  online::OnlineReport report;
-  switch (scen.dyn) {
-    case WorkloadSource::DynKind::None:
-      report = engine.run(workload);
-      break;
-    case WorkloadSource::DynKind::Trace:
-      report = engine.run(workload, *cache.events_file(scen.events_path));
-      break;
-    case WorkloadSource::DynKind::Scenario: {
-      const double last_arrival =
-          workload.arrivals.empty() ? 0.0 : workload.arrivals.back().time;
-      const double horizon =
-          scen.horizon > 0.0 ? scen.horizon : 2.0 * last_arrival + 100.0;
-      Rng rng(mix(mix(mix(mix(spec.seed, kEventsSalt), def.cell), def.scen),
-                  def.rep));
-      const dynamics::EventTrace trace =
-          dynamics::scenario_trace(scen.event_rate, scen.severity, horizon,
-                                   *plat, rng);
-      report = engine.run(workload, trace);
-      break;
-    }
-  }
-
-  const auto acc_mean = [](const Accumulator& acc) {
-    return acc.count() == 0 ? qnan() : acc.mean();
-  };
-  // Same empty-aggregate honesty for the time-weighted series: a replay
-  // that accumulated no weight has no utilization/fairness to report.
-  const auto tw_mean = [](const online::TimeWeighted& tw) {
-    return tw.total_weight() > 0.0 ? tw.mean() : qnan();
-  };
-  return {1.0,
-          static_cast<double>(report.completed),
-          static_cast<double>(report.aborted),
-          static_cast<double>(report.rejected),
-          static_cast<double>(report.queued_arrivals),
-          static_cast<double>(report.reschedules),
-          static_cast<double>(report.warm_solves),
-          static_cast<double>(report.repaired_solves),
-          static_cast<double>(report.cold_solves),
-          static_cast<double>(report.platform_events),
-          report.makespan,
-          report.total_work,
-          acc_mean(report.metrics.response),
-          acc_mean(report.metrics.wait),
-          acc_mean(report.metrics.slowdown),
-          tw_mean(report.metrics.utilization),
-          tw_mean(report.metrics.fairness),
-          static_cast<double>(report.peak_active),
-          static_cast<double>(report.peak_queued)};
-}
 
 // ---- streaming ordered reduction --------------------------------------------
 
@@ -441,15 +61,7 @@ public:
 
 private:
   void apply(const CaseRecord& record) {
-    GroupAggregate& group = report_->groups[record.group];
-    for (std::size_t i = 0; i < record.values.size(); ++i) {
-      const double v = record.values[i];
-      if (std::isnan(v)) continue;
-      MetricAggregate& metric = group.metrics[i];
-      metric.acc.add(v);
-      metric.p50.add(v);
-      metric.p95.add(v);
-    }
+    fold_case(*report_, record);
     if (options_->case_sink && !sink_error_ && !record.values.empty()) {
       try {
         options_->case_sink(*report_, record);
@@ -471,6 +83,18 @@ private:
 
 }  // namespace
 
+void fold_case(CampaignReport& report, const CaseRecord& record) {
+  GroupAggregate& group = report.groups[record.group];
+  for (std::size_t i = 0; i < record.values.size(); ++i) {
+    const double v = record.values[i];
+    if (std::isnan(v)) continue;
+    MetricAggregate& metric = group.metrics[i];
+    metric.acc.add(v);
+    metric.p50.add(v);
+    metric.p95.add(v);
+  }
+}
+
 CampaignReport run_campaign(const ScenarioSpec& spec, const RunnerOptions& options) {
   spec.validate();
   require(options.jobs >= 0, "run_campaign: negative job count");
@@ -484,7 +108,7 @@ CampaignReport run_campaign(const ScenarioSpec& spec, const RunnerOptions& optio
   report.shard_index = options.shard_index;
   report.shard_count = options.shard_count;
   report.replications = spec.replications;
-  const std::vector<CaseDef> defs = expand(spec, report);
+  const std::vector<CaseDef> defs = expand_cases(spec, report);
   report.total_cases = defs.size();
 
   // Shard partition: case index mod shard_count.
@@ -496,10 +120,10 @@ CampaignReport run_campaign(const ScenarioSpec& spec, const RunnerOptions& optio
   }
   report.executed_cases = mine.size();
 
-  ArtifactCache cache(spec);
-  // One batch for the whole campaign: offline cases on any worker share
-  // the column-structure cache; each worker keeps its own solve arena.
-  lp::BatchSolver lps;
+  // One executor for the whole campaign: offline cases on any worker
+  // share the artifact cache and the batch solver's column-structure
+  // cache; each worker keeps its own solve arena.
+  CaseExecutor exec(spec);
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
@@ -516,8 +140,7 @@ CampaignReport run_campaign(const ScenarioSpec& spec, const RunnerOptions& optio
     record.group = def.group;
     record.rep = def.rep;
     try {
-      record.values = def.offline ? run_offline_case(spec, def, cache, lps)
-                                  : run_stream_case(spec, def, cache);
+      record.values = exec.run(def);
     } catch (...) {
       {
         std::scoped_lock lock(error_mutex);
@@ -540,8 +163,8 @@ CampaignReport run_campaign(const ScenarioSpec& spec, const RunnerOptions& optio
   if (first_error) std::rethrow_exception(first_error);
   if (reducer.sink_error()) std::rethrow_exception(reducer.sink_error());
 
-  report.platform_builds = cache.builds();
-  report.platform_cache_hits = cache.hits();
+  report.platform_builds = exec.cache().builds();
+  report.platform_cache_hits = exec.cache().hits();
   return report;
 }
 

@@ -111,6 +111,14 @@ struct RunnerOptions {
 [[nodiscard]] CampaignReport run_campaign(const ScenarioSpec& spec,
                                           const RunnerOptions& options = {});
 
+/// Folds one finished case into its group's aggregates (NaN values are
+/// skipped — they mark metrics with no honest value for the case). The
+/// single fold path shared by the in-process runner and the distributed
+/// coordinator: both apply records in ascending case order, which is
+/// what makes reports bit-identical across execution modes, worker
+/// counts and resume points.
+void fold_case(CampaignReport& report, const CaseRecord& record);
+
 /// Deterministic machine-readable report (no wall times, no cache
 /// counters; 17 significant digits) — bit-identical for any jobs count.
 void write_report_json(const CampaignReport& report, std::ostream& os);

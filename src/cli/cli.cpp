@@ -11,6 +11,8 @@
 #include "dynamics/events.hpp"
 #include "core/npc/reduction.hpp"
 #include "core/schedule.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "exp/experiment.hpp"
 #include "online/engine.hpp"
 #include "platform/generator.hpp"
@@ -31,7 +33,11 @@ void print_usage(std::ostream& os) {
         "  solve      run a scheduling method on a platform file\n"
         "  simulate   solve, reconstruct the periodic schedule, execute it\n"
         "  campaign   run a declarative .campaign scenario matrix through\n"
-        "             the sharded streaming runner\n"
+        "             the sharded streaming runner; --serve <port> turns it\n"
+        "             into a distributed coordinator (checkpoint/resume via\n"
+        "             --checkpoint/--resume)\n"
+        "  worker     execute case ranges for a campaign coordinator\n"
+        "             (--connect host:port)\n"
         "  sweep      run heuristics over many random platforms in parallel\n"
         "  online     replay a stream of application arrivals with adaptive\n"
         "             warm-started rescheduling\n"
@@ -297,12 +303,74 @@ int cmd_sweep(Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_campaign(Args& args, std::ostream& out) {
+int cmd_campaign(Args& args, std::ostream& out, std::ostream& err) {
   const std::string spec_path = args.get_string("spec", "");
   require(!spec_path.empty(), "--spec: a .campaign file is required");
   std::ifstream in(spec_path);
   require(static_cast<bool>(in), "cannot open campaign spec '" + spec_path + "'");
   const campaign::ScenarioSpec spec = campaign::read_campaign(in);
+
+  // --serve <port>: distributed coordinator mode. Same report surface
+  // (--json/--csv/--cases), bit-identical output to the in-process run.
+  const int serve_port = args.get_int("serve", -1);
+  if (serve_port >= 0) {
+    require(serve_port <= 65535, "--serve: port out of range");
+    require(args.get_string("shard", "").empty(),
+            "--shard: a serving coordinator always covers the full matrix");
+    dist::CoordinatorOptions copt;
+    copt.port = static_cast<std::uint16_t>(serve_port);
+    copt.port_file = args.get_string("port-file", "");
+    const int range_size = args.get_int("range-size", 8);
+    require(range_size >= 1, "--range-size: must be >= 1");
+    copt.range_size = static_cast<std::size_t>(range_size);
+    copt.heartbeat_timeout = args.get_double("heartbeat-timeout", 15.0);
+    copt.checkpoint_path = args.get_string("checkpoint", "");
+    const int snapshot_every = args.get_int("snapshot-every", 8);
+    require(snapshot_every >= 1, "--snapshot-every: must be >= 1");
+    copt.snapshot_every = static_cast<std::size_t>(snapshot_every);
+    copt.resume = args.get_flag("resume");
+    require(!copt.resume || !copt.checkpoint_path.empty(),
+            "--resume: requires --checkpoint");
+    const int exit_after = args.get_int("exit-after-snapshots", 0);
+    require(exit_after >= 0, "--exit-after-snapshots: cannot be negative");
+    copt.exit_after_snapshots = static_cast<std::size_t>(exit_after);
+    copt.log = [&err](const std::string& line) { err << "dls: " << line << "\n"; };
+
+    const bool json = args.get_flag("json");
+    const bool csv = args.get_flag("csv");
+    require(!(json && csv), "--json and --csv are mutually exclusive");
+    const std::string cases_path = args.get_string("cases", "");
+    std::ofstream cases_file;
+    if (!cases_path.empty()) {
+      cases_file.open(cases_path);
+      require(static_cast<bool>(cases_file), "cannot write '" + cases_path + "'");
+      copt.case_sink = [&cases_file](const campaign::CampaignReport& report,
+                                     const campaign::CaseRecord& record) {
+        campaign::write_case_json(report, record, cases_file);
+      };
+    }
+    args.reject_unknown();
+
+    WallTimer timer;
+    const dist::CoordinatorResult result = dist::serve_campaign(spec, copt);
+    if (!result.complete) {
+      err << "dls: stopped before completion; resume with --resume "
+             "--checkpoint '" << copt.checkpoint_path << "'\n";
+      return 3;
+    }
+    if (json) {
+      campaign::write_report_json(result.report, out);
+    } else if (csv) {
+      campaign::write_report_csv(result.report, out);
+    } else {
+      campaign::write_report_text(result.report, out, timer.seconds());
+    }
+    err << "dls: distributed: " << result.workers_seen << " worker(s), "
+        << result.worker_deaths << " death(s), " << result.ranges_requeued
+        << " requeue(s), " << result.snapshots_written << " snapshot(s), "
+        << result.resumed_cases << " case(s) resumed\n";
+    return 0;
+  }
 
   campaign::RunnerOptions opt;
   opt.jobs = args.get_int("jobs", 0);
@@ -327,7 +395,9 @@ int cmd_campaign(Args& args, std::ostream& out) {
     const long parsed_n =
         slash == std::string::npos ? -1 : parse_component(shard.substr(slash + 1));
     require(parsed_i >= 0 && parsed_n >= 1 && parsed_i < parsed_n,
-            "--shard: expected i/n with 0 <= i < n");
+            "--shard: expected i/n with 0 <= i < n, got '" + shard + "'" +
+                (parsed_n == 0 ? " (a shard count of 0 partitions nothing)"
+                               : ""));
     opt.shard_index = static_cast<int>(parsed_i);
     opt.shard_count = static_cast<int>(parsed_n);
   }
@@ -356,6 +426,50 @@ int cmd_campaign(Args& args, std::ostream& out) {
   } else {
     campaign::write_report_text(report, out, timer.seconds());
   }
+  return 0;
+}
+
+int cmd_worker(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string connect = args.get_string("connect", "");
+  require(!connect.empty(),
+          "--connect: host:port of the coordinator is required");
+  const std::size_t colon = connect.rfind(':');
+  require(colon != std::string::npos && colon > 0 && colon + 1 < connect.size(),
+          "--connect: expected host:port, got '" + connect + "'");
+  const std::string port_text = connect.substr(colon + 1);
+  require(port_text.find_first_not_of("0123456789") == std::string::npos,
+          "--connect: malformed port in '" + connect + "'");
+  const long port = std::strtol(port_text.c_str(), nullptr, 10);
+  require(port >= 1 && port <= 65535,
+          "--connect: port out of range in '" + connect + "'");
+
+  dist::WorkerOptions opt;
+  opt.host = connect.substr(0, colon);
+  opt.port = static_cast<std::uint16_t>(port);
+  opt.jobs = args.get_int("jobs", 0);
+  require(opt.jobs >= 0, "--jobs: cannot be negative");
+  opt.retry_seconds = args.get_double("retry-seconds", 10.0);
+  require(opt.retry_seconds >= 0, "--retry-seconds: cannot be negative");
+  opt.heartbeat_period = args.get_double("heartbeat-period", 2.0);
+  require(opt.heartbeat_period > 0, "--heartbeat-period: must be positive");
+  // Test hook for the fault-tolerance smoke: SIGKILL this process on
+  // receipt of the n-th range lease (a real mid-range worker death).
+  const int die = args.get_int("die-mid-range", 0);
+  require(die >= 0, "--die-mid-range: cannot be negative");
+  opt.die_on_range = static_cast<std::size_t>(die);
+  opt.die_hard = die > 0;
+  opt.log = [&err](const std::string& line) {
+    err << "dls: worker: " << line << "\n";
+  };
+  args.reject_unknown();
+
+  const dist::WorkerResult result = run_worker(opt);
+  if (result.aborted) {
+    err << "dls: worker: coordinator aborted: " << result.abort_message << "\n";
+    return 1;
+  }
+  out << "worker done: " << result.ranges_done << " range(s), "
+      << result.cases_run << " case(s)\n";
   return 0;
 }
 
@@ -849,7 +963,8 @@ int run_cli(std::vector<std::string> args, std::ostream& out, std::ostream& err)
     if (cmd == "generate") return cmd_generate(parsed, out);
     if (cmd == "solve") return cmd_solve(parsed, out);
     if (cmd == "simulate") return cmd_simulate(parsed, out);
-    if (cmd == "campaign") return cmd_campaign(parsed, out);
+    if (cmd == "campaign") return cmd_campaign(parsed, out, err);
+    if (cmd == "worker") return cmd_worker(parsed, out, err);
     if (cmd == "sweep") return cmd_sweep(parsed, out);
     if (cmd == "online") return cmd_online(parsed, out);
     if (cmd == "dynamics") return cmd_dynamics(parsed, out);

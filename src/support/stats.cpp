@@ -23,6 +23,36 @@ void Accumulator::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  // Chan et al.: combine means weighted by counts, add the
+  // between-shard term delta^2 * na*nb/n to the pooled M2.
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Accumulator Accumulator::from_state(const State& s) {
+  Accumulator acc;
+  acc.n_ = s.n;
+  acc.mean_ = s.mean;
+  acc.m2_ = s.m2;
+  acc.min_ = s.min;
+  acc.max_ = s.max;
+  acc.sum_ = s.sum;
+  return acc;
+}
+
 double Accumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
 
 double Accumulator::stddev() const {
@@ -103,6 +133,136 @@ void P2Quantile::add(double x) {
       pos_[i] += sign;
     }
   }
+}
+
+P2Quantile::State P2Quantile::state() const {
+  State s;
+  s.q = q_;
+  s.n = n_;
+  for (int i = 0; i < 5; ++i) {
+    s.heights[i] = heights_[i];
+    s.pos[i] = pos_[i];
+    s.desired[i] = desired_[i];
+  }
+  return s;
+}
+
+P2Quantile P2Quantile::from_state(const State& s) {
+  P2Quantile p(s.q);
+  p.n_ = s.n;
+  for (int i = 0; i < 5; ++i) {
+    p.heights_[i] = s.heights[i];
+    p.pos_[i] = s.pos[i];
+    p.desired_[i] = s.desired[i];
+  }
+  return p;
+}
+
+namespace {
+
+/// Piecewise-linear empirical CDF spanned by one estimator's five
+/// markers: marker i sits at height h_i and cumulative fraction
+/// (pos_i - 1) / (n - 1).
+double marker_cdf(const double h[5], const double f[5], double x) {
+  if (x <= h[0]) return x < h[0] ? 0.0 : f[0];
+  if (x >= h[4]) return 1.0;
+  for (int i = 0; i < 4; ++i) {
+    if (x <= h[i + 1]) {
+      const double span = h[i + 1] - h[i];
+      if (span <= 0.0) return f[i + 1];
+      return f[i] + (f[i + 1] - f[i]) * (x - h[i]) / span;
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+void P2Quantile::merge(const P2Quantile& other) {
+  require(q_ == other.q_, "P2Quantile::merge: mismatched quantiles");
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // A small side still holds its raw samples — replay them exactly.
+  if (other.n_ <= 5) {
+    for (std::size_t i = 0; i < other.n_; ++i) add(other.heights_[i]);
+    return;
+  }
+  if (n_ <= 5) {
+    double mine[5];
+    const std::size_t count = n_;
+    for (std::size_t i = 0; i < count; ++i) mine[i] = heights_[i];
+    *this = other;
+    for (std::size_t i = 0; i < count; ++i) add(mine[i]);
+    return;
+  }
+
+  // Both sides are in marker mode: re-derive the five markers from the
+  // count-weighted mixture of the two piecewise-linear marker CDFs.
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double wa = na / (na + nb);
+  double fa[5], fb[5];
+  for (int i = 0; i < 5; ++i) {
+    fa[i] = (pos_[i] - 1.0) / (na - 1.0);
+    fb[i] = (other.pos_[i] - 1.0) / (nb - 1.0);
+  }
+  const auto mixture = [&](double x) {
+    return wa * marker_cdf(heights_, fa, x) +
+           (1.0 - wa) * marker_cdf(other.heights_, fb, x);
+  };
+  double breaks[10];
+  for (int i = 0; i < 5; ++i) {
+    breaks[i] = heights_[i];
+    breaks[5 + i] = other.heights_[i];
+  }
+  std::sort(breaks, breaks + 10);
+
+  const double target[5] = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+  double merged[5];
+  merged[0] = std::min(heights_[0], other.heights_[0]);
+  merged[4] = std::max(heights_[4], other.heights_[4]);
+  for (int m = 1; m <= 3; ++m) {
+    const double t = target[m];
+    double x = merged[4];
+    for (int j = 0; j < 9; ++j) {
+      const double g0 = mixture(breaks[j]);
+      const double g1 = mixture(breaks[j + 1]);
+      if (t > g1) continue;
+      // Invert the linear segment; a flat segment keeps its left end.
+      x = g1 > g0 ? breaks[j] + (breaks[j + 1] - breaks[j]) * (t - g0) / (g1 - g0)
+                  : breaks[j];
+      break;
+    }
+    merged[m] = x;
+  }
+  for (int i = 1; i < 5; ++i) merged[i] = std::max(merged[i], merged[i - 1]);
+
+  const std::size_t n = n_ + other.n_;
+  n_ = n;
+  const double nn = static_cast<double>(n);
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = merged[i];
+    pos_[i] = 1.0 + target[i] * (nn - 1.0);
+  }
+  // Keep the marker-position invariants the update loop relies on:
+  // integer-ish, strictly increasing, pos_[0] = 1, pos_[4] = n.
+  pos_[0] = 1.0;
+  pos_[4] = nn;
+  for (int i = 1; i < 4; ++i) {
+    pos_[i] = std::round(pos_[i]);
+    if (pos_[i] <= pos_[i - 1]) pos_[i] = pos_[i - 1] + 1.0;
+  }
+  for (int i = 3; i >= 1; --i) {
+    if (pos_[i] >= pos_[i + 1]) pos_[i] = pos_[i + 1] - 1.0;
+  }
+  // desired_ after n observations = constructor value + (n-5) increments.
+  const double init[5] = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_,
+                          5.0};
+  for (int i = 0; i < 5; ++i)
+    desired_[i] = init[i] + (nn - 5.0) * increment_[i];
 }
 
 double P2Quantile::value() const {

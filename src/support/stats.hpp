@@ -13,6 +13,15 @@ class Accumulator {
 public:
   void add(double x);
 
+  /// Folds another accumulator in (Chan's parallel Welford update).
+  /// Mathematically exact for every moment: merging per-shard
+  /// accumulators reproduces the sequential stream's count/sum/min/max
+  /// exactly and mean/M2 up to floating-point reassociation, in any
+  /// merge order. The distributed coordinator uses this for its live
+  /// progress view and as an integrity cross-check against the exact
+  /// case-order fold.
+  void merge(const Accumulator& other);
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const;
   /// Sample standard deviation (n-1 denominator); 0 for n < 2.
@@ -23,6 +32,15 @@ public:
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double sum() const { return sum_; }
+
+  /// Raw streaming state, exposed so checkpoints can persist an
+  /// accumulator and restore it bit-for-bit (`dist::write_checkpoint`).
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0, m2 = 0.0, min = 0.0, max = 0.0, sum = 0.0;
+  };
+  [[nodiscard]] State state() const { return {n_, mean_, m2_, min_, max_, sum_}; }
+  [[nodiscard]] static Accumulator from_state(const State& s);
 
 private:
   std::size_t n_ = 0;
@@ -48,8 +66,28 @@ public:
 
   void add(double x);
   [[nodiscard]] std::size_t count() const { return n_; }
+  /// The tracked quantile q.
+  [[nodiscard]] double quantile() const { return q_; }
   /// Current estimate; quiet NaN while empty.
   [[nodiscard]] double value() const;
+
+  /// Folds another estimator for the same q in. Unlike Accumulator::
+  /// merge this is approximate: P^2 keeps five markers, not the sample,
+  /// so the merged markers are re-derived from the weighted mixture of
+  /// the two piecewise-linear marker CDFs. Small sides (n <= 5) still
+  /// hold raw samples and are replayed exactly. Order-invariance holds
+  /// only within the estimator's own accuracy — tested against the
+  /// sequential stream with tolerance, not bitwise.
+  void merge(const P2Quantile& other);
+
+  /// Raw marker state for checkpoint persistence (see Accumulator::State).
+  struct State {
+    double q = 0.5;
+    std::size_t n = 0;
+    double heights[5]{}, pos[5]{}, desired[5]{};
+  };
+  [[nodiscard]] State state() const;
+  [[nodiscard]] static P2Quantile from_state(const State& s);
 
 private:
   double q_;

@@ -191,6 +191,16 @@ TEST(Cli, CampaignRejectsBadOptions) {
   EXPECT_EQ(run({"campaign", "--spec", "/nonexistent.campaign"}).code, 1);
   EXPECT_EQ(run({"campaign", "--spec", spec, "--shard", "2/2"}).code, 1);
   EXPECT_EQ(run({"campaign", "--spec", spec, "--shard", "nope"}).code, 1);
+  // A shard count of zero partitions nothing, and the diagnostic must
+  // echo the offending text so multi-machine launch scripts can be
+  // debugged from logs alone.
+  const CliRun zero = run({"campaign", "--spec", spec, "--shard", "0/0"});
+  EXPECT_EQ(zero.code, 1);
+  EXPECT_NE(zero.err.find("'0/0'"), std::string::npos) << zero.err;
+  EXPECT_NE(zero.err.find("partitions nothing"), std::string::npos) << zero.err;
+  const CliRun mangled = run({"campaign", "--spec", spec, "--shard", "3/2"});
+  EXPECT_EQ(mangled.code, 1);
+  EXPECT_NE(mangled.err.find("'3/2'"), std::string::npos) << mangled.err;
   // Trailing garbage must not silently parse as a valid shard.
   EXPECT_EQ(run({"campaign", "--spec", spec, "--shard", "1x3/4"}).code, 1);
   EXPECT_EQ(run({"campaign", "--spec", spec, "--shard", "0/4junk"}).code, 1);
@@ -205,6 +215,37 @@ TEST(Cli, CampaignRejectsBadOptions) {
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("line 2"), std::string::npos) << r.err;
   std::remove(bad.c_str());
+}
+
+TEST(Cli, CampaignServeRejectsConflictingOptions) {
+  const std::string spec = example_campaign_path();
+  // A serving coordinator always covers the full matrix: sharding it
+  // would silently break the bit-identity contract.
+  EXPECT_EQ(
+      run({"campaign", "--spec", spec, "--serve", "0", "--shard", "0/2"}).code,
+      1);
+  EXPECT_EQ(run({"campaign", "--spec", spec, "--serve", "0", "--resume"}).code,
+            1);  // --resume needs --checkpoint
+  EXPECT_EQ(run({"campaign", "--spec", spec, "--serve", "70000"}).code, 1);
+  EXPECT_EQ(run({"campaign", "--spec", spec, "--serve", "0", "--range-size",
+                 "0"}).code,
+            1);
+  EXPECT_EQ(run({"campaign", "--spec", spec, "--serve", "0",
+                 "--snapshot-every", "0"}).code,
+            1);
+}
+
+TEST(Cli, WorkerRejectsBadOptions) {
+  EXPECT_EQ(run({"worker"}).code, 1);  // --connect is required
+  const CliRun bad = run({"worker", "--connect", "nohost"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("host:port"), std::string::npos) << bad.err;
+  EXPECT_EQ(run({"worker", "--connect", "127.0.0.1:notaport"}).code, 1);
+  EXPECT_EQ(run({"worker", "--connect", "127.0.0.1:0"}).code, 1);
+  EXPECT_EQ(run({"worker", "--connect", "127.0.0.1:70000"}).code, 1);
+  EXPECT_EQ(run({"worker", "--connect", ":123"}).code, 1);
+  EXPECT_EQ(run({"worker", "--connect", "127.0.0.1:1", "--jobs", "-1"}).code,
+            1);
 }
 
 TEST(Cli, OnlineRepsAggregatesAcrossThePool) {

@@ -1,0 +1,117 @@
+// Wire-protocol tests: frame encode/decode across arbitrary TCP chunk
+// boundaries, bit-exact double round trips, and rejection of malformed
+// or oversized length prefixes.
+#include "dist/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dls::dist {
+namespace {
+
+TEST(Frames, RoundTripIncludingEmbeddedNewlines) {
+  const std::vector<std::string> payloads = {
+      "HELLO 1", "", "DONE 3 8\nsum 0 1 2 0x1p+0 0x0p+0 0x1p+0 0x1p+0 0x1p+1",
+      std::string(1000, 'x')};
+  std::string stream;
+  for (const std::string& p : payloads) stream += encode_frame(p);
+
+  FrameReader reader;
+  reader.feed(stream.data(), stream.size());
+  for (const std::string& expected : payloads) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, expected);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(Frames, ChunkBoundariesAreInvisible) {
+  // Feed the same stream one byte at a time — TCP segmentation must
+  // never change what next() yields.
+  const std::vector<std::string> payloads = {"RANGE 0 0 8", "PING",
+                                             "CASE 0 3 2 0x1p-1 nan"};
+  std::string stream;
+  for (const std::string& p : payloads) stream += encode_frame(p);
+
+  FrameReader reader;
+  std::vector<std::string> decoded;
+  for (const char c : stream) {
+    reader.feed(&c, 1);
+    while (auto payload = reader.next()) decoded.push_back(*payload);
+  }
+  EXPECT_EQ(decoded, payloads);
+}
+
+TEST(Frames, MalformedLengthPrefixThrows) {
+  FrameReader reader;
+  const std::string junk = "not-a-number\nrest";
+  reader.feed(junk.data(), junk.size());
+  EXPECT_THROW((void)reader.next(), Error);
+
+  FrameReader oversized;
+  const std::string huge = "999999999999\n";
+  oversized.feed(huge.data(), huge.size());
+  EXPECT_THROW((void)oversized.next(), Error);
+}
+
+TEST(Frames, HeaderWithoutNewlineIsBounded) {
+  // A peer that never sends a newline must not grow the buffer forever.
+  FrameReader reader;
+  const std::string digits(100, '7');
+  reader.feed(digits.data(), digits.size());
+  EXPECT_THROW((void)reader.next(), Error);
+}
+
+TEST(Doubles, RoundTripBitExact) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.0 / 3.0,
+                           1e308,
+                           5e-324,  // min subnormal
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::epsilon(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  for (const double v : values) {
+    const double back = decode_double(encode_double(v));
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << encode_double(v);
+  }
+  EXPECT_TRUE(std::isnan(decode_double(encode_double(
+      std::numeric_limits<double>::quiet_NaN()))));
+}
+
+TEST(Doubles, RejectsGarbage) {
+  EXPECT_THROW((void)decode_double(""), Error);
+  EXPECT_THROW((void)decode_double("0x1p+1junk"), Error);
+  EXPECT_THROW((void)decode_double("NaN?"), Error);
+}
+
+TEST(Hex64, RoundTripsAndRejects) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{0xdeadbeef},
+        std::uint64_t{0xffffffffffffffffULL}}) {
+    EXPECT_EQ(decode_hex64(encode_hex64(v)), v);
+  }
+  EXPECT_THROW((void)decode_hex64(""), Error);
+  EXPECT_THROW((void)decode_hex64("xyz"), Error);
+  EXPECT_THROW((void)decode_hex64("00000000000000001"), Error);  // 17 digits
+}
+
+TEST(Tokens, SplitsOnBlanks) {
+  const std::vector<std::string> expected = {"CASE", "1", "2"};
+  EXPECT_EQ(split_tokens("  CASE  1\t2 "), expected);
+  EXPECT_TRUE(split_tokens("").empty());
+}
+
+}  // namespace
+}  // namespace dls::dist

@@ -1,0 +1,187 @@
+// Mergeable-aggregate tests: Accumulator::merge must reproduce the
+// sequential stream exactly (count/sum/min/max) or up to reassociation
+// (mean/M2) for any partition and any merge order; P2Quantile::merge is
+// approximate by construction and is held to a tolerance against the
+// sequential estimator. State round-trips must be bit-exact — the
+// checkpoint format depends on it.
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dls {
+namespace {
+
+std::vector<double> lognormal_samples(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = dist(rng);
+  return xs;
+}
+
+TEST(AccumulatorMerge, MatchesSequentialStreamForAnyPartition) {
+  const std::vector<double> xs = lognormal_samples(1000, 42);
+  Accumulator whole;
+  for (const double x : xs) whole.add(x);
+
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1},
+                                std::size_t{500}, std::size_t{999},
+                                std::size_t{1000}}) {
+    Accumulator left, right;
+    for (std::size_t i = 0; i < cut; ++i) left.add(xs[i]);
+    for (std::size_t i = cut; i < xs.size(); ++i) right.add(xs[i]);
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count()) << "cut " << cut;
+    EXPECT_EQ(left.min(), whole.min()) << "cut " << cut;   // exact
+    EXPECT_EQ(left.max(), whole.max()) << "cut " << cut;   // exact
+    EXPECT_NEAR(left.sum(), whole.sum(), 1e-9 * std::abs(whole.sum()));
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12 * std::abs(whole.mean()));
+    EXPECT_NEAR(left.stddev(), whole.stddev(),
+                1e-10 * std::abs(whole.stddev()));
+  }
+}
+
+TEST(AccumulatorMerge, OrderInvariant) {
+  const std::vector<double> xs = lognormal_samples(300, 7);
+  // Three shards merged in both association orders.
+  Accumulator a, b, c;
+  for (std::size_t i = 0; i < 100; ++i) a.add(xs[i]);
+  for (std::size_t i = 100; i < 200; ++i) b.add(xs[i]);
+  for (std::size_t i = 200; i < 300; ++i) c.add(xs[i]);
+
+  Accumulator ab = a;
+  ab.merge(b);
+  ab.merge(c);
+  Accumulator bc = b;
+  bc.merge(c);
+  bc.merge(a);
+  EXPECT_EQ(ab.count(), bc.count());
+  EXPECT_EQ(ab.min(), bc.min());
+  EXPECT_EQ(ab.max(), bc.max());
+  EXPECT_NEAR(ab.mean(), bc.mean(), 1e-12 * std::abs(ab.mean()));
+  EXPECT_NEAR(ab.stddev(), bc.stddev(), 1e-10 * std::abs(ab.stddev()));
+}
+
+TEST(AccumulatorMerge, EmptySidesAreIdentities) {
+  Accumulator filled;
+  filled.add(3.0);
+  filled.add(-1.0);
+  const Accumulator snapshot = filled;
+
+  Accumulator empty;
+  filled.merge(empty);  // right identity
+  EXPECT_EQ(filled.count(), snapshot.count());
+  EXPECT_EQ(filled.mean(), snapshot.mean());
+  EXPECT_EQ(filled.min(), snapshot.min());
+
+  Accumulator target;
+  target.merge(snapshot);  // left identity: adopts the other state
+  EXPECT_EQ(target.count(), snapshot.count());
+  EXPECT_EQ(target.mean(), snapshot.mean());
+  EXPECT_EQ(target.max(), snapshot.max());
+
+  Accumulator both_empty, other_empty;
+  both_empty.merge(other_empty);
+  EXPECT_EQ(both_empty.count(), 0u);
+  EXPECT_TRUE(std::isnan(both_empty.min()));
+}
+
+TEST(AccumulatorState, RoundTripsBitExact) {
+  const std::vector<double> xs = lognormal_samples(137, 3);
+  Accumulator acc;
+  for (const double x : xs) acc.add(x);
+  const Accumulator restored = Accumulator::from_state(acc.state());
+  EXPECT_EQ(restored.count(), acc.count());
+  EXPECT_EQ(restored.mean(), acc.mean());
+  EXPECT_EQ(restored.stddev(), acc.stddev());
+  EXPECT_EQ(restored.min(), acc.min());
+  EXPECT_EQ(restored.max(), acc.max());
+  EXPECT_EQ(restored.sum(), acc.sum());
+  // And the restored accumulator keeps streaming identically.
+  Accumulator a = acc, b = restored;
+  a.add(0.25);
+  b.add(0.25);
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.stddev(), b.stddev());
+}
+
+TEST(P2QuantileMerge, SmallSidesReplayExactly) {
+  // Both sides <= 5 observations: raw samples are replayed, so the
+  // merge equals feeding the concatenation to one estimator.
+  P2Quantile whole(0.5);
+  P2Quantile left(0.5), right(0.5);
+  const std::vector<double> a = {3.0, 1.0, 4.0};
+  const std::vector<double> b = {1.0, 5.0};
+  for (const double x : a) {
+    whole.add(x);
+    left.add(x);
+  }
+  for (const double x : b) {
+    whole.add(x);
+    right.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.value(), whole.value());
+}
+
+TEST(P2QuantileMerge, ApproximatesSequentialStream) {
+  const std::vector<double> xs = lognormal_samples(4000, 11);
+  for (const double q : {0.5, 0.95}) {
+    P2Quantile whole(q);
+    for (const double x : xs) whole.add(x);
+
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{7}}) {
+      P2Quantile merged(q);
+      for (std::size_t s = 0; s < shards; ++s) {
+        P2Quantile part(q);
+        for (std::size_t i = s; i < xs.size(); i += shards) part.add(xs[i]);
+        merged.merge(part);
+      }
+      EXPECT_EQ(merged.count(), whole.count());
+      // P^2 keeps five markers per side, so merging reconstructs the
+      // quantile from a 10-point mixture CDF: on a heavy-tailed stream
+      // the p95 lands within ~10% of the sequential estimate, not
+      // closer. The merge is a progress/integrity view, never the
+      // report path (that folds raw cases in order), so 15% is the
+      // honest contract to pin down.
+      EXPECT_NEAR(merged.value(), whole.value(),
+                  0.15 * std::abs(whole.value()))
+          << "q=" << q << " shards=" << shards;
+    }
+  }
+}
+
+TEST(P2QuantileState, RoundTripsBitExact) {
+  const std::vector<double> xs = lognormal_samples(200, 5);
+  P2Quantile p95(0.95);
+  for (const double x : xs) p95.add(x);
+  P2Quantile restored = P2Quantile::from_state(p95.state());
+  EXPECT_EQ(restored.count(), p95.count());
+  EXPECT_EQ(restored.quantile(), p95.quantile());
+  EXPECT_EQ(restored.value(), p95.value());
+  // Streaming continues bit-identically after restore — the checkpoint
+  // resume path folds more cases into restored markers.
+  P2Quantile a = p95;
+  for (const double x : lognormal_samples(50, 6)) {
+    a.add(x);
+    restored.add(x);
+  }
+  EXPECT_EQ(restored.value(), a.value());
+}
+
+TEST(P2QuantileMerge, RejectsMismatchedQuantiles) {
+  P2Quantile p50(0.5), p95(0.95);
+  p50.add(1.0);
+  p95.add(2.0);
+  EXPECT_THROW(p50.merge(p95), Error);
+}
+
+}  // namespace
+}  // namespace dls
