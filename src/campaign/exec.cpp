@@ -1,9 +1,11 @@
 #include "campaign/exec.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <limits>
 
+#include "core/multi_solve.hpp"
 #include "dynamics/events.hpp"
 #include "exp/experiment.hpp"
 #include "online/engine.hpp"
@@ -146,6 +148,55 @@ std::vector<double> run_offline_case(const ScenarioSpec& spec, const CaseDef& de
   return values;
 }
 
+/// One `loads` cell case: sample N loads from the loads seed stream and
+/// solve the joint LP. Every metric is deterministic (no wall times) so
+/// loads reports stay bit-identical for any --jobs/--shard split.
+std::vector<double> run_loads_case(const ScenarioSpec& spec, const CaseDef& def,
+                                   ArtifactCache& cache) {
+  const WorkloadSource& scen = spec.scenarios[def.scen];
+  const auto plat = cache.platform_for(def.cell, def.rep);
+  const int k = plat->num_clusters();
+
+  // Scenario-independent stream (common random numbers): loads cells
+  // that differ only in objective solve literally the same load set.
+  Rng rng(loads_stream_seed(spec, def.cell, def.rep));
+  core::LoadSet set;
+  set.loads.reserve(scen.load_count);
+  const int hot = std::max(1, k / 4);  // hotspot: sources in the first K/4
+  for (int j = 0; j < scen.load_count; ++j) {
+    core::LoadSpec load;
+    load.source = static_cast<int>(
+        scen.load_mix == "hotspot" ? rng.uniform_int(0, hot - 1)
+                                   : rng.uniform_int(0, k - 1));
+    load.weight = 1.0 + scen.weight_spread * rng.uniform(-1.0, 1.0);
+    load.data_ratio = 1.0 + scen.ratio_spread * rng.uniform(-1.0, 1.0);
+    if (scen.cap_factor > 0.0)
+      load.cap = scen.cap_factor * plat->cluster(load.source).speed;
+    set.loads.push_back(std::move(load));
+  }
+
+  core::MultiLoadSolveOptions options;
+  options.objective = scen.multi_objective;
+  const core::MultiLoadSolution sol = core::solve_loads(*plat, set, options);
+  if (sol.status != lp::SolveStatus::Optimal)
+    return {0.0, qnan(), qnan(), qnan(), qnan(), qnan(), qnan()};
+
+  double sum_throughput = 0.0;
+  double min_weighted = std::numeric_limits<double>::infinity();
+  for (int j = 0; j < set.size(); ++j) {
+    sum_throughput += sol.throughput[j];
+    min_weighted =
+        std::min(min_weighted, set.loads[j].weight * sol.throughput[j]);
+  }
+  return {1.0,
+          sol.objective,
+          sum_throughput,
+          min_weighted,
+          online::jain_index(sol.throughput),
+          static_cast<double>(sol.lp_solves),
+          static_cast<double>(sol.lp_iterations)};
+}
+
 std::vector<double> run_stream_case(const ScenarioSpec& spec, const CaseDef& def,
                                     ArtifactCache& cache) {
   const WorkloadSource& scen = spec.scenarios[def.scen];
@@ -181,7 +232,8 @@ std::vector<double> run_stream_case(const ScenarioSpec& spec, const CaseDef& def
       break;
     }
     case WorkloadSource::Kind::None:
-      throw Error("campaign: offline scenario reached the stream kernel");
+    case WorkloadSource::Kind::Loads:
+      throw Error("campaign: non-stream scenario reached the stream kernel");
   }
   const online::Workload& workload = shared_workload ? *shared_workload : generated;
 
@@ -250,6 +302,7 @@ std::vector<double> run_stream_case(const ScenarioSpec& spec, const CaseDef& def
 }  // namespace
 
 std::vector<double> CaseExecutor::run(const CaseDef& def) {
+  if (def.loads) return run_loads_case(*spec_, def, cache_);
   return def.offline ? run_offline_case(*spec_, def, cache_, lps_)
                      : run_stream_case(*spec_, def, cache_);
 }

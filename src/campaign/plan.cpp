@@ -13,6 +13,7 @@ constexpr std::uint64_t kPlatformSalt = 0x706c6174ULL;  // "plat"
 constexpr std::uint64_t kPayoffSalt = 0x7061796fULL;    // "payo"
 constexpr std::uint64_t kWorkloadSalt = 0x776f726bULL;  // "work"
 constexpr std::uint64_t kEventsSalt = 0x6576656eULL;    // "even"
+constexpr std::uint64_t kLoadsSalt = 0x6c6f6164ULL;     // "load"
 
 std::vector<std::string> offline_metric_names(const ScenarioSpec& spec) {
   std::vector<std::string> names{"ok"};
@@ -24,6 +25,13 @@ std::vector<std::string> offline_metric_names(const ScenarioSpec& spec) {
     names.push_back("lprg_over_g");
   names.push_back("lp_bound");
   return names;
+}
+
+/// Deterministic only (no wall times): loads reports must stay
+/// bit-identical across --jobs and --shard splits.
+std::vector<std::string> loads_metric_names() {
+  return {"ok",   "objective", "sum_throughput", "min_weighted",
+          "jain", "lp_solves", "lp_iterations"};
 }
 
 std::vector<std::string> stream_metric_names() {
@@ -71,6 +79,10 @@ std::uint64_t events_stream_seed(const ScenarioSpec& spec, int cell, int scen,
       mix_seed(mix_seed(mix_seed(spec.seed, kEventsSalt), cell), scen), rep);
 }
 
+std::uint64_t loads_stream_seed(const ScenarioSpec& spec, int cell, int rep) {
+  return mix_seed(mix_seed(mix_seed(spec.seed, kLoadsSalt), cell), rep);
+}
+
 std::uint64_t spec_fingerprint(const ScenarioSpec& spec) {
   const std::string text = to_text(spec);
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
@@ -105,6 +117,32 @@ std::vector<CaseDef> expand_cases(const ScenarioSpec& spec,
 
   for (int cell = 0; cell < static_cast<int>(spec.platforms.size()); ++cell) {
     for (int scen = 0; scen < static_cast<int>(spec.scenarios.size()); ++scen) {
+      // A loads cell carries its own multi-load objective and ignores
+      // the method/objective/warm/exhaust axes: one group per (cell,
+      // scenario), one joint solve per replication.
+      if (spec.scenarios[scen].kind == WorkloadSource::Kind::Loads) {
+        CaseDef proto;
+        proto.cell = cell;
+        proto.scen = scen;
+        proto.loads = true;
+        GroupAggregate g;
+        g.platform = spec.platforms[cell].label;
+        g.scenario = spec.scenarios[scen].label;
+        g.objective = core::to_string(spec.scenarios[scen].multi_objective);
+        g.method = "*";
+        g.warm = "*";
+        g.exhaust = "*";
+        g.loads = true;
+        for (const std::string& name : loads_metric_names())
+          g.metrics.push_back({name, {}, P2Quantile(0.5), P2Quantile(0.95)});
+        report.groups.push_back(std::move(g));
+        proto.group = report.groups.size() - 1;
+        for (int rep = 0; rep < spec.replications; ++rep) {
+          proto.rep = rep;
+          defs.push_back(proto);
+        }
+        continue;
+      }
       const bool offline = spec.scenarios[scen].offline();
       for (int obj = 0; obj < static_cast<int>(spec.objectives.size()); ++obj) {
         CaseDef proto;

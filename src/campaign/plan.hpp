@@ -40,6 +40,7 @@ struct CaseDef {
   int exhaust = 0;  ///< offline cases only
   int rep = 0;
   bool offline = false;
+  bool loads = false;  ///< multi-load cell (`loads` axis); one joint solve
 };
 
 /// Expands the spec: fills `report.groups` (empty aggregates, labels and
@@ -65,6 +66,13 @@ struct CaseDef {
                                                  int rep);
 [[nodiscard]] std::uint64_t events_stream_seed(const ScenarioSpec& spec,
                                                int cell, int scen, int rep);
+/// Load-set sampling for `loads` cells: a function of (spec seed, cell,
+/// replication) only — deliberately scenario-independent, like the
+/// workload stream, so loads cells that differ only in objective sample
+/// literally the same load set and the fairness comparison runs on
+/// common random numbers.
+[[nodiscard]] std::uint64_t loads_stream_seed(const ScenarioSpec& spec,
+                                              int cell, int rep);
 
 /// FNV-1a over the canonical spec text: the distributed protocol and the
 /// checkpoint format use it to refuse mixing plans from different specs

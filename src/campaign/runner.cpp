@@ -224,7 +224,8 @@ void write_report_json(const CampaignReport& report, std::ostream& os) {
        << "\",\"method\":\"" << group.method
        << "\",\"warm\":\"" << group.warm
        << "\",\"exhaust\":\"" << group.exhaust
-       << "\",\"kind\":\"" << (group.offline ? "offline" : "stream")
+       << "\",\"kind\":\""
+       << (group.loads ? "loads" : group.offline ? "offline" : "stream")
        << "\",\"metrics\":[";
     for (std::size_t i = 0; i < group.metrics.size(); ++i) {
       const MetricAggregate& m = group.metrics[i];

@@ -66,6 +66,9 @@ struct GroupAggregate {
   std::string warm;       ///< "*" for offline groups
   std::string exhaust;    ///< "*" for stream groups
   bool offline = false;
+  /// Multi-load (`loads` axis) group: method/warm/exhaust are all "*"
+  /// and `objective` is the cell's multi-load objective (sum|maxmin|pf).
+  bool loads = false;
   std::vector<MetricAggregate> metrics;
 };
 

@@ -86,6 +86,22 @@ public:
     return out;
   }
 
+  /// Comma-separated strings for axis keys (mix=uniform,hotspot).
+  [[nodiscard]] std::vector<std::string> get_string_list(
+      const std::string& key, const std::string& fallback) {
+    const int at = find(key);
+    if (at < 0) return {fallback};
+    std::vector<std::string> out;
+    std::istringstream iss(values_[at]);
+    std::string item;
+    while (std::getline(iss, item, ',')) {
+      if (item.empty()) fail(line_, "key '" + key + "': empty list element");
+      out.push_back(std::move(item));
+    }
+    if (out.empty()) fail(line_, "key '" + key + "': empty value");
+    return out;
+  }
+
   void reject_unknown() const {
     for (std::size_t i = 0; i < keys_.size(); ++i) {
       if (!used_[i]) fail(line_, "unknown key '" + keys_[i] + "'");
@@ -255,7 +271,7 @@ void ScenarioSpec::validate() const {
           "campaign spec: window must be positive");
   const bool has_stream =
       std::any_of(scenarios.begin(), scenarios.end(),
-                  [](const WorkloadSource& s) { return !s.offline(); });
+                  [](const WorkloadSource& s) { return s.stream(); });
   if (has_stream) {
     require(std::find(methods.begin(), methods.end(), Method::Lprr) ==
                 methods.end(),
@@ -284,8 +300,19 @@ void ScenarioSpec::validate() const {
             "campaign spec: workload trace without a path");
     require(s.dyn != WorkloadSource::DynKind::Trace || !s.events_path.empty(),
             "campaign spec: dynamics trace without a path");
-    require(s.dyn == WorkloadSource::DynKind::None || !s.offline(),
+    require(s.dyn == WorkloadSource::DynKind::None || s.stream(),
             "campaign spec: dynamics requires a stream workload");
+    if (s.kind == WorkloadSource::Kind::Loads) {
+      require(s.load_count >= 1, "campaign spec: loads count must be >= 1");
+      require(s.load_mix == "uniform" || s.load_mix == "hotspot",
+              "campaign spec: loads mix must be uniform or hotspot");
+      require(s.weight_spread >= 0.0 && s.weight_spread < 1.0,
+              "campaign spec: loads weight-spread out of [0, 1)");
+      require(s.ratio_spread >= 0.0 && s.ratio_spread < 1.0,
+              "campaign spec: loads ratio-spread out of [0, 1)");
+      require(s.cap_factor >= 0.0 && std::isfinite(s.cap_factor),
+              "campaign spec: loads cap must be >= 0 (0 = uncapped)");
+    }
     if (s.dyn == WorkloadSource::DynKind::Scenario) {
       require(s.event_rate > 0.0 && std::isfinite(s.event_rate),
               "campaign spec: dynamics event-rate must be positive");
@@ -350,6 +377,15 @@ void write_campaign(const ScenarioSpec& spec, std::ostream& os) {
   }
 
   for (const WorkloadSource& s : spec.scenarios) {
+    if (s.kind == WorkloadSource::Kind::Loads) {
+      os << "loads label=" << s.label << " count=" << s.load_count
+         << " mix=" << s.load_mix
+         << " objective=" << core::to_string(s.multi_objective)
+         << " weight-spread=" << format_double(s.weight_spread)
+         << " ratio-spread=" << format_double(s.ratio_spread)
+         << " cap=" << format_double(s.cap_factor) << '\n';
+      continue;
+    }
     os << "workload ";
     switch (s.kind) {
       case WorkloadSource::Kind::None:
@@ -380,6 +416,8 @@ void write_campaign(const ScenarioSpec& spec, std::ostream& os) {
       case WorkloadSource::Kind::Trace:
         os << "trace label=" << s.label << " path=" << s.path;
         break;
+      case WorkloadSource::Kind::Loads:
+        break;  // handled above
     }
     os << '\n';
     switch (s.dyn) {
@@ -727,15 +765,74 @@ ScenarioSpec read_campaign(std::istream& is) {
       else claim_label(scenario_labels, s.label, line_no);
       opt.reject_unknown();
       spec.scenarios.push_back(std::move(s));
+    } else if (keyword == "loads") {
+      // The multi-load axis: count x mix x objective expand into one
+      // scenario cell per combination (like platform generate lists).
+      LineOptions opt(iss, line_no);
+      const std::vector<double> counts = opt.get_double_list("count", 4);
+      const std::vector<std::string> mixes =
+          opt.get_string_list("mix", "uniform");
+      const std::vector<std::string> objectives =
+          opt.get_string_list("objective", "sum");
+      const double weight_spread = opt.get_double("weight-spread", 0.5);
+      const double ratio_spread = opt.get_double("ratio-spread", 0.0);
+      const double cap_factor = opt.get_double("cap", 0.0);
+      const std::string label = opt.get_string("label", "");
+      opt.reject_unknown();
+      const std::size_t cells = counts.size() * mixes.size() * objectives.size();
+      for (const double cd : counts) {
+        if (cd != std::floor(cd) || cd < 1) {
+          fail(line_no, "loads count must be positive integers");
+        }
+        for (const std::string& mix : mixes) {
+          if (mix != "uniform" && mix != "hotspot") {
+            fail(line_no, "unknown loads mix '" + mix +
+                              "' (expected uniform|hotspot)");
+          }
+          for (const std::string& obj : objectives) {
+            WorkloadSource s;
+            s.kind = WorkloadSource::Kind::Loads;
+            s.load_count = static_cast<int>(cd);
+            s.load_mix = mix;
+            if (!core::parse_multi_objective(obj, s.multi_objective)) {
+              fail(line_no, "unknown loads objective '" + obj +
+                                "' (expected sum|maxmin|pf)");
+            }
+            s.weight_spread = weight_spread;
+            s.ratio_spread = ratio_spread;
+            s.cap_factor = cap_factor;
+            std::string varying;
+            const auto vary = [&](bool axis, const std::string& part) {
+              if (!axis) return;
+              if (!varying.empty()) varying += ',';
+              varying += part;
+            };
+            vary(counts.size() > 1, "N=" + std::to_string(s.load_count));
+            vary(mixes.size() > 1, "mix=" + mix);
+            vary(objectives.size() > 1, "obj=" + obj);
+            if (!label.empty()) {
+              s.label = cells == 1 ? label : label + ":" + varying;
+              claim_label(scenario_labels, s.label, line_no);
+            } else {
+              std::string derived =
+                  "loads:" +
+                  (varying.empty() ? "N=" + std::to_string(s.load_count)
+                                   : varying);
+              s.label = dedupe(scenario_labels, std::move(derived));
+            }
+            spec.scenarios.push_back(std::move(s));
+          }
+        }
+      }
     } else if (keyword == "dynamics") {
       if (spec.scenarios.empty()) {
         fail(line_no, "dynamics line with no preceding workload line");
       }
       WorkloadSource& s = spec.scenarios.back();
-      if (s.offline()) {
+      if (!s.stream()) {
         fail(line_no,
-             "dynamics requires a stream workload (the preceding workload is "
-             "'none')");
+             "dynamics requires a stream workload (the preceding workload "
+             "line replays no timeline)");
       }
       if (s.dyn != WorkloadSource::DynKind::None) {
         fail(line_no, "duplicate dynamics line for workload '" + s.label + "'");
@@ -783,7 +880,7 @@ ScenarioSpec read_campaign(std::istream& is) {
   // Cross-line contradictions get the best line number we have.
   const bool has_stream =
       std::any_of(spec.scenarios.begin(), spec.scenarios.end(),
-                  [](const WorkloadSource& s) { return !s.offline(); });
+                  [](const WorkloadSource& s) { return s.stream(); });
   if (has_stream && std::find(spec.methods.begin(), spec.methods.end(),
                               Method::Lprr) != spec.methods.end()) {
     fail(method_line,

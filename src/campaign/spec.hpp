@@ -31,6 +31,11 @@
 //   workload none
 //   workload poisson arrivals=40 rate=1 mean-load=500
 //   dynamics scenario event-rate=0.05 severity=0.5 horizon=300
+//   loads count=2,8 mix=uniform objective=sum,maxmin weight-spread=0.5
+//
+// A `loads` line is the multi-load axis (ISSUE 8): its count, mix and
+// objective comma lists expand into one scenario cell per combination,
+// each solving one joint N-load LP per (platform, replication).
 //
 // A `dynamics` line attaches to the workload line directly above it; a
 // `dynamics` line with no stream workload to attach to is a contradiction
@@ -45,6 +50,7 @@
 #include <vector>
 
 #include "core/heuristics.hpp"
+#include "core/loads.hpp"
 #include "core/problem.hpp"
 #include "online/engine.hpp"
 #include "online/workload.hpp"
@@ -97,6 +103,7 @@ struct WorkloadSource {
     Poisson,  ///< open-system Poisson arrivals
     OnOff,    ///< bursty ON/OFF arrivals
     Trace,    ///< a `.workload` file
+    Loads,    ///< N concurrent loads solved jointly (`loads` axis, ISSUE 8)
   };
   enum class DynKind : unsigned char {
     None,      ///< static platform
@@ -118,7 +125,26 @@ struct WorkloadSource {
                               ///< arrival + 100, like `dls dynamics`)
   std::string events_path;    ///< DynKind::Trace
 
+  // Kind::Loads: one cell of the `loads` axis. A `loads` spec line is a
+  // cross product (count x mix x objective comma lists expand into one
+  // scenario per combination). Loads cells ignore the spec's
+  // method/objective/warm/exhaust axes — each cell carries its own
+  // multi-load objective — and sample the load set per replication from
+  // the loads seed stream (plan.hpp).
+  int load_count = 4;
+  std::string load_mix = "uniform";  ///< uniform | hotspot source placement
+  core::MultiObjective multi_objective = core::MultiObjective::WeightedSum;
+  double weight_spread = 0.5;  ///< load weights ~ uniform 1 +- spread
+  double ratio_spread = 0.0;   ///< data ratios ~ uniform 1 +- spread
+  double cap_factor = 0.0;     ///< cap = factor * source speed; 0 = uncapped
+
   [[nodiscard]] bool offline() const { return kind == Kind::None; }
+  /// True for workloads that stream arrivals through the online engine;
+  /// platform dynamics can only attach to these (loads cells, like
+  /// offline cells, replay no timeline).
+  [[nodiscard]] bool stream() const {
+    return kind != Kind::None && kind != Kind::Loads;
+  }
 };
 
 /// The declarative campaign: axes x replications, one seed.

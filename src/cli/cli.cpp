@@ -8,6 +8,7 @@
 #include "campaign/spec.hpp"
 #include "cli/args.hpp"
 #include "core/heuristics.hpp"
+#include "core/loads.hpp"
 #include "dynamics/events.hpp"
 #include "core/npc/reduction.hpp"
 #include "core/schedule.hpp"
@@ -18,6 +19,7 @@
 #include "platform/generator.hpp"
 #include "platform/serialization.hpp"
 #include "sim/simulator.hpp"
+#include "support/build_info.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -39,12 +41,16 @@ void print_usage(std::ostream& os) {
         "  worker     execute case ranges for a campaign coordinator\n"
         "             (--connect host:port)\n"
         "  sweep      run heuristics over many random platforms in parallel\n"
+        "             (--loads N solves joint N-load LPs instead;\n"
+        "             --objective sum|maxmin|pf)\n"
         "  online     replay a stream of application arrivals with adaptive\n"
-        "             warm-started rescheduling\n"
+        "             warm-started rescheduling (--loads runs every arrival\n"
+        "             concurrently in one shared multi-load LP)\n"
         "  dynamics   replay a workload against a platform-event trace\n"
         "             (failures, drift, churn) and report the degradation\n"
         "  reduce     build the NP-hardness instance from a graph file\n"
         "  help       show this message\n"
+        "  --version  print build type, compiler and git revision\n"
         "see src/cli/cli.hpp for the full option list\n";
 }
 
@@ -243,10 +249,80 @@ int cmd_simulate(Args& args, std::ostream& out) {
   return 0;
 }
 
+/// `dls sweep --loads N`: the multi-load variant — one grid cell, one
+/// `loads` scenario cell, replications = --cases, each case one joint
+/// N-load LP (ISSUE 8).
+int cmd_sweep_loads(Args& args, std::ostream& out, int clusters, int loads_n) {
+  const std::string obj_name = args.get_string("objective", "sum");
+  core::MultiObjective objective = core::MultiObjective::WeightedSum;
+  require(core::parse_multi_objective(obj_name, objective),
+          "--objective: expected sum|maxmin|pf");
+  const std::string mix = args.get_string("load-mix", "uniform");
+  require(mix == "uniform" || mix == "hotspot",
+          "--load-mix: expected uniform|hotspot");
+  const double weight_spread = args.get_double("weight-spread", 0.5);
+  const int cases = args.get_int("cases", 20);
+  const int jobs = args.get_int("jobs", 0);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  args.reject_unknown();
+  require(cases >= 1, "--cases: need at least one replication");
+  require(jobs >= 0, "--jobs: cannot be negative");
+
+  campaign::ScenarioSpec spec;
+  spec.name = "sweep-loads";
+  spec.seed = seed;
+  spec.replications = cases;
+  campaign::PlatformSource cell;
+  cell.kind = campaign::PlatformSource::Kind::Grid;
+  cell.grid_clusters = clusters;
+  cell.label = "grid:K=" + std::to_string(clusters);
+  spec.platforms = {std::move(cell)};
+  campaign::WorkloadSource lw;
+  lw.kind = campaign::WorkloadSource::Kind::Loads;
+  lw.load_count = loads_n;
+  lw.load_mix = mix;
+  lw.multi_objective = objective;
+  lw.weight_spread = weight_spread;
+  lw.label = "loads:N=" + std::to_string(loads_n);
+  spec.scenarios = {std::move(lw)};
+
+  campaign::RunnerOptions opt;
+  opt.jobs = jobs;
+  WallTimer timer;
+  const campaign::CampaignReport report = campaign::run_campaign(spec, opt);
+  const double wall = timer.seconds();
+
+  const campaign::GroupAggregate& group = report.groups.front();
+  const auto metric =
+      [&](const std::string& name) -> const campaign::MetricAggregate& {
+    for (const campaign::MetricAggregate& m : group.metrics)
+      if (m.name == name) return m;
+    throw Error("sweep: missing campaign metric '" + name + "'");
+  };
+  const int ok = static_cast<int>(metric("ok").acc.sum());
+  out << "sweep: K=" << clusters << ", " << loads_n
+      << " concurrent loads (mix " << mix << ", objective "
+      << core::to_string(objective) << "), " << ok << "/" << cases
+      << " cases ok, " << TextTable::fmt(wall, 2) << "s\n";
+  TextTable table({"metric", "mean", "stddev", "cases"});
+  for (const char* name : {"objective", "sum_throughput", "min_weighted",
+                           "jain", "lp_solves", "lp_iterations"}) {
+    const campaign::MetricAggregate& m = metric(name);
+    table.add_row({name, table_cell(m.acc, m.acc.mean(), 4),
+                   table_cell(m.acc, m.acc.stddev(), 4),
+                   std::to_string(m.acc.count())});
+  }
+  table.print(out);
+  return 0;
+}
+
 /// `sweep` is a thin adapter over the campaign runner: one grid cell,
 /// one offline scenario, replications = --cases.
 int cmd_sweep(Args& args, std::ostream& out) {
   const int clusters = args.get_int("clusters", 10);
+  const int loads_n = args.get_int("loads", 0);
+  require(loads_n >= 0, "--loads: cannot be negative");
+  if (loads_n > 0) return cmd_sweep_loads(args, out, clusters, loads_n);
   const core::Objective objective = resolve_objective(args);
   const bool with_lprr = args.get_flag("lprr");
   const int cases = args.get_int("cases", 20);
@@ -419,6 +495,16 @@ int cmd_campaign(Args& args, std::ostream& out, std::ostream& err) {
 
   WallTimer timer;
   const campaign::CampaignReport report = campaign::run_campaign(spec, opt);
+  if (report.executed_cases == 0) {
+    // Still a valid (empty) report with exit 0 — a shard index past the
+    // case count is legitimate in a fixed-width multi-machine launch —
+    // but flag it so a typo'd spec does not silently produce nothing.
+    err << "dls: warning: campaign expanded to zero cases for this run"
+        << (opt.shard_count > 1 ? " (shard " + std::to_string(opt.shard_index) +
+                                      "/" + std::to_string(opt.shard_count) + ")"
+                                : "")
+        << "\n";
+  }
   if (json) {
     campaign::write_report_json(report, out);
   } else if (csv) {
@@ -559,6 +645,34 @@ online::Workload workload_from_args(Args& args, int num_clusters,
 /// receives the --warm spelling for reporting.
 online::OnlineOptions online_options_from_args(Args& args, std::string* warm_name) {
   online::OnlineOptions options;
+  const std::string warm = args.get_string("warm", "auto");
+  online::WarmPolicy warm_policy = online::WarmPolicy::Auto;
+  if (warm == "auto") {
+    warm_policy = online::WarmPolicy::Auto;
+  } else if (warm == "never") {
+    warm_policy = online::WarmPolicy::Never;
+  } else if (warm == "always") {
+    warm_policy = online::WarmPolicy::Always;
+  } else {
+    throw Error("--warm: expected auto|never|always");
+  }
+  if (warm_name != nullptr) *warm_name = warm;
+
+  // --loads: shared multi-load LP mode. Every active arrival is a column
+  // block of one joint program, so the per-app heuristic axis (--method)
+  // does not apply and rates always come from the LP itself.
+  options.multi_load = args.get_flag("loads");
+  if (options.multi_load) {
+    const std::string obj = args.get_string("objective", "sum");
+    require(core::parse_multi_objective(obj, options.multi.solve.objective),
+            "--objective: expected sum|maxmin|pf");
+    options.multi.warm = warm_policy;
+    require(args.get_string("rate-model", "fluid") == "fluid",
+            "--loads: requires --rate-model fluid "
+            "(rates come from the shared LP, not the packet simulator)");
+    return options;
+  }
+
   const std::string method = args.get_string("method", "g");
   if (method == "g") {
     options.sched.method = online::Method::Greedy;
@@ -572,17 +686,7 @@ online::OnlineOptions online_options_from_args(Args& args, std::string* warm_nam
     throw Error("--method: expected g|lpr|lprg|lp");
   }
   options.sched.objective = resolve_objective(args);
-  const std::string warm = args.get_string("warm", "auto");
-  if (warm == "auto") {
-    options.sched.warm = online::WarmPolicy::Auto;
-  } else if (warm == "never") {
-    options.sched.warm = online::WarmPolicy::Never;
-  } else if (warm == "always") {
-    options.sched.warm = online::WarmPolicy::Always;
-  } else {
-    throw Error("--warm: expected auto|never|always");
-  }
-  if (warm_name != nullptr) *warm_name = warm;
+  options.sched.warm = warm_policy;
   options.sched.max_support_change =
       args.get_int("max-support-change", options.sched.max_support_change);
   const std::string rate_model = args.get_string("rate-model", "fluid");
@@ -651,6 +755,10 @@ int run_replicated(Args& args, std::ostream& out, std::uint64_t seed, int reps,
   campaign::WorkloadSource wl = workload_source_from_args(args);
   std::string warm;
   const online::OnlineOptions options = online_options_from_args(args, &warm);
+  require(!options.multi_load,
+          "--loads is not supported with --reps (the campaign runner drives "
+          "the single-load stream kernel; use the `loads` axis of a .campaign "
+          "spec for replicated multi-load runs)");
   spec.methods = {to_campaign(options.sched.method)};
   spec.objectives = {options.sched.objective};
   spec.warm = {options.sched.warm};
@@ -724,6 +832,15 @@ int cmd_online(Args& args, std::ostream& out) {
   const online::OnlineReport report = engine.run(workload);
   const double wall = timer.seconds();
 
+  // In --loads mode there is no per-app heuristic; the "method" is the
+  // shared LP and the objective is the multi-load one.
+  const std::string method_label =
+      options.multi_load ? "shared-lp"
+                         : std::string(to_string(options.sched.method));
+  const std::string objective_label =
+      options.multi_load ? core::to_string(options.multi.solve.objective)
+                         : std::string(to_string(options.sched.objective));
+
   std::vector<double> responses;
   responses.reserve(report.apps.size());
   for (const auto& app : report.apps) responses.push_back(app.response());
@@ -733,8 +850,8 @@ int cmd_online(Args& args, std::ostream& out) {
   if (json) {
     out.precision(10);
     out << "{\"command\":\"online\",\"clusters\":" << plat.num_clusters()
-        << ",\"method\":\"" << to_string(options.sched.method) << "\""
-        << ",\"objective\":\"" << to_string(options.sched.objective) << "\""
+        << ",\"method\":\"" << method_label << "\""
+        << ",\"objective\":\"" << objective_label << "\""
         << ",\"warm_policy\":\"" << warm << "\""
         << ",\"arrivals\":" << report.arrivals
         << ",\"completed\":" << report.completed
@@ -767,8 +884,8 @@ int cmd_online(Args& args, std::ostream& out) {
   }
 
   out << "online: " << report.arrivals << " arrivals on " << plat.num_clusters()
-      << " clusters, method " << to_string(options.sched.method) << ", objective "
-      << to_string(options.sched.objective) << ", warm " << warm << "\n";
+      << " clusters, method " << method_label << ", objective "
+      << objective_label << ", warm " << warm << "\n";
   TextTable table({"metric", "value"});
   table.add_row({"completed", std::to_string(report.completed)});
   table.add_row({"makespan", TextTable::fmt(report.makespan, 2)});
@@ -805,6 +922,9 @@ int cmd_dynamics(Args& args, std::ostream& out) {
       workload_from_args(args, plat.num_clusters(), seed);
   std::string warm;
   const online::OnlineOptions options = online_options_from_args(args, &warm);
+  require(!options.multi_load,
+          "--loads applies to `dls online`; the dynamics report compares the "
+          "per-app scheduler against its static baseline");
 
   // Event trace: a .events file, or a generated failure/drift/churn
   // scenario (one ChurnScenarioGrid cell). The horizon defaults to
@@ -956,6 +1076,12 @@ int run_cli(std::vector<std::string> args, std::ostream& out, std::ostream& err)
   try {
     Args parsed(std::move(args));
     const std::string& cmd = parsed.command();
+    // `--version` has no positional command, so the token parses as a
+    // bare flag; `dls version` also works.
+    if (cmd == "version" || (cmd.empty() && parsed.get_flag("version"))) {
+      out << support::build_summary() << "\n";
+      return 0;
+    }
     if (cmd.empty() || cmd == "help") {
       print_usage(cmd.empty() ? err : out);
       return cmd.empty() ? 2 : 0;

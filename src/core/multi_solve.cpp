@@ -1,0 +1,177 @@
+#include "core/multi_solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+namespace dls::core {
+
+namespace {
+
+/// Mirrors the single-load heuristics' warm-threading: consume and
+/// refresh the caller's capsule/arena, report how the seed was used.
+lp::Solution solve_reduced(const SteadyStateProblem::ReducedModel& reduced,
+                           const lp::SimplexOptions& lp_options,
+                           LpWarmStart* warm) {
+  const lp::SimplexSolver solver(lp_options);
+  lp::WarmState* state = warm != nullptr ? warm->state : nullptr;
+  lp::SolveArena* arena = warm != nullptr ? warm->arena : nullptr;
+  lp::Solution sol = arena != nullptr ? solver.solve(reduced.model, state, *arena)
+                                      : (state != nullptr
+                                             ? solver.solve(reduced.model, state)
+                                             : solver.solve(reduced.model));
+  if (warm != nullptr) {
+    warm->used = sol.warm_used;
+    warm->kind = sol.warm_kind;
+  }
+  return sol;
+}
+
+void read_throughputs(const SteadyStateProblem& problem,
+                      const SteadyStateProblem::ReducedModel& reduced,
+                      const lp::Solution& sol, MultiLoadSolution& out) {
+  out.alloc = problem.load_allocation_from_reduced(reduced, sol.x);
+  out.throughput.assign(problem.num_loads(), 0.0);
+  for (int j = 0; j < problem.num_loads(); ++j)
+    out.throughput[j] = out.alloc.total(j);
+}
+
+MultiLoadSolution solve_single_lp(const SteadyStateProblem& problem,
+                                  const MultiLoadSolveOptions& options,
+                                  LpWarmStart* warm) {
+  std::optional<SteadyStateProblem::ReducedModel> own;
+  const SteadyStateProblem::ReducedModel* reduced =
+      warm != nullptr && warm->reduced != nullptr ? warm->reduced : nullptr;
+  if (reduced == nullptr) {
+    own.emplace(problem.build_reduced());
+    reduced = &*own;
+  }
+  const lp::Solution sol = solve_reduced(*reduced, options.lp, warm);
+  MultiLoadSolution out;
+  out.status = sol.status;
+  out.lp_solves = 1;
+  out.lp_iterations = sol.iterations;
+  out.warm = warm != nullptr && warm->used;
+  out.repaired = warm != nullptr && warm->kind == lp::WarmKind::Basis;
+  if (sol.status != lp::SolveStatus::Optimal) return out;
+  out.objective = sol.objective;
+  read_throughputs(problem, *reduced, sol, out);
+  return out;
+}
+
+MultiLoadSolution solve_prop_fair(const SteadyStateProblem& problem,
+                                  const MultiLoadSolveOptions& options,
+                                  LpWarmStart* warm) {
+  // The iteration re-patches objective coefficients between rounds, so it
+  // owns its model: a caller-cached reduced model (warm->reduced) is NOT
+  // used here. The capsule/arena still thread through — coefficient
+  // patches are non-structural, so round 2..R warm-start off round 1,
+  // and round 1 warm-starts off the caller's previous event.
+  SteadyStateProblem::ReducedModel reduced = problem.build_reduced();
+  // Thread the caller's capsule/arena when given; otherwise chain the
+  // rounds through a local capsule so they still warm-start each other.
+  lp::WarmState local_state;
+  LpWarmStart chain;
+  if (warm != nullptr) chain = *warm;
+  if (chain.state == nullptr) chain.state = &local_state;
+  chain.reduced = nullptr;
+  LpWarmStart* thread = &chain;
+
+  const LoadSet& loads = problem.loads();
+  const int num_loads = problem.num_loads();
+  const double floor = options.pf_floor;
+
+  lp::Solution sol = solve_reduced(reduced, options.lp, thread);
+  MultiLoadSolution out;
+  out.status = sol.status;
+  out.lp_solves = 1;
+  out.lp_iterations = sol.iterations;
+  out.warm = thread->used;
+  out.repaired = thread->kind == lp::WarmKind::Basis;
+  if (warm != nullptr) {  // event-level semantics: how round 1 was seeded
+    warm->used = out.warm;
+    warm->kind = thread->kind;
+  }
+  if (sol.status != lp::SolveStatus::Optimal) return out;
+  read_throughputs(problem, reduced, sol, out);
+
+  std::vector<double> ref = out.throughput;
+  for (int round = 1; round < options.pf_max_rounds; ++round) {
+    // Linearize sum w_j log(x_j) at the reference point: coefficient
+    // w_j / ref_j, floored so starved loads pull hard instead of
+    // dividing by zero. The floor is RELATIVE to the best-served load:
+    // round 1 optimizes a weighted sum whose vertex may starve a load
+    // outright, and w / pf_floor would put ~1e9-scale coefficients into
+    // the simplex (iteration-limit territory). A 1e-6 relative floor
+    // still pulls the starved load up by six orders of magnitude while
+    // keeping the objective's dynamic range factorable.
+    double ref_max = floor;
+    for (int j = 0; j < num_loads; ++j)
+      if (loads.loads[j].weight > 0.0) ref_max = std::max(ref_max, ref[j]);
+    const double lin_floor = std::max(floor, 1e-6 * ref_max);
+    for (std::size_t r = 0; r < reduced.alpha_var.size(); ++r) {
+      const double w = loads.loads[problem.load_routes()[r].load].weight;
+      reduced.model.set_objective_coef(
+          reduced.alpha_var[r],
+          w > 0.0 ? w / std::max(ref[problem.load_routes()[r].load], lin_floor)
+                  : 0.0);
+    }
+    sol = solve_reduced(reduced, options.lp, thread);
+    ++out.lp_solves;
+    out.lp_iterations += sol.iterations;
+    if (sol.status != lp::SolveStatus::Optimal) {
+      out.status = sol.status;
+      return out;
+    }
+    read_throughputs(problem, reduced, sol, out);
+
+    double delta = 0.0;
+    for (int j = 0; j < num_loads; ++j) {
+      if (loads.loads[j].weight <= 0.0) continue;
+      delta = std::max(delta, std::fabs(out.throughput[j] - ref[j]) /
+                                  std::max(ref[j], floor));
+    }
+    if (delta < options.pf_tol) break;
+    // Damped reference update: averaging prevents two-cycle oscillation
+    // between vertices of a degenerate optimum face.
+    for (int j = 0; j < num_loads; ++j)
+      ref[j] = 0.5 * (ref[j] + out.throughput[j]);
+  }
+
+  out.objective = 0.0;
+  for (int j = 0; j < num_loads; ++j) {
+    const double w = loads.loads[j].weight;
+    if (w <= 0.0) continue;
+    out.objective += w * std::log(std::max(out.throughput[j], floor));
+  }
+  return out;
+}
+
+}  // namespace
+
+MultiLoadSolution solve_loads(const SteadyStateProblem& problem,
+                              const MultiLoadSolveOptions& options,
+                              LpWarmStart* warm) {
+  if (options.objective == MultiObjective::PropFair)
+    return solve_prop_fair(problem, options, warm);
+  const Objective want = options.objective == MultiObjective::MaxMin
+                             ? Objective::MaxMin
+                             : Objective::Sum;
+  require(problem.objective() == want,
+          "solve_loads: problem objective does not match the requested "
+          "multi-load objective");
+  return solve_single_lp(problem, options, warm);
+}
+
+MultiLoadSolution solve_loads(const platform::Platform& plat,
+                              const LoadSet& loads,
+                              const MultiLoadSolveOptions& options,
+                              LpWarmStart* warm) {
+  const Objective obj = options.objective == MultiObjective::MaxMin
+                            ? Objective::MaxMin
+                            : Objective::Sum;
+  const SteadyStateProblem problem(plat, loads, obj);
+  return solve_loads(problem, options, warm);
+}
+
+}  // namespace dls::core

@@ -14,27 +14,40 @@ constexpr double kEps = 1e-9;
 std::string pair_name(const char* prefix, int k, int l) {
   return std::string(prefix) + "_" + std::to_string(k) + "_" + std::to_string(l);
 }
+
+// Variable/row names for non-canonical load sets carry the load index
+// (the source cluster is implied by the load). Canonical sets keep the
+// original "a_k_l" names so the emitted model is byte-identical.
+std::string load_name(const char* prefix, int load, int l) {
+  return std::string(prefix) + std::to_string(load) + "_" + std::to_string(l);
+}
 }  // namespace
 
 std::string to_string(Objective o) {
   return o == Objective::Sum ? "SUM" : "MAXMIN";
 }
 
+namespace {
+LoadSet payoff_loads(const platform::Platform& plat,
+                     const std::vector<double>& payoffs) {
+  require(static_cast<int>(payoffs.size()) == plat.num_clusters(),
+          "SteadyStateProblem: one payoff per cluster required");
+  return LoadSet::from_payoffs(payoffs);
+}
+}  // namespace
+
 SteadyStateProblem::SteadyStateProblem(const platform::Platform& plat,
                                        std::vector<double> payoffs,
                                        Objective objective)
-    : plat_(&plat), payoffs_(std::move(payoffs)), objective_(objective) {
+    : SteadyStateProblem(plat, payoff_loads(plat, payoffs), objective) {}
+
+SteadyStateProblem::SteadyStateProblem(const platform::Platform& plat,
+                                       LoadSet loads, Objective objective)
+    : plat_(&plat), loads_(std::move(loads)), objective_(objective) {
   const int n = plat.num_clusters();
-  require(static_cast<int>(payoffs_.size()) == n,
-          "SteadyStateProblem: one payoff per cluster required");
-  bool any_positive = false;
-  for (double p : payoffs_) {
-    require(p >= 0.0 && std::isfinite(p), "SteadyStateProblem: payoffs must be >= 0");
-    any_positive |= p > 0.0;
-  }
-  // With no application at all the MaxMin objective would be unbounded
-  // (and the problem meaningless); demand at least one.
-  require(any_positive, "SteadyStateProblem: at least one positive payoff required");
+  loads_.validate(n);
+  canonical_ = loads_.canonical(n);
+  if (canonical_) payoffs_ = loads_.weights();
 
   auto table = std::make_shared<RouteTable>();
   table->route_id.assign(static_cast<std::size_t>(n) * n, -1);
@@ -56,10 +69,36 @@ SteadyStateProblem::SteadyStateProblem(const platform::Platform& plat,
     }
   }
   table_ = std::move(table);
+  build_load_table();
+}
+
+void SteadyStateProblem::build_load_table() {
+  const int n = plat_->num_clusters();
+  const int num_loads = loads_.size();
+  auto lt = std::make_shared<LoadTable>();
+  lt->lroute_id.assign(static_cast<std::size_t>(num_loads) * n, -1);
+  lt->link_lroutes.assign(plat_->num_links(), {});
+  lt->loads_at.assign(n, {});
+  for (int j = 0; j < num_loads; ++j) {
+    const int src = loads_.loads[j].source;
+    lt->loads_at[src].push_back(j);
+    for (int l = 0; l < n; ++l) {
+      const int r = table_->route_id[static_cast<std::size_t>(src) * n + l];
+      if (r < 0) continue;
+      const int id = static_cast<int>(lt->lroutes.size());
+      lt->lroute_id[static_cast<std::size_t>(j) * n + l] = id;
+      lt->lroutes.push_back({j, r});
+      if (src != l)
+        for (platform::LinkId li : plat_->route(src, l))
+          lt->link_lroutes[li].push_back(id);
+    }
+  }
+  ltable_ = std::move(lt);
 }
 
 SteadyStateProblem SteadyStateProblem::with_payoffs(
     std::vector<double> payoffs) const {
+  require(canonical_, "with_payoffs: canonical problems only; use with_loads");
   require(payoffs.size() == payoffs_.size(),
           "with_payoffs: one payoff per cluster required");
   bool any_positive = false;
@@ -69,7 +108,37 @@ SteadyStateProblem SteadyStateProblem::with_payoffs(
   }
   require(any_positive, "with_payoffs: at least one positive payoff required");
   SteadyStateProblem copy = *this;
+  for (std::size_t k = 0; k < payoffs.size(); ++k)
+    copy.loads_.loads[k].weight = payoffs[k];
   copy.payoffs_ = std::move(payoffs);
+  return copy;
+}
+
+SteadyStateProblem SteadyStateProblem::with_loads(LoadSet loads) const {
+  loads.validate(num_clusters());
+  SteadyStateProblem copy = *this;
+  copy.loads_ = std::move(loads);
+  copy.canonical_ = copy.loads_.canonical(num_clusters());
+  copy.payoffs_ = copy.canonical_ ? copy.loads_.weights() : std::vector<double>{};
+  copy.build_load_table();
+  return copy;
+}
+
+SteadyStateProblem SteadyStateProblem::with_load_weights(
+    const std::vector<double>& weights) const {
+  require(weights.size() == loads_.loads.size(),
+          "with_load_weights: one weight per load required");
+  SteadyStateProblem copy = *this;
+  bool any_positive = false;
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    require(weights[j] >= 0.0 && std::isfinite(weights[j]),
+            "with_load_weights: weights must be finite and >= 0");
+    any_positive |= weights[j] > 0.0;
+    copy.loads_.loads[j].weight = weights[j];
+  }
+  require(any_positive,
+          "with_load_weights: at least one positive weight required");
+  if (canonical_) copy.payoffs_ = weights;
   return copy;
 }
 
@@ -79,16 +148,28 @@ int SteadyStateProblem::route_id(int k, int l) const {
   return table_->route_id[static_cast<std::size_t>(k) * n + l];
 }
 
+int SteadyStateProblem::load_route_id(int j, int l) const {
+  const int n = num_clusters();
+  require(j >= 0 && j < num_loads() && l >= 0 && l < n,
+          "load_route_id: load or cluster out of range");
+  return ltable_->lroute_id[static_cast<std::size_t>(j) * n + l];
+}
+
 SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
     const std::vector<BetaFixing>& fixings) const {
   const int n = num_clusters();
+  const auto& lroutes = ltable_->lroutes;
   ReducedModel out;
   out.has_fixings = !fixings.empty();
   lp::Model& m = out.model;
   m.set_sense(lp::Sense::Maximize);
 
-  // Fixing lookup: route -> fixed beta value (or -1 when free).
-  std::vector<int> fixed(table_->routes.size(), -1);
+  // Fixing lookup: load-route -> fixed beta value (or -1 when free). The
+  // LPRR fixing API is per platform route, which only identifies one
+  // column on canonical sets (load-route id == route id there).
+  require(fixings.empty() || canonical_,
+          "build_reduced: beta fixings require a canonical load set");
+  std::vector<int> fixed(lroutes.size(), -1);
   for (const BetaFixing& f : fixings) {
     require(f.route >= 0 && f.route < static_cast<int>(table_->routes.size()) &&
                 table_->routes[f.route].needs_beta && f.value >= 0,
@@ -96,24 +177,29 @@ SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
     fixed[f.route] = f.value;
   }
 
-  // Alpha variables.
-  out.alpha_var.resize(table_->routes.size());
-  for (std::size_t r = 0; r < table_->routes.size(); ++r) {
-    const Route& route = table_->routes[r];
+  // Alpha variables, one per (load, reachable destination).
+  out.alpha_var.resize(lroutes.size());
+  for (std::size_t r = 0; r < lroutes.size(); ++r) {
+    const LoadSpec& load = loads_.loads[lroutes[r].load];
+    const Route& route = table_->routes[lroutes[r].route];
     double ub = lp::kInf;
-    if (payoffs_[route.k] == 0.0) {
-      ub = 0.0;  // no application on this cluster: nothing to send
+    if (load.weight == 0.0) {
+      ub = 0.0;  // no application on this load slot: nothing to send
     } else if (fixed[r] >= 0) {
-      ub = fixed[r] * route.pbw;  // (7e) with beta pinned
+      // (7e) with beta pinned: data_ratio * alpha <= beta * pbw.
+      ub = fixed[r] * route.pbw / load.data_ratio;
     }
-    out.alpha_var[r] = m.add_variable(0.0, ub, 0.0, pair_name("a", route.k, route.l));
+    out.alpha_var[r] = m.add_variable(
+        0.0, ub, 0.0,
+        canonical_ ? pair_name("a", route.k, route.l)
+                   : load_name("a", lroutes[r].load, route.l));
   }
 
-  // (7b) compute capacity of each cluster.
+  // (7b) compute capacity of each cluster, summed over every load.
   for (int l = 0; l < n; ++l) {
     std::vector<lp::Term> terms;
-    for (int k = 0; k < n; ++k) {
-      const int r = route_id(k, l);
+    for (int j = 0; j < num_loads(); ++j) {
+      const int r = load_route_id(j, l);
       if (r >= 0) terms.push_back({out.alpha_var[r], 1.0});
     }
     m.add_constraint(std::move(terms), lp::Relation::LessEqual,
@@ -124,31 +210,36 @@ SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
   // cluster or fully-disconnected platforms, churned-out clusters) sends
   // no gateway traffic at all: emitting its row would add a degenerate
   // 0 <= g_k constraint (and a slack column) per isolated cluster.
+  // Each unit of load j ships data_ratio_j bytes through both gateways.
   for (int k = 0; k < n; ++k) {
     std::vector<lp::Term> terms;
     for (int l = 0; l < n; ++l) {
       if (l == k) continue;
-      if (const int out_r = route_id(k, l); out_r >= 0)
-        terms.push_back({out.alpha_var[out_r], 1.0});
-      if (const int in_r = route_id(l, k); in_r >= 0)
-        terms.push_back({out.alpha_var[in_r], 1.0});
+      for (int j : ltable_->loads_at[k])
+        if (const int out_r = load_route_id(j, l); out_r >= 0)
+          terms.push_back({out.alpha_var[out_r], loads_.loads[j].data_ratio});
+      for (int j : ltable_->loads_at[l])
+        if (const int in_r = load_route_id(j, k); in_r >= 0)
+          terms.push_back({out.alpha_var[in_r], loads_.loads[j].data_ratio});
     }
     if (terms.empty()) continue;
     m.add_constraint(std::move(terms), lp::Relation::LessEqual,
                      plat_->cluster(k).gateway_bw, "gateway_" + std::to_string(k));
   }
 
-  // (7d) with beta substituted: sum alpha/pbw over free routes through the
-  // link, against the budget left by the fixed routes.
+  // (7d) with beta substituted: sum data_ratio * alpha / pbw over free
+  // load-routes through the link, against the budget left by the fixed.
   for (platform::LinkId li = 0; li < plat_->num_links(); ++li) {
-    if (table_->link_routes[li].empty()) continue;
+    if (ltable_->link_lroutes[li].empty()) continue;
     std::vector<lp::Term> terms;
     double budget = plat_->link(li).max_connections;
-    for (int r : table_->link_routes[li]) {
+    for (int r : ltable_->link_lroutes[li]) {
       if (fixed[r] >= 0) {
         budget -= fixed[r];
       } else {
-        terms.push_back({out.alpha_var[r], 1.0 / table_->routes[r].pbw});
+        terms.push_back({out.alpha_var[r],
+                         loads_.loads[lroutes[r].load].data_ratio /
+                             table_->routes[lroutes[r].route].pbw});
       }
     }
     require(budget >= -kEps, "build_reduced: beta fixings exceed a link budget");
@@ -157,21 +248,36 @@ SteadyStateProblem::ReducedModel SteadyStateProblem::build_reduced(
                      std::max(budget, 0.0), "maxcon_" + std::to_string(li));
   }
 
+  // Amdahl-like per-load caps: sum_l alpha_{j,l} <= cap_j. Absent for
+  // canonical sets (cap = +inf), so the legacy layout is untouched.
+  for (int j = 0; j < num_loads(); ++j) {
+    if (!std::isfinite(loads_.loads[j].cap)) continue;
+    std::vector<lp::Term> terms;
+    for (int l = 0; l < n; ++l) {
+      const int r = load_route_id(j, l);
+      if (r >= 0) terms.push_back({out.alpha_var[r], 1.0});
+    }
+    if (terms.empty()) continue;
+    m.add_constraint(std::move(terms), lp::Relation::LessEqual,
+                     loads_.loads[j].cap, "cap_" + std::to_string(j));
+  }
+
   // Objective.
   if (objective_ == Objective::Sum) {
-    for (std::size_t r = 0; r < table_->routes.size(); ++r)
-      m.set_objective_coef(out.alpha_var[r], payoffs_[table_->routes[r].k]);
+    for (std::size_t r = 0; r < lroutes.size(); ++r)
+      m.set_objective_coef(out.alpha_var[r], loads_.loads[lroutes[r].load].weight);
   } else {
     out.t_var = m.add_variable(0.0, lp::kInf, 1.0, "t");
-    for (int k = 0; k < n; ++k) {
-      if (payoffs_[k] <= 0.0) continue;
+    for (int j = 0; j < num_loads(); ++j) {
+      const double w = loads_.loads[j].weight;
+      if (w <= 0.0) continue;
       std::vector<lp::Term> terms{{out.t_var, 1.0}};
       for (int l = 0; l < n; ++l) {
-        const int r = route_id(k, l);
-        if (r >= 0) terms.push_back({out.alpha_var[r], -payoffs_[k]});
+        const int r = load_route_id(j, l);
+        if (r >= 0) terms.push_back({out.alpha_var[r], -w});
       }
       m.add_constraint(std::move(terms), lp::Relation::LessEqual, 0.0,
-                       "fair_" + std::to_string(k));
+                       "fair_" + std::to_string(j));
     }
   }
   return out;
@@ -181,44 +287,51 @@ void SteadyStateProblem::update_reduced_payoffs(ReducedModel& reduced) const {
   require(objective_ == Objective::Sum,
           "update_reduced_payoffs: MaxMin reshapes the model per payoff "
           "support; rebuild with build_reduced instead");
-  require(reduced.alpha_var.size() == table_->routes.size() && reduced.t_var == -1,
+  require(reduced.alpha_var.size() == ltable_->lroutes.size() &&
+              reduced.t_var == -1,
           "update_reduced_payoffs: model does not match this problem");
   require(!reduced.has_fixings,
           "update_reduced_payoffs: model was built with beta fixings, whose "
           "(7e) caps live in the alpha bounds this would overwrite");
-  for (std::size_t r = 0; r < table_->routes.size(); ++r) {
-    const Route& route = table_->routes[r];
+  for (std::size_t r = 0; r < ltable_->lroutes.size(); ++r) {
+    const double w = loads_.loads[ltable_->lroutes[r].load].weight;
     const int var = reduced.alpha_var[r];
-    reduced.model.set_bounds(var, 0.0,
-                             payoffs_[route.k] == 0.0 ? 0.0 : lp::kInf);
-    reduced.model.set_objective_coef(var, payoffs_[route.k]);
+    reduced.model.set_bounds(var, 0.0, w == 0.0 ? 0.0 : lp::kInf);
+    reduced.model.set_objective_coef(var, w);
   }
 }
 
 SteadyStateProblem::FullModel SteadyStateProblem::build_full(bool integer_betas) const {
   const int n = num_clusters();
+  const auto& lroutes = ltable_->lroutes;
   FullModel out;
   out.integer_betas = integer_betas;
   lp::Model& m = out.model;
   m.set_sense(lp::Sense::Maximize);
 
-  out.alpha_var.resize(table_->routes.size());
-  out.beta_var.assign(table_->routes.size(), -1);
-  for (std::size_t r = 0; r < table_->routes.size(); ++r) {
-    const Route& route = table_->routes[r];
-    const double ub = payoffs_[route.k] == 0.0 ? 0.0 : lp::kInf;
-    out.alpha_var[r] = m.add_variable(0.0, ub, 0.0, pair_name("a", route.k, route.l));
+  out.alpha_var.resize(lroutes.size());
+  out.beta_var.assign(lroutes.size(), -1);
+  for (std::size_t r = 0; r < lroutes.size(); ++r) {
+    const LoadSpec& load = loads_.loads[lroutes[r].load];
+    const Route& route = table_->routes[lroutes[r].route];
+    const double ub = load.weight == 0.0 ? 0.0 : lp::kInf;
+    out.alpha_var[r] = m.add_variable(
+        0.0, ub, 0.0,
+        canonical_ ? pair_name("a", route.k, route.l)
+                   : load_name("a", lroutes[r].load, route.l));
     if (route.needs_beta) {
-      out.beta_var[r] = m.add_variable(0.0, lp::kInf, 0.0,
-                                       pair_name("b", route.k, route.l));
+      out.beta_var[r] = m.add_variable(
+          0.0, lp::kInf, 0.0,
+          canonical_ ? pair_name("b", route.k, route.l)
+                     : load_name("b", lroutes[r].load, route.l));
       if (integer_betas) m.set_integer(out.beta_var[r]);
     }
   }
 
   for (int l = 0; l < n; ++l) {  // (7b)
     std::vector<lp::Term> terms;
-    for (int k = 0; k < n; ++k) {
-      const int r = route_id(k, l);
+    for (int j = 0; j < num_loads(); ++j) {
+      const int r = load_route_id(j, l);
       if (r >= 0) terms.push_back({out.alpha_var[r], 1.0});
     }
     m.add_constraint(std::move(terms), lp::Relation::LessEqual,
@@ -228,43 +341,61 @@ SteadyStateProblem::FullModel SteadyStateProblem::build_full(bool integer_betas)
     std::vector<lp::Term> terms;
     for (int l = 0; l < n; ++l) {
       if (l == k) continue;
-      if (const int out_r = route_id(k, l); out_r >= 0)
-        terms.push_back({out.alpha_var[out_r], 1.0});
-      if (const int in_r = route_id(l, k); in_r >= 0)
-        terms.push_back({out.alpha_var[in_r], 1.0});
+      for (int j : ltable_->loads_at[k])
+        if (const int out_r = load_route_id(j, l); out_r >= 0)
+          terms.push_back({out.alpha_var[out_r], loads_.loads[j].data_ratio});
+      for (int j : ltable_->loads_at[l])
+        if (const int in_r = load_route_id(j, k); in_r >= 0)
+          terms.push_back({out.alpha_var[in_r], loads_.loads[j].data_ratio});
     }
     if (terms.empty()) continue;
     m.add_constraint(std::move(terms), lp::Relation::LessEqual,
                      plat_->cluster(k).gateway_bw, "gateway_" + std::to_string(k));
   }
   for (platform::LinkId li = 0; li < plat_->num_links(); ++li) {  // (7d)
-    if (table_->link_routes[li].empty()) continue;
+    if (ltable_->link_lroutes[li].empty()) continue;
     std::vector<lp::Term> terms;
-    for (int r : table_->link_routes[li]) terms.push_back({out.beta_var[r], 1.0});
+    for (int r : ltable_->link_lroutes[li])
+      terms.push_back({out.beta_var[r], 1.0});
     m.add_constraint(std::move(terms), lp::Relation::LessEqual,
                      plat_->link(li).max_connections, "maxcon_" + std::to_string(li));
   }
-  for (std::size_t r = 0; r < table_->routes.size(); ++r) {  // (7e)
-    if (!table_->routes[r].needs_beta) continue;
-    m.add_constraint({{out.alpha_var[r], 1.0}, {out.beta_var[r], -table_->routes[r].pbw}},
+  for (std::size_t r = 0; r < lroutes.size(); ++r) {  // (7e)
+    const Route& route = table_->routes[lroutes[r].route];
+    if (!route.needs_beta) continue;
+    m.add_constraint({{out.alpha_var[r], loads_.loads[lroutes[r].load].data_ratio},
+                      {out.beta_var[r], -route.pbw}},
                      lp::Relation::LessEqual, 0.0,
-                     pair_name("bw", table_->routes[r].k, table_->routes[r].l));
+                     canonical_ ? pair_name("bw", route.k, route.l)
+                                : load_name("bw", lroutes[r].load, route.l));
+  }
+  for (int j = 0; j < num_loads(); ++j) {  // Amdahl-like caps
+    if (!std::isfinite(loads_.loads[j].cap)) continue;
+    std::vector<lp::Term> terms;
+    for (int l = 0; l < n; ++l) {
+      const int r = load_route_id(j, l);
+      if (r >= 0) terms.push_back({out.alpha_var[r], 1.0});
+    }
+    if (terms.empty()) continue;
+    m.add_constraint(std::move(terms), lp::Relation::LessEqual,
+                     loads_.loads[j].cap, "cap_" + std::to_string(j));
   }
 
   if (objective_ == Objective::Sum) {
-    for (std::size_t r = 0; r < table_->routes.size(); ++r)
-      m.set_objective_coef(out.alpha_var[r], payoffs_[table_->routes[r].k]);
+    for (std::size_t r = 0; r < lroutes.size(); ++r)
+      m.set_objective_coef(out.alpha_var[r], loads_.loads[lroutes[r].load].weight);
   } else {
     out.t_var = m.add_variable(0.0, lp::kInf, 1.0, "t");
-    for (int k = 0; k < n; ++k) {
-      if (payoffs_[k] <= 0.0) continue;
+    for (int j = 0; j < num_loads(); ++j) {
+      const double w = loads_.loads[j].weight;
+      if (w <= 0.0) continue;
       std::vector<lp::Term> terms{{out.t_var, 1.0}};
       for (int l = 0; l < n; ++l) {
-        const int r = route_id(k, l);
-        if (r >= 0) terms.push_back({out.alpha_var[r], -payoffs_[k]});
+        const int r = load_route_id(j, l);
+        if (r >= 0) terms.push_back({out.alpha_var[r], -w});
       }
       m.add_constraint(std::move(terms), lp::Relation::LessEqual, 0.0,
-                       "fair_" + std::to_string(k));
+                       "fair_" + std::to_string(j));
     }
   }
   return out;
@@ -273,6 +404,9 @@ SteadyStateProblem::FullModel SteadyStateProblem::build_full(bool integer_betas)
 Allocation SteadyStateProblem::allocation_from_reduced(
     const ReducedModel& reduced, const std::vector<double>& x,
     const std::vector<BetaFixing>& fixings) const {
+  require(canonical_,
+          "allocation_from_reduced: cluster-by-cluster allocations only "
+          "exist for canonical load sets; use load_allocation_from_reduced");
   require(x.size() == static_cast<std::size_t>(reduced.model.num_variables()),
           "allocation_from_reduced: assignment size mismatch");
   std::vector<int> fixed(table_->routes.size(), -1);
@@ -293,6 +427,9 @@ Allocation SteadyStateProblem::allocation_from_reduced(
 
 Allocation SteadyStateProblem::allocation_from_full(const FullModel& full,
                                                     const std::vector<double>& x) const {
+  require(canonical_,
+          "allocation_from_full: cluster-by-cluster allocations only "
+          "exist for canonical load sets");
   require(x.size() == static_cast<std::size_t>(full.model.num_variables()),
           "allocation_from_full: assignment size mismatch");
   Allocation alloc(num_clusters());
@@ -305,20 +442,35 @@ Allocation SteadyStateProblem::allocation_from_full(const FullModel& full,
   return alloc;
 }
 
+LoadAllocation SteadyStateProblem::load_allocation_from_reduced(
+    const ReducedModel& reduced, const std::vector<double>& x) const {
+  require(x.size() == static_cast<std::size_t>(reduced.model.num_variables()),
+          "load_allocation_from_reduced: assignment size mismatch");
+  require(reduced.alpha_var.size() == ltable_->lroutes.size(),
+          "load_allocation_from_reduced: model does not match this problem");
+  LoadAllocation alloc(num_loads(), num_clusters());
+  for (std::size_t r = 0; r < ltable_->lroutes.size(); ++r) {
+    const LoadRoute& lr = ltable_->lroutes[r];
+    alloc.set_alpha(lr.load, table_->routes[lr.route].l,
+                    std::max(0.0, x[reduced.alpha_var[r]]));
+  }
+  return alloc;
+}
+
 double SteadyStateProblem::objective_of(const Allocation& alloc) const {
   const int n = num_clusters();
   require(alloc.num_clusters() == n, "objective_of: cluster count mismatch");
   if (objective_ == Objective::Sum) {
     double total = 0.0;
-    for (int k = 0; k < n; ++k) total += payoffs_[k] * alloc.total_alpha(k);
+    for (int k = 0; k < n; ++k) total += payoffs()[k] * alloc.total_alpha(k);
     return total;
   }
   double worst = std::numeric_limits<double>::infinity();
   bool any = false;
   for (int k = 0; k < n; ++k) {
-    if (payoffs_[k] <= 0.0) continue;
+    if (payoffs()[k] <= 0.0) continue;
     any = true;
-    worst = std::min(worst, payoffs_[k] * alloc.total_alpha(k));
+    worst = std::min(worst, payoffs()[k] * alloc.total_alpha(k));
   }
   return any ? worst : 0.0;
 }

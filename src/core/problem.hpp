@@ -24,6 +24,18 @@
 // Clusters with payoff 0 host no application (paper §3.1); their alpha
 // variables are fixed to zero but their CPU and gateway still serve
 // other applications.
+//
+// Multi-load generalization (ISSUE 8): the problem is a platform-side
+// route table plus a core::LoadSet. Each load j contributes one alpha
+// variable per destination reachable from its source cluster; compute
+// rows sum every load landing on a cluster, gateway and max-connect rows
+// scale each load's terms by its data_ratio, and finite caps add one
+// per-load throughput row. The paper's original formulation is the
+// *canonical* load set (one load per cluster, ratio 1, no caps, see
+// loads.hpp): for it the generalized builder enumerates variables and
+// rows in exactly the original order with the original names and
+// coefficients, so the emitted LP is byte-identical to the single-load
+// builder and the existing pivot-sequence oracles keep passing.
 #pragma once
 
 #include <memory>
@@ -31,6 +43,7 @@
 #include <vector>
 
 #include "core/allocation.hpp"
+#include "core/loads.hpp"
 #include "lp/model.hpp"
 #include "platform/platform.hpp"
 
@@ -46,18 +59,46 @@ enum class Objective {
 class SteadyStateProblem {
 public:
   /// payoffs has one entry per cluster; payoff 0 = no application there.
+  /// Builds the canonical load set (LoadSet::from_payoffs).
   SteadyStateProblem(const platform::Platform& plat, std::vector<double> payoffs,
+                     Objective objective);
+
+  /// General N-load form: any number of loads, any sources, per-load
+  /// data ratios and caps. `loads` is validated against the platform.
+  SteadyStateProblem(const platform::Platform& plat, LoadSet loads,
                      Objective objective);
 
   /// A copy of this problem with the payoff vector replaced. The route
   /// table, per-route bottleneck bandwidths and link incidence lists do
   /// not depend on payoffs, so they are copied instead of recomputed —
   /// the cheap path the online rescheduler takes on every arrival or
-  /// departure event. Same validation as the constructor.
+  /// departure event. Same validation as the constructor. Canonical only.
   [[nodiscard]] SteadyStateProblem with_payoffs(std::vector<double> payoffs) const;
 
+  /// A copy with a different load set. Shares the platform route table;
+  /// the per-load route bindings are rebuilt (O(N*K + links)).
+  [[nodiscard]] SteadyStateProblem with_loads(LoadSet loads) const;
+
+  /// A copy with the same load structure but new weights (one per load).
+  /// Shares both tables — the O(N) path the multi-load rescheduler takes
+  /// per event.
+  [[nodiscard]] SteadyStateProblem with_load_weights(
+      const std::vector<double>& weights) const;
+
   [[nodiscard]] const platform::Platform& plat() const { return *plat_; }
-  [[nodiscard]] const std::vector<double>& payoffs() const { return payoffs_; }
+  /// The per-cluster payoff view of a canonical load set; throws for
+  /// general load sets (use loads() there).
+  [[nodiscard]] const std::vector<double>& payoffs() const {
+    require(canonical_, "payoffs: only canonical (one-load-per-cluster) "
+                        "problems have a payoff vector; use loads()");
+    return payoffs_;
+  }
+  [[nodiscard]] const LoadSet& loads() const { return loads_; }
+  [[nodiscard]] int num_loads() const { return loads_.size(); }
+  /// True when the load set has the paper's one-load-per-cluster shape:
+  /// load-route ids coincide with route ids and the legacy per-cluster
+  /// APIs (payoffs, Allocation) apply.
+  [[nodiscard]] bool is_canonical() const { return canonical_; }
   [[nodiscard]] Objective objective() const { return objective_; }
   [[nodiscard]] int num_clusters() const { return plat_->num_clusters(); }
 
@@ -79,6 +120,18 @@ public:
     return table_->link_routes;
   }
 
+  /// One LP column per (load, reachable destination). For canonical load
+  /// sets load-route ids equal route ids.
+  struct LoadRoute {
+    int load = -1;   ///< index into loads()
+    int route = -1;  ///< index into routes() (source = the load's source)
+  };
+  [[nodiscard]] const std::vector<LoadRoute>& load_routes() const {
+    return ltable_->lroutes;
+  }
+  /// Index into load_routes() for (load j, destination l), or -1.
+  [[nodiscard]] int load_route_id(int j, int l) const;
+
   /// A fixing pins beta of route `route` to the integer `value`.
   struct BetaFixing {
     int route = -1;
@@ -87,7 +140,7 @@ public:
 
   struct ReducedModel {
     lp::Model model;
-    std::vector<int> alpha_var;  ///< per route id
+    std::vector<int> alpha_var;  ///< per load-route id (== route id when canonical)
     int t_var = -1;              ///< MaxMin auxiliary; -1 for Sum
     /// True when beta fixings shaped this model (alpha bounds carry the
     /// pinned (7e) caps); such a model cannot be re-payoffed in place.
@@ -104,12 +157,13 @@ public:
   /// grows one fairness row per active cluster, which reshapes the model.
   /// The online rescheduler patches one cached model per event with this
   /// instead of paying build_reduced's allocations thousands of times.
+  /// Works for any load set (weights enter the same way payoffs do).
   void update_reduced_payoffs(ReducedModel& reduced) const;
 
   struct FullModel {
     lp::Model model;
-    std::vector<int> alpha_var;  ///< per route id
-    std::vector<int> beta_var;   ///< per route id; -1 where needs_beta is false
+    std::vector<int> alpha_var;  ///< per load-route id
+    std::vector<int> beta_var;   ///< per load-route id; -1 where needs_beta is false
     int t_var = -1;
     bool integer_betas = false;  ///< whether betas were integer-marked
   };
@@ -128,6 +182,11 @@ public:
   [[nodiscard]] Allocation allocation_from_full(const FullModel& full,
                                                 const std::vector<double>& x) const;
 
+  /// Reads the per-load allocation out of a reduced-model solution.
+  /// Works for any load set (the N-load analogue of allocation_from_reduced).
+  [[nodiscard]] LoadAllocation load_allocation_from_reduced(
+      const ReducedModel& reduced, const std::vector<double>& x) const;
+
   /// Objective value of an allocation under this problem's objective.
   /// MaxMin with no positive-payoff application is defined as 0.
   [[nodiscard]] double objective_of(const Allocation& alloc) const;
@@ -143,10 +202,25 @@ private:
     std::vector<std::vector<int>> link_routes;
   };
 
+  /// Per-load route bindings derived from (load sources, route table).
+  /// Weight changes don't touch it, so with_payoffs/with_load_weights
+  /// share it; with_loads rebuilds it against the shared route table.
+  struct LoadTable {
+    std::vector<LoadRoute> lroutes;
+    std::vector<int> lroute_id;  // dense N*K -> load-route id or -1
+    std::vector<std::vector<int>> link_lroutes;
+    std::vector<std::vector<int>> loads_at;  // cluster -> load ids sourced there
+  };
+
+  void build_load_table();
+
   const platform::Platform* plat_;
-  std::vector<double> payoffs_;
+  std::vector<double> payoffs_;  ///< weight view; only kept canonical
+  LoadSet loads_;
+  bool canonical_ = false;
   Objective objective_;
   std::shared_ptr<const RouteTable> table_;
+  std::shared_ptr<const LoadTable> ltable_;
 };
 
 /// Checks an allocation against equations (7a)-(7g) plus the structural

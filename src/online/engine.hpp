@@ -72,6 +72,14 @@ struct OnlineOptions {
   /// Remaining load at or below this is treated as drained (absolute;
   /// loads are O(100) so this absorbs accumulated drain rounding).
   double load_eps = 1e-6;
+  /// Multi-load mode (ISSUE 8): every arrival is admitted immediately as
+  /// a load in ONE shared LP (MultiLoadRescheduler) — clusters host any
+  /// number of concurrent applications and no FIFO queues form
+  /// (queued_arrivals/peak_queued stay 0). Arrival payoffs become the
+  /// loads' objective weights and must be positive. Requires
+  /// RateModel::Fluid; `sched` is ignored in favour of `multi`.
+  bool multi_load = false;
+  MultiReschedulerOptions multi;
 };
 
 struct OnlineReport {
@@ -115,6 +123,9 @@ public:
                                  const dynamics::EventTrace& trace) const;
 
 private:
+  [[nodiscard]] OnlineReport run_multi(const Workload& workload,
+                                       const dynamics::EventTrace& trace) const;
+
   const platform::Platform* plat_;
   OnlineOptions options_;
 };

@@ -1,5 +1,6 @@
 #include "online/rescheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/timer.hpp"
@@ -145,6 +146,221 @@ Reschedule AdaptiveRescheduler::reschedule(const std::vector<double>& payoffs) {
   }
   prev_payoffs_ = payoffs;
   prev_allocation_ = out.allocation;
+  return out;
+}
+
+MultiLoadRescheduler::MultiLoadRescheduler(const platform::Platform& plat,
+                                           MultiReschedulerOptions options)
+    : plat_(&plat), options_(options) {
+  // Same solver posture as the single-load rescheduler: per-event solves
+  // never read duals, and successive models are small perturbations of
+  // one another, so basis repair is always worth attempting.
+  options_.solve.lp.compute_duals = false;
+  options_.solve.lp.warm_repair = true;
+}
+
+void MultiLoadRescheduler::reset() {
+  warm_state_.invalidate();
+  slot_of_.clear();
+  std::fill(slot_app_.begin(), slot_app_.end(), -1);
+}
+
+void MultiLoadRescheduler::platform_capacity_changed() {
+  // Cached problems bake per-route pbw, and the reduced model bakes
+  // capacities into bounds/rhs/coefficients: both are stale. The capsule
+  // survives for a whole (rhs-only) or repaired (re-priced) warm start.
+  problem_.reset();
+  maxmin_problem_.reset();
+  reduced_cache_.reset();
+}
+
+void MultiLoadRescheduler::platform_topology_changed() {
+  problem_.reset();
+  maxmin_problem_.reset();
+  reduced_cache_.reset();
+  slots_per_cluster_.clear();
+  slot_base_.clear();
+  slot_app_.clear();
+  total_slots_ = 0;
+  reset();
+}
+
+void MultiLoadRescheduler::rebuild_slots(const std::vector<int>& needed) {
+  const int n = plat_->num_clusters();
+  if (static_cast<int>(slots_per_cluster_.size()) != n)
+    slots_per_cluster_.assign(n, 1);
+  // Geometric growth: doubling amortizes rebuilds to O(log max-concurrency)
+  // cold solves per cluster over a whole run.
+  for (int c = 0; c < n; ++c)
+    if (needed[c] > slots_per_cluster_[c])
+      slots_per_cluster_[c] = std::max(needed[c], 2 * slots_per_cluster_[c]);
+  slot_base_.assign(n, 0);
+  total_slots_ = 0;
+  for (int c = 0; c < n; ++c) {
+    slot_base_[c] = total_slots_;
+    total_slots_ += slots_per_cluster_[c];
+  }
+  slot_app_.assign(total_slots_, -1);
+  slot_of_.clear();
+  // The model reshapes: a capsule saved against the old slot universe
+  // cannot fit and rejecting it eagerly keeps the stats honest.
+  warm_state_.invalidate();
+  problem_.reset();
+  reduced_cache_.reset();
+}
+
+MultiReschedule MultiLoadRescheduler::solve_shared(
+    const std::vector<ActiveLoad>& loads) {
+  const int n = plat_->num_clusters();
+  std::vector<int> needed(n, 0);
+  for (const ActiveLoad& load : loads) ++needed[load.cluster];
+
+  bool grown = static_cast<int>(slots_per_cluster_.size()) != n;
+  for (int c = 0; !grown && c < n; ++c) grown = needed[c] > slots_per_cluster_[c];
+  if (grown) rebuild_slots(needed);
+
+  // Release slots of departed loads, then seat new arrivals on the
+  // lowest idle slot of their cluster (deterministic in call order).
+  std::vector<char> present(slot_app_.size(), 0);
+  for (const ActiveLoad& load : loads) {
+    auto it = slot_of_.find(load.id);
+    if (it != slot_of_.end()) present[it->second] = 1;
+  }
+  for (int s = 0; s < total_slots_; ++s) {
+    if (slot_app_[s] >= 0 && !present[s]) {
+      slot_of_.erase(slot_app_[s]);
+      slot_app_[s] = -1;
+    }
+  }
+  for (const ActiveLoad& load : loads) {
+    if (slot_of_.count(load.id)) continue;
+    int slot = -1;
+    for (int s = slot_base_[load.cluster];
+         s < slot_base_[load.cluster] + slots_per_cluster_[load.cluster]; ++s) {
+      if (slot_app_[s] < 0) {
+        slot = s;
+        break;
+      }
+    }
+    DLS_ASSERT(slot >= 0);
+    slot_app_[slot] = load.id;
+    slot_of_[load.id] = slot;
+  }
+
+  std::vector<double> weights(total_slots_, 0.0);
+  for (const ActiveLoad& load : loads) weights[slot_of_[load.id]] = load.weight;
+
+  if (!problem_) {
+    core::LoadSet slots;
+    slots.loads.reserve(total_slots_);
+    for (int c = 0; c < n; ++c)
+      for (int s = 0; s < slots_per_cluster_[c]; ++s) {
+        core::LoadSpec spec;
+        spec.source = c;
+        spec.weight = weights[slot_base_[c] + s];
+        slots.loads.push_back(std::move(spec));
+      }
+    problem_.emplace(*plat_, std::move(slots), core::Objective::Sum);
+  } else {
+    problem_ = problem_->with_load_weights(weights);
+  }
+  if (!reduced_cache_) {
+    reduced_cache_ = problem_->build_reduced();
+  } else {
+    problem_->update_reduced_payoffs(*reduced_cache_);
+  }
+
+  if (options_.warm == WarmPolicy::Never) warm_state_.invalidate();
+  core::LpWarmStart warm;
+  warm.state = &warm_state_;
+  warm.arena = &arena_;
+  warm.reduced = &*reduced_cache_;
+
+  const core::MultiLoadSolution sol =
+      core::solve_loads(*problem_, options_.solve, &warm);
+  require(sol.status == lp::SolveStatus::Optimal,
+          "MultiLoadRescheduler: shared LP solve failed");
+
+  MultiReschedule out;
+  out.rate.resize(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    out.rate[i] = sol.throughput[slot_of_[loads[i].id]];
+  out.objective = sol.objective;
+  out.warm = sol.warm;
+  out.repaired = sol.repaired;
+  out.lp_iterations = sol.lp_iterations;
+  out.lp_solves = sol.lp_solves;
+  return out;
+}
+
+MultiReschedule MultiLoadRescheduler::solve_maxmin(
+    const std::vector<ActiveLoad>& loads) {
+  core::LoadSet set;
+  set.loads.reserve(loads.size());
+  for (const ActiveLoad& load : loads) {
+    core::LoadSpec spec;
+    spec.source = load.cluster;
+    spec.weight = load.weight;
+    set.loads.push_back(std::move(spec));
+  }
+  maxmin_problem_ = maxmin_problem_
+                        ? maxmin_problem_->with_loads(std::move(set))
+                        : core::SteadyStateProblem(*plat_, std::move(set),
+                                                   core::Objective::MaxMin);
+
+  if (options_.warm == WarmPolicy::Never) warm_state_.invalidate();
+  core::LpWarmStart warm;
+  warm.state = &warm_state_;
+  warm.arena = &arena_;
+
+  const core::MultiLoadSolution sol =
+      core::solve_loads(*maxmin_problem_, options_.solve, &warm);
+  require(sol.status == lp::SolveStatus::Optimal,
+          "MultiLoadRescheduler: max-min solve failed");
+
+  MultiReschedule out;
+  out.rate = sol.throughput;
+  out.objective = sol.objective;
+  out.warm = sol.warm;
+  out.repaired = sol.repaired;
+  out.lp_iterations = sol.lp_iterations;
+  out.lp_solves = sol.lp_solves;
+  return out;
+}
+
+MultiReschedule MultiLoadRescheduler::reschedule(
+    const std::vector<ActiveLoad>& loads) {
+  require(!loads.empty(), "MultiLoadRescheduler: no active loads");
+  const int n = plat_->num_clusters();
+  std::vector<int> ids;
+  ids.reserve(loads.size());
+  for (const ActiveLoad& load : loads) {
+    require(load.cluster >= 0 && load.cluster < n,
+            "MultiLoadRescheduler: load cluster out of range");
+    require(load.weight > 0.0, "MultiLoadRescheduler: load weight must be > 0");
+    ids.push_back(load.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  require(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+          "MultiLoadRescheduler: duplicate load id");
+
+  WallTimer timer;
+  MultiReschedule out =
+      options_.solve.objective == core::MultiObjective::MaxMin
+          ? solve_maxmin(loads)
+          : solve_shared(loads);
+  out.seconds = timer.seconds();
+
+  if (out.warm) {
+    ++stats_.warm_solves;
+    stats_.repaired_solves += out.repaired;
+    stats_.warm_seconds += out.seconds;
+    stats_.warm_iterations += out.lp_iterations;
+  } else {
+    ++stats_.cold_solves;
+    stats_.cold_seconds += out.seconds;
+    stats_.cold_iterations += out.lp_iterations;
+  }
   return out;
 }
 

@@ -37,9 +37,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/heuristics.hpp"
+#include "core/multi_solve.hpp"
 #include "core/problem.hpp"
 #include "platform/platform.hpp"
 
@@ -147,6 +149,104 @@ private:
   std::optional<core::SteadyStateProblem::ReducedModel> reduced_cache_;
   std::optional<core::Allocation> prev_allocation_;
   std::vector<double> prev_payoffs_;
+  Stats stats_;
+};
+
+/// One running application in the shared multi-load LP.
+struct ActiveLoad {
+  int id = -1;          ///< caller's stable identifier (e.g. app id)
+  int cluster = -1;     ///< home cluster holding the load's data
+  double weight = 1.0;  ///< objective weight; must be positive
+};
+
+struct MultiReschedulerOptions {
+  /// Objective plus LP/PropFair controls (core::solve_loads). The
+  /// rescheduler disables dual extraction and enables warm_repair, like
+  /// the single-load path.
+  core::MultiLoadSolveOptions solve;
+  WarmPolicy warm = WarmPolicy::Auto;
+};
+
+/// Outcome of one shared-LP reschedule. `rate[i]` is the drain rate of
+/// `loads[i]` from the call.
+struct MultiReschedule {
+  std::vector<double> rate;
+  double objective = 0.0;
+  bool warm = false;
+  bool repaired = false;
+  double seconds = 0.0;
+  int lp_iterations = 0;
+  int lp_solves = 0;  ///< > 1 only under PropFair
+};
+
+/// The multi-load counterpart of AdaptiveRescheduler (ISSUE 8): all
+/// running applications are loads in ONE shared LP, and arrivals and
+/// departures become column patches on it instead of N independent
+/// solves.
+///
+/// Under WeightedSum and PropFair the LP is built over a fixed universe
+/// of per-cluster load *slots* (grown geometrically when a cluster's
+/// concurrency outgrows it, which rebuilds the model and solves cold
+/// once). An arrival claims an idle slot of its home cluster; a
+/// departure releases one. Both only move the slot's column bounds and
+/// objective coefficients — the constraint matrix, and therefore the
+/// lp::WarmState capsule keyed on its fingerprint, survive every event
+/// whole. Platform capacity events re-price the matrix under the
+/// capsule, which warm_repair turns into a statuses-only repair; only
+/// topology events (and slot growth) force a cold start.
+///
+/// MaxMin reshapes the model with the active set (one fairness row per
+/// running load), so it rebuilds the LP per event and warm-starts only
+/// when consecutive events keep the shape (paired arrival+departure).
+class MultiLoadRescheduler {
+public:
+  using Stats = AdaptiveRescheduler::Stats;
+
+  MultiLoadRescheduler(const platform::Platform& plat,
+                       MultiReschedulerOptions options);
+
+  /// Solves the shared LP for the given active set (any order, unique
+  /// positive-weight ids) and refreshes warm state for the next call.
+  /// Throws dls::Error on solver failure or an empty/invalid set.
+  [[nodiscard]] MultiReschedule reschedule(const std::vector<ActiveLoad>& loads);
+
+  /// Drops warm state and slot assignments; the next call solves cold.
+  void reset();
+
+  /// Capacity rescale under the model: cached problems/models rebuild on
+  /// the next call, the capsule is kept for a whole or repaired start.
+  void platform_capacity_changed();
+
+  /// Topology change: everything (including the slot universe) resets.
+  void platform_topology_changed();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Total load slots in the current shared LP (0 before the first
+  /// solve); observability for tests and benches.
+  [[nodiscard]] int slot_count() const { return total_slots_; }
+
+private:
+  void rebuild_slots(const std::vector<int>& needed);
+  [[nodiscard]] MultiReschedule solve_shared(const std::vector<ActiveLoad>& loads);
+  [[nodiscard]] MultiReschedule solve_maxmin(const std::vector<ActiveLoad>& loads);
+
+  const platform::Platform* plat_;
+  MultiReschedulerOptions options_;
+  /// Slot universe (WeightedSum/PropFair): per-cluster slot counts, the
+  /// cluster-major base index of each cluster's slots, and occupancy.
+  std::vector<int> slots_per_cluster_;
+  std::vector<int> slot_base_;
+  int total_slots_ = 0;
+  std::unordered_map<int, int> slot_of_;  // load id -> global slot index
+  std::vector<int> slot_app_;             // global slot -> load id or -1
+  /// Slot problem (Objective::Sum), re-weighted per event with
+  /// with_load_weights; MaxMin keeps its own per-event problem to share
+  /// the route table across with_loads calls.
+  std::optional<core::SteadyStateProblem> problem_;
+  std::optional<core::SteadyStateProblem> maxmin_problem_;
+  std::optional<core::SteadyStateProblem::ReducedModel> reduced_cache_;
+  lp::WarmState warm_state_;
+  lp::SolveArena arena_;
   Stats stats_;
 };
 

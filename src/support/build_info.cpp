@@ -1,0 +1,26 @@
+#include "support/build_info.hpp"
+
+#ifndef DLS_BUILD_TYPE
+#define DLS_BUILD_TYPE "unknown"
+#endif
+#ifndef DLS_COMPILER
+#define DLS_COMPILER "unknown"
+#endif
+#ifndef DLS_GIT_REVISION
+#define DLS_GIT_REVISION "unknown"
+#endif
+
+namespace dls::support {
+
+const char* build_type() { return DLS_BUILD_TYPE; }
+
+const char* compiler() { return DLS_COMPILER; }
+
+const char* git_revision() { return DLS_GIT_REVISION; }
+
+std::string build_summary() {
+  return std::string("dls ") + git_revision() + " (" + build_type() + ", " +
+         compiler() + ")";
+}
+
+}  // namespace dls::support

@@ -1,0 +1,28 @@
+// Build provenance: which binary produced an artifact. `dls --version`
+// prints this, and the bench drivers stamp it into their JSON lines, so
+// a committed BENCH_*.json or a distributed report can always be traced
+// to the build type, compiler and git revision that generated it.
+//
+// The values are baked in at configure time through compile definitions
+// (CMakeLists.txt); a build from an exported tarball without git reports
+// "unknown" for the revision.
+#pragma once
+
+#include <string>
+
+namespace dls::support {
+
+/// CMake build type ("RelWithDebInfo", "Debug", ...).
+[[nodiscard]] const char* build_type();
+
+/// Compiler id and version ("GNU 13.2.0").
+[[nodiscard]] const char* compiler();
+
+/// Abbreviated git revision at configure time, with "+dirty" when the
+/// tree had local modifications; "unknown" outside a git checkout.
+[[nodiscard]] const char* git_revision();
+
+/// One-line summary: "dls <revision> (<build type>, <compiler>)".
+[[nodiscard]] std::string build_summary();
+
+}  // namespace dls::support

@@ -1,0 +1,186 @@
+// Campaign `loads` axis (ISSUE 8): parse/round-trip of the loads line,
+// expansion into count x mix x objective cells, common random numbers
+// across objective cells, jobs/shard determinism, and the empty-shard
+// regression (a shard past the case count must still produce a valid
+// report with zero executed cases, not an error).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "support/error.hpp"
+
+namespace dls::campaign {
+namespace {
+
+ScenarioSpec loads_spec() {
+  return from_text(
+      "dls-campaign 1\n"
+      "name loads\n"
+      "seed 5\n"
+      "replications 2\n"
+      "platform grid clusters=6\n"
+      "loads count=2,4 mix=uniform objective=sum,maxmin weight-spread=0.5\n");
+}
+
+TEST(CampaignLoads, ParsesTheCrossProduct) {
+  const ScenarioSpec spec = loads_spec();
+  // count x mix x objective = 2 x 1 x 2 scenario cells.
+  ASSERT_EQ(spec.scenarios.size(), 4u);
+  for (const WorkloadSource& s : spec.scenarios) {
+    EXPECT_EQ(s.kind, WorkloadSource::Kind::Loads);
+    EXPECT_FALSE(s.stream());
+    EXPECT_FALSE(s.offline());
+    EXPECT_DOUBLE_EQ(s.weight_spread, 0.5);
+  }
+  EXPECT_EQ(spec.scenarios[0].load_count, 2);
+  EXPECT_EQ(spec.scenarios[0].multi_objective, core::MultiObjective::WeightedSum);
+  EXPECT_EQ(spec.scenarios[1].multi_objective, core::MultiObjective::MaxMin);
+  EXPECT_EQ(spec.scenarios[2].load_count, 4);
+  // Varying-axis labels are distinct.
+  std::vector<std::string> labels;
+  for (const WorkloadSource& s : spec.scenarios) labels.push_back(s.label);
+  std::sort(labels.begin(), labels.end());
+  EXPECT_EQ(std::unique(labels.begin(), labels.end()), labels.end());
+}
+
+TEST(CampaignLoads, RoundTripIsBitExact) {
+  const std::string canonical = to_text(loads_spec());
+  const ScenarioSpec reparsed = from_text(canonical);
+  EXPECT_EQ(to_text(reparsed), canonical);
+  ASSERT_EQ(reparsed.scenarios.size(), 4u);
+  EXPECT_EQ(reparsed.scenarios[3].multi_objective, core::MultiObjective::MaxMin);
+  EXPECT_EQ(reparsed.scenarios[3].load_count, 4);
+}
+
+TEST(CampaignLoads, ContradictionsAreRejected) {
+  // Dynamics cannot attach to a loads line (it replays no timeline).
+  EXPECT_THROW((void)from_text("dls-campaign 1\n"
+                               "platform grid clusters=4\n"
+                               "loads count=2\n"
+                               "dynamics scenario event-rate=0.1\n"),
+               Error);
+  EXPECT_THROW((void)from_text("dls-campaign 1\n"
+                               "platform grid clusters=4\n"
+                               "loads count=0\n"),
+               Error);
+  EXPECT_THROW((void)from_text("dls-campaign 1\n"
+                               "platform grid clusters=4\n"
+                               "loads count=2 mix=zipf\n"),
+               Error);
+  EXPECT_THROW((void)from_text("dls-campaign 1\n"
+                               "platform grid clusters=4\n"
+                               "loads count=2 objective=max\n"),
+               Error);
+}
+
+TEST(CampaignLoads, ObjectiveCellsShareTheSampledLoadSets) {
+  // The loads stream seed is scenario-independent on purpose: cells
+  // that differ only in objective draw identical load sets (common
+  // random numbers), so their fairness columns are comparable.
+  const ScenarioSpec spec = loads_spec();
+  for (int rep = 0; rep < spec.replications; ++rep)
+    for (int cell = 0; cell < 1; ++cell)
+      EXPECT_EQ(loads_stream_seed(spec, cell, rep),
+                loads_stream_seed(spec, cell, rep));
+  // Different cells and reps do diverge.
+  EXPECT_NE(loads_stream_seed(spec, 0, 0), loads_stream_seed(spec, 1, 0));
+  EXPECT_NE(loads_stream_seed(spec, 0, 0), loads_stream_seed(spec, 0, 1));
+}
+
+TEST(CampaignLoads, MinWeightedAgreesAcrossObjectiveCellsUnderMaxMin) {
+  // With shared load sets, the maxmin cell's "objective" metric equals
+  // its own "min_weighted" and upper-bounds the sum cell's min_weighted.
+  CampaignReport report;
+  RunnerOptions opt;
+  opt.jobs = 1;
+  report = run_campaign(loads_spec(), opt);
+  ASSERT_EQ(report.groups.size(), 4u);
+  for (const GroupAggregate& g : report.groups) {
+    EXPECT_TRUE(g.loads);
+    EXPECT_EQ(g.method, "*");
+  }
+  const auto metric = [](const GroupAggregate& g, const std::string& name) {
+    for (const MetricAggregate& m : g.metrics)
+      if (m.name == name) return m.acc.mean();
+    ADD_FAILURE() << "missing metric " << name;
+    return 0.0;
+  };
+  // Groups arrive cell-major: [N=2 sum, N=2 maxmin, N=4 sum, N=4 maxmin].
+  for (std::size_t base = 0; base < 4; base += 2) {
+    const GroupAggregate& sum = report.groups[base];
+    const GroupAggregate& maxmin = report.groups[base + 1];
+    EXPECT_EQ(sum.objective, "sum");
+    EXPECT_EQ(maxmin.objective, "maxmin");
+    EXPECT_NEAR(metric(maxmin, "objective"), metric(maxmin, "min_weighted"),
+                1e-9);
+    EXPECT_GE(metric(maxmin, "min_weighted") + 1e-9,
+              metric(sum, "min_weighted"));
+  }
+}
+
+TEST(CampaignLoads, JobsAndShardsNeverChangeTheCases) {
+  const ScenarioSpec spec = loads_spec();
+  const auto collect = [&spec](RunnerOptions opt) {
+    std::vector<CaseRecord> records;
+    opt.case_sink = [&records](const CampaignReport&, const CaseRecord& r) {
+      records.push_back(r);
+    };
+    (void)run_campaign(spec, opt);
+    return records;
+  };
+  const std::vector<CaseRecord> serial = collect({.jobs = 1});
+  const std::vector<CaseRecord> parallel = collect({.jobs = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i].values, parallel[i].values) << "case " << i;
+
+  // Shard union == full run (loads values are deterministic, so exact).
+  std::vector<CaseRecord> stitched;
+  for (int shard = 0; shard < 3; ++shard) {
+    RunnerOptions opt;
+    opt.jobs = 2;
+    opt.shard_index = shard;
+    opt.shard_count = 3;
+    for (const CaseRecord& r : collect(opt)) stitched.push_back(r);
+  }
+  ASSERT_EQ(stitched.size(), serial.size());
+  std::sort(stitched.begin(), stitched.end(),
+            [](const CaseRecord& a, const CaseRecord& b) {
+              return a.index < b.index;
+            });
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(stitched[i].index, serial[i].index);
+    EXPECT_EQ(stitched[i].values, serial[i].values) << "case " << i;
+  }
+}
+
+TEST(CampaignLoads, EmptyShardYieldsValidEmptyReport) {
+  // Regression (ISSUE 8 satellite): a shard index past the case count
+  // used to be easy to mistake for a spec error. It must produce a
+  // normal report — full group skeleton, zero executed cases — and the
+  // JSON writer must emit valid output for it.
+  const ScenarioSpec spec = loads_spec();  // 8 cases
+  RunnerOptions opt;
+  opt.jobs = 1;
+  opt.shard_index = 11;
+  opt.shard_count = 12;
+  const CampaignReport report = run_campaign(spec, opt);
+  EXPECT_EQ(report.total_cases, 8u);
+  EXPECT_EQ(report.executed_cases, 0u);
+  ASSERT_EQ(report.groups.size(), 4u);
+  for (const GroupAggregate& g : report.groups)
+    for (const MetricAggregate& m : g.metrics)
+      EXPECT_EQ(m.acc.count(), 0);
+  std::ostringstream json;
+  write_report_json(report, json);
+  EXPECT_NE(json.str().find("\"executed\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dls::campaign
