@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,6 +19,7 @@
 #include "online/engine.hpp"
 #include "platform/generator.hpp"
 #include "platform/serialization.hpp"
+#include "serve/daemon.hpp"
 #include "sim/simulator.hpp"
 #include "support/build_info.hpp"
 #include "support/stats.hpp"
@@ -48,6 +50,9 @@ void print_usage(std::ostream& os) {
         "             concurrently in one shared multi-load LP)\n"
         "  dynamics   replay a workload against a platform-event trace\n"
         "             (failures, drift, churn) and report the degradation\n"
+        "  serve      long-running scheduler daemon: HTTP /metrics, /health,\n"
+        "             /stats plus a line protocol for arrive/depart/event;\n"
+        "             --replay feeds a recorded .workload at --speed x\n"
         "  reduce     build the NP-hardness instance from a graph file\n"
         "  help       show this message\n"
         "  --version  print build type, compiler and git revision\n"
@@ -1044,6 +1049,85 @@ int cmd_dynamics(Args& args, std::ostream& out) {
   return 0;
 }
 
+// `dls serve` stop flag. Signal handlers can only touch a
+// sig_atomic_t; the daemon polls it once per loop iteration and turns
+// it into a drain.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_signal_handler(int) { g_serve_stop = 1; }
+
+int cmd_serve(Args& args, std::ostream& out) {
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  platform::Platform plat = platform_from_args(args, seed);
+
+  serve::DaemonOptions options;
+  options.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  options.port_file = args.get_string("port-file", "");
+  options.engine.max_loads = args.get_int("max-loads", 0);
+  options.engine.load_eps = args.get_double("load-eps", 1e-6);
+  const std::string obj = args.get_string("objective", "sum");
+  require(core::parse_multi_objective(obj, options.engine.sched.solve.objective),
+          "--objective: expected sum|maxmin|pf");
+  const std::string warm = args.get_string("warm", "auto");
+  if (warm == "auto") {
+    options.engine.sched.warm = online::WarmPolicy::Auto;
+  } else if (warm == "never") {
+    options.engine.sched.warm = online::WarmPolicy::Never;
+  } else if (warm == "always") {
+    options.engine.sched.warm = online::WarmPolicy::Always;
+  } else {
+    throw Error("--warm: expected auto|never|always");
+  }
+
+  const std::string replay_path = args.get_string("replay", "");
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    require(static_cast<bool>(in),
+            "cannot open workload file '" + replay_path + "'");
+    options.replay = online::read_workload(in);
+  }
+  const std::string events_path = args.get_string("events", "");
+  if (!events_path.empty()) {
+    std::ifstream in(events_path);
+    require(static_cast<bool>(in),
+            "cannot open events file '" + events_path + "'");
+    options.events = dynamics::read_events(in);
+  }
+  options.speed = args.get_double("speed", 1.0);
+  options.exit_after_replay = args.get_flag("exit-after-replay");
+  options.drain_grace = args.get_double("drain-grace", 0.0);
+  options.trace_file = args.get_string("trace-file", "");
+  options.trace_capacity =
+      static_cast<std::size_t>(args.get_int("trace-capacity", 1024));
+  args.reject_unknown();
+
+  g_serve_stop = 0;
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+  options.stop_requested = [] { return g_serve_stop != 0; };
+  options.log = [&out](const std::string& line) {
+    out << line << "\n" << std::flush;
+  };
+
+  const serve::DaemonReport report = serve::run_daemon(std::move(plat), options);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  const serve::EngineCounters& c = report.counters;
+  out << "serve: " << report.exit_reason << "; served " << report.requests
+      << " request(s), " << report.bad_requests << " bad\n";
+  out << "serve: " << c.arrivals << " arrival(s): " << c.admitted
+      << " admitted, " << c.rejected_overload << " overload, "
+      << c.rejected_absent << " absent, " << c.rejected_draining
+      << " draining; peak " << c.peak_active << " active\n";
+  out << "serve: " << c.completed << " completed, " << c.cancelled
+      << " cancelled, " << c.aborted_churn << " aborted; " << c.reschedules
+      << " reschedule(s) (" << c.warm_solves << " warm, of which "
+      << c.repaired_solves << " repaired; " << c.cold_solves << " cold); "
+      << c.platform_events << " platform event(s)\n";
+  return 0;
+}
+
 int cmd_reduce(Args& args, std::ostream& out) {
   const std::string path = args.get_string("graph", "");
   args.reject_unknown();
@@ -1094,6 +1178,7 @@ int run_cli(std::vector<std::string> args, std::ostream& out, std::ostream& err)
     if (cmd == "sweep") return cmd_sweep(parsed, out);
     if (cmd == "online") return cmd_online(parsed, out);
     if (cmd == "dynamics") return cmd_dynamics(parsed, out);
+    if (cmd == "serve") return cmd_serve(parsed, out);
     if (cmd == "reduce") return cmd_reduce(parsed, out);
     err << "dls: unknown command '" << cmd << "'\n";
     print_usage(err);

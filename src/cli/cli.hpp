@@ -48,6 +48,20 @@
 //                  link failures, bandwidth drift, cluster churn — and
 //                  report the degradation vs the static platform plus the
 //                  warm/repaired/cold re-solve split; see src/dynamics/)
+//   dls serve     --platform FILE | <generate options>
+//                 [--port P] [--port-file FILE] [--max-loads N]
+//                 [--objective sum|maxmin|pf] [--warm auto|never|always]
+//                 [--replay FILE] [--events FILE] [--speed X]
+//                 [--exit-after-replay] [--drain-grace S]
+//                 [--trace-file FILE] [--trace-capacity N]
+//                 [--load-eps e] [--seed n]
+//                 (long-running scheduler daemon around the shared
+//                  multi-load LP: HTTP GET /metrics (Prometheus text),
+//                  /health, /stats; POST /arrive, /depart, /event; plus
+//                  a newline line protocol on the same port. --replay
+//                  feeds a recorded .workload at --speed virtual seconds
+//                  per wall second (0 = as fast as possible); SIGTERM
+//                  drains. See src/serve/)
 //   dls reduce    --graph FILE   (edge list: "n m" then m lines "u v")
 //   dls help
 //

@@ -3,7 +3,6 @@
 #include <poll.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <deque>
@@ -16,16 +15,40 @@
 #include "campaign/plan.hpp"
 #include "dist/checkpoint.hpp"
 #include "dist/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/socket.hpp"
+#include "support/timer.hpp"
 
 namespace dls::dist {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
 using campaign::CaseDef;
 using campaign::CaseRecord;
+
+// Fleet telemetry: lease churn, worker lifecycle, and how close the
+// quietest worker is to its heartbeat budget (a rising lag gauge with
+// zero deaths means the fleet is stalled, not gone).
+struct DistObs {
+  obs::Counter leases, requeues, deaths;
+  obs::Gauge heartbeat_lag;
+  DistObs() {
+    auto& reg = obs::registry();
+    leases = reg.counter("dls_dist_leases_total", "Ranges leased to workers");
+    requeues = reg.counter("dls_dist_requeues_total",
+                           "Ranges re-queued after a FAIL or worker loss");
+    deaths = reg.counter("dls_dist_worker_deaths_total",
+                         "Ready workers lost (EOF, protocol, heartbeat)");
+    heartbeat_lag = reg.gauge("dls_dist_heartbeat_lag_seconds",
+                              "Longest per-worker silence at the last sweep");
+  }
+};
+
+DistObs& dist_obs() {
+  static DistObs handles;
+  return handles;
+}
 
 struct Range {
   std::size_t id = 0;
@@ -36,7 +59,7 @@ struct Range {
 struct Client {
   Socket sock;
   FrameReader reader;
-  Clock::time_point last_seen;
+  std::uint64_t last_seen_ns = 0;  ///< support now_ns() of the last byte
   std::size_t worker_no = 0;
   bool ready = false;
   std::optional<Range> lease;
@@ -221,6 +244,7 @@ CoordinatorResult serve_campaign(const campaign::ScenarioSpec& spec,
                 " workers — giving up on it");
     queue.push_front(range);
     ++result.ranges_requeued;
+    dist_obs().requeues.inc();
     say("requeued range [" + std::to_string(range.lo) + "," +
         std::to_string(range.hi) + ") after worker#" +
         std::to_string(client.worker_no) + " died");
@@ -230,7 +254,10 @@ CoordinatorResult serve_campaign(const campaign::ScenarioSpec& spec,
     auto it = clients.find(fd);
     if (it == clients.end()) return;
     if (death) {
-      if (it->second.ready) ++result.worker_deaths;
+      if (it->second.ready) {
+        ++result.worker_deaths;
+        dist_obs().deaths.inc();
+      }
       requeue_for_death(it->second);
     }
     clients.erase(it);
@@ -268,7 +295,13 @@ CoordinatorResult serve_campaign(const campaign::ScenarioSpec& spec,
       say("worker#" + std::to_string(client.worker_no) + " ready");
       return true;
     }
-    if (kind == "PING") return true;  // last_seen already refreshed
+    if (kind == "PING") {
+      // last_seen is already refreshed by the read loop. A timestamped
+      // PING gets its timestamp echoed back so the worker can measure
+      // the round trip; legacy bare PINGs expect (and get) no reply.
+      if (tokens.size() >= 2) return send_frame(client, "PONG " + tokens[1]);
+      return true;
+    }
     if (kind == "BYE") return false;  // orderly goodbye: close without requeue
 
     // Everything below concerns the client's current lease.
@@ -335,6 +368,7 @@ CoordinatorResult serve_campaign(const campaign::ScenarioSpec& spec,
                   std::to_string(fails) + " time(s): " + message);
       queue.push_front(range);
       ++result.ranges_requeued;
+      dist_obs().requeues.inc();
       say("requeued range [" + std::to_string(range.lo) + "," +
           std::to_string(range.hi) + ") after failure (attempt " +
           std::to_string(fails) + "): " + message);
@@ -367,6 +401,7 @@ CoordinatorResult serve_campaign(const campaign::ScenarioSpec& spec,
       }
       client.lease = range;
       client.staged.clear();
+      dist_obs().leases.inc();
     }
     for (const int fd : to_drop) drop_client(fd, /*death=*/true);
     to_drop.clear();
@@ -384,7 +419,7 @@ CoordinatorResult serve_campaign(const campaign::ScenarioSpec& spec,
         const int fd = conn.fd();
         Client client;
         client.sock = std::move(conn);
-        client.last_seen = Clock::now();
+        client.last_seen_ns = now_ns();
         clients.emplace(fd, std::move(client));
       }
     }
@@ -403,7 +438,7 @@ CoordinatorResult serve_campaign(const campaign::ScenarioSpec& spec,
             dead = true;
             break;
           }
-          client.last_seen = Clock::now();
+          client.last_seen_ns = now_ns();
           client.reader.feed(buf, static_cast<std::size_t>(got));
         }
         // Stop folding the moment the exit hook fires: the returned
@@ -428,12 +463,15 @@ CoordinatorResult serve_campaign(const campaign::ScenarioSpec& spec,
     // Heartbeat timeouts: silence beyond the budget means the worker —
     // or the path to it — is gone; its lease goes back in the queue.
     if (!stop_requested && options.heartbeat_timeout > 0) {
-      const auto now = Clock::now();
+      const std::uint64_t now = now_ns();
+      double worst_silence = 0.0;
       for (const auto& [fd, client] : clients) {
         const double silent =
-            std::chrono::duration<double>(now - client.last_seen).count();
+            static_cast<double>(now - client.last_seen_ns) * 1e-9;
+        worst_silence = std::max(worst_silence, silent);
         if (silent > options.heartbeat_timeout) to_drop.push_back(fd);
       }
+      dist_obs().heartbeat_lag.set(worst_silence);
       for (const int fd : to_drop) {
         say("worker#" + std::to_string(clients.at(fd).worker_no) +
             " heartbeat timeout");

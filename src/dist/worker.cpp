@@ -1,5 +1,6 @@
 #include "dist/worker.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -16,15 +17,15 @@
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 #include "dist/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/socket.hpp"
 #include "support/thread_pool.hpp"
+#include "support/timer.hpp"
 
 namespace dls::dist {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 std::string one_line(std::string s) {
   for (char& c : s)
@@ -44,15 +45,14 @@ WorkerResult run_worker(const WorkerOptions& options) {
   // The coordinator may not be listening yet — scripts start both sides
   // concurrently — so retry inside the window before giving up.
   Socket sock;
-  const auto deadline =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(options.retry_seconds));
+  const std::uint64_t deadline_ns =
+      now_ns() + static_cast<std::uint64_t>(options.retry_seconds * 1e9);
   for (;;) {
     try {
       sock = tcp_connect(options.host, options.port);
       break;
     } catch (const Error&) {
-      if (Clock::now() >= deadline)
+      if (now_ns() >= deadline_ns)
         throw Error("worker: cannot reach coordinator at " + options.host +
                     ":" + std::to_string(options.port) + " within " +
                     std::to_string(options.retry_seconds) + "s");
@@ -113,7 +113,10 @@ WorkerResult run_worker(const WorkerOptions& options) {
       " cases expanded");
 
   // Heartbeat: PING while ranges execute, so the coordinator can tell a
-  // busy worker from a dead one.
+  // busy worker from a dead one. The send timestamp rides along; the
+  // coordinator echoes it in a PONG, turning the silent keepalive into
+  // a round-trip-time probe (a stalled coordinator shows up as missing
+  // or slow PONGs instead of looking exactly like a healthy idle one).
   std::mutex hb_mutex;
   std::condition_variable hb_cv;
   bool hb_stop = false;
@@ -122,7 +125,8 @@ WorkerResult run_worker(const WorkerOptions& options) {
     while (!hb_cv.wait_for(
         lock, std::chrono::duration<double>(options.heartbeat_period),
         [&] { return hb_stop; })) {
-      if (!send_payload("PING")) return;  // peer gone; main loop sees EOF
+      if (!send_payload("PING " + std::to_string(now_ns())))
+        return;  // peer gone; main loop sees EOF
     }
   });
   const auto stop_heartbeat = [&] {
@@ -140,8 +144,17 @@ WorkerResult run_worker(const WorkerOptions& options) {
           ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
           : static_cast<std::size_t>(options.jobs);
 
+  static auto& reg = obs::registry();
+  static const obs::Counter pong_counter = reg.counter(
+      "dls_worker_pongs_total", "Heartbeat round trips completed");
+  static const obs::Histogram rtt_hist =
+      reg.histogram("dls_worker_heartbeat_rtt_seconds",
+                    "Heartbeat round-trip time", obs::default_time_buckets());
+
   WorkerResult result;
   std::size_t ranges_seen = 0;
+  std::uint64_t pongs_seen = 0;
+  double worst_rtt = 0.0;
   try {
     for (;;) {
       const auto payload = next_frame();
@@ -152,6 +165,24 @@ WorkerResult run_worker(const WorkerOptions& options) {
       const std::vector<std::string> tokens = split_tokens(
           payload->substr(0, std::min(payload->size(), payload->find('\n'))));
       if (tokens.empty()) continue;
+
+      if (tokens[0] == "PONG" && tokens.size() == 2) {
+        // Echo of our own timestamped PING; both stamps are now_ns().
+        const std::uint64_t sent =
+            std::strtoull(tokens[1].c_str(), nullptr, 10);
+        const double rtt = static_cast<double>(now_ns() - sent) * 1e-9;
+        ++pongs_seen;
+        worst_rtt = std::max(worst_rtt, rtt);
+        pong_counter.inc();
+        rtt_hist.observe(rtt);
+        // First round trip and every 16th after: enough to see drift in
+        // the log without drowning range progress lines.
+        if (pongs_seen == 1 || pongs_seen % 16 == 0)
+          say("heartbeat rtt " + std::to_string(rtt * 1e3) + " ms (worst " +
+              std::to_string(worst_rtt * 1e3) + " ms over " +
+              std::to_string(pongs_seen) + ")");
+        continue;
+      }
 
       if (tokens[0] == "FIN") {
         (void)send_payload("BYE");

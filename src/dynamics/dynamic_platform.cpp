@@ -2,7 +2,35 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace dls::dynamics {
+
+namespace {
+
+// Platform-event telemetry: events by the scope they actually
+// invalidated (a no-op LinkUp on an admin-up link counts under "none")
+// and the number of backbone routes rebuilt or torn down as a result.
+struct DynObs {
+  obs::Counter none, capacity, topology, routes_changed;
+  DynObs() {
+    auto& reg = obs::registry();
+    const std::string name = "dls_platform_events_total";
+    const std::string help = "Platform events applied, by resulting scope";
+    none = reg.counter(name, help, "scope=\"none\"");
+    capacity = reg.counter(name, help, "scope=\"capacity\"");
+    topology = reg.counter(name, help, "scope=\"topology\"");
+    routes_changed = reg.counter("dls_platform_routes_changed_total",
+                                 "Backbone routes changed by platform events");
+  }
+};
+
+DynObs& dyn_obs() {
+  static DynObs handles;
+  return handles;
+}
+
+}  // namespace
 
 const char* to_string(ChangeScope scope) {
   switch (scope) {
@@ -51,10 +79,22 @@ int DynamicPlatform::sync_link(platform::LinkId i) {
   if (plat_.link(i).up == desired) return 0;
   // The recovery pass on a restore is presence-filtered, so routes are
   // never offered to churned-out clusters in the first place.
-  return plat_.set_link_up(i, desired, present_filter());
+  const int changed = plat_.set_link_up(i, desired, present_filter());
+  dyn_obs().routes_changed.inc(static_cast<std::uint64_t>(changed));
+  return changed;
 }
 
 ChangeScope DynamicPlatform::apply(const PlatformEvent& e) {
+  const ChangeScope scope = apply_impl(e);
+  switch (scope) {
+    case ChangeScope::None: dyn_obs().none.inc(); break;
+    case ChangeScope::Capacity: dyn_obs().capacity.inc(); break;
+    case ChangeScope::Topology: dyn_obs().topology.inc(); break;
+  }
+  return scope;
+}
+
+ChangeScope DynamicPlatform::apply_impl(const PlatformEvent& e) {
   switch (e.kind) {
     case EventKind::LinkBandwidth: {
       if (plat_.link(e.target).bw == e.value) return ChangeScope::None;
@@ -96,14 +136,16 @@ ChangeScope DynamicPlatform::apply(const PlatformEvent& e) {
       // exchanges load, but keeps its id so online bookkeeping is
       // index-stable (the paper-level alternative, remove_cluster,
       // renumbers every cluster above it).
-      plat_.clear_cluster_routes(e.target);
+      dyn_obs().routes_changed.inc(
+          static_cast<std::uint64_t>(plat_.clear_cluster_routes(e.target)));
       return ChangeScope::Topology;
     }
     case EventKind::ClusterJoin: {
       if (present_[e.target]) return ChangeScope::None;
       present_[e.target] = 1;
       plat_.set_cluster_speed(e.target, saved_speed_[e.target]);
-      (void)plat_.reroute_missing_pairs(present_filter());
+      dyn_obs().routes_changed.inc(static_cast<std::uint64_t>(
+          plat_.reroute_missing_pairs(present_filter())));
       // Even a still-disconnected rejoiner computes locally again.
       return ChangeScope::Topology;
     }

@@ -58,6 +58,9 @@ public:
   ChangeScope apply(const PlatformEvent& event);
 
 private:
+  /// apply() body; the public wrapper reports the returned scope and
+  /// route churn to obs.
+  ChangeScope apply_impl(const PlatformEvent& event);
   /// Both-endpoints-present filter for Platform recovery passes.
   [[nodiscard]] platform::Platform::RouteFilter present_filter() const;
   /// admin state && both endpoint routers up.

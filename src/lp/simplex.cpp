@@ -6,7 +6,9 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "support/timer.hpp"
 
 namespace dls::lp {
 
@@ -1455,17 +1457,64 @@ Solution SimplexSolver::solve(const Model& model, SolveArena& arena) const {
   return solve(model, static_cast<const Basis*>(nullptr), arena);
 }
 
+namespace {
+
+// Every solve funnels through the two arena overloads below, so this
+// is the one place the lp layer reports to obs. Handles are resolved
+// once; each record is a handful of relaxed atomics on the calling
+// thread's shard.
+struct LpObs {
+  obs::Counter cold, warm, repaired;
+  obs::Counter pivots, refactorizations;
+  obs::Histogram seconds;
+  LpObs() {
+    auto& reg = obs::registry();
+    const std::string solves = "dls_lp_solves_total";
+    const std::string solves_help = "Simplex solves by start kind";
+    cold = reg.counter(solves, solves_help, "start=\"cold\"");
+    warm = reg.counter(solves, solves_help, "start=\"warm\"");
+    repaired = reg.counter(solves, solves_help, "start=\"repaired\"");
+    pivots = reg.counter("dls_lp_pivots_total", "Simplex pivots across all solves");
+    refactorizations = reg.counter("dls_lp_refactorizations_total",
+                                   "Basis refactorizations across all solves");
+    seconds = reg.histogram("dls_lp_solve_seconds", "Wall time per simplex solve",
+                            obs::default_time_buckets());
+  }
+};
+
+void record_solve(const Solution& solution, double seconds) {
+  static LpObs handles;
+  switch (solution.warm_kind) {
+    case WarmKind::Cold: handles.cold.inc(); break;
+    case WarmKind::Capsule: handles.warm.inc(); break;
+    case WarmKind::Basis: handles.repaired.inc(); break;
+  }
+  handles.pivots.inc(static_cast<std::uint64_t>(solution.iterations));
+  handles.refactorizations.inc(
+      static_cast<std::uint64_t>(solution.refactorizations));
+  handles.seconds.observe(seconds);
+}
+
+}  // namespace
+
 Solution SimplexSolver::solve(const Model& model, const Basis* warm,
                               SolveArena& arena) const {
+  WallTimer timer;
   Worker worker(model, options_, arena.impl());
-  return worker.run(warm != nullptr && warm->compatible(model) ? warm : nullptr,
-                    nullptr);
+  Solution solution =
+      worker.run(warm != nullptr && warm->compatible(model) ? warm : nullptr,
+                 nullptr);
+  record_solve(solution, timer.seconds());
+  return solution;
 }
 
 Solution SimplexSolver::solve(const Model& model, WarmState* state,
                               SolveArena& arena) const {
+  WallTimer timer;
   Worker worker(model, options_, arena.impl());
-  return worker.run(nullptr, state);
+  Solution solution = worker.run(nullptr, state);
+  record_solve(solution, timer.seconds());
+  return solution;
 }
 
 }  // namespace dls::lp

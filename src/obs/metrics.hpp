@@ -1,0 +1,219 @@
+// Lock-cheap metrics registry for the long-running surfaces (`dls
+// serve`, the distributed coordinator/worker) and the layers they sit
+// on (lp/, online/, dynamics/).
+//
+// Design: write-side cost must be invisible next to the simplex inner
+// loops, so every counter/histogram write lands in a *per-thread shard*
+// — a fixed-capacity block of relaxed atomics owned by the writing
+// thread — and the shards are folded only at scrape time (the
+// "shard-and-fold" pattern of ytsaurus' profiling manager, scaled
+// down). The registry mutex is taken on three slow paths only:
+// registering a metric, creating a thread's shard, and folding a
+// snapshot. A hot-path write is one relaxed load (the enabled flag) plus
+// one relaxed fetch_add on cache lines no other writer touches.
+//
+// Capacities are fixed at construction (counters/gauges/histogram
+// buckets), so a shard never reallocates and scrape-time reads never
+// race a resize. Registering past a capacity throws — instrumentation
+// is a closed, code-reviewed set, not a dynamic namespace.
+//
+// Metric model (Prometheus-shaped):
+//   * Counter   — monotonic uint64, sharded;
+//   * Gauge     — last-write double, unsharded (set/add are rare);
+//   * Histogram — fixed bucket upper bounds + sum + count, sharded.
+// A series is (name, labels); families sharing a name are exported
+// under one HELP/TYPE header (export.hpp). Registering the same
+// (name, labels) twice returns the same series.
+//
+// The process-global instance is obs::registry(); set_enabled(false)
+// turns every write into a single branch (the bench gate measures this
+// delta on bench_lp_scaling cold solves; budget <= 2%).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dls::obs {
+
+class Registry;
+
+enum class MetricType : unsigned char { Counter, Gauge, Histogram };
+
+[[nodiscard]] const char* to_string(MetricType type);
+
+/// Monotonic counter handle. Copyable, trivially small; a
+/// default-constructed handle is inert (writes are dropped).
+class Counter {
+public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const;
+  /// Folded value across all shards (slow path; scrape/test use).
+  [[nodiscard]] std::uint64_t value() const;
+
+private:
+  friend class Registry;
+  Counter(Registry* reg, std::uint32_t index) : reg_(reg), index_(index) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// Last-write-wins gauge handle (unsharded: one atomic per series).
+class Gauge {
+public:
+  Gauge() = default;
+  void set(double v) const;
+  void add(double delta) const;
+  [[nodiscard]] double value() const;
+
+private:
+  friend class Registry;
+  Gauge(Registry* reg, std::uint32_t index) : reg_(reg), index_(index) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// Fixed-bucket histogram handle. Bucket bounds are upper bounds (le);
+/// an implicit +Inf bucket is always appended.
+class Histogram {
+public:
+  Histogram() = default;
+  void observe(double v) const;
+
+private:
+  friend class Registry;
+  Histogram(Registry* reg, const std::vector<double>* bounds, std::uint32_t slot,
+            std::uint32_t bucket_base)
+      : reg_(reg), bounds_(bounds), slot_(slot), bucket_base_(bucket_base) {}
+  Registry* reg_ = nullptr;
+  const std::vector<double>* bounds_ = nullptr;  ///< stable: metas_ is a deque
+  std::uint32_t slot_ = 0;
+  std::uint32_t bucket_base_ = 0;
+};
+
+/// The log-spaced seconds buckets used by every duration histogram in
+/// the repo (1e-5 s .. 10 s, roughly x3 steps).
+[[nodiscard]] const std::vector<double>& default_time_buckets();
+
+/// One exported series, folded across shards at snapshot time.
+struct SeriesSnapshot {
+  std::string name;
+  std::string labels;  ///< 'key="value",key2="value2"' or empty
+  std::string help;
+  MetricType type = MetricType::Counter;
+  std::uint64_t counter = 0;         ///< Counter
+  double gauge = 0.0;                ///< Gauge
+  std::vector<double> bounds;        ///< Histogram upper bounds (no +Inf)
+  std::vector<std::uint64_t> buckets;///< per-bound counts + final +Inf bucket
+  double sum = 0.0;                  ///< Histogram sum of observations
+  std::uint64_t count = 0;           ///< Histogram observation count
+};
+
+struct RegistrySnapshot {
+  std::vector<SeriesSnapshot> series;  ///< registration order
+};
+
+class Registry {
+public:
+  struct Limits {
+    std::uint32_t max_counters = 256;
+    std::uint32_t max_gauges = 128;
+    std::uint32_t max_histograms = 64;
+    std::uint32_t max_hist_buckets = 1024;  ///< total across histograms
+  };
+
+  Registry();  ///< default Limits
+  explicit Registry(Limits limits);
+
+  /// Registers (or re-finds) a series. Throws dls::Error past capacity
+  /// or when a name is reused with a different type.
+  [[nodiscard]] Counter counter(const std::string& name, const std::string& help,
+                                const std::string& labels = "");
+  [[nodiscard]] Gauge gauge(const std::string& name, const std::string& help,
+                            const std::string& labels = "");
+  [[nodiscard]] Histogram histogram(const std::string& name,
+                                    const std::string& help,
+                                    const std::vector<double>& bounds,
+                                    const std::string& labels = "");
+
+  /// Global write switch. Disabled, every handle write is one relaxed
+  /// load and a branch; snapshots still work (they fold what was
+  /// recorded while enabled).
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Folds every shard into one consistent-enough view (counters are
+  /// monotonic per shard, so successive snapshots never go backwards).
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+  /// Number of per-thread shards created so far (observability of the
+  /// observability layer; tests assert shard reuse).
+  [[nodiscard]] std::size_t shard_count() const;
+
+private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Shard {
+    explicit Shard(const Limits& limits)
+        : counters(limits.max_counters),
+          hist_counts(limits.max_hist_buckets),
+          hist_sums(limits.max_histograms) {}
+    std::vector<std::atomic<std::uint64_t>> counters;
+    std::vector<std::atomic<std::uint64_t>> hist_counts;  ///< flattened buckets
+    std::vector<std::atomic<double>> hist_sums;
+  };
+
+  struct Meta {
+    std::string name, labels, help;
+    MetricType type = MetricType::Counter;
+    std::uint32_t index = 0;        ///< counter/gauge/histogram slot
+    std::uint32_t bucket_base = 0;  ///< histogram: offset into hist_counts
+    std::vector<double> bounds;     ///< histogram bounds (no +Inf)
+  };
+
+  [[nodiscard]] Shard& local_shard();
+  [[nodiscard]] const Meta& register_series(MetricType type,
+                                            const std::string& name,
+                                            const std::string& help,
+                                            const std::string& labels,
+                                            const std::vector<double>* bounds);
+
+  Limits limits_;
+  /// Process-unique id: the thread-local shard cache keys on (address,
+  /// generation) so a new Registry reusing a destroyed one's address
+  /// cannot alias its cached shard pointer.
+  std::uint64_t generation_ = 0;
+  std::atomic<bool> enabled_{true};
+
+  mutable std::mutex mutex_;
+  std::deque<Shard> shards_;  ///< stable addresses; never removed
+  std::map<std::thread::id, Shard*> shard_of_;
+  std::deque<Meta> metas_;    ///< registration order; stable addresses
+                              ///< (histogram handles point into it)
+  std::map<std::pair<std::string, std::string>, std::uint32_t> by_key_;
+  std::uint32_t next_counter_ = 0;
+  std::uint32_t next_gauge_ = 0;
+  std::uint32_t next_histogram_ = 0;
+  std::uint32_t next_bucket_ = 0;
+  std::vector<std::atomic<double>> gauges_;
+};
+
+/// The process-global registry every instrumentation site writes to.
+[[nodiscard]] Registry& registry();
+
+/// Convenience switches on the global registry.
+inline void set_enabled(bool enabled) { registry().set_enabled(enabled); }
+[[nodiscard]] inline bool enabled() { return registry().enabled(); }
+
+}  // namespace dls::obs

@@ -37,12 +37,14 @@ private:
 };
 
 /// How an application's lifecycle ended. Everything but Completed only
-/// occurs under platform dynamics (src/dynamics/ cluster churn).
+/// occurs under platform dynamics (src/dynamics/ cluster churn) or an
+/// explicit client request against the serving daemon (src/serve/).
 enum class AppOutcome : unsigned char {
   Pending,       ///< still in flight (never in a final report)
   Completed,     ///< load fully drained
   AbortedChurn,  ///< active or queued when its home cluster churned out
   RejectedChurn, ///< arrived while its home cluster was churned out
+  Cancelled,     ///< withdrawn by a client `depart` request (serve only)
 };
 
 /// Lifecycle record of one application, filled in by the engine as the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "support/timer.hpp"
 
 namespace dls::online {
@@ -14,6 +15,43 @@ int support_change(const std::vector<double>& a, const std::vector<double>& b) {
   for (std::size_t k = 0; k < a.size(); ++k)
     changed += (a[k] > 0.0) != (b[k] > 0.0);
   return changed;
+}
+
+// Rescheduler-level series: solves by (mode, start kind), the slot
+// universe's churn (seat/unseat patches, geometric growth), and queue
+// depth. The lp layer separately counts the underlying simplex work.
+struct ReschedObs {
+  obs::Counter single_cold, single_warm, single_repaired;
+  obs::Counter multi_cold, multi_warm, multi_repaired;
+  obs::Counter seats, unseats, slot_grow;
+  obs::Gauge slots, active_loads;
+  ReschedObs() {
+    auto& reg = obs::registry();
+    const std::string solves = "dls_resched_solves_total";
+    const std::string help = "Rescheduler solves by mode and start kind";
+    single_cold = reg.counter(solves, help, "mode=\"single\",start=\"cold\"");
+    single_warm = reg.counter(solves, help, "mode=\"single\",start=\"warm\"");
+    single_repaired =
+        reg.counter(solves, help, "mode=\"single\",start=\"repaired\"");
+    multi_cold = reg.counter(solves, help, "mode=\"multi\",start=\"cold\"");
+    multi_warm = reg.counter(solves, help, "mode=\"multi\",start=\"warm\"");
+    multi_repaired =
+        reg.counter(solves, help, "mode=\"multi\",start=\"repaired\"");
+    seats = reg.counter("dls_resched_seats_total",
+                        "Loads seated onto shared-LP slots");
+    unseats = reg.counter("dls_resched_unseats_total",
+                          "Slots released by departed loads");
+    slot_grow = reg.counter("dls_resched_slot_grow_total",
+                            "Slot-universe rebuilds (geometric growth)");
+    slots = reg.gauge("dls_resched_slots", "Current shared-LP slot count");
+    active_loads =
+        reg.gauge("dls_resched_active_loads", "Loads in the last reschedule");
+  }
+};
+
+ReschedObs& resched_obs() {
+  static ReschedObs handles;
+  return handles;
 }
 
 }  // namespace
@@ -139,10 +177,13 @@ Reschedule AdaptiveRescheduler::reschedule(const std::vector<double>& payoffs) {
     stats_.repaired_solves += out.repaired;
     stats_.warm_seconds += out.seconds;
     stats_.warm_iterations += out.lp_iterations;
+    (out.repaired ? resched_obs().single_repaired : resched_obs().single_warm)
+        .inc();
   } else {
     ++stats_.cold_solves;
     stats_.cold_seconds += out.seconds;
     stats_.cold_iterations += out.lp_iterations;
+    resched_obs().single_cold.inc();
   }
   prev_payoffs_ = payoffs;
   prev_allocation_ = out.allocation;
@@ -207,6 +248,8 @@ void MultiLoadRescheduler::rebuild_slots(const std::vector<int>& needed) {
   warm_state_.invalidate();
   problem_.reset();
   reduced_cache_.reset();
+  resched_obs().slot_grow.inc();
+  resched_obs().slots.set(static_cast<double>(total_slots_));
 }
 
 MultiReschedule MultiLoadRescheduler::solve_shared(
@@ -230,10 +273,12 @@ MultiReschedule MultiLoadRescheduler::solve_shared(
     if (slot_app_[s] >= 0 && !present[s]) {
       slot_of_.erase(slot_app_[s]);
       slot_app_[s] = -1;
+      resched_obs().unseats.inc();
     }
   }
   for (const ActiveLoad& load : loads) {
     if (slot_of_.count(load.id)) continue;
+    resched_obs().seats.inc();
     int slot = -1;
     for (int s = slot_base_[load.cluster];
          s < slot_base_[load.cluster] + slots_per_cluster_[load.cluster]; ++s) {
@@ -356,11 +401,15 @@ MultiReschedule MultiLoadRescheduler::reschedule(
     stats_.repaired_solves += out.repaired;
     stats_.warm_seconds += out.seconds;
     stats_.warm_iterations += out.lp_iterations;
+    (out.repaired ? resched_obs().multi_repaired : resched_obs().multi_warm)
+        .inc();
   } else {
     ++stats_.cold_solves;
     stats_.cold_seconds += out.seconds;
     stats_.cold_iterations += out.lp_iterations;
+    resched_obs().multi_cold.inc();
   }
+  resched_obs().active_loads.set(static_cast<double>(loads.size()));
   return out;
 }
 

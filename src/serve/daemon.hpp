@@ -1,0 +1,70 @@
+// The `dls serve` daemon: a poll-loop TCP server wrapping ServeEngine.
+//
+// One listening socket, non-blocking accepted connections, one
+// poll_sockets() round per iteration — the same single-threaded event
+// loop shape as the dist coordinator, so nothing in the engine needs
+// locking. Each connection speaks HTTP (GET /metrics, /health, /stats;
+// POST /arrive, /depart, /event) or the newline line protocol
+// (http.hpp decides per request), and HTTP responses close the
+// connection while line connections stay open for pipelining.
+//
+// Replay: `--replay trace.workload` (plus optional `--events`) feeds a
+// recorded stream through the live engine. Virtual time advances at
+// `speed` times wall clock (0 = as fast as possible), and the engine
+// is only ever advanced to *exact* event times — wall jitter shifts
+// when work happens, never what happens, which is what makes two
+// replays of the same trace end with bit-identical counters.
+//
+// Lifecycle: ok → (SIGTERM / `shutdown`) → draining → stopped. On
+// drain the daemon stops feeding replay arrivals, rejects client
+// arrivals (counted), fast-forwards the remaining fluid schedule, and
+// exits once idle — holding the socket open for at least
+// `drain_grace` seconds so an operator can scrape the final state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dynamics/events.hpp"
+#include "online/workload.hpp"
+#include "platform/platform.hpp"
+#include "serve/engine.hpp"
+
+namespace dls::serve {
+
+struct DaemonOptions {
+  std::uint16_t port = 0;      ///< 0 = ephemeral
+  std::string port_file;       ///< written with the bound port
+  EngineOptions engine;
+
+  online::Workload replay;       ///< optional recorded arrivals
+  dynamics::EventTrace events;   ///< optional platform events (replay)
+  double speed = 1.0;            ///< virtual seconds per wall second; <= 0 = max
+  bool exit_after_replay = false;  ///< drain and stop once the replay is done
+
+  std::string trace_file;        ///< JSONL span sink ("" = none)
+  std::size_t trace_capacity = 1024;
+  std::size_t max_request = 8192;  ///< per-request byte bound (http.hpp)
+  int idle_poll_ms = 200;
+  double drain_grace = 0.0;  ///< min wall seconds to keep serving while draining
+
+  /// Polled once per loop; true requests a drain (the CLI wires this to
+  /// SIGTERM/SIGINT). Optional.
+  std::function<bool()> stop_requested;
+  std::function<void(const std::string&)> log;
+};
+
+struct DaemonReport {
+  EngineCounters counters;
+  std::uint64_t requests = 0;      ///< requests served (HTTP + line)
+  std::uint64_t bad_requests = 0;  ///< protocol errors (connection dropped)
+  std::uint16_t port = 0;          ///< the port actually bound
+  std::string exit_reason;         ///< "drained" | "replay-complete"
+};
+
+/// Runs the daemon until a drain completes. Throws dls::Error on setup
+/// failures (bind, trace sink, invalid replay).
+DaemonReport run_daemon(platform::Platform plat, const DaemonOptions& options);
+
+}  // namespace dls::serve

@@ -1,9 +1,22 @@
-// Wall-clock timing for the runtime experiments (paper Figure 7).
+// Wall-clock timing for the runtime experiments (paper Figure 7) and
+// the steady-clock epoch shared by obs timestamps and heartbeat math.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace dls {
+
+/// Nanoseconds on the steady (monotonic) clock. Every timestamp that
+/// is subtracted from another — obs trace spans, event-loop lag,
+/// dist heartbeat round-trips and silence windows — must come from
+/// this single helper so the math never mixes clocks.
+[[nodiscard]] inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic stopwatch started at construction.
 class WallTimer {

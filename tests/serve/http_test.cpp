@@ -1,0 +1,108 @@
+// Request parsing for the serve daemon's dual protocol: HTTP sniffing,
+// incremental/pipelined parsing, size bounds, and target splitting.
+#include "serve/http.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dls::serve {
+namespace {
+
+TEST(ServeHttp, TruncatedInputIsIncomplete) {
+  EXPECT_EQ(parse_request("").kind, Request::Kind::Incomplete);
+  EXPECT_EQ(parse_request("GET /met").kind, Request::Kind::Incomplete);
+  // A full request line but no blank line yet: still incomplete.
+  EXPECT_EQ(parse_request("GET /metrics HTTP/1.1\r\nHost: x\r\n").kind,
+            Request::Kind::Incomplete);
+  EXPECT_EQ(parse_request("arrive 2 1.0 500").kind, Request::Kind::Incomplete);
+}
+
+TEST(ServeHttp, ParsesHttpRequests) {
+  const Request r =
+      parse_request("GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n");
+  ASSERT_EQ(r.kind, Request::Kind::Http);
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/metrics");
+  EXPECT_EQ(r.consumed, 47u);
+
+  const Request bare = parse_request("GET /health HTTP/1.0\n\n");
+  ASSERT_EQ(bare.kind, Request::Kind::Http);
+  EXPECT_EQ(bare.target, "/health");
+  EXPECT_EQ(bare.consumed, 22u);
+}
+
+TEST(ServeHttp, ParsesLineCommands) {
+  const Request r = parse_request("arrive 2 1.5 4000 app0\nnext");
+  ASSERT_EQ(r.kind, Request::Kind::Line);
+  EXPECT_EQ(r.line, "arrive 2 1.5 4000 app0");
+  EXPECT_EQ(r.consumed, 23u);  // up to and including the newline
+
+  const Request crlf = parse_request("stats\r\n");
+  ASSERT_EQ(crlf.kind, Request::Kind::Line);
+  EXPECT_EQ(crlf.line, "stats");
+  EXPECT_EQ(crlf.consumed, 7u);
+}
+
+TEST(ServeHttp, PipelinedRequestsParseOneAtATime) {
+  const std::string input = "ping\nstats\nquit\n";
+  std::size_t off = 0;
+  std::vector<std::string> lines;
+  while (off < input.size()) {
+    const Request r = parse_request(std::string_view(input).substr(off));
+    ASSERT_EQ(r.kind, Request::Kind::Line);
+    lines.push_back(r.line);
+    off += r.consumed;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "ping");
+  EXPECT_EQ(lines[1], "stats");
+  EXPECT_EQ(lines[2], "quit");
+
+  // An HTTP request followed by more bytes consumes only itself.
+  const std::string two = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  const Request first = parse_request(two);
+  ASSERT_EQ(first.kind, Request::Kind::Http);
+  EXPECT_EQ(first.target, "/a");
+  const Request second =
+      parse_request(std::string_view(two).substr(first.consumed));
+  ASSERT_EQ(second.kind, Request::Kind::Http);
+  EXPECT_EQ(second.target, "/b");
+  EXPECT_EQ(first.consumed + second.consumed, two.size());
+}
+
+TEST(ServeHttp, OversizedRequestsAreErrors) {
+  const std::string long_line(9000, 'x');
+  EXPECT_EQ(parse_request(long_line).kind, Request::Kind::Error);
+  std::string headers = "GET /metrics HTTP/1.1\r\n";
+  headers += "X-Filler: " + std::string(9000, 'y') + "\r\n\r\n";
+  EXPECT_EQ(parse_request(headers).kind, Request::Kind::Error);
+  // A small bound rejects even a modest request.
+  EXPECT_EQ(parse_request("stats going long\n", 4).kind, Request::Kind::Error);
+}
+
+TEST(ServeHttp, MalformedHttpRequestLinesAreErrors) {
+  EXPECT_EQ(parse_request("GET\r\n\r\n").kind, Request::Kind::Error);
+  EXPECT_EQ(parse_request("GET /x\r\n\r\n").kind, Request::Kind::Error);
+  EXPECT_EQ(parse_request("GET /x FTP/1.0\r\n\r\n").kind, Request::Kind::Error);
+}
+
+TEST(ServeHttp, SplitTargetParsesQueries) {
+  std::map<std::string, std::string> q;
+  EXPECT_EQ(split_target("/metrics", q), "/metrics");
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(split_target("/arrive?cluster=2&load=4e3&name=my+app", q),
+            "/arrive");
+  EXPECT_EQ(q.at("cluster"), "2");
+  EXPECT_EQ(q.at("load"), "4e3");
+  EXPECT_EQ(q.at("name"), "my app");
+}
+
+TEST(ServeHttp, ResponseCarriesLengthAndClose) {
+  const std::string r = http_response(200, "OK", "text/plain", "hello");
+  EXPECT_EQ(r.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(r.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(r.find("\r\n\r\nhello"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dls::serve
