@@ -70,11 +70,12 @@ struct PathResult {
 };
 
 PathResult cold_solve(const dls::lp::Model& model, dls::lp::Factorization f,
-                      dls::lp::Pricing p, int repeats) {
+                      dls::lp::Pricing p, int repeats, bool hypersparse = true) {
   dls::lp::SimplexOptions opt;
   opt.factorization = f;
   opt.pricing = p;
   opt.compute_duals = false;
+  opt.hypersparse = hypersparse;
   const dls::lp::SimplexSolver solver(opt);
   PathResult out;
   out.seconds = std::numeric_limits<double>::infinity();
@@ -102,6 +103,72 @@ bool objectives_agree(double a, double b) {
 
 double us_per_pivot(const PathResult& r) {
   return r.pivots > 0 ? r.seconds * 1e6 / r.pivots : 0.0;
+}
+
+// Hypersparse solve telemetry, read back out of the metrics registry.
+// The bench diffs two snapshots around a solve (or a block of repeats)
+// to report per-K reach fractions and fallback rates.
+struct HyperSnap {
+  std::vector<double> bounds;  ///< shared by both reach histograms
+  std::vector<std::uint64_t> ftran_buckets, btran_buckets;
+  std::uint64_t ftran_count = 0, btran_count = 0;
+  std::uint64_t ftran_falls = 0, btran_falls = 0;
+};
+
+HyperSnap hyper_snap() {
+  HyperSnap out;
+  for (const dls::obs::SeriesSnapshot& s : dls::obs::registry().snapshot().series) {
+    if (s.name == "dls_lp_ftran_reach_fraction") {
+      out.bounds = s.bounds;
+      out.ftran_buckets = s.buckets;
+      out.ftran_count = s.count;
+    } else if (s.name == "dls_lp_btran_reach_fraction") {
+      out.btran_buckets = s.buckets;
+      out.btran_count = s.count;
+    } else if (s.name == "dls_lp_ftran_fallbacks_total") {
+      out.ftran_falls = s.counter;
+    } else if (s.name == "dls_lp_btran_fallbacks_total") {
+      out.btran_falls = s.counter;
+    }
+  }
+  return out;
+}
+
+/// Median of the observations accumulated between two snapshots of a
+/// reach-fraction histogram, linearly interpolated within its bucket.
+double median_reach(const std::vector<double>& bounds,
+                    const std::vector<std::uint64_t>& after,
+                    const std::vector<std::uint64_t>& before) {
+  if (after.empty()) return 0.0;
+  std::vector<std::uint64_t> delta(after.size(), 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    delta[i] = after[i] - (i < before.size() ? before[i] : 0);
+    total += delta[i];
+  }
+  if (total == 0) return 0.0;
+  const double target = static_cast<double>(total) / 2.0;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    const double next = cum + static_cast<double>(delta[i]);
+    if (next >= target && delta[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      // Reach fractions max out at 1.0, so the +Inf bucket is empty and
+      // the last finite bound closes the interpolation range.
+      const double hi = i < bounds.size() ? bounds[i] : 1.0;
+      return lo + (hi - lo) * (target - cum) / static_cast<double>(delta[i]);
+    }
+    cum = next;
+  }
+  return 1.0;
+}
+
+double fallback_rate(std::uint64_t falls_after, std::uint64_t falls_before,
+                     std::uint64_t count_after, std::uint64_t count_before) {
+  const std::uint64_t solves = count_after - count_before;
+  return solves > 0
+             ? static_cast<double>(falls_after - falls_before) / solves
+             : 0.0;
 }
 
 }  // namespace
@@ -143,8 +210,21 @@ int main() {
                                          lp::Pricing::Dantzig, repeats);
     const PathResult partial = cold_solve(model, lp::Factorization::SparseLu,
                                           lp::Pricing::Partial, repeats);
+    const HyperSnap h0 = hyper_snap();
     const PathResult se = cold_solve(model, lp::Factorization::SparseLu,
                                      lp::Pricing::SteepestEdge, repeats);
+    const HyperSnap h1 = hyper_snap();
+    // The knob-off arm: same factorization and pricing, dense sweeps
+    // only. Hypersparse solves are bit-identical, so this arm must
+    // reproduce the se arm's pivot count and objective exactly.
+    const PathResult se_nohyper =
+        cold_solve(model, lp::Factorization::SparseLu,
+                   lp::Pricing::SteepestEdge, repeats, /*hypersparse=*/false);
+    if (se_nohyper.objective != se.objective || se_nohyper.pivots != se.pivots) {
+      std::cerr << "lp_scaling: hypersparse arm diverged from dense-pass arm"
+                << " at K=" << k << "\n";
+      return 1;
+    }
     const PathResult autop =
         cold_solve(model, lp::Factorization::Auto, lp::Pricing::Auto, repeats);
     for (const PathResult* r : {&sparse, &partial, &se, &autop}) {
@@ -170,9 +250,11 @@ int main() {
     departed[static_cast<std::size_t>((k / 2) & ~1)] = 0.0;  // an active cluster
     const core::SteadyStateProblem after = problem.with_payoffs(departed);
     after.update_reduced_payoffs(reduced);
+    const HyperSnap hw0 = hyper_snap();
     WallTimer warm_timer;
     const lp::Solution warm = warm_solver.solve(model, &state, warm_arena);
     const double warm_seconds = warm_timer.seconds();
+    const HyperSnap hw1 = hyper_snap();
     if (warm.status != lp::SolveStatus::Optimal) {
       std::cerr << "lp_scaling: warm solve not optimal at K=" << k << "\n";
       return 1;
@@ -265,6 +347,19 @@ int main() {
         se.pivots > 0 ? static_cast<double>(sparse.pivots) / se.pivots : 0.0;
     const double batch_speedup =
         batch_seconds > 0.0 ? plain_seconds / batch_seconds : 0.0;
+    const double hyper_speedup =
+        se.seconds > 0.0 ? se_nohyper.seconds / se.seconds : 0.0;
+    const double ftran_reach_median =
+        median_reach(h1.bounds, h1.ftran_buckets, h0.ftran_buckets);
+    const double btran_reach_median =
+        median_reach(h1.bounds, h1.btran_buckets, h0.btran_buckets);
+    const double ftran_fallback_rate = fallback_rate(
+        h1.ftran_falls, h0.ftran_falls, h1.ftran_count, h0.ftran_count);
+    const double btran_fallback_rate = fallback_rate(
+        h1.btran_falls, h0.btran_falls, h1.btran_count, h0.btran_count);
+    const double warm_fallback_rate = fallback_rate(
+        hw1.ftran_falls + hw1.btran_falls, hw0.ftran_falls + hw0.btran_falls,
+        hw1.ftran_count + hw1.btran_count, hw0.ftran_count + hw0.btran_count);
 
     std::cout << "K=" << k << ": m=" << model.num_constraints()
               << " n=" << model.num_variables() << " nnz=" << nnz
@@ -278,7 +373,12 @@ int main() {
               << "p\n  se vs dantzig: " << se_speedup << "x time, "
               << pivot_ratio << "x pivots; warm " << warm_seconds * 1e3
               << " ms/" << warm.iterations << "p, capsule "
-              << state.memory_bytes() << " B\n  batch " << batch_models
+              << state.memory_bytes() << " B\n  hypersparse: no-hyper "
+              << se_nohyper.seconds * 1e3 << " ms (" << hyper_speedup
+              << "x), reach median ftran " << ftran_reach_median << " btran "
+              << btran_reach_median << ", fallback ftran "
+              << ftran_fallback_rate << " btran " << btran_fallback_rate
+              << " warm " << warm_fallback_rate << "\n  batch " << batch_models
               << " models: plain " << plain_seconds * 1e3 << " ms, batch "
               << batch_seconds * 1e3 << " ms (" << batch_speedup << "x, "
               << bstats.cache_misses << " structure build(s) for "
@@ -304,6 +404,14 @@ int main() {
        << ",\"se_us_per_pivot\":" << us_per_pivot(se)
        << ",\"se_refactorizations\":" << se.refactors
        << ",\"se_eta_peak_nnz\":" << se.eta_peak
+       << ",\"se_nohyper_cold_seconds\":" << se_nohyper.seconds
+       << ",\"se_nohyper_us_per_pivot\":" << us_per_pivot(se_nohyper)
+       << ",\"hyper_speedup_vs_nohyper\":" << hyper_speedup
+       << ",\"ftran_reach_median\":" << ftran_reach_median
+       << ",\"btran_reach_median\":" << btran_reach_median
+       << ",\"ftran_fallback_rate\":" << ftran_fallback_rate
+       << ",\"btran_fallback_rate\":" << btran_fallback_rate
+       << ",\"warm_fallback_rate\":" << warm_fallback_rate
        << ",\"auto_cold_seconds\":" << autop.seconds
        << ",\"auto_pivots\":" << autop.pivots
        << ",\"speedup\":" << speedup

@@ -39,6 +39,16 @@ scrape() {
   exec 3<&-
 }
 
+# post <port> <path-with-query> — prints the response body.
+post() {
+  local port=$1 path=$2
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'POST %s HTTP/1.1\r\nHost: smoke\r\nContent-Length: 0\r\n\r\n' \
+    "$path" >&3
+  sed '1,/^\r*$/d' <&3
+  exec 3<&-
+}
+
 echo "== setup: platform + recorded workload"
 "$DLS" generate --clusters 4 --seed 5 --out "$TMP/plat" > /dev/null
 "$DLS" online --platform "$TMP/plat" --loads --arrivals 40 --arrival-rate 2 \
@@ -65,6 +75,18 @@ grep -q 'dls_resched_solves_total{mode="multi"' "$TMP/scrape1" || {
 }
 grep -q 'dls_serve_event_loop_lag_seconds_bucket' "$TMP/scrape1" || {
   echo "serve_smoke: /metrics is missing the event-loop lag histogram" >&2
+  exit 1
+}
+grep -q 'dls_lp_ftran_reach_fraction_bucket' "$TMP/scrape1" || {
+  echo "serve_smoke: /metrics is missing the ftran reach histogram" >&2
+  exit 1
+}
+grep -q 'dls_lp_btran_reach_fraction_bucket' "$TMP/scrape1" || {
+  echo "serve_smoke: /metrics is missing the btran reach histogram" >&2
+  exit 1
+}
+grep -q 'dls_serve_response_seconds_bucket{outcome="completed"' "$TMP/scrape1" || {
+  echo "serve_smoke: /metrics is missing the response-time histogram" >&2
   exit 1
 }
 # Every *_total series must be monotonic between the two scrapes.
@@ -135,6 +157,24 @@ grep -q '"status":"ok"' "$TMP/health1" || {
   cat "$TMP/health1" >&2
   exit 1
 }
+# An interactively arrived load must show up in the /loads inventory
+# with its identity, home cluster, age and current rate.
+post "$PORT" "/arrive?cluster=0&payoff=1&load=1000&name=smokeload" \
+  > "$TMP/arrive"
+grep -q 'ok admitted' "$TMP/arrive" || {
+  echo "serve_smoke: POST /arrive not admitted" >&2
+  cat "$TMP/arrive" >&2
+  exit 1
+}
+scrape "$PORT" /loads > "$TMP/loads"
+for field in '"name":"smokeload"' '"cluster":0' '"age":' '"rate":'; do
+  grep -q "$field" "$TMP/loads" || {
+    echo "serve_smoke: /loads is missing $field" >&2
+    cat "$TMP/loads" >&2
+    exit 1
+  }
+done
+
 kill -TERM "$SERVE"
 sleep 0.5
 scrape "$PORT" /health > "$TMP/health2"

@@ -154,7 +154,6 @@ WorkerResult run_worker(const WorkerOptions& options) {
   WorkerResult result;
   std::size_t ranges_seen = 0;
   std::uint64_t pongs_seen = 0;
-  double worst_rtt = 0.0;
   try {
     for (;;) {
       const auto payload = next_frame();
@@ -172,15 +171,12 @@ WorkerResult run_worker(const WorkerOptions& options) {
             std::strtoull(tokens[1].c_str(), nullptr, 10);
         const double rtt = static_cast<double>(now_ns() - sent) * 1e-9;
         ++pongs_seen;
-        worst_rtt = std::max(worst_rtt, rtt);
         pong_counter.inc();
         rtt_hist.observe(rtt);
-        // First round trip and every 16th after: enough to see drift in
-        // the log without drowning range progress lines.
-        if (pongs_seen == 1 || pongs_seen % 16 == 0)
-          say("heartbeat rtt " + std::to_string(rtt * 1e3) + " ms (worst " +
-              std::to_string(worst_rtt * 1e3) + " ms over " +
-              std::to_string(pongs_seen) + ")");
+        // Log the first round trip only; the rtt histogram carries the
+        // ongoing drift signal without drowning range progress lines.
+        if (pongs_seen == 1)
+          say("heartbeat rtt " + std::to_string(rtt * 1e3) + " ms");
         continue;
       }
 

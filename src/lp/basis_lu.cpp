@@ -35,6 +35,12 @@ void BasisLu::clear() {
   u_start_.clear();
   u_col_.clear();
   u_val_.clear();
+  row_to_step_.clear();
+  col_to_step_.clear();
+  ut_start_.clear();
+  ut_step_.clear();
+  lt_start_.clear();
+  lt_step_.clear();
   eta_start_.clear();
   eta_pos_.clear();
   eta_val_.clear();
@@ -237,17 +243,52 @@ bool BasisLu::factorize(int m, std::span<const int> col_ptr,
   m_ = m;
   eta_start_.push_back(0);
   work_.assign(m, 0.0);
+  build_solve_graphs();
   return true;
 }
 
-void BasisLu::ftran(std::vector<double>& x) const {
-  DLS_ASSERT(valid() && static_cast<int>(x.size()) == m_);
+void BasisLu::build_solve_graphs() {
+  row_to_step_.resize(m_);
+  col_to_step_.resize(m_);
+  for (int t = 0; t < m_; ++t) {
+    row_to_step_[pivot_row_[t]] = t;
+    col_to_step_[pivot_col_[t]] = t;
+  }
+  // U transposed by basis slot: for each slot, the (earlier) steps whose
+  // U row references it — the reverse dependencies of the FTRAN back
+  // substitution. Counting sort into CSR; the +2 offset leaves the
+  // filled cursors as the final start array.
+  ut_start_.assign(m_ + 2, 0);
+  for (const int c : u_col_) ++ut_start_[c + 2];
+  for (int i = 2; i < m_ + 2; ++i) ut_start_[i] += ut_start_[i - 1];
+  ut_step_.resize(u_col_.size());
+  for (int t = 0; t < m_; ++t)
+    for (int p = u_start_[t]; p < u_start_[t + 1]; ++p)
+      ut_step_[ut_start_[u_col_[p] + 1]++] = t;
+  ut_start_.pop_back();
+  // L transposed by row: for each row, the (earlier) steps whose L
+  // column scatters into it — the reverse dependencies of the BTRAN
+  // backward pass.
+  lt_start_.assign(m_ + 2, 0);
+  for (const int i : l_row_) ++lt_start_[i + 2];
+  for (int i = 2; i < m_ + 2; ++i) lt_start_[i] += lt_start_[i - 1];
+  lt_step_.resize(l_row_.size());
+  for (int t = 0; t < m_; ++t)
+    for (int p = l_start_[t]; p < l_start_[t + 1]; ++p)
+      lt_step_[lt_start_[l_row_[p] + 1]++] = t;
+  lt_start_.pop_back();
+}
+
+void BasisLu::ftran_l_dense(std::vector<double>& x) const {
   // Forward elimination: apply the L operations in pivot order.
   for (int t = 0; t < m_; ++t) {
     const double v = x[pivot_row_[t]];
     if (v == 0.0) continue;
     for (int p = l_start_[t]; p < l_start_[t + 1]; ++p) x[l_row_[p]] -= l_val_[p] * v;
   }
+}
+
+void BasisLu::ftran_u_dense(std::vector<double>& x) const {
   // Back substitution into slot space.
   work_.resize(m_);
   for (int t = m_ - 1; t >= 0; --t) {
@@ -257,6 +298,9 @@ void BasisLu::ftran(std::vector<double>& x) const {
     work_[pivot_col_[t]] = v / pivot_val_[t];
   }
   x.swap(work_);
+}
+
+void BasisLu::ftran_eta_dense(std::vector<double>& x) const {
   // Eta file, oldest first: x <- E^{-1} x per update.
   const int etas = eta_count();
   for (int e = 0; e < etas; ++e) {
@@ -270,8 +314,14 @@ void BasisLu::ftran(std::vector<double>& x) const {
   }
 }
 
-void BasisLu::btran(std::vector<double>& y) const {
-  DLS_ASSERT(valid() && static_cast<int>(y.size()) == m_);
+void BasisLu::ftran(std::vector<double>& x) const {
+  DLS_ASSERT(valid() && static_cast<int>(x.size()) == m_);
+  ftran_l_dense(x);
+  ftran_u_dense(x);
+  ftran_eta_dense(x);
+}
+
+void BasisLu::btran_eta_dense(std::vector<double>& y) const {
   // Eta file transposed, newest first: solve E' z = y per update.
   for (int e = eta_count() - 1; e >= 0; --e) {
     const int r = eta_pivot_pos_[e];
@@ -280,6 +330,9 @@ void BasisLu::btran(std::vector<double>& y) const {
       acc -= eta_val_[p] * y[eta_pos_[p]];
     y[r] = acc / eta_pivot_val_[e];
   }
+}
+
+void BasisLu::btran_ul_dense(std::vector<double>& y) const {
   // U' forward pass (slot space in, row space out), updates scattered
   // eagerly so each pivot's value is final when visited.
   work_.assign(m_, 0.0);
@@ -297,6 +350,354 @@ void BasisLu::btran(std::vector<double>& y) const {
     work_[pivot_row_[t]] -= acc;
   }
   y.swap(work_);
+}
+
+void BasisLu::btran(std::vector<double>& y) const {
+  DLS_ASSERT(valid() && static_cast<int>(y.size()) == m_);
+  btran_eta_dense(y);
+  btran_ul_dense(y);
+}
+
+void BasisLu::rebuild_pattern(std::vector<double>& v,
+                              std::vector<int>& pattern) const {
+  pattern.clear();
+  for (int i = 0; i < m_; ++i) {
+    if (v[i] != 0.0)
+      pattern.push_back(i);
+    else
+      v[i] = 0.0;  // normalize -0.0 structural zeros of the dense passes
+  }
+}
+
+BasisLu::SolveStats BasisLu::ftran_sparse(SparseVector& x, SolveScratch& ws,
+                                          double crossover) const {
+  DLS_ASSERT(valid() && static_cast<int>(x.values.size()) == m_);
+  ws.ensure(m_);
+  SolveStats st;
+  const int limit = static_cast<int>(crossover * m_);
+  auto& v = x.values;
+  auto& pat = x.pattern;
+
+  // ---- L pass: symbolic flood over steps from the rhs rows --------------
+  // An L scatter at step t only reaches rows eliminated later, so the
+  // dependency graph is acyclic with ascending step order a topological
+  // order — processing the sorted reach reproduces the dense loop's
+  // operation sequence exactly.
+  auto& reach = ws.reach_a;
+  auto& stack = ws.stack;
+  reach.clear();
+  stack.clear();
+  bool give_up = static_cast<int>(pat.size()) > limit;
+  if (!give_up) {
+    const int stamp = ws.bump();
+    for (const int i : pat) {
+      const int s = row_to_step_[i];
+      if (ws.mark[s] == stamp) continue;
+      ws.mark[s] = stamp;
+      reach.push_back(s);
+      stack.push_back(s);
+    }
+    while (!stack.empty()) {
+      const int t = stack.back();
+      stack.pop_back();
+      for (int p = l_start_[t]; p < l_start_[t + 1]; ++p) {
+        const int s = row_to_step_[l_row_[p]];
+        if (ws.mark[s] == stamp) continue;
+        ws.mark[s] = stamp;
+        reach.push_back(s);
+        stack.push_back(s);
+      }
+      if (static_cast<int>(reach.size()) > limit) {
+        give_up = true;
+        break;
+      }
+    }
+  }
+  if (give_up) {
+    ftran_l_dense(v);
+    ftran_u_dense(v);
+    ftran_eta_dense(v);
+    rebuild_pattern(v, pat);
+    st.reach = m_;
+    st.fallback = true;
+    return st;
+  }
+  std::sort(reach.begin(), reach.end());
+  for (const int t : reach) {
+    const double xv = v[pivot_row_[t]];
+    if (xv == 0.0) continue;  // same guard as the dense loop
+    for (int p = l_start_[t]; p < l_start_[t + 1]; ++p)
+      v[l_row_[p]] -= l_val_[p] * xv;
+  }
+  st.reach = static_cast<int>(reach.size());
+
+  // ---- U pass: reverse reachability from the L reach --------------------
+  // Step t's output depends on slots pivoted later, so activity flows
+  // backwards: an active step activates every earlier step whose U row
+  // references its slot (the ut_* transpose).
+  auto& ureach = ws.reach_b;
+  ureach.clear();
+  const int ustamp = ws.bump();
+  for (const int s : reach) {
+    ws.mark[s] = ustamp;
+    ureach.push_back(s);
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    const int t = stack.back();
+    stack.pop_back();
+    const int c = pivot_col_[t];
+    for (int p = ut_start_[c]; p < ut_start_[c + 1]; ++p) {
+      const int s = ut_step_[p];
+      if (ws.mark[s] == ustamp) continue;
+      ws.mark[s] = ustamp;
+      ureach.push_back(s);
+      stack.push_back(s);
+    }
+    if (static_cast<int>(ureach.size()) > limit) {
+      give_up = true;
+      break;
+    }
+  }
+  if (give_up) {
+    ftran_u_dense(v);
+    ftran_eta_dense(v);
+    rebuild_pattern(v, pat);
+    st.reach = m_;
+    st.fallback = true;
+    return st;
+  }
+  std::sort(ureach.begin(), ureach.end());
+  auto& work = ws.work;  // all-zero between solves
+  for (int k = static_cast<int>(ureach.size()) - 1; k >= 0; --k) {
+    const int t = ureach[k];
+    double acc = v[pivot_row_[t]];
+    for (int p = u_start_[t]; p < u_start_[t + 1]; ++p)
+      acc -= u_val_[p] * work[u_col_[p]];
+    work[pivot_col_[t]] = acc / pivot_val_[t];
+  }
+  st.reach = std::max(st.reach, static_cast<int>(ureach.size()));
+  // Gather into slot space: clear the consumed row support, move the
+  // reached slots out of the scratch (restoring its zeros), and start
+  // the result pattern. Pivot columns are a permutation, so the reached
+  // slots are distinct.
+  for (const int t : reach) v[pivot_row_[t]] = 0.0;
+  pat.clear();
+  const int sstamp = ws.bump();
+  for (const int t : ureach) {
+    const int c = pivot_col_[t];
+    v[c] = work[c];
+    work[c] = 0.0;
+    ws.mark[c] = sstamp;
+    pat.push_back(c);
+  }
+
+  // ---- eta pass: sequential scan with an O(1) support guard -------------
+  // Any eta may touch the support, so the file is scanned in order; a
+  // pivot position off the support skips in O(1) (the dense loop writes
+  // a structural +/-0 there, never a value).
+  const int etas = eta_count();
+  for (int e = 0; e < etas; ++e) {
+    const int r = eta_pivot_pos_[e];
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const double xr = vr / eta_pivot_val_[e];
+    if (xr != 0.0) {
+      for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p) {
+        const int c = eta_pos_[p];
+        v[c] -= eta_val_[p] * xr;
+        if (ws.mark[c] != sstamp) {
+          ws.mark[c] = sstamp;
+          pat.push_back(c);
+        }
+      }
+    }
+    v[r] = xr;
+  }
+
+  // Exact nonzeros only, ascending — the contract every consumer of the
+  // pattern (ratio test order, pricing cost decision) relies on.
+  int keep = 0;
+  for (const int c : pat) {
+    if (v[c] != 0.0)
+      pat[keep++] = c;
+    else
+      v[c] = 0.0;  // exact cancellation: normalize any -0.0
+  }
+  pat.resize(keep);
+  std::sort(pat.begin(), pat.end());
+  return st;
+}
+
+BasisLu::SolveStats BasisLu::btran_sparse(SparseVector& y, SolveScratch& ws,
+                                          double crossover) const {
+  DLS_ASSERT(valid() && static_cast<int>(y.values.size()) == m_);
+  ws.ensure(m_);
+  SolveStats st;
+  const int limit = static_cast<int>(crossover * m_);
+  auto& v = y.values;
+  auto& pat = y.pattern;
+  if (static_cast<int>(pat.size()) > limit) {
+    btran_eta_dense(v);
+    btran_ul_dense(v);
+    rebuild_pattern(v, pat);
+    st.reach = m_;
+    st.fallback = true;
+    return st;
+  }
+
+  // ---- eta transpose pass (newest first) over the tracked support -------
+  // An eta participates only when its pivot slot or one of its scatter
+  // positions is already in the support; otherwise the dense loop would
+  // compute a structural zero for it.
+  const int sstamp = ws.bump();
+  for (const int c : pat) ws.mark[c] = sstamp;
+  for (int e = eta_count() - 1; e >= 0; --e) {
+    const int r = eta_pivot_pos_[e];
+    bool member = ws.mark[r] == sstamp;
+    for (int p = eta_start_[e]; p < eta_start_[e + 1] && !member; ++p)
+      member = ws.mark[eta_pos_[p]] == sstamp;
+    if (!member) continue;
+    double acc = v[r];
+    for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
+      acc -= eta_val_[p] * v[eta_pos_[p]];
+    v[r] = acc / eta_pivot_val_[e];
+    if (ws.mark[r] != sstamp) {
+      ws.mark[r] = sstamp;
+      pat.push_back(r);
+    }
+  }
+
+  // ---- U' pass: forward flood from the rhs slots ------------------------
+  auto& ureach = ws.reach_a;
+  auto& stack = ws.stack;
+  ureach.clear();
+  stack.clear();
+  bool give_up = static_cast<int>(pat.size()) > limit;
+  if (!give_up) {
+    const int ustamp = ws.bump();
+    for (const int c : pat) {
+      const int s = col_to_step_[c];
+      if (ws.mark[s] == ustamp) continue;
+      ws.mark[s] = ustamp;
+      ureach.push_back(s);
+      stack.push_back(s);
+    }
+    while (!stack.empty()) {
+      const int t = stack.back();
+      stack.pop_back();
+      for (int p = u_start_[t]; p < u_start_[t + 1]; ++p) {
+        const int s = col_to_step_[u_col_[p]];
+        if (ws.mark[s] == ustamp) continue;
+        ws.mark[s] = ustamp;
+        ureach.push_back(s);
+        stack.push_back(s);
+      }
+      if (static_cast<int>(ureach.size()) > limit) {
+        give_up = true;
+        break;
+      }
+    }
+  }
+  if (give_up) {
+    btran_ul_dense(v);
+    rebuild_pattern(v, pat);
+    st.reach = m_;
+    st.fallback = true;
+    return st;
+  }
+  std::sort(ureach.begin(), ureach.end());
+  auto& work = ws.work;
+  for (const int t : ureach) {
+    const double uv = v[pivot_col_[t]] / pivot_val_[t];
+    work[pivot_row_[t]] = uv;
+    if (uv == 0.0) continue;  // same guard as the dense loop
+    for (int p = u_start_[t]; p < u_start_[t + 1]; ++p)
+      v[u_col_[p]] -= u_val_[p] * uv;
+  }
+  st.reach = static_cast<int>(ureach.size());
+
+  // ---- L' pass: reverse reachability from the U' reach ------------------
+  // Step t reads rows owned by later steps, so activity flows backwards
+  // through the lt_* transpose.
+  auto& lreach = ws.reach_b;
+  lreach.clear();
+  const int lstamp = ws.bump();
+  for (const int s : ureach) {
+    ws.mark[s] = lstamp;
+    lreach.push_back(s);
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    const int t = stack.back();
+    stack.pop_back();
+    const int row = pivot_row_[t];
+    for (int p = lt_start_[row]; p < lt_start_[row + 1]; ++p) {
+      const int s = lt_step_[p];
+      if (ws.mark[s] == lstamp) continue;
+      ws.mark[s] = lstamp;
+      lreach.push_back(s);
+      stack.push_back(s);
+    }
+    if (static_cast<int>(lreach.size()) > limit) {
+      give_up = true;
+      break;
+    }
+  }
+  if (give_up) {
+    // The U' pass already ran sparse into the scratch; finish the
+    // backward pass dense there, then copy the full row-space result
+    // out and restore the scratch zeros.
+    for (int t = m_ - 1; t >= 0; --t) {
+      double acc = 0.0;
+      for (int p = l_start_[t]; p < l_start_[t + 1]; ++p)
+        acc += l_val_[p] * work[l_row_[p]];
+      work[pivot_row_[t]] -= acc;
+    }
+    std::copy(work.begin(), work.begin() + m_, v.begin());
+    std::fill(work.begin(), work.begin() + m_, 0.0);
+    rebuild_pattern(v, pat);
+    st.reach = m_;
+    st.fallback = true;
+    return st;
+  }
+  std::sort(lreach.begin(), lreach.end());
+  for (int k = static_cast<int>(lreach.size()) - 1; k >= 0; --k) {
+    const int t = lreach[k];
+    double acc = 0.0;
+    for (int p = l_start_[t]; p < l_start_[t + 1]; ++p)
+      acc += l_val_[p] * work[l_row_[p]];
+    work[pivot_row_[t]] -= acc;
+  }
+  st.reach = std::max(st.reach, static_cast<int>(lreach.size()));
+  // Clear the consumed slot-space rhs (every touched slot's step is in
+  // the U' reach), then gather the row-space result out of the scratch.
+  for (const int t : ureach) v[pivot_col_[t]] = 0.0;
+  pat.clear();
+  for (const int t : lreach) {
+    const int row = pivot_row_[t];
+    const double rv = work[row];
+    work[row] = 0.0;
+    if (rv != 0.0) {
+      v[row] = rv;
+      pat.push_back(row);
+    }
+  }
+  std::sort(pat.begin(), pat.end());
+  return st;
+}
+
+BasisLu::SolveStats BasisLu::btran_unit_sparse(int slot, SparseVector& y,
+                                               SolveScratch& ws,
+                                               double crossover) const {
+  DLS_ASSERT(valid() && slot >= 0 && slot < m_);
+  if (static_cast<int>(y.values.size()) != m_)
+    y.reset(m_);
+  else
+    y.clear_support();
+  y.values[slot] = 1.0;
+  y.pattern.push_back(slot);
+  return btran_sparse(y, ws, crossover);
 }
 
 void BasisLu::btran_unit(int slot, std::vector<double>& y,
@@ -326,6 +727,23 @@ bool BasisLu::update(int r, const std::vector<double>& w, double pivot_tol) {
   return true;
 }
 
+bool BasisLu::update(int r, const SparseVector& w, double pivot_tol) {
+  DLS_ASSERT(valid() && static_cast<int>(w.values.size()) == m_);
+  const double wr = w.values[r];
+  if (std::fabs(wr) <= pivot_tol) return false;
+  // The pattern is ascending with exact nonzeros, so this appends the
+  // same eta entries, in the same order, as the dense scan above.
+  for (const int i : w.pattern) {
+    if (i == r) continue;
+    eta_pos_.push_back(i);
+    eta_val_.push_back(w.values[i]);
+  }
+  eta_start_.push_back(static_cast<int>(eta_pos_.size()));
+  eta_pivot_pos_.push_back(r);
+  eta_pivot_val_.push_back(wr);
+  return true;
+}
+
 std::size_t BasisLu::factor_nnz() const {
   return l_row_.size() + u_col_.size() + pivot_row_.size() + eta_pos_.size() +
          eta_pivot_pos_.size();
@@ -334,7 +752,10 @@ std::size_t BasisLu::factor_nnz() const {
 std::size_t BasisLu::memory_bytes() const {
   const auto ints = pivot_row_.size() + pivot_col_.size() + l_start_.size() +
                     l_row_.size() + u_start_.size() + u_col_.size() +
-                    eta_start_.size() + eta_pos_.size() + eta_pivot_pos_.size();
+                    row_to_step_.size() + col_to_step_.size() +
+                    ut_start_.size() + ut_step_.size() + lt_start_.size() +
+                    lt_step_.size() + eta_start_.size() + eta_pos_.size() +
+                    eta_pivot_pos_.size();
   const auto doubles = pivot_val_.size() + l_val_.size() + u_val_.size() +
                        eta_val_.size() + eta_pivot_val_.size() + work_.size();
   return ints * sizeof(int) + doubles * sizeof(double);

@@ -21,16 +21,36 @@
 // Index spaces: ftran maps a right-hand side over *rows* to a solution
 // over *basis slots* (columns); btran maps a cost vector over basis
 // slots to multipliers over rows. Eta vectors live in slot space.
+// Hypersparse solves: when the right-hand side is sparse (an entering
+// column, a unit vector, an update spike), the dense O(m) sweeps above
+// are replaced by a Gilbert–Peierls-style two-phase solve — a symbolic
+// flood fill over the factor dependency graphs computes the reach set
+// of pivot steps the solution can touch, then a numeric scatter/gather
+// pass runs only those steps, in the same order and with the same
+// skip-zero guards as the dense loops, so every nonzero of the result
+// is bitwise identical to the dense pass. A symbolic pass whose reach
+// crosses `crossover * m` abandons the sparse route and finishes with
+// the dense sweeps (the predicted bookkeeping would cost more than the
+// straight pass it replaces). The graphs (pivot permutation inverses
+// plus L/U transposes) are built once per factorize() in O(nnz).
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "lp/sparse_vector.hpp"
+
 namespace dls::lp {
 
 class BasisLu {
 public:
+  /// Outcome of one hypersparse solve.
+  struct SolveStats {
+    int reach = 0;          ///< steps touched by the widest triangular pass
+    bool fallback = false;  ///< reach crossed the density cutoff; dense pass ran
+  };
+
   /// Factorizes the m x m basis given in compressed-sparse-column form
   /// (column j's entries are rows[col_ptr[j]..col_ptr[j+1])). Discards
   /// any previous factorization and eta file. Returns false — leaving
@@ -52,16 +72,43 @@ public:
   /// the solution over rows on return.
   void btran(std::vector<double>& y) const;
 
+  /// Hypersparse FTRAN. `x` must satisfy the SparseVector invariant on
+  /// entry (rhs values on its pattern, exact zeros elsewhere); on return
+  /// it holds the solution with its pattern rewritten to the exact
+  /// nonzero support, sorted ascending (entries that cancelled exactly
+  /// are reset to +0.0). Falls back to the dense passes — and an O(m)
+  /// pattern rescan — when the symbolic reach exceeds `crossover * m`.
+  /// Nonzero values are bitwise identical to ftran() either way.
+  SolveStats ftran_sparse(SparseVector& x, SolveScratch& ws,
+                          double crossover) const;
+
+  /// Hypersparse BTRAN; same contract as ftran_sparse.
+  SolveStats btran_sparse(SparseVector& y, SolveScratch& ws,
+                          double crossover) const;
+
+  /// Hypersparse btran of the slot-space unit vector e_slot: row `slot`
+  /// of B^{-1} with its nonzero pattern collected by the solve itself
+  /// (no post-scan). `y` is cleared via its own pattern, so callers just
+  /// keep handing the same SparseVector back.
+  SolveStats btran_unit_sparse(int slot, SparseVector& y, SolveScratch& ws,
+                               double crossover) const;
+
   /// Product-form update after a simplex pivot: slot `r` of the basis is
   /// replaced by a column whose FTRAN image is `w` (dense, slot space).
   /// Returns false without changing anything when |w[r]| <= pivot_tol —
   /// the caller should refactorize from the updated basis instead.
   bool update(int r, const std::vector<double>& w, double pivot_tol);
 
+  /// Pattern-driven form of update(): reads only `w.pattern` (ascending,
+  /// exact nonzeros — what ftran_sparse returns), appending the same eta
+  /// vector the dense scan would.
+  bool update(int r, const SparseVector& w, double pivot_tol);
+
   /// btran of a slot-space unit vector e_slot: `y` is resized and
   /// overwritten with row `slot` of B^{-1} (over rows). When `nonzeros`
   /// is non-null it receives the indices of y's nonzero entries — the
   /// support the simplex pricing update scatters its pivot row from.
+  /// (Legacy dense pass; the pivot loop uses btran_unit_sparse.)
   void btran_unit(int slot, std::vector<double>& y,
                   std::vector<int>* nonzeros = nullptr) const;
 
@@ -87,6 +134,23 @@ public:
   void clear();
 
 private:
+  // Dense pass stages (bit-exact splits of ftran()/btran(); the
+  // hypersparse solves re-enter them mid-solve on a crossover fallback).
+  void ftran_l_dense(std::vector<double>& x) const;
+  void ftran_u_dense(std::vector<double>& x) const;
+  void ftran_eta_dense(std::vector<double>& x) const;
+  void btran_eta_dense(std::vector<double>& y) const;
+  void btran_ul_dense(std::vector<double>& y) const;
+
+  /// O(m) fallback pattern collection: exact nonzeros ascending, with
+  /// negative zeros (structural zeros of the dense passes) normalized
+  /// so the SparseVector invariant holds.
+  void rebuild_pattern(std::vector<double>& v, std::vector<int>& pattern) const;
+
+  /// Builds the reach-set graphs (permutation inverses + L/U transposes)
+  /// from the freshly factorized L/U. O(nnz).
+  void build_solve_graphs();
+
   int m_ = 0;
 
   // Pivot sequence t = 0..m-1: row, basis slot (column), pivot value.
@@ -106,6 +170,17 @@ private:
   std::vector<int> u_start_;  // size m+1
   std::vector<int> u_col_;
   std::vector<double> u_val_;
+
+  // Reach-set graphs, rebuilt by factorize(). row_to_step_/col_to_step_
+  // invert the pivot permutations; ut_*/lt_* are the U rows transposed
+  // by basis slot and the L columns transposed by row — the reverse
+  // dependency adjacencies the backward symbolic passes walk.
+  std::vector<int> row_to_step_;  // pivot row -> elimination step
+  std::vector<int> col_to_step_;  // basis slot -> elimination step
+  std::vector<int> ut_start_;     // size m+1, indexed by slot
+  std::vector<int> ut_step_;
+  std::vector<int> lt_start_;     // size m+1, indexed by row
+  std::vector<int> lt_step_;
 
   // Eta file: per update, the pivot slot, w[r], and the other nonzeros.
   std::vector<int> eta_start_;  // size eta_count+1

@@ -37,12 +37,17 @@ struct ArenaImpl {
   std::vector<double> csc_val;
   std::vector<double> binv, scratch;  // dense path
 
-  // Iteration scratch.
-  std::vector<double> y, w, rho, r;
+  // Iteration scratch. w/rho are the sparse-path FTRAN image and
+  // pricing row; hs is the reach-set workspace their hypersparse solves
+  // share (arena-owned so BatchSolver stays allocation-free and warm
+  // capsules carry no scratch).
+  std::vector<double> y, r;
+  SparseVector w, rho;
+  SolveScratch hs;
 
   // Incremental pricing state.
   std::vector<double> d, weights, alpha;
-  std::vector<int> cand, touched, rho_nz;
+  std::vector<int> cand, touched;
   std::vector<char> in_cand;
 };
 
@@ -98,6 +103,43 @@ constexpr double kTieMargin = 1e-9;
 /// pricing refresh, which reinitializes every weight to 1).
 constexpr double kWeightCap = 1e7;
 
+/// Reach-fraction buckets for the hypersparse solve histograms: dense
+/// coverage of the tiny-reach regime the pivot loop lives in, with the
+/// 1.0 bucket catching crossover fallbacks (recorded as a full sweep).
+std::vector<double> reach_fraction_buckets() {
+  return {0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0};
+}
+
+/// Hypersparse-solve instrumentation. Also touched from record_solve()
+/// so the series register — and appear in a /metrics scrape — even when
+/// every solve so far ran the dense-inverse path.
+struct HyperObs {
+  obs::Histogram ftran_reach, btran_reach;
+  obs::Counter ftran_fallbacks, btran_fallbacks;
+  HyperObs() {
+    auto& reg = obs::registry();
+    ftran_reach = reg.histogram(
+        "dls_lp_ftran_reach_fraction",
+        "Reach of hypersparse FTRANs as a fraction of basis rows",
+        reach_fraction_buckets());
+    btran_reach = reg.histogram(
+        "dls_lp_btran_reach_fraction",
+        "Reach of hypersparse BTRANs as a fraction of basis rows",
+        reach_fraction_buckets());
+    ftran_fallbacks =
+        reg.counter("dls_lp_ftran_fallbacks_total",
+                    "Hypersparse FTRANs that crossed the density cutoff");
+    btran_fallbacks =
+        reg.counter("dls_lp_btran_fallbacks_total",
+                    "Hypersparse BTRANs that crossed the density cutoff");
+  }
+};
+
+HyperObs& hyper_obs() {
+  static HyperObs handles;
+  return handles;
+}
+
 /// Full solver state for one solve() call. Variable indexing:
 ///   [0, n)            structural variables (model order)
 ///   [n, n+m)          slack of row i at index n+i
@@ -126,15 +168,17 @@ public:
         binv_(arena.binv),
         scratch_(arena.scratch),
         y_(arena.y),
-        w_(arena.w),
-        rho_(arena.rho),
+        w_(arena.w.values),
+        w_nz_(arena.w.pattern),
+        rho_(arena.rho.values),
+        rho_nz_(arena.rho.pattern),
         r_(arena.r),
+        hs_(arena.hs),
         d_(arena.d),
         weights_(arena.weights),
         alpha_(arena.alpha),
         cand_(arena.cand),
         touched_(arena.touched),
-        rho_nz_(arena.rho_nz),
         in_cand_(arena.in_cand) {
     n_ = model.num_variables();
     m_ = model.num_constraints();
@@ -142,13 +186,15 @@ public:
     dense_ = opt.factorization == Factorization::DenseInverse ||
              (opt.factorization == Factorization::Auto &&
               m_ <= opt.dense_crossover_rows);
+    hyper_ = !dense_ && opt.hypersparse;
+    if (hyper_) hs_.ensure(m_);
     rule_ = opt.pricing == Pricing::Auto ? Pricing::SteepestEdge : opt.pricing;
     window_ = opt.partial_window > 0 ? opt.partial_window
                                      : std::max(64, (n_ + m_) / 16);
     cand_cap_ = opt.se_candidate_cap > 0
                     ? static_cast<std::size_t>(opt.se_candidate_cap)
                 : opt.se_candidate_cap == 0
-                    ? static_cast<std::size_t>(std::max(512, (n_ + m_) / 16))
+                    ? static_cast<std::size_t>(512)
                     : static_cast<std::size_t>(n_) + static_cast<std::size_t>(m_);
     fingerprint_ = detail::matrix_fingerprint(model);
     resolve_columns();
@@ -710,11 +756,20 @@ private:
         break;
       }
     }
+    // Whole binades above the cutoff are kept; the cutoff binade fills
+    // the remainder in index order. The hard cap matters on the tied
+    // cohorts of these route LPs: thousands of columns can share one
+    // binade, and keeping them all would make every per-pivot candidate
+    // sweep O(n/16) no matter what cap the caller asked for.
     std::size_t keep = 0;
+    std::size_t cutoff_left = cand_cap_ - std::min(
+        cand_cap_, kept - static_cast<std::size_t>(hist[cutoff]));
     for (std::size_t s = 0; s < cand_.size(); ++s) {
       const int j = cand_[s];
-      if (binade(j) >= cutoff) {
+      const int b = binade(j);
+      if (b > cutoff || (b == cutoff && cutoff_left > 0)) {
         cand_[keep++] = j;
+        if (b == cutoff) --cutoff_left;
       } else {
         in_cand_[j] = 0;
       }
@@ -740,30 +795,95 @@ private:
     const int nn = n_ + m_;
     compute_pricing_y();
     d_.resize(nn);
+    // One fused pass over the columns: reduced cost, Devex weight reset
+    // and candidate collection together. Per-column arithmetic, scan
+    // order and the resulting candidate list are identical to running
+    // the three passes separately; fusing just avoids streaming the
+    // O(n) arrays through the cache three times per refresh.
+    const bool se = rule_ == Pricing::SteepestEdge;
+    if (se) {
+      weights_.resize(nn);
+      cand_.clear();
+      in_cand_.assign(nn, 0);
+    }
+    const detail::ColumnCache& c = *cols_;
     for (int j = 0; j < nn; ++j) {
+      if (se) weights_[j] = 1.0;
       if (status_[j] == VarStatus::Basic) {
         d_[j] = 0.0;
         continue;
       }
       double d = current_cost(j);
-      for_each_in_column(j, [&](int row, double coef) { d -= y_[row] * coef; });
-      d_[j] = d;
-    }
-    if (rule_ == Pricing::SteepestEdge) {
-      weights_.assign(nn, 1.0);
-      cand_.clear();
-      in_cand_.assign(nn, 0);
-      for (int j = 0; j < nn; ++j) {
-        if (status_[j] == VarStatus::Basic || lb_[j] == ub_[j]) continue;
-        if (attractive(j)) {
-          cand_.push_back(j);
-          in_cand_[j] = 1;
-        }
+      if (j < n_) {
+        for (int p = c.col_ptr[j]; p < c.col_ptr[j + 1]; ++p)
+          d -= y_[c.col_row[p]] * c.col_val[p];
+      } else {
+        d -= y_[j - n_];  // slack column e_{j-n}
       }
-      if (cand_.size() > cand_cap_) truncate_candidates();
+      d_[j] = d;
+      if (se && lb_[j] != ub_[j] && attractive(j)) {
+        cand_.push_back(j);
+        in_cand_[j] = 1;
+      }
     }
+    if (se && cand_.size() > cand_cap_) truncate_candidates();
     d_fresh_ = true;
     pricing_ready_ = true;
+  }
+
+  /// Cheap mid-phase candidate refill for steepest edge, replacing the
+  /// full O(n) refresh the solver used to pay every time its candidate
+  /// list ran dry (on LPs with n >> m — K^2 route columns over O(K)
+  /// rows — one pivot neutralizes whole cohorts of tied columns, so dry
+  /// lists are the common case, every handful of pivots). One BTRAN
+  /// refreshes y, then cycling windows of columns get their reduced
+  /// costs recomputed with exactly the per-column arithmetic of
+  /// refresh_pricing; the first window yielding attractive columns ends
+  /// the scan. Refilled candidates restart at the Devex reference
+  /// weight. A fruitless full cycle recomputed every reduced cost
+  /// against one fresh y — the same optimality evidence a full refresh
+  /// produces — so it sets d_fresh_ and the caller can declare
+  /// optimality without another O(n) pass.
+  bool refill_candidates() {
+    const int nn = n_ + m_;
+    compute_pricing_y();
+    const detail::ColumnCache& c = *cols_;
+    int start = refill_cursor_;
+    int examined = 0;
+    bool found = false;
+    while (examined < nn && !found) {
+      const int count = std::min(window_, nn - examined);
+      for (int t = 0; t < count; ++t) {
+        int j = start + t;
+        if (j >= nn) j -= nn;
+        if (status_[j] == VarStatus::Basic) {
+          d_[j] = 0.0;
+          continue;
+        }
+        double d = current_cost(j);
+        if (j < n_) {
+          for (int p = c.col_ptr[j]; p < c.col_ptr[j + 1]; ++p)
+            d -= y_[c.col_row[p]] * c.col_val[p];
+        } else {
+          d -= y_[j - n_];
+        }
+        d_[j] = d;
+        if (lb_[j] == ub_[j] || in_cand_[j]) continue;
+        if (attractive(j)) {
+          weights_[j] = 1.0;
+          in_cand_[j] = 1;
+          cand_.push_back(j);
+          found = true;
+        }
+      }
+      examined += count;
+      start += count;
+      if (start >= nn) start -= nn;
+    }
+    refill_cursor_ = start;
+    if (cand_.size() > cand_cap_) truncate_candidates();
+    if (!found && examined >= nn) d_fresh_ = true;
+    return found;
   }
 
   /// Entering-variable selection over the incrementally maintained
@@ -839,13 +959,23 @@ private:
     const double wq = rule_ == Pricing::SteepestEdge ? weights_[q] : 0.0;
     const double inv_p2 = 1.0 / (pivot * pivot);
 
-    // rho = (row `leave` of B^{-1})' with its nonzero support.
+    // rho = (row `leave` of B^{-1})' with its nonzero support. On the
+    // hypersparse path the solve itself hands back the pattern; the
+    // dense inverse keeps its scan (a dense row has no other source).
     const double* rv;
     if (dense_) {
       rv = &binv_[static_cast<std::size_t>(leave) * m_];
       rho_nz_.clear();
       for (int i = 0; i < m_; ++i)
         if (rv[i] != 0.0) rho_nz_.push_back(i);
+    } else if (hyper_) {
+      const BasisLu::SolveStats hst =
+          lu_.btran_unit_sparse(leave, a_.rho, hs_, opt_.hypersparse_crossover);
+      HyperObs& ho = hyper_obs();
+      ho.btran_reach.observe(
+          hst.fallback ? 1.0 : static_cast<double>(hst.reach) / m_);
+      if (hst.fallback) ho.btran_fallbacks.inc();
+      rv = rho_.data();
     } else {
       lu_.btran_unit(leave, rho_, &rho_nz_);
       rv = rho_.data();
@@ -972,7 +1102,10 @@ private:
 
   SolveStatus iterate(int max_iters) {
     y_.resize(m_);
-    w_.resize(m_);
+    if (hyper_)
+      a_.w.reset(m_);  // restore the invariant whatever mode used the arena last
+    else
+      w_.resize(m_);
     pricing_ready_ = false;  // every phase starts from a fresh pricing pass
     while (true) {
       if (iters_ >= max_iters) return SolveStatus::IterationLimit;
@@ -997,6 +1130,13 @@ private:
       } else {
         if (!pricing_ready_) refresh_pricing();
         pick_entering_incremental(q, increase);
+        if (q < 0 && !d_fresh_ && rule_ == Pricing::SteepestEdge) {
+          // Dry candidate list mid-phase: refill from cycling windows
+          // of freshly recomputed reduced costs instead of paying a
+          // full O(n) refresh. A fruitless full cycle sets d_fresh_ —
+          // optimality confirmed off fresh values, same as a refresh.
+          if (refill_candidates()) pick_entering_incremental(q, increase);
+        }
         if (q < 0 && !d_fresh_) {
           // Confirmation pass: the maintained reduced costs carry
           // rounding drift, so optimality is only declared off a
@@ -1008,14 +1148,28 @@ private:
       if (q < 0) return SolveStatus::Optimal;
 
       // FTRAN: w = B^{-1} A_q.
-      std::fill(w_.begin(), w_.end(), 0.0);
-      if (dense_) {
+      if (hyper_) {
+        a_.w.clear_support();
         for_each_in_column(q, [&](int row, double coef) {
-          for (int i = 0; i < m_; ++i) w_[i] += binv_at(i, row) * coef;
+          if (w_[row] == 0.0) w_nz_.push_back(row);
+          w_[row] += coef;
         });
+        const BasisLu::SolveStats hst =
+            lu_.ftran_sparse(a_.w, hs_, opt_.hypersparse_crossover);
+        HyperObs& ho = hyper_obs();
+        ho.ftran_reach.observe(
+            hst.fallback ? 1.0 : static_cast<double>(hst.reach) / m_);
+        if (hst.fallback) ho.ftran_fallbacks.inc();
       } else {
-        for_each_in_column(q, [&](int row, double coef) { w_[row] += coef; });
-        lu_.ftran(w_);
+        std::fill(w_.begin(), w_.end(), 0.0);
+        if (dense_) {
+          for_each_in_column(q, [&](int row, double coef) {
+            for (int i = 0; i < m_; ++i) w_[i] += binv_at(i, row) * coef;
+          });
+        } else {
+          for_each_in_column(q, [&](int row, double coef) { w_[row] += coef; });
+          lu_.ftran(w_);
+        }
       }
 
       const double dir = increase ? 1.0 : -1.0;
@@ -1035,7 +1189,12 @@ private:
       bool leave_upper = false;  // which bound the leaving basic rests at
       if (std::isfinite(lb_[q]) && std::isfinite(ub_[q])) t_best = ub_[q] - lb_[q];
       double leave_pivot = 0.0;
-      for (int i = 0; i < m_; ++i) {
+      // On the hypersparse path only w's support can block; its pattern
+      // is ascending, so the tie-breaking scan order matches the dense
+      // sweep (off-pattern entries are exact zeros the sweep skips).
+      const int wn = hyper_ ? static_cast<int>(w_nz_.size()) : m_;
+      for (int k = 0; k < wn; ++k) {
+        const int i = hyper_ ? w_nz_[k] : k;
         const double delta = -dir * w_[i];  // d(x_B[i]) / dt
         if (std::fabs(delta) <= opt_.pivot_tol) continue;
         const int bvar = basis_[i];
@@ -1085,8 +1244,12 @@ private:
         use_bland_ = true;  // anti-cycling fallback; never switched back
       }
 
-      // Apply the step to the basic values.
-      for (int i = 0; i < m_; ++i) xb_[i] -= dir * t_best * w_[i];
+      // Apply the step to the basic values (only w's support moves).
+      if (hyper_) {
+        for (const int i : w_nz_) xb_[i] -= dir * t_best * w_[i];
+      } else {
+        for (int i = 0; i < m_; ++i) xb_[i] -= dir * t_best * w_[i];
+      }
 
       if (leave < 0) {
         // Bound flip: basis (and the reduced costs) unchanged.
@@ -1114,7 +1277,8 @@ private:
 
       if (dense_) {
         update_binv(leave, w_);
-      } else if (!lu_.update(leave, w_, opt_.pivot_tol)) {
+      } else if (hyper_ ? !lu_.update(leave, a_.w, opt_.pivot_tol)
+                        : !lu_.update(leave, w_, opt_.pivot_tol)) {
         // The ratio test guarantees a usable pivot, so this is a pure
         // numerical-drift escape hatch: rebuild from the updated basis.
         if (!refactor()) return SolveStatus::NumericalError;
@@ -1353,27 +1517,31 @@ private:
   std::vector<double>& binv_;            // dense path
   std::vector<double>& scratch_;
   std::vector<double>& y_;
-  std::vector<double>& w_;
-  std::vector<double>& rho_;
+  std::vector<double>& w_;       // FTRAN image values (arena.w.values)
+  std::vector<int>& w_nz_;       // its support when hyper_ (arena.w.pattern)
+  std::vector<double>& rho_;     // pricing row values (arena.rho.values)
+  std::vector<int>& rho_nz_;     // its support (arena.rho.pattern)
   std::vector<double>& r_;
+  SolveScratch& hs_;             // hypersparse reach-set workspace
   std::vector<double>& d_;       // incremental reduced costs
   std::vector<double>& weights_; // Devex reference weights
   std::vector<double>& alpha_;   // pivot-row scatter (kept all-zero between uses)
   std::vector<int>& cand_;       // steepest-edge candidate list
   std::vector<int>& touched_;
-  std::vector<int>& rho_nz_;
   std::vector<char>& in_cand_;
 
   const detail::ColumnCache* cols_ = nullptr;
   bool cache_hit_ = false;
 
   bool dense_ = false;  ///< Factorization::DenseInverse baseline path
+  bool hyper_ = false;  ///< reach-set basis solves on the sparse path
   Pricing rule_ = Pricing::SteepestEdge;
   int n_ = 0, m_ = 0, total_ = 0;
   int window_ = 0;           ///< partial-pricing window size
   int phase1_cursor_ = 0;    ///< cycling cursor of the phase-1 window scan
   std::size_t cand_cap_ = 0; ///< steepest-edge candidate-list cap
   int partial_cursor_ = 0;
+  int refill_cursor_ = 0;    ///< cycling cursor of the candidate refill scan
 
   double rhs_scale_ = 1.0;
   std::uint64_t fingerprint_ = 0;
@@ -1484,6 +1652,7 @@ struct LpObs {
 
 void record_solve(const Solution& solution, double seconds) {
   static LpObs handles;
+  hyper_obs();  // register the hypersparse series even on dense-path solves
   switch (solution.warm_kind) {
     case WarmKind::Cold: handles.cold.inc(); break;
     case WarmKind::Capsule: handles.warm.inc(); break;

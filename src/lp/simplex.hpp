@@ -107,18 +107,37 @@ struct SimplexOptions {
   /// the dense inverse (measured faster up to K~16 platforms, m <= ~100);
   /// larger bases use the sparse LU.
   int dense_crossover_rows = 112;
+  /// Hypersparse (reach-set) basis solves on the sparse path: the
+  /// FTRAN of the entering column, the BTRAN of the pricing unit vector
+  /// and the eta append run a Gilbert–Peierls symbolic pass first and
+  /// touch only the solution's support, instead of sweeping all m rows.
+  /// Pivot sequences and optima are bit-identical either way; disable
+  /// only to measure the dense-pass baseline (bench/lp_scaling's
+  /// no-hypersparse arm).
+  bool hypersparse = true;
+  /// Reach-set density cutoff: a symbolic pass that reaches more than
+  /// this fraction of the elimination steps abandons the sparse solve
+  /// and falls back to the dense pass for the remaining stages (the
+  /// sort/scatter bookkeeping would cost more than the straight sweep).
+  /// 1.0 never falls back; 0.0 always takes the dense pass. The default
+  /// is deliberately strict: on the bench federations the dense sweeps
+  /// win from a few percent density up, so only genuinely tiny reaches
+  /// should stay on the sparse route.
+  double hypersparse_crossover = 0.03;
   /// Entering-variable rule; Auto currently resolves to SteepestEdge.
   Pricing pricing = Pricing::Auto;
   /// Partial pricing window (columns scanned per iteration before the
   /// cursor cycles on). 0 = automatic: max(64, total columns / 16).
   int partial_window = 0;
   /// Steepest-edge candidate cap: every pricing refresh keeps only the
-  /// strongest this-many candidates (by reduced-cost magnitude), which
-  /// bounds the per-pivot scan and update cost on wide models. Columns
-  /// left off the list go stale until the next refresh — safe, because
-  /// optimality is only declared off a fresh confirmation pass, which
-  /// rebuilds the full list. 0 = automatic: max(512, total columns / 16);
-  /// negative = unbounded (the pre-cap behavior).
+  /// strongest this-many candidates (by reduced-cost magnitude, with the
+  /// cutoff binade truncated in index order to land exactly on the cap),
+  /// which bounds the per-pivot scan and update cost on wide models.
+  /// Columns left off the list go stale until a windowed refill (a dry
+  /// list triggers one before any full-width refresh) or the fresh
+  /// confirmation pass that gates optimality brings them back. 0 =
+  /// automatic (currently a flat 512 — per-pivot cost beats the extra
+  /// refills on every width we benchmark); negative = unbounded.
   int se_candidate_cap = 0;
   /// Basis repair across constraint-matrix changes: when a warm capsule
   /// is rejected by the matrix fingerprint but its statuses still fit

@@ -1,0 +1,81 @@
+// Sparse-vector plumbing for the hypersparse simplex solves.
+//
+// SparseVector pairs a dense-addressable value array with an explicit
+// nonzero index list, the shape every consumer of a basis solve wants:
+// random access for scatter/gather arithmetic, plus the support so
+// loops over the result cost O(nnz) instead of O(m). The invariant is
+// strict — every position off `pattern` holds an exact (+)0.0 — which
+// is what lets the next solve rebuild a right-hand side by clearing
+// only the previous support.
+//
+// SolveScratch is the per-arena workspace the reach-set solves in
+// BasisLu need: stamped visited marks (bumping the stamp invalidates
+// every mark in O(1)), a DFS stack, two reach lists, and an all-zero
+// numeric scratch row. It carries no per-basis state, so one instance
+// serves any number of BasisLu objects sequentially; it lives in the
+// SolveArena (not in BasisLu) so warm-start capsules stay small and
+// BatchSolver's solves allocate nothing once capacities warm up.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dls::lp {
+
+/// Dense-addressable vector with an explicit support list.
+/// Invariant: values[i] == 0.0 (positive zero) for every i not in
+/// `pattern`; `pattern` holds distinct indices, sorted ascending
+/// whenever a BasisLu solve returns.
+struct SparseVector {
+  std::vector<double> values;
+  std::vector<int> pattern;
+
+  /// Resets to an all-zero vector of dimension m (reallocates only on
+  /// growth; the usual arena path reuses capacity).
+  void reset(int m) {
+    values.assign(static_cast<std::size_t>(m), 0.0);
+    pattern.clear();
+  }
+
+  /// Clears the support in O(nnz), restoring the all-zero invariant.
+  void clear_support() {
+    for (const int i : pattern) values[static_cast<std::size_t>(i)] = 0.0;
+    pattern.clear();
+  }
+};
+
+/// Workspace for the symbolic (reach-set) phase of hypersparse basis
+/// solves. All buffers are sized to the largest basis seen; `work` is
+/// kept all-zero between calls (each solve re-zeroes exactly the
+/// positions it touched).
+struct SolveScratch {
+  std::vector<int> mark;       ///< stamped visited marks (steps or positions)
+  int stamp = 0;               ///< current mark generation
+  std::vector<int> stack;      ///< DFS stack of pivot steps
+  std::vector<int> reach_a;    ///< reach of the first triangular pass
+  std::vector<int> reach_b;    ///< reach of the second triangular pass
+  std::vector<double> work;    ///< numeric scratch, all-zero between solves
+
+  /// Grows the workspace to dimension m. Shrinking is never needed:
+  /// oversized marks/scratch are correct for any smaller basis.
+  void ensure(int m) {
+    if (static_cast<int>(work.size()) < m) {
+      mark.assign(static_cast<std::size_t>(m), 0);
+      stamp = 0;
+      work.assign(static_cast<std::size_t>(m), 0.0);
+    }
+  }
+
+  /// Starts a fresh mark generation; wraps by re-zeroing the marks.
+  int bump() {
+    if (stamp == std::numeric_limits<int>::max()) {
+      std::fill(mark.begin(), mark.end(), 0);
+      stamp = 0;
+    }
+    return ++stamp;
+  }
+};
+
+}  // namespace dls::lp

@@ -231,6 +231,31 @@ private:
     return out;
   }
 
+  /// Active-load inventory: one object per draining load with its
+  /// identity, home cluster, age in virtual seconds, and current rate.
+  [[nodiscard]] std::string loads_json() const {
+    std::string out = "{\"vt\":" + obs::format_double(engine_.now());
+    out += ",\"loads\":[";
+    bool first = true;
+    for (const int id : engine_.active_ids()) {
+      const online::AppRecord& rec =
+          engine_.apps()[static_cast<std::size_t>(id)];
+      if (!first) out += ",";
+      first = false;
+      out += "{\"id\":" + std::to_string(id);
+      const std::string& name = engine_.app_name(id);
+      if (!name.empty()) out += ",\"name\":\"" + name + "\"";
+      out += ",\"cluster\":" + std::to_string(rec.cluster);
+      out += ",\"payoff\":" + obs::format_double(rec.payoff);
+      out += ",\"age\":" + obs::format_double(engine_.now() - rec.arrival);
+      out += ",\"remaining\":" + obs::format_double(engine_.load_remaining(id));
+      out += ",\"rate\":" + obs::format_double(engine_.load_rate(id));
+      out += "}";
+    }
+    out += "]}";
+    return out;
+  }
+
   /// Executes one mutation/query in line-protocol form; both protocols
   /// funnel here so HTTP POST and line commands behave identically.
   [[nodiscard]] std::string run_command(const std::vector<std::string>& words,
@@ -245,6 +270,10 @@ private:
     if (cmd == "stats") {
       daemon_obs().req_stats.inc();
       return "ok " + stats_json();
+    }
+    if (cmd == "loads") {
+      daemon_obs().req_stats.inc();
+      return "ok " + loads_json();
     }
     if (cmd == "quit") {
       close_conn = true;
@@ -330,6 +359,10 @@ private:
     if (path == "/stats") {
       daemon_obs().req_stats.inc();
       return respond(200, "OK", "application/json", stats_json() + "\n");
+    }
+    if (path == "/loads") {
+      daemon_obs().req_stats.inc();
+      return respond(200, "OK", "application/json", loads_json() + "\n");
     }
     if (req.method == "POST" &&
         (path == "/arrive" || path == "/depart" || path == "/event" ||

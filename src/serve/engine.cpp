@@ -18,9 +18,21 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Serve-level lifecycle series. Solver and rescheduler internals are
 // counted one layer down (lp/, online/); these cover what the daemon
 // itself decides: admission outcomes and load lifecycles.
+/// Response-time buckets (virtual seconds). Loads drain over fluid
+/// schedules, so responses span replay pacing, not network latency:
+/// a decade-and-thirds ladder up to 10^4 keeps every realistic trace
+/// inside the finite buckets.
+const std::vector<double>& response_buckets() {
+  static const std::vector<double> buckets = {0.1,  0.3,   1.0,   3.0,
+                                              10.0, 30.0,  100.0, 300.0,
+                                              1e3,  3e3,   1e4};
+  return buckets;
+}
+
 struct ServeObs {
   obs::Counter admitted, rej_overload, rej_absent, rej_draining;
   obs::Counter completed, cancelled, aborted;
+  obs::Histogram resp_completed, resp_cancelled, resp_aborted;
   obs::Gauge active;
   ServeObs() {
     auto& reg = obs::registry();
@@ -35,6 +47,15 @@ struct ServeObs {
     completed = reg.counter(dep, dep_help, "reason=\"completed\"");
     cancelled = reg.counter(dep, dep_help, "reason=\"cancelled\"");
     aborted = reg.counter(dep, dep_help, "reason=\"aborted_churn\"");
+    const std::string resp = "dls_serve_response_seconds";
+    const std::string resp_help =
+        "Load response time (virtual seconds, arrival to departure) by outcome";
+    resp_completed =
+        reg.histogram(resp, resp_help, response_buckets(), "outcome=\"completed\"");
+    resp_cancelled =
+        reg.histogram(resp, resp_help, response_buckets(), "outcome=\"cancelled\"");
+    resp_aborted = reg.histogram(resp, resp_help, response_buckets(),
+                                 "outcome=\"aborted_churn\"");
     active = reg.gauge("dls_serve_active_loads", "Loads currently draining");
   }
 };
@@ -140,6 +161,7 @@ void ServeEngine::complete_due() {
     metrics_.record_completion(rec);
     ++counters_.completed;
     serve_obs().completed.inc();
+    serve_obs().resp_completed.observe(rec.response());
     obs::trace("serve.complete", "id=" + std::to_string(app) +
                                      " response=" +
                                      std::to_string(rec.response()));
@@ -219,6 +241,7 @@ bool ServeEngine::depart(double vt, int id) {
   rec.outcome = online::AppOutcome::Cancelled;
   ++counters_.cancelled;
   serve_obs().cancelled.inc();
+  serve_obs().resp_cancelled.observe(rec.response());
   obs::trace("serve.cancel", "id=" + std::to_string(id));
   reschedule();
   return true;
@@ -248,6 +271,7 @@ dynamics::ChangeScope ServeEngine::apply_event(double vt,
       rec.outcome = online::AppOutcome::AbortedChurn;
       ++counters_.aborted_churn;
       serve_obs().aborted.inc();
+      serve_obs().resp_aborted.observe(rec.response());
       support_changed = true;
     }
     active_ids_.resize(keep);

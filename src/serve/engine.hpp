@@ -112,6 +112,18 @@ public:
   [[nodiscard]] int active_count() const {
     return static_cast<int>(active_ids_.size());
   }
+  /// Active load ids in admission order (what GET /loads reports on).
+  [[nodiscard]] const std::vector<int>& active_ids() const {
+    return active_ids_;
+  }
+  /// Current fluid drain rate of load `id` (0 when not active).
+  [[nodiscard]] double load_rate(int id) const {
+    return rate_[static_cast<std::size_t>(id)];
+  }
+  /// Work units load `id` still has to drain.
+  [[nodiscard]] double load_remaining(int id) const {
+    return remaining_[static_cast<std::size_t>(id)];
+  }
   [[nodiscard]] const EngineCounters& counters() const { return counters_; }
   [[nodiscard]] const online::OnlineMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const std::vector<online::AppRecord>& apps() const {

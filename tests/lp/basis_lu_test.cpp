@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -213,6 +215,146 @@ TEST(BasisLu, UpdateRejectsTinyPivots) {
   EXPECT_EQ(lu.eta_count(), 0);         // rejected update left no eta
   EXPECT_TRUE(lu.update(0, w, 1e-9));
   EXPECT_EQ(lu.eta_count(), 1);
+}
+
+/// Builds a sparse right-hand side with ~nnz random entries that
+/// satisfies the SparseVector invariant.
+SparseVector random_rhs(Rng& rng, int m, int nnz) {
+  SparseVector v;
+  v.reset(m);
+  for (int k = 0; k < nnz; ++k) {
+    const int i = static_cast<int>(rng.index(m));
+    if (v.values[i] != 0.0) continue;
+    double val = rng.uniform(-4.0, 4.0);
+    if (val == 0.0) val = 1.0;
+    v.values[i] = val;
+    v.pattern.push_back(i);
+  }
+  return v;
+}
+
+/// The hypersparse contract against a dense oracle result: every
+/// nonzero bitwise identical, every off-pattern slot an exact +0.0,
+/// and the pattern exactly the ascending nonzero support.
+void expect_hypersparse_matches(const SparseVector& s,
+                                const std::vector<double>& dense,
+                                const char* what, int trial) {
+  const int m = static_cast<int>(dense.size());
+  std::vector<int> expected;
+  for (int i = 0; i < m; ++i) {
+    if (dense[i] != 0.0) {
+      expected.push_back(i);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(s.values[i]),
+                std::bit_cast<std::uint64_t>(dense[i]))
+          << what << " trial " << trial << " i=" << i;
+    } else {
+      EXPECT_EQ(s.values[i], 0.0) << what << " trial " << trial << " i=" << i;
+      EXPECT_FALSE(std::signbit(s.values[i]))
+          << what << " trial " << trial << " i=" << i;
+    }
+  }
+  EXPECT_EQ(s.pattern, expected) << what << " trial " << trial;
+}
+
+TEST(BasisLu, HypersparseSolvesMatchDenseBitwise) {
+  // Fuzz the reach-set FTRAN/BTRAN against the dense sweeps they must
+  // reproduce exactly: random bases, long eta chains (including pivots
+  // barely above the tolerance), random sparse right-hand sides.
+  Rng rng(404);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int m = 3 + static_cast<int>(rng.index(50));
+    DenseMatrix d = random_basis(rng, m);
+    BasisLu lu;
+    ASSERT_TRUE(factorize(lu, d)) << "trial " << trial;
+
+    // Grow an eta chain; a few updates use a deliberately tiny (but
+    // accepted) pivot to exercise near-singular eta arithmetic.
+    const int chain = static_cast<int>(rng.index(12));
+    for (int step = 0; step < chain; ++step) {
+      const int r = static_cast<int>(rng.index(m));
+      std::vector<double> col(m, 0.0);
+      col[r] = rng.bernoulli(0.15) ? 5e-7 : rng.uniform(1.0, 3.0);
+      const int extra = static_cast<int>(rng.index(m));
+      if (extra != r && rng.bernoulli(0.7)) col[extra] = rng.uniform(-1.0, 1.0);
+      std::vector<double> w = col;
+      lu.ftran(w);
+      if (std::fabs(w[r]) <= 1e-9) continue;
+      ASSERT_TRUE(lu.update(r, w, 1e-9));
+    }
+
+    SolveScratch ws;
+    ws.ensure(m);
+    const int nnz = 1 + static_cast<int>(rng.index(4));
+
+    // FTRAN: hypersparse (never falling back) against the dense pass.
+    {
+      SparseVector x = random_rhs(rng, m, nnz);
+      std::vector<double> dense = x.values;
+      lu.ftran(dense);
+      const BasisLu::SolveStats st = lu.ftran_sparse(x, ws, 1.0);
+      EXPECT_FALSE(st.fallback) << "trial " << trial;
+      EXPECT_GT(st.reach, 0) << "trial " << trial;
+      expect_hypersparse_matches(x, dense, "ftran", trial);
+    }
+    // BTRAN, same contract.
+    {
+      SparseVector y = random_rhs(rng, m, nnz);
+      std::vector<double> dense = y.values;
+      lu.btran(dense);
+      const BasisLu::SolveStats st = lu.btran_sparse(y, ws, 1.0);
+      EXPECT_FALSE(st.fallback) << "trial " << trial;
+      expect_hypersparse_matches(y, dense, "btran", trial);
+    }
+    // Unit BTRAN against the legacy scan-collected row of B^{-1}.
+    {
+      const int slot = static_cast<int>(rng.index(m));
+      std::vector<double> ref;
+      lu.btran_unit(slot, ref);
+      SparseVector y;
+      y.reset(m);
+      const BasisLu::SolveStats st = lu.btran_unit_sparse(slot, y, ws, 1.0);
+      EXPECT_FALSE(st.fallback) << "trial " << trial;
+      expect_hypersparse_matches(y, ref, "btran_unit", trial);
+    }
+  }
+}
+
+TEST(BasisLu, CrossoverZeroForcesDenseFallback) {
+  // crossover = 0.0 makes the density limit (int)(0.0 * m) = 0, so the
+  // very first symbolic step crosses it: every solve must report a
+  // fallback and still return the exact dense result and pattern.
+  Rng rng(505);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int m = 3 + static_cast<int>(rng.index(30));
+    const DenseMatrix d = random_basis(rng, m);
+    BasisLu lu;
+    ASSERT_TRUE(factorize(lu, d));
+    SolveScratch ws;
+    ws.ensure(m);
+
+    SparseVector x = random_rhs(rng, m, 2);
+    std::vector<double> dense = x.values;
+    lu.ftran(dense);
+    const BasisLu::SolveStats fst = lu.ftran_sparse(x, ws, 0.0);
+    EXPECT_TRUE(fst.fallback) << "trial " << trial;
+    expect_hypersparse_matches(x, dense, "ftran fallback", trial);
+
+    SparseVector y = random_rhs(rng, m, 2);
+    std::vector<double> bdense = y.values;
+    lu.btran(bdense);
+    const BasisLu::SolveStats bst = lu.btran_sparse(y, ws, 0.0);
+    EXPECT_TRUE(bst.fallback) << "trial " << trial;
+    expect_hypersparse_matches(y, bdense, "btran fallback", trial);
+
+    const int slot = static_cast<int>(rng.index(m));
+    std::vector<double> ref;
+    lu.btran_unit(slot, ref);
+    SparseVector u;
+    u.reset(m);
+    const BasisLu::SolveStats ust = lu.btran_unit_sparse(slot, u, ws, 0.0);
+    EXPECT_TRUE(ust.fallback) << "trial " << trial;
+    expect_hypersparse_matches(u, ref, "btran_unit fallback", trial);
+  }
 }
 
 TEST(BasisLu, MemoryScalesWithNnzNotDimensionSquared) {
